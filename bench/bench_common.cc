@@ -1,0 +1,220 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "baselines/probesim.h"
+#include "baselines/reads.h"
+#include "baselines/sling.h"
+#include "baselines/topsim.h"
+#include "baselines/tsf.h"
+#include "core/prsim.h"
+#include "eval/datasets.h"
+#include "util/timer.h"
+
+namespace prsim::bench {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<SweepConfig> BuildParameterSweep(const Graph& graph,
+                                             bool index_based_only,
+                                             uint64_t seed) {
+  std::vector<SweepConfig> configs;
+
+  // PRSim: eps sweep (Section 5.2 uses {0.5, 0.1, 0.05, 0.01, 0.005};
+  // the two smallest are trimmed to keep laptop runtimes bounded).
+  for (double eps : {0.5, 0.1, 0.05, 0.02}) {
+    PRSimOptions options;
+    options.eps = eps;
+    options.seed = seed;
+    configs.push_back({"PRSim", "eps=" + FormatDouble(eps),
+                       std::make_unique<PRSim>(graph, options), true});
+  }
+
+  // SLING: eps_a sweep; small eps on large graphs exhausts the tuple budget
+  // and is skipped at preprocessing, mirroring the paper's omissions.
+  for (double eps : {0.5, 0.1, 0.05}) {
+    SlingOptions options;
+    options.eps = eps;
+    options.seed = seed;
+    options.max_index_tuples = 60000000;
+    configs.push_back({"SLING", "eps=" + FormatDouble(eps),
+                       std::make_unique<Sling>(graph, options), true});
+  }
+
+  // TSF: (Rg, Rq) sweep.
+  for (auto [rg, rq] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {10, 2}, {100, 20}, {300, 40}}) {
+    TsfOptions options;
+    options.rg = rg;
+    options.rq = rq;
+    options.seed = seed;
+    configs.push_back({"TSF",
+                       "Rg=" + std::to_string(rg) + ",Rq=" +
+                           std::to_string(rq),
+                       std::make_unique<Tsf>(graph, options), true});
+  }
+
+  // READS: (r, t) sweep.
+  for (auto [r, t] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {10, 2}, {50, 5}, {100, 10}, {200, 10}}) {
+    ReadsOptions options;
+    options.r = r;
+    options.t = t;
+    options.seed = seed;
+    options.max_index_entries = 100000000;
+    configs.push_back({"READS",
+                       "r=" + std::to_string(r) + ",t=" + std::to_string(t),
+                       std::make_unique<Reads>(graph, options), true});
+  }
+
+  if (!index_based_only) {
+    // ProbeSim: eps sweep.
+    for (double eps : {0.5, 0.1, 0.05}) {
+      ProbeSimOptions options;
+      options.eps = eps;
+      options.seed = seed;
+      configs.push_back({"ProbeSim", "eps=" + FormatDouble(eps),
+                         std::make_unique<ProbeSim>(graph, options), false});
+    }
+    // TopSim: (T, 1/h) sweep.
+    for (auto [depth, cap] : std::vector<std::pair<uint32_t, uint32_t>>{
+             {1, 10}, {3, 100}, {3, 1000}}) {
+      TopSimOptions options;
+      options.depth = depth;
+      options.degree_cap = cap;
+      options.seed = seed;
+      configs.push_back({"TopSim",
+                         "T=" + std::to_string(depth) + ",1/h=" +
+                             std::to_string(cap),
+                         std::make_unique<TopSim>(graph, options), false});
+    }
+  }
+  return configs;
+}
+
+std::vector<SweepConfig> BuildFixedConfigs(const Graph& graph, uint64_t seed) {
+  std::vector<SweepConfig> configs;
+  {
+    PRSimOptions options;
+    options.eps = 0.25;
+    options.seed = seed;
+    configs.push_back({"PRSim", "eps=0.25",
+                       std::make_unique<PRSim>(graph, options), true});
+  }
+  {
+    SlingOptions options;
+    options.eps = 0.25;
+    options.seed = seed;
+    configs.push_back({"SLING", "eps=0.25",
+                       std::make_unique<Sling>(graph, options), true});
+  }
+  {
+    TsfOptions options;  // paper defaults Rg=300, Rq=40
+    options.seed = seed;
+    configs.push_back({"TSF", "Rg=300,Rq=40",
+                       std::make_unique<Tsf>(graph, options), true});
+  }
+  {
+    ReadsOptions options;  // paper defaults r=100, t=10
+    options.seed = seed;
+    configs.push_back({"READS", "r=100,t=10",
+                       std::make_unique<Reads>(graph, options), true});
+  }
+  {
+    ProbeSimOptions options;
+    options.eps = 0.25;
+    options.seed = seed;
+    configs.push_back({"ProbeSim", "eps=0.25",
+                       std::make_unique<ProbeSim>(graph, options), false});
+  }
+  {
+    TopSimOptions options;  // paper defaults T=3, 1/h=100
+    options.seed = seed;
+    configs.push_back({"TopSim", "T=3,1/h=100",
+                       std::make_unique<TopSim>(graph, options), false});
+  }
+  return configs;
+}
+
+std::vector<SweepRow> RunSweep(const Graph& graph,
+                               std::vector<SweepConfig> configs,
+                               uint32_t query_count, uint32_t k,
+                               double per_algo_budget_seconds, uint64_t seed) {
+  std::vector<EvalEntry> entries;
+  std::vector<const SweepConfig*> kept;
+  std::vector<double> preprocess_seconds;
+  for (auto& config : configs) {
+    WallTimer timer;
+    Status st = config.instance->Preprocess();
+    if (!st.ok()) {
+      std::fprintf(stderr, "  [skip] %s(%s): %s\n", config.algo.c_str(),
+                   config.param.c_str(), st.ToString().c_str());
+      continue;
+    }
+    kept.push_back(&config);
+    preprocess_seconds.push_back(timer.Seconds());
+    entries.push_back({config.algo + "(" + config.param + ")",
+                       config.instance.get(), timer.Seconds()});
+  }
+
+  GroundTruthOptions gt_options;
+  gt_options.seed = seed + 1;
+  GroundTruth truth(graph, gt_options);
+  truth.Prepare().Abort();
+
+  PoolingOptions pooling;
+  pooling.k = k;
+  pooling.per_algorithm_budget_seconds = per_algo_budget_seconds;
+  const auto queries = SampleQueryNodes(graph, query_count, seed + 2);
+  const auto metrics = RunPooledEvaluation(graph, entries, truth, queries,
+                                           pooling);
+
+  std::vector<SweepRow> rows;
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    SweepRow row;
+    row.algo = kept[i]->algo;
+    row.param = kept[i]->param;
+    row.query_seconds = metrics[i].mean_query_seconds;
+    row.avg_error = metrics[i].avg_error_at_k;
+    row.precision = metrics[i].precision_at_k;
+    row.index_bytes = metrics[i].index_bytes;
+    row.preprocess_seconds = preprocess_seconds[i];
+    row.index_based = kept[i]->index_based;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void PrintRow(const std::string& figure, const std::string& dataset,
+              const SweepRow& row) {
+  std::printf(
+      "[%s] dataset=%s algo=%s param=%s query_s=%.5f avg_err@50=%.5f "
+      "precision@50=%.3f index_mb=%.2f preprocess_s=%.2f\n",
+      figure.c_str(), dataset.c_str(), row.algo.c_str(), row.param.c_str(),
+      row.query_seconds, row.avg_error, row.precision,
+      row.index_bytes / 1e6, row.preprocess_seconds);
+  std::fflush(stdout);
+}
+
+BenchScale GetBenchScale() {
+  BenchScale scale;
+  scale.factor = BenchScaleFromEnv();
+  if (scale.factor < 1.0) {
+    scale.query_count = 3;
+    scale.budget_seconds = 20;
+  } else if (scale.factor > 1.0) {
+    scale.query_count = 12;
+    scale.budget_seconds = 300;
+  }
+  return scale;
+}
+
+}  // namespace prsim::bench

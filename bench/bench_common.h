@@ -1,0 +1,76 @@
+// Shared infrastructure for the figure benches: algorithm sweeps mirroring
+// Section 5.1's parameter grids, pooled evaluation, and paper-style series
+// output.
+//
+// Each figure binary prints self-describing rows:
+//   [figure] dataset=LJ algo=PRSim param=eps=0.05 query_s=... avg_err@50=...
+// so series can be grepped straight into a plotting tool, and EXPERIMENTS.md
+// can quote rows verbatim.
+
+#ifndef PRSIM_BENCH_BENCH_COMMON_H_
+#define PRSIM_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/single_source.h"
+#include "eval/ground_truth.h"
+#include "eval/pooling.h"
+#include "graph/graph.h"
+
+namespace prsim::bench {
+
+/// One algorithm configuration in a sweep.
+struct SweepConfig {
+  std::string algo;   ///< "PRSim", "ProbeSim", ...
+  std::string param;  ///< printable parameter setting, e.g. "eps=0.05"
+  std::unique_ptr<SingleSourceSimRank> instance;
+  bool index_based = false;
+};
+
+/// Result row of a pooled sweep evaluation.
+struct SweepRow {
+  std::string algo;
+  std::string param;
+  double query_seconds = 0;
+  double avg_error = 0;
+  double precision = 0;
+  size_t index_bytes = 0;
+  double preprocess_seconds = 0;
+  bool index_based = false;
+};
+
+/// Builds the Section 5.2 parameter sweep over all six algorithms (or only
+/// the index-based four when `index_based_only`).
+std::vector<SweepConfig> BuildParameterSweep(const Graph& graph,
+                                             bool index_based_only,
+                                             uint64_t seed);
+
+/// Fixed-parameter configurations for the synthetic experiments
+/// (Section 5.3: eps_a = 0.25, Rg = 300, Rq = 40, r = 100, t = 10, ...).
+std::vector<SweepConfig> BuildFixedConfigs(const Graph& graph, uint64_t seed);
+
+/// Preprocesses (skipping configurations whose index exceeds its budget, as
+/// the paper omits out-of-memory runs), runs the pooled evaluation, and
+/// returns one row per surviving configuration.
+std::vector<SweepRow> RunSweep(const Graph& graph,
+                               std::vector<SweepConfig> configs,
+                               uint32_t query_count, uint32_t k,
+                               double per_algo_budget_seconds, uint64_t seed);
+
+/// Prints one row in the grep-friendly format described above.
+void PrintRow(const std::string& figure, const std::string& dataset,
+              const SweepRow& row);
+
+/// Scaled query/bench sizing honoring PRSIM_BENCH_SCALE.
+struct BenchScale {
+  double factor = 1.0;        ///< dataset size multiplier
+  uint32_t query_count = 6;   ///< queries per dataset
+  double budget_seconds = 60; ///< per-algorithm pooled budget
+};
+BenchScale GetBenchScale();
+
+}  // namespace prsim::bench
+
+#endif  // PRSIM_BENCH_BENCH_COMMON_H_

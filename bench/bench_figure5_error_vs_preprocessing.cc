@@ -1,0 +1,34 @@
+// Figure 5: AvgError@50 vs preprocessing time for the index-based
+// algorithms.
+//
+// Paper shape to reproduce: PRSim preprocesses orders of magnitude faster
+// than SLING (whose eta estimation needs walks from every node) and READS
+// (which samples and stores r walks per node) at equal error.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/datasets.h"
+
+int main() {
+  using namespace prsim;
+  using namespace prsim::bench;
+  const BenchScale scale = GetBenchScale();
+
+  // Below full scale, sweep only the two headline datasets (DB for the
+  // index-size contrast, TW for the heavy-tailed hard case) so the binary
+  // fits a single-core CI budget; at scale >= 1 sweep all four.
+  std::vector<const char*> keys = {"DB", "TW"};
+  if (scale.factor >= 1.0) keys = {"DB", "LJ", "IT", "TW"};
+  for (const char* key : keys) {
+    auto spec = FindDataset(key).ValueOrDie();
+    Graph g = MakeDataset(spec, 0.2 * scale.factor).ValueOrDie();
+    std::fprintf(stderr, "[figure5] %s: n=%u m=%llu\n", key, g.n(),
+                 static_cast<unsigned long long>(g.m()));
+    auto rows = RunSweep(g, BuildParameterSweep(g, /*index_based_only=*/true,
+                                                17),
+                         scale.query_count, 50, scale.budget_seconds, 4000);
+    for (const auto& row : rows) PrintRow("figure5", key, row);
+  }
+  return 0;
+}

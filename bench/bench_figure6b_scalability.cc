@@ -1,0 +1,61 @@
+// Figure 6(b): PRSim query time vs graph size n on power-law graphs with
+// gamma = 3, d̄ = 10 (n from 1e4 to 1e7 in the paper; capped at 1e6 here —
+// DESIGN.md substitution table).
+//
+// Paper shape to reproduce: the curve is concave on a log-log plot, i.e.
+// query time grows sublinearly in n (for gamma = 3 > 2 the theory predicts
+// near-constant query cost; generation and indexing grow linearly, queries
+// should barely move).
+
+#include <cstdio>
+
+#include "core/prsim.h"
+#include "eval/datasets.h"
+#include "eval/pooling.h"
+#include "gen/chung_lu.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace prsim;
+  const double factor = BenchScaleFromEnv();
+
+  for (uint64_t n : {10000ull, 30000ull, 100000ull, 300000ull, 1000000ull}) {
+    const auto scaled_n = static_cast<NodeId>(n * factor);
+    ChungLuOptions gen;
+    gen.n = scaled_n;
+    gen.avg_degree = 10;
+    gen.gamma_out = 3.0;
+    gen.undirected = true;
+    gen.seed = 42;
+    WallTimer gen_timer;
+    Graph g = GenerateChungLu(gen).ValueOrDie();
+    const double gen_seconds = gen_timer.Seconds();
+
+    PRSimOptions options;
+    options.eps = 0.25;
+    options.seed = 5;
+    PRSim prsim(g, options);
+    WallTimer prep_timer;
+    prsim.Preprocess().Abort();
+    const double prep_seconds = prep_timer.Seconds();
+
+    const auto queries = SampleQueryNodes(g, 10, 88);
+    WallTimer query_timer;
+    uint64_t work = 0;
+    for (NodeId u : queries) {
+      prsim.Query(u);
+      work += prsim.last_query_stats().backward_increments +
+              prsim.last_query_stats().hub_tuples_read;
+    }
+    std::printf("[figure6b] n=%u m=%llu gen_s=%.1f preprocess_s=%.2f "
+                "query_s=%.5f query_work=%llu index_mb=%.2f\n",
+                g.n(), static_cast<unsigned long long>(g.m()), gen_seconds,
+                prep_seconds, query_timer.Seconds() / queries.size(),
+                static_cast<unsigned long long>(work / queries.size()),
+                prsim.IndexBytes() / 1e6);
+    std::fflush(stdout);
+  }
+  std::printf("\nexpected shape: query_s grows much slower than n "
+              "(sublinear; near-flat for gamma = 3).\n");
+  return 0;
+}

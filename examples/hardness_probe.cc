@@ -1,0 +1,63 @@
+// Hardness probe: quantify how hard single-source SimRank will be on a graph
+// BEFORE running queries, using the paper's theory (Sections 1 and 3.5).
+//
+//   $ ./hardness_probe
+//
+// For a family of graphs with different out-degree exponents, prints:
+//   * the fitted cumulative out-degree exponent gamma;
+//   * the reverse-PageRank second moment sum_w pi(w)^2 (Theorem 3.11's cost
+//     driver) and the Zipf fit beta ~ 1/gamma;
+//   * PRSim's measured mean query time.
+// The table makes the paper's Conjecture 1 tangible: hardness tracks 1/gamma,
+// which is how the IT-2004 vs Twitter discrepancy is explained.
+
+#include <cstdio>
+
+#include "core/prsim.h"
+#include "eval/pooling.h"
+#include "gen/chung_lu.h"
+#include "graph/stats.h"
+#include "ppr/reverse_pagerank.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace prsim;
+
+  std::printf(
+      "%-8s %-10s %-12s %-10s %-14s %-12s\n", "gamma*", "fit gamma",
+      "sum pi^2", "beta fit", "index (MB)", "query (ms)");
+
+  for (double gamma : {1.2, 1.6, 2.0, 3.0, 5.0}) {
+    ChungLuOptions gen;
+    gen.n = 100000;
+    gen.avg_degree = 10;
+    gen.gamma_out = gamma;
+    gen.seed = 17;
+    Graph graph = GenerateChungLu(gen).ValueOrDie();
+
+    // Structural hardness statistics.
+    const PowerLawFit fit = FitDegreeExponent(graph, DegreeDirection::kOut);
+    auto pi = ComputeReversePageRank(graph, {.c = 0.6});
+    const PageRankHardness hardness = AnalyzePageRankVector(pi);
+
+    // Measured PRSim behavior.
+    PRSimOptions options;
+    options.eps = 0.1;
+    options.seed = 3;
+    PRSim prsim(graph, options);
+    prsim.Preprocess().Abort();
+    const auto queries = SampleQueryNodes(graph, 8, 55);
+    WallTimer timer;
+    for (NodeId u : queries) prsim.Query(u);
+    const double ms = timer.Seconds() * 1000.0 / queries.size();
+
+    std::printf("%-8.1f %-10.2f %-12.3e %-10.2f %-14.2f %-12.2f\n", gamma,
+                fit.gamma, hardness.second_moment, hardness.beta,
+                prsim.IndexBytes() / 1e6, ms);
+  }
+
+  std::printf(
+      "\nreading: larger gamma -> smaller sum pi^2 -> cheaper queries "
+      "(Conjecture 1).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "baselines/monte_carlo.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prsim {
+
+MonteCarloSimRank::MonteCarloSimRank(const Graph& graph,
+                                     const MonteCarloOptions& options)
+    : graph_(graph),
+      options_(options),
+      walker_(graph, options.c),
+      rng_(options.seed) {}
+
+uint64_t MonteCarloSimRank::SamplesFor(double eps, double delta) {
+  PRSIM_CHECK(eps > 0 && delta > 0 && delta < 1);
+  return static_cast<uint64_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * eps * eps)));
+}
+
+double MonteCarloSimRank::EstimatePair(NodeId u, NodeId v) {
+  return walker_.EstimateSimRank(u, v, options_.samples, rng_);
+}
+
+ScoreList MonteCarloSimRank::Query(NodeId u) {
+  PRSIM_CHECK(u < graph_.n());
+  ScoreList out;
+  out.reserve(64);
+  for (NodeId v = 0; v < graph_.n(); ++v) {
+    if (v == u) continue;
+    const double estimate =
+        walker_.EstimateSimRank(u, v, options_.samples, rng_);
+    if (estimate > 0) out.emplace_back(v, estimate);
+  }
+  out.emplace_back(u, 1.0);
+  return out;
+}
+
+}  // namespace prsim

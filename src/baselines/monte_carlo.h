@@ -1,0 +1,55 @@
+// Classic Monte Carlo SimRank estimation (Fogaras & Racz [12], also [32]).
+//
+// Pairwise: sample nr pairs of sqrt(c)-walks from (u, v); the meeting
+// fraction estimates s(u, v) with additive error eps for
+// nr = O(log(1/delta)/eps^2) (Hoeffding). Single-source: pair walk j of u
+// with walk j of every v — O(n * nr) per query, the bound every algorithm in
+// the paper is trying to beat. The pairwise estimator doubles as this
+// library's high-precision ground-truth oracle on graphs too large for the
+// power method.
+
+#ifndef PRSIM_BASELINES_MONTE_CARLO_H_
+#define PRSIM_BASELINES_MONTE_CARLO_H_
+
+#include <cstdint>
+
+#include "core/single_source.h"
+#include "graph/graph.h"
+#include "ppr/walker.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+struct MonteCarloOptions {
+  double c = 0.6;
+  /// Walk pairs per estimated value.
+  uint64_t samples = 10000;
+  uint64_t seed = 7;
+};
+
+class MonteCarloSimRank : public SingleSourceSimRank {
+ public:
+  MonteCarloSimRank(const Graph& graph, const MonteCarloOptions& options);
+
+  std::string name() const override { return "MonteCarlo"; }
+
+  /// O(n * samples): estimates s(u, v) for every v by pairing fresh walks.
+  ScoreList Query(NodeId u) override;
+
+  /// Pairwise estimate of s(u, v).
+  double EstimatePair(NodeId u, NodeId v);
+
+  /// Number of walk pairs needed for additive error eps with probability
+  /// 1 - delta under Hoeffding.
+  static uint64_t SamplesFor(double eps, double delta);
+
+ private:
+  const Graph& graph_;
+  MonteCarloOptions options_;
+  Walker walker_;
+  Rng rng_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_BASELINES_MONTE_CARLO_H_

@@ -1,0 +1,82 @@
+#include "baselines/power_method.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace prsim {
+
+PowerMethodSimRank::PowerMethodSimRank(const Graph& graph,
+                                       const PowerMethodOptions& options)
+    : graph_(graph), options_(options), n_(graph.n()) {}
+
+Status PowerMethodSimRank::Preprocess() {
+  if (n_ > options_.max_nodes) {
+    return Status::ResourceExhausted(
+        "PowerMethod: n = " + std::to_string(n_) + " exceeds max_nodes = " +
+        std::to_string(options_.max_nodes) + " (O(n^2) memory)");
+  }
+  const size_t n = n_;
+  const double c = options_.c;
+  matrix_.assign(n * n, 0.0);
+  for (size_t u = 0; u < n; ++u) matrix_[u * n + u] = 1.0;
+
+  std::vector<double> half(n * n);  // M1(u, v) = avg_{u' in I(u)} S(u', v)
+  std::vector<double> next(n * n);
+
+  for (uint32_t iter = 0; iter < options_.iterations; ++iter) {
+    // First pass: average over in-neighbors along the row index.
+    ParallelFor(0, n, [&](size_t u) {
+      double* out_row = &half[u * n];
+      const auto ins = graph_.InNeighbors(static_cast<NodeId>(u));
+      if (ins.empty()) {
+        std::fill(out_row, out_row + n, 0.0);
+        return;
+      }
+      std::fill(out_row, out_row + n, 0.0);
+      for (NodeId up : ins) {
+        const double* in_row = &matrix_[static_cast<size_t>(up) * n];
+        for (size_t v = 0; v < n; ++v) out_row[v] += in_row[v];
+      }
+      const double inv = 1.0 / static_cast<double>(ins.size());
+      for (size_t v = 0; v < n; ++v) out_row[v] *= inv;
+    });
+    // Second pass: average over in-neighbors along the column index, apply
+    // the decay, and pin the diagonal (the elementwise max with I reduces to
+    // the diagonal because all off-diagonal entries stay below 1).
+    ParallelFor(0, n, [&](size_t u) {
+      double* out_row = &next[u * n];
+      const double* in_row = &half[u * n];
+      for (size_t v = 0; v < n; ++v) {
+        const auto ins = graph_.InNeighbors(static_cast<NodeId>(v));
+        if (u == v) {
+          out_row[v] = 1.0;
+          continue;
+        }
+        if (ins.empty()) {
+          out_row[v] = 0.0;
+          continue;
+        }
+        double sum = 0.0;
+        for (NodeId vp : ins) sum += in_row[vp];
+        out_row[v] = c * sum / static_cast<double>(ins.size());
+      }
+    });
+    matrix_.swap(next);
+  }
+  return Status::OK();
+}
+
+ScoreList PowerMethodSimRank::Query(NodeId u) {
+  PRSIM_CHECK(preprocessed()) << "call Preprocess() before Query()";
+  PRSIM_CHECK(u < n_);
+  ScoreList out;
+  const double* row = &matrix_[static_cast<size_t>(u) * n_];
+  for (NodeId v = 0; v < n_; ++v) {
+    if (row[v] > 0) out.emplace_back(v, row[v]);
+  }
+  return out;
+}
+
+}  // namespace prsim

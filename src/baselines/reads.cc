@@ -1,0 +1,117 @@
+#include "baselines/reads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/flat_hash_map.h"
+#include "util/logging.h"
+
+namespace prsim {
+
+Reads::Reads(const Graph& graph, const ReadsOptions& options)
+    : graph_(graph), options_(options), rng_(options.seed) {
+  PRSIM_CHECK(options_.r > 0 && options_.t > 0);
+}
+
+Status Reads::Preprocess() {
+  const NodeId n = graph_.n();
+  const uint32_t r = options_.r;
+  const uint32_t t = options_.t;
+  const double sqrt_c = std::sqrt(options_.c);
+
+  // Rough expected entries: n * r * expected live steps (geometric).
+  const double expected_len = sqrt_c / (1.0 - sqrt_c);
+  const double expected_entries =
+      static_cast<double>(n) * r * std::min<double>(expected_len, t);
+  if (expected_entries > static_cast<double>(options_.max_index_entries)) {
+    return Status::ResourceExhausted(
+        "READS: expected index entries exceed budget");
+  }
+
+  traj_off_.assign(static_cast<size_t>(n) * r + 1, 0);
+  traj_pos_.clear();
+  buckets_.assign(static_cast<size_t>(r) * t, {});
+
+  // Sample and store r truncated sqrt(c)-walks per node. Trajectories hold
+  // positions for steps 1..len (step 0 is the source itself).
+  for (NodeId v = 0; v < n; ++v) {
+    for (uint32_t j = 0; j < r; ++j) {
+      NodeId pos = v;
+      for (uint32_t i = 1; i <= t; ++i) {
+        if (rng_.NextDouble() >= sqrt_c) break;
+        const uint32_t din = graph_.InDegree(pos);
+        if (din == 0) break;
+        pos = graph_.InNeighborAt(pos, rng_.NextIndex(din));
+        traj_pos_.push_back(pos);
+        buckets_[static_cast<size_t>(j) * t + (i - 1)].push_back({pos, v});
+      }
+      traj_off_[static_cast<size_t>(v) * r + j + 1] =
+          static_cast<uint32_t>(traj_pos_.size());
+    }
+  }
+  if (traj_pos_.size() > options_.max_index_entries) {
+    traj_off_.clear();
+    traj_pos_.clear();
+    buckets_.clear();
+    return Status::ResourceExhausted("READS: index entries exceed budget");
+  }
+  for (auto& bucket : buckets_) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const Occurrence& a, const Occurrence& b) {
+                return a.node < b.node;
+              });
+  }
+  meet_epoch_.assign(n, 0);
+  epoch_ = 0;
+  preprocessed_ = true;
+  return Status::OK();
+}
+
+ScoreList Reads::Query(NodeId u) {
+  PRSIM_CHECK(preprocessed_) << "call Preprocess() before Query()";
+  PRSIM_CHECK(u < graph_.n());
+  const uint32_t r = options_.r;
+  const uint32_t t = options_.t;
+  const double inv_r = 1.0 / static_cast<double>(r);
+  FlatHashMap<double> scores(1024);
+
+  for (uint32_t j = 0; j < r; ++j) {
+    ++epoch_;  // one epoch per sample: a v meeting at several steps counts once
+    const uint32_t begin = traj_off_[static_cast<size_t>(u) * r + j];
+    const uint32_t end = traj_off_[static_cast<size_t>(u) * r + j + 1];
+    for (uint32_t i = 0; i < end - begin && i < t; ++i) {
+      const NodeId x = traj_pos_[begin + i];
+      const auto& bucket = buckets_[static_cast<size_t>(j) * t + i];
+      // All sources whose walk j is also at x at step i + 1.
+      auto lo = std::lower_bound(
+          bucket.begin(), bucket.end(), x,
+          [](const Occurrence& occ, NodeId node) { return occ.node < node; });
+      for (; lo != bucket.end() && lo->node == x; ++lo) {
+        const NodeId v = lo->source;
+        if (v == u) continue;
+        if (meet_epoch_[v] == epoch_) continue;  // already met this sample
+        meet_epoch_[v] = epoch_;
+        scores[v] += inv_r;
+      }
+    }
+  }
+
+  ScoreList out;
+  out.reserve(scores.size() + 1);
+  scores.ForEach([&](uint64_t key, const double& score) {
+    if (score > 0) out.emplace_back(static_cast<NodeId>(key), score);
+  });
+  out.emplace_back(u, 1.0);
+  return out;
+}
+
+size_t Reads::IndexBytes() const {
+  size_t bytes = traj_off_.size() * sizeof(uint32_t) +
+                 traj_pos_.size() * sizeof(NodeId);
+  for (const auto& bucket : buckets_) {
+    bytes += bucket.size() * sizeof(Occurrence);
+  }
+  return bytes;
+}
+
+}  // namespace prsim

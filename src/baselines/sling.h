@@ -1,0 +1,90 @@
+// SLING (Tian & Xiao [32]): hitting-probability index for SimRank.
+//
+// SLING evaluates s(u, v) = sum_l sum_w h_l(u, w) h_l(v, w) eta(w) (paper
+// Eq. 5) from a fully materialized index:
+//   * eta(w) for every node, estimated by Monte Carlo pair-walks — the
+//     O(n log(n/delta)/eps^2) preprocessing PRSim's on-the-fly eta*pi
+//     estimation eliminates;
+//   * hitting probabilities h_l(v, w) above eps for *every* target w,
+//     computed by backward search from every node and stored in both a
+//     source-major view (for the query node) and a (w, l)-major inverted
+//     view — the O(n/eps) index PRSim shrinks to hubs only.
+//
+// Queries are fast index joins; the cost is paid in index size and
+// preprocessing time, which is exactly how SLING behaves in Figures 4/5.
+// A memory budget aborts preprocessing gracefully on configurations that
+// would not fit, mirroring the paper's omitted (out-of-memory) data points.
+
+#ifndef PRSIM_BASELINES_SLING_H_
+#define PRSIM_BASELINES_SLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/single_source.h"
+#include "graph/graph.h"
+#include "ppr/walker.h"
+#include "util/flat_hash_map.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+struct SlingOptions {
+  double c = 0.6;
+  double eps = 0.1;    ///< absolute error target eps_a
+  double delta = 1e-4; ///< failure probability (enters the eta sample count)
+  /// eta Monte Carlo samples per node = ceil(alpha_eta * 3 ln(n/delta) /
+  /// eps^2) — the Theta(log(n/delta)/eps^2) preprocessing term [32] that
+  /// PRSim's on-the-fly estimation removes. Capped below.
+  double alpha_eta = 1.0;
+  uint64_t max_eta_samples = 200000;
+  /// Abort preprocessing if the index would exceed this many stored tuples.
+  uint64_t max_index_tuples = 200000000;
+  uint32_t max_level = 64;
+  size_t threads = 0;
+  uint64_t seed = 13;
+};
+
+class Sling : public SingleSourceSimRank {
+ public:
+  Sling(const Graph& graph, const SlingOptions& options);
+
+  std::string name() const override { return "SLING"; }
+
+  Status Preprocess() override;
+  ScoreList Query(NodeId u) override;
+
+  size_t IndexBytes() const override;
+  bool IsIndexBased() const override { return true; }
+
+  double eta(NodeId w) const { return eta_[w]; }
+  bool preprocessed() const { return preprocessed_; }
+
+ private:
+  // Source-major view: for query node u, all (level, w, h_l(u, w)).
+  struct SourceEntry {
+    NodeId w;
+    uint32_t level;
+    float h;
+  };
+  // Inverted view: for (w, level), all (v, h_l(v, w)); flattened CSR keyed by
+  // PackNodeLevel(w, level).
+  struct TargetList {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  const Graph& graph_;
+  SlingOptions options_;
+  Walker walker_;
+  bool preprocessed_ = false;
+
+  std::vector<double> eta_;
+  std::vector<std::vector<SourceEntry>> source_index_;
+  FlatHashMap<TargetList> target_lists_{1024};
+  std::vector<std::pair<NodeId, float>> target_payload_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_BASELINES_SLING_H_

@@ -1,0 +1,111 @@
+#include "baselines/tsf.h"
+
+#include <cmath>
+
+#include "util/flat_hash_map.h"
+#include "util/logging.h"
+
+namespace prsim {
+
+Tsf::Tsf(const Graph& graph, const TsfOptions& options)
+    : graph_(graph), options_(options), rng_(options.seed) {
+  PRSIM_CHECK(options_.rg > 0 && options_.rq > 0 && options_.depth > 0);
+}
+
+Status Tsf::Preprocess() {
+  const NodeId n = graph_.n();
+  const uint64_t entries =
+      static_cast<uint64_t>(options_.rg) * static_cast<uint64_t>(n);
+  if (entries > options_.max_index_entries) {
+    return Status::ResourceExhausted(
+        "TSF: index of " + std::to_string(entries) +
+        " parent pointers exceeds budget");
+  }
+  parents_.resize(entries);
+  for (uint32_t g = 0; g < options_.rg; ++g) {
+    NodeId* slice = &parents_[static_cast<uint64_t>(g) * n];
+    for (NodeId v = 0; v < n; ++v) {
+      const uint32_t din = graph_.InDegree(v);
+      slice[v] =
+          din == 0 ? kNoParent : graph_.InNeighborAt(v, rng_.NextIndex(din));
+    }
+  }
+  preprocessed_ = true;
+  return Status::OK();
+}
+
+ScoreList Tsf::Query(NodeId u) {
+  PRSIM_CHECK(preprocessed_) << "call Preprocess() before Query()";
+  PRSIM_CHECK(u < graph_.n());
+  const NodeId n = graph_.n();
+  const double c = options_.c;
+  const double inv_norm =
+      1.0 / (static_cast<double>(options_.rg) * options_.rq);
+  FlatHashMap<double> scores(1024);
+
+  child_off_.assign(n + 1, 0);
+  child_adj_.resize(n);
+  std::vector<NodeId> walk(options_.depth + 1);
+
+  for (uint32_t g = 0; g < options_.rg; ++g) {
+    const NodeId* parent = &parents_[static_cast<uint64_t>(g) * n];
+    // Invert the parent pointers of this one-way graph into child lists so
+    // "which nodes are i steps above x" is a BFS down the child CSR.
+    std::fill(child_off_.begin(), child_off_.end(), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (parent[v] != kNoParent) ++child_off_[parent[v] + 1];
+    }
+    for (NodeId v = 0; v < n; ++v) child_off_[v + 1] += child_off_[v];
+    {
+      std::vector<uint32_t> cursor(child_off_.begin(), child_off_.end() - 1);
+      for (NodeId v = 0; v < n; ++v) {
+        if (parent[v] != kNoParent) child_adj_[cursor[parent[v]]++] = v;
+      }
+    }
+
+    for (uint32_t q = 0; q < options_.rq; ++q) {
+      // Fresh uniform reverse walk from u on the original graph (TSF uses
+      // undiscounted walks of fixed depth; the c^i factor is analytic).
+      uint32_t len = 0;
+      walk[0] = u;
+      for (uint32_t i = 1; i <= options_.depth; ++i) {
+        const uint32_t din = graph_.InDegree(walk[i - 1]);
+        if (din == 0) break;
+        walk[i] = graph_.InNeighborAt(walk[i - 1], rng_.NextIndex(din));
+        len = i;
+      }
+      // Nodes whose parent chain is at walk[i] after i steps are exactly the
+      // depth-i descendants of walk[i] in the child forest.
+      double weight = 1.0;
+      for (uint32_t i = 1; i <= len; ++i) {
+        weight *= c;
+        frontier_.assign(1, walk[i]);
+        for (uint32_t d = 0; d < i && !frontier_.empty(); ++d) {
+          frontier_next_.clear();
+          for (NodeId x : frontier_) {
+            for (uint32_t e = child_off_[x]; e < child_off_[x + 1]; ++e) {
+              frontier_next_.push_back(child_adj_[e]);
+            }
+          }
+          std::swap(frontier_, frontier_next_);
+        }
+        const double contribution = weight * inv_norm;
+        for (NodeId v : frontier_) {
+          if (v != u) scores[v] += contribution;
+        }
+      }
+    }
+  }
+
+  ScoreList out;
+  out.reserve(scores.size() + 1);
+  scores.ForEach([&](uint64_t key, const double& score) {
+    if (score > 0) out.emplace_back(static_cast<NodeId>(key), score);
+  });
+  out.emplace_back(u, 1.0);
+  return out;
+}
+
+size_t Tsf::IndexBytes() const { return parents_.size() * sizeof(NodeId); }
+
+}  // namespace prsim

@@ -1,0 +1,52 @@
+// Parallel batch querying over a shared PRSim index.
+//
+// PRSim queries are independent given the (immutable) hub index, so a batch
+// of single-source queries parallelizes perfectly: one PRSim engine per
+// worker, all sharing the leader's index via ShareIndexFrom, deterministic
+// per-query seeds derived from the leader's options.
+
+#ifndef PRSIM_CORE_BATCH_QUERY_H_
+#define PRSIM_CORE_BATCH_QUERY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/prsim.h"
+#include "util/parallel.h"
+
+namespace prsim {
+
+/// Answers one single-source query per entry of `sources`, using up to
+/// `threads` workers (0 = hardware concurrency). `leader` must be
+/// preprocessed; it is not modified. Results are positionally aligned with
+/// `sources`, and each query's seed depends only on (leader seed, position),
+/// so results are independent of the thread count.
+inline std::vector<ScoreList> BatchQuery(const Graph& graph,
+                                         const PRSim& leader,
+                                         const PRSimOptions& options,
+                                         const std::vector<NodeId>& sources,
+                                         size_t threads = 0) {
+  PRSIM_CHECK(leader.preprocessed()) << "leader must be preprocessed";
+  if (threads == 0) threads = DefaultThreadCount();
+  threads = std::max<size_t>(1, std::min(threads, sources.size()));
+
+  std::vector<ScoreList> results(sources.size());
+  ParallelFor(
+      0, sources.size(),
+      [&](size_t i) {
+        // Engine construction without Preprocess is cheap (no index build);
+        // a per-query deterministic reseed keeps results independent of the
+        // thread count and chunking.
+        PRSimOptions per_query = options;
+        per_query.seed = options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+        PRSim engine(graph, per_query);
+        engine.ShareIndexFrom(leader);
+        results[i] = engine.Query(sources[i]);
+      },
+      threads);
+  return results;
+}
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_BATCH_QUERY_H_

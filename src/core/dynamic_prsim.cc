@@ -1,0 +1,77 @@
+#include "core/dynamic_prsim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace prsim {
+
+DynamicPRSim::DynamicPRSim(NodeId n, std::vector<Edge> edges,
+                           const DynamicPRSimOptions& options)
+    : n_(n), options_(options) {
+  for (const auto& e : edges) {
+    PRSIM_CHECK(e.first < n && e.second < n) << "edge endpoint out of range";
+    if (e.first != e.second) edges_.insert(e);
+  }
+  Flush().Abort();
+}
+
+Status DynamicPRSim::InsertEdge(NodeId src, NodeId dst) {
+  if (src >= n_ || dst >= n_) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loops are not representable");
+  }
+  pending_.push_back({{src, dst}, /*insert=*/true});
+  MaybeAutoFlush();
+  return Status::OK();
+}
+
+Status DynamicPRSim::DeleteEdge(NodeId src, NodeId dst) {
+  if (src >= n_ || dst >= n_) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  pending_.push_back({{src, dst}, /*insert=*/false});
+  MaybeAutoFlush();
+  return Status::OK();
+}
+
+void DynamicPRSim::MaybeAutoFlush() {
+  const double threshold =
+      std::max(1.0, options_.rebuild_fraction *
+                        static_cast<double>(std::max<size_t>(
+                            edges_.size(), 1)));
+  if (static_cast<double>(pending_.size()) >= threshold) {
+    Flush().Abort();
+  }
+}
+
+Status DynamicPRSim::Flush() {
+  for (const auto& update : pending_) {
+    if (update.insert) {
+      edges_.insert(update.edge);
+    } else {
+      edges_.erase(update.edge);
+    }
+  }
+  pending_.clear();
+
+  std::vector<Edge> edge_list(edges_.begin(), edges_.end());
+  PRSIM_ASSIGN_OR_RETURN(Graph rebuilt, Graph::FromEdges(n_, edge_list));
+  graph_ = std::make_unique<Graph>(std::move(rebuilt));
+  prsim_ = std::make_unique<PRSim>(*graph_, options_.prsim);
+  PRSIM_RETURN_NOT_OK(prsim_->Preprocess());
+  ++flush_count_;
+  return Status::OK();
+}
+
+ScoreList DynamicPRSim::Query(NodeId u, QueryFreshness freshness) {
+  PRSIM_CHECK(u < n_) << "query node out of range";
+  if (freshness == QueryFreshness::kFresh && !pending_.empty()) {
+    Flush().Abort();
+  }
+  return prsim_->Query(u);
+}
+
+}  // namespace prsim

@@ -1,0 +1,128 @@
+#include "core/index_io.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "ppr/walker.h"
+
+namespace prsim {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'R', 'S', 'I', 'M', 'I', 'X', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status PRSimIndexIO::Save(const PRSimIndex& index, const Graph& graph,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, graph.n());
+  WritePod<double>(out, index.rmax());
+  WritePod<uint32_t>(out, index.hub_count());
+
+  const auto& rpr = index.reverse_pagerank();
+  WritePod<uint64_t>(out, rpr.size());
+  out.write(reinterpret_cast<const char*>(rpr.data()),
+            static_cast<std::streamsize>(rpr.size() * sizeof(double)));
+
+  for (NodeId hub : index.hub_nodes()) {
+    WritePod<uint32_t>(out, hub);
+    // Non-empty levels as (level, count, entries...) records, terminated by
+    // level = 0xffffffff.
+    for (uint32_t level = 0; level < kMaxWalkLevel; ++level) {
+      const auto* list = index.Find(hub, level);
+      if (list == nullptr) continue;
+      WritePod<uint32_t>(out, level);
+      WritePod<uint64_t>(out, static_cast<uint64_t>(list->size()));
+      for (const auto& [v, psi] : *list) {
+        WritePod<uint32_t>(out, v);
+        WritePod<float>(out, psi);
+      }
+    }
+    WritePod<uint32_t>(out, 0xffffffffu);
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<PRSimIndex> PRSimIndexIO::Load(const Graph& graph,
+                                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("'" + path + "' is not a prsim index file");
+  }
+  uint32_t n = 0;
+  double rmax = 0;
+  uint32_t hub_count = 0;
+  if (!ReadPod(in, &n) || !ReadPod(in, &rmax) || !ReadPod(in, &hub_count)) {
+    return Status::IOError("truncated index header in '" + path + "'");
+  }
+  if (n != graph.n()) {
+    return Status::InvalidArgument(
+        "index was built for a graph with n = " + std::to_string(n) +
+        ", but the supplied graph has n = " + std::to_string(graph.n()));
+  }
+
+  PRSimIndex index;
+  index.rmax_ = rmax;
+  uint64_t rpr_size = 0;
+  if (!ReadPod(in, &rpr_size) || rpr_size != n) {
+    return Status::IOError("corrupt reverse PageRank block in '" + path +
+                           "'");
+  }
+  index.rpr_.resize(rpr_size);
+  in.read(reinterpret_cast<char*>(index.rpr_.data()),
+          static_cast<std::streamsize>(rpr_size * sizeof(double)));
+  if (!in) return Status::IOError("truncated reverse PageRank block");
+
+  index.hub_levels_.resize(hub_count);
+  index.hub_nodes_.resize(hub_count);
+  for (uint32_t slot = 0; slot < hub_count; ++slot) {
+    uint32_t hub = 0;
+    if (!ReadPod(in, &hub) || hub >= n) {
+      return Status::IOError("corrupt hub record in '" + path + "'");
+    }
+    index.hub_nodes_[slot] = hub;
+    index.hub_slot_[hub] = slot;
+    auto& levels = index.hub_levels_[slot].levels;
+    while (true) {
+      uint32_t level = 0;
+      if (!ReadPod(in, &level)) {
+        return Status::IOError("truncated hub levels in '" + path + "'");
+      }
+      if (level == 0xffffffffu) break;
+      uint64_t count = 0;
+      if (level >= kMaxWalkLevel || !ReadPod(in, &count)) {
+        return Status::IOError("corrupt level record in '" + path + "'");
+      }
+      if (levels.size() <= level) levels.resize(level + 1);
+      auto& list = levels[level];
+      list.resize(count);
+      for (auto& [v, psi] : list) {
+        if (!ReadPod(in, &v) || !ReadPod(in, &psi) || v >= n) {
+          return Status::IOError("corrupt reserve tuple in '" + path + "'");
+        }
+        ++index.total_tuples_;
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace prsim

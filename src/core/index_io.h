@@ -1,0 +1,34 @@
+// Binary persistence for the PRSim hub index.
+//
+// Preprocessing costs O(m/eps); persisting the finished index lets a serving
+// process skip it entirely. The format stores the options fingerprint
+// (c, eps, rmax), the reverse PageRank vector, and every hub's per-level
+// reserve lists. Loading validates the fingerprint against the graph the
+// caller supplies (n must match) so a stale index cannot be paired with a
+// different graph silently.
+
+#ifndef PRSIM_CORE_INDEX_IO_H_
+#define PRSIM_CORE_INDEX_IO_H_
+
+#include <string>
+
+#include "core/prsim_index.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace prsim {
+
+class PRSimIndexIO {
+ public:
+  /// Serializes a built index to `path`.
+  static Status Save(const PRSimIndex& index, const Graph& graph,
+                     const std::string& path);
+
+  /// Loads an index previously saved against a graph with the same node
+  /// count; fails with kInvalidArgument on fingerprint mismatch.
+  static Result<PRSimIndex> Load(const Graph& graph, const std::string& path);
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_INDEX_IO_H_

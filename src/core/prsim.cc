@@ -1,0 +1,148 @@
+#include "core/prsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace prsim {
+
+PRSim::PRSim(const Graph& graph, const PRSimOptions& options)
+    : graph_(graph),
+      options_(options),
+      walker_(graph, options.c),
+      backward_(graph, options.c),
+      rng_(options.seed) {
+  PRSIM_CHECK(options_.eps > 0) << "eps must be positive";
+  PRSIM_CHECK(options_.delta > 0 && options_.delta < 1);
+  sqrt_c_ = std::sqrt(options_.c);
+  const double term = 1.0 - sqrt_c_;
+  inv_term_sq_ = 1.0 / (term * term);
+  c1_ = 12.0 * inv_term_sq_;
+
+  const double n = std::max<double>(graph_.n(), 2);
+  if (options_.paper_constants) {
+    dr_ = static_cast<uint64_t>(std::ceil(c1_ / (options_.eps * options_.eps)));
+    fr_ = static_cast<uint32_t>(std::ceil(3.0 * std::log(n / options_.delta)));
+  } else {
+    dr_ = static_cast<uint64_t>(
+        std::ceil(options_.alpha / (options_.eps * options_.eps)));
+    fr_ = options_.rounds;
+  }
+  dr_ = std::max<uint64_t>(dr_, 1);
+  fr_ |= 1;  // odd round count keeps the median unambiguous
+}
+
+Status PRSim::Preprocess() {
+  PRSimIndexOptions index_options;
+  index_options.c = options_.c;
+  index_options.eps = options_.eps;
+  index_options.j0 = options_.j0;
+  index_options.max_level = options_.max_level;
+  index_options.threads = options_.threads;
+  PRSIM_ASSIGN_OR_RETURN(PRSimIndex built,
+                         PRSimIndex::Build(graph_, index_options));
+  index_ = std::make_shared<const PRSimIndex>(std::move(built));
+  return Status::OK();
+}
+
+ScoreList PRSim::Query(NodeId u) {
+  PRSIM_CHECK(index_ != nullptr) << "call Preprocess() before Query()";
+  PRSIM_CHECK(u < graph_.n()) << "query node out of range";
+  stats_ = PRSimQueryStats{};
+
+  const uint64_t nr = dr_ * fr_;
+  const double inv_nr = 1.0 / static_cast<double>(nr);
+  const double tail_scale =
+      inv_term_sq_ / static_cast<double>(dr_);  // 1/((1-sqrt_c)^2 dr)
+
+  // eta_pi[(w, l)] accumulates the estimator of eta(w) * pi_l(u, w).
+  FlatHashMap<double> eta_pi(1024);
+
+  // Per-round tail estimates s_hat_B^i(u, v), stored as fr_ parallel columns
+  // per touched node so the median pass is cache-friendly.
+  FlatHashMap<uint32_t> tail_slot(1024);
+  std::vector<double> tail_columns;  // slot-major, fr_ doubles per slot
+  std::vector<NodeId> tail_nodes;
+
+  for (uint32_t round = 0; round < fr_; ++round) {
+    for (uint64_t j = 0; j < dr_; ++j) {
+      ++stats_.walks;
+      const WalkOutcome walk = walker_.SampleWalk(u, rng_);
+      if (!walk.terminated) continue;
+      const NodeId w = walk.terminal;
+      const uint32_t level = walk.steps;
+
+      ++stats_.meeting_tests;
+      if (walker_.SamplePairMeets(w, rng_)) continue;
+      // Non-meeting sample: contributes to eta(w) * pi_l(u, w), and for
+      // non-hub w also to the backward-walk tail estimate (the proof of
+      // Lemma 3.7 samples (w, l) with probability pi_l(u, w) * eta(w)).
+      eta_pi[PackNodeLevel(w, level)] += inv_nr;
+
+      if (index_->IsHub(w)) continue;
+      ++stats_.backward_walks;
+      const BackwardWalkResult bw =
+          backward_.RunVarianceBounded(w, level, rng_);
+      stats_.backward_increments += bw.increments;
+      for (const auto& [v, value] : bw.estimates) {
+        uint32_t& slot = tail_slot[v];
+        if (slot == 0) {  // 0 is the sentinel for "new"; slots start at 1
+          tail_nodes.push_back(v);
+          tail_columns.resize(tail_columns.size() + fr_, 0.0);
+          slot = static_cast<uint32_t>(tail_nodes.size());
+        }
+        tail_columns[static_cast<size_t>(slot - 1) * fr_ + round] +=
+            value * tail_scale;
+      }
+    }
+  }
+
+  // Median over rounds for the tail part (Lines 14-15).
+  FlatHashMap<double> scores(tail_nodes.size() * 2 + 64);
+  std::vector<double> buffer(fr_);
+  for (size_t slot = 0; slot < tail_nodes.size(); ++slot) {
+    const double* column = &tail_columns[slot * fr_];
+    std::copy(column, column + fr_, buffer.begin());
+    auto mid = buffer.begin() + fr_ / 2;
+    std::nth_element(buffer.begin(), mid, buffer.end());
+    if (*mid > 0) scores[tail_nodes[slot]] += *mid;
+  }
+
+  // Index part (Lines 16-18): resolve heavy (w, l) pairs against the hub
+  // reserve lists.
+  const double keep_threshold = options_.eps / c1_;
+  eta_pi.ForEach([&](uint64_t key, const double& mass) {
+    if (mass <= keep_threshold) return;
+    const NodeId w = UnpackNode(key);
+    const uint32_t level = UnpackLevel(key);
+    const auto* reserves = index_->Find(w, level);
+    if (reserves == nullptr) return;
+    stats_.hub_tuples_read += reserves->size();
+    const double scale = mass * inv_term_sq_;
+    for (const auto& [v, psi] : *reserves) {
+      scores[v] += scale * static_cast<double>(psi);
+    }
+  });
+
+  ScoreList result;
+  result.reserve(scores.size() + 1);
+  bool saw_source = false;
+  scores.ForEach([&](uint64_t key, const double& score) {
+    const auto v = static_cast<NodeId>(key);
+    if (v == u) {
+      saw_source = true;
+      return;  // replaced by the exact s(u, u) = 1 below
+    }
+    if (score > 0) result.emplace_back(v, score);
+  });
+  (void)saw_source;
+  result.emplace_back(u, 1.0);
+  return result;
+}
+
+size_t PRSim::IndexBytes() const {
+  return index_ != nullptr ? index_->IndexBytes() : 0;
+}
+
+}  // namespace prsim

@@ -1,0 +1,124 @@
+// PRSim single-source SimRank (paper Algorithm 4).
+//
+// Query sketch for source u:
+//   1. Sample nr = dr * fr sqrt(c)-walks from u. A walk terminating at (w, l)
+//      triggers one meeting test (two walks from w); if they do not meet, the
+//      sample contributes 1/nr to the estimator of eta(w) * pi_l(u, w).
+//   2. For non-hub w, the same non-meeting sample also runs a variance-
+//      bounded backward walk (Algorithm 3) to level l, contributing
+//      pi_hat_l(v, w) / ((1-sqrt_c)^2 dr) to the round's tail estimate
+//      s_hat_B^i(u, v). The median over fr rounds converts the Chebyshev
+//      bound of Lemma 3.5 into a high-probability guarantee (Lemma 3.7).
+//   3. For hub w, the (w, l) pairs whose eta-pi estimate exceeds eps/c1 are
+//      resolved against the precomputed reserve lists L_l(w):
+//      s_hat_I(u, v) += eta_pi_hat_l(u, w) * psi_l(v, w) / (1-sqrt_c)^2.
+//
+// Constants: `paper_constants = true` uses c1 = 12/(1-sqrt_c)^2,
+// dr = c1/eps^2, fr = 3 ln(n/delta) exactly as in the proofs — the mode the
+// accuracy tests validate. The default practical mode uses dr = alpha/eps^2,
+// fr = 7, mirroring how released SimRank implementations drop the
+// union-bound constant; Figure 2/3 benches sweep eps in this mode.
+
+#ifndef PRSIM_CORE_PRSIM_H_
+#define PRSIM_CORE_PRSIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/prsim_index.h"
+#include "core/single_source.h"
+#include "graph/graph.h"
+#include "ppr/backward_walk.h"
+#include "ppr/walker.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+struct PRSimOptions {
+  double c = 0.6;      ///< SimRank decay factor
+  double eps = 0.1;    ///< additive error target
+  double delta = 1e-4; ///< failure probability
+  /// Hub count; 0 = sqrt(n) (experimental default of Section 5).
+  uint32_t j0 = 0;
+  /// Use the exact constants of Algorithms 1/4 (see header comment).
+  bool paper_constants = false;
+  /// Practical-mode samples-per-round scale: dr = alpha / eps^2.
+  double alpha = 3.0;
+  /// Practical-mode round count for the median trick (forced odd).
+  uint32_t rounds = 7;
+  uint32_t max_level = 64;
+  /// Threads for index construction (queries are single-threaded).
+  size_t threads = 0;
+  uint64_t seed = 42;
+};
+
+/// Per-query cost counters, refreshed by each Query() call.
+struct PRSimQueryStats {
+  uint64_t walks = 0;               ///< sqrt(c)-walks sampled from u
+  uint64_t meeting_tests = 0;       ///< eta sampling pair-walks
+  uint64_t backward_walks = 0;      ///< Algorithm 3 invocations
+  uint64_t backward_increments = 0; ///< estimator increments inside Alg. 3
+  uint64_t hub_tuples_read = 0;     ///< (v, psi) tuples merged from the index
+};
+
+class PRSim : public SingleSourceSimRank {
+ public:
+  PRSim(const Graph& graph, const PRSimOptions& options);
+
+  std::string name() const override { return "PRSim"; }
+
+  /// Builds the hub index (Algorithm 1). Must be called before Query.
+  Status Preprocess() override;
+
+  /// Installs a previously built (e.g. deserialized) index instead of
+  /// running Preprocess(). The index must have been built over a graph with
+  /// the same node count.
+  void AdoptIndex(PRSimIndex index) {
+    index_ = std::make_shared<const PRSimIndex>(std::move(index));
+  }
+
+  /// Shares another engine's (immutable) index. Queries are stateful per
+  /// engine, so concurrent querying uses one PRSim per thread, all sharing
+  /// one index:
+  ///   PRSim worker(graph, options_with_distinct_seed);
+  ///   worker.ShareIndexFrom(leader);
+  void ShareIndexFrom(const PRSim& other) {
+    PRSIM_CHECK(other.index_ != nullptr) << "source engine has no index";
+    index_ = other.index_;
+  }
+
+  /// Algorithm 4. Returns sparse non-zero estimates including (u, 1).
+  ScoreList Query(NodeId u) override;
+
+  size_t IndexBytes() const override;
+  bool IsIndexBased() const override { return true; }
+
+  const PRSimQueryStats& last_query_stats() const { return stats_; }
+  const PRSimIndex& index() const { return *index_; }
+  bool preprocessed() const { return index_ != nullptr; }
+
+  /// Number of samples per round / rounds the current options resolve to.
+  uint64_t samples_per_round() const { return dr_; }
+  uint32_t rounds() const { return fr_; }
+
+ private:
+  const Graph& graph_;
+  PRSimOptions options_;
+  Walker walker_;
+  BackwardWalker backward_;
+  std::shared_ptr<const PRSimIndex> index_;
+  Rng rng_;
+  PRSimQueryStats stats_;
+
+  double sqrt_c_ = 0;
+  double inv_term_sq_ = 0;  // 1 / (1 - sqrt_c)^2
+  double c1_ = 0;           // 12 / (1 - sqrt_c)^2
+  uint64_t dr_ = 0;
+  uint32_t fr_ = 0;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_PRSIM_H_

@@ -1,0 +1,92 @@
+// PRSim preprocessing (paper Algorithm 1).
+//
+// The index stores, for each of the j0 nodes with the largest reverse
+// PageRank ("hub nodes"), the per-level reserve lists produced by backward
+// search: L_l(w) = { (v, psi_l(v, w)) : psi_l(v, w) > rmax }, where
+// |psi_l(v, w) - pi_l(v, w)| < rmax = (1 - sqrt_c)^2 eps / 12 (Lemma 3.1).
+// At query time, hub terminations of sqrt(c)-walks are resolved by reading
+// L_l(w) instead of running backward walks; j0 trades index size for query
+// cost (Lemma 3.2: index size O(n/eps * sum_{j<=j0} pi(w_j))).
+
+#ifndef PRSIM_CORE_PRSIM_INDEX_H_
+#define PRSIM_CORE_PRSIM_INDEX_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ppr/backward_search.h"
+#include "util/flat_hash_map.h"
+#include "util/status.h"
+
+namespace prsim {
+
+struct PRSimIndexOptions {
+  double c = 0.6;
+  double eps = 0.1;
+  /// Number of hub nodes; 0 selects sqrt(n) (the paper's experimental
+  /// default). Setting j0 so the index stays O(m) corresponds to
+  /// j0 = n (eps d̄)^(gamma/(gamma-1)) in the theory (Theorem 3.12).
+  uint32_t j0 = 0;
+  /// Residue threshold; <= 0 derives the paper value (1-sqrt_c)^2 eps / 12.
+  double rmax = -1.0;
+  uint32_t max_level = 64;
+  /// Worker threads for per-hub backward searches (0 = hardware).
+  size_t threads = 0;
+};
+
+class PRSimIndex {
+ public:
+  /// Builds the index: reverse PageRank, hub selection, one backward search
+  /// per hub.
+  static Result<PRSimIndex> Build(const Graph& graph,
+                                  const PRSimIndexOptions& options);
+
+  /// True if w is one of the j0 hub nodes.
+  bool IsHub(NodeId w) const { return hub_slot_.Contains(w); }
+
+  /// Reserve list L_l(w) for hub w at level l, or nullptr when w is not a hub
+  /// or the hub has no reserves at that level.
+  const std::vector<std::pair<NodeId, float>>* Find(NodeId w,
+                                                    uint32_t level) const {
+    const uint32_t* slot = hub_slot_.Find(w);
+    if (slot == nullptr) return nullptr;
+    const auto& levels = hub_levels_[*slot].levels;
+    if (level >= levels.size() || levels[level].empty()) return nullptr;
+    return &levels[level];
+  }
+
+  uint32_t hub_count() const {
+    return static_cast<uint32_t>(hub_nodes_.size());
+  }
+  const std::vector<NodeId>& hub_nodes() const { return hub_nodes_; }
+
+  /// Exact reverse PageRank computed during the build (kept for hardness
+  /// analysis and diagnostics).
+  const std::vector<double>& reverse_pagerank() const { return rpr_; }
+
+  double rmax() const { return rmax_; }
+  uint64_t total_tuples() const { return total_tuples_; }
+
+  /// Bytes of index payload: hub lookup + all (v, psi) tuples.
+  size_t IndexBytes() const;
+
+ private:
+  friend class PRSimIndexIO;
+
+  struct HubLevels {
+    std::vector<std::vector<std::pair<NodeId, float>>> levels;
+  };
+
+  FlatHashMap<uint32_t> hub_slot_{64};  // node -> slot in hub_levels_
+  std::vector<HubLevels> hub_levels_;
+  std::vector<NodeId> hub_nodes_;
+  std::vector<double> rpr_;
+  double rmax_ = 0;
+  uint64_t total_tuples_ = 0;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_PRSIM_INDEX_H_

@@ -1,0 +1,81 @@
+// Common interface for single-source SimRank algorithms.
+//
+// PRSim and every baseline implement this interface so the evaluation harness
+// (pooling, parameter sweeps, figure benches) can treat them uniformly.
+
+#ifndef PRSIM_CORE_SINGLE_SOURCE_H_
+#define PRSIM_CORE_SINGLE_SOURCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace prsim {
+
+/// Sparse single-source result: (node, estimated SimRank) pairs. Entries with
+/// estimate 0 are omitted; the source node itself is included with score 1.
+using ScoreEntry = std::pair<NodeId, double>;
+using ScoreList = std::vector<ScoreEntry>;
+
+/// \brief Abstract single-source SimRank solver.
+///
+/// Lifecycle: construct over a Graph, call Preprocess() once (may be a no-op
+/// for index-free methods), then Query() any number of times. Implementations
+/// own per-query scratch, so one instance must not be queried concurrently.
+class SingleSourceSimRank {
+ public:
+  virtual ~SingleSourceSimRank() = default;
+
+  /// Short identifier used in bench output ("PRSim", "ProbeSim", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds any index structures. Returns an error if the configuration is
+  /// infeasible (e.g. the index would exceed a configured memory budget).
+  virtual Status Preprocess() { return Status::OK(); }
+
+  /// Estimates s(u, v) for all v; returns the non-zero estimates.
+  virtual ScoreList Query(NodeId u) = 0;
+
+  /// Bytes held by index structures (0 for index-free methods).
+  virtual size_t IndexBytes() const { return 0; }
+
+  virtual bool IsIndexBased() const { return false; }
+};
+
+/// Returns the k entries with the largest scores (ties by ascending node id),
+/// sorted descending by score. The source node (score 1) is excluded, since
+/// top-k evaluation asks for the most similar *other* nodes.
+inline ScoreList TopK(const ScoreList& scores, size_t k, NodeId source) {
+  ScoreList pool;
+  pool.reserve(scores.size());
+  for (const auto& e : scores) {
+    if (e.first != source) pool.push_back(e);
+  }
+  auto cmp = [](const ScoreEntry& a, const ScoreEntry& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (pool.size() > k) {
+    std::nth_element(pool.begin(), pool.begin() + k, pool.end(), cmp);
+    pool.resize(k);
+  }
+  std::sort(pool.begin(), pool.end(), cmp);
+  return pool;
+}
+
+/// Looks up a node's score in a ScoreList (0 if absent).
+inline double ScoreOf(const ScoreList& scores, NodeId v) {
+  for (const auto& [node, score] : scores) {
+    if (node == v) return score;
+  }
+  return 0.0;
+}
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_SINGLE_SOURCE_H_

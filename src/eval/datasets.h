@@ -1,0 +1,48 @@
+// Synthetic analogs of the paper's Table 3 datasets.
+//
+// The real corpora (SNAP / LAW exports up to 5.5 billion edges) are not
+// available offline; each analog is a seeded Chung-Lu graph matching the
+// published type (directed/undirected), a laptop-scale size, and — the knob
+// PRSim's theory says matters — the character of the out-degree power law:
+// IT-sim is steep ("locally sparse", large gamma), TW-sim is flat ("locally
+// dense", small gamma), reproducing the IT-2004 vs Twitter discrepancy of
+// Figure 1 / Section 5.2 by construction. See DESIGN.md substitution table.
+
+#ifndef PRSIM_EVAL_DATASETS_H_
+#define PRSIM_EVAL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace prsim {
+
+struct DatasetSpec {
+  std::string name;       ///< short key: "DB", "LJ", "IT", "TW", "UK"
+  std::string paper_name; ///< dataset it stands in for
+  bool directed = true;
+  NodeId n = 0;
+  double avg_degree = 0.0;
+  double gamma_out = 2.0;
+  double gamma_in = 2.0;
+  uint64_t seed = 0;
+};
+
+/// The five analogs, in Table 3 order.
+const std::vector<DatasetSpec>& PaperDatasetAnalogs();
+
+/// Looks up a spec by short key; returns NotFound for unknown names.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Instantiates the graph for a spec. `scale` multiplies n (smoke/full runs).
+Result<Graph> MakeDataset(const DatasetSpec& spec, double scale = 1.0);
+
+/// Reads PRSIM_BENCH_SCALE ("smoke" -> 0.25, "" / "default" -> 1.0,
+/// "full" -> 3.0, or a numeric factor).
+double BenchScaleFromEnv();
+
+}  // namespace prsim
+
+#endif  // PRSIM_EVAL_DATASETS_H_

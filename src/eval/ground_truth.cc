@@ -1,0 +1,80 @@
+#include "eval/ground_truth.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace prsim {
+
+namespace {
+
+uint64_t PairKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+GroundTruth::GroundTruth(const Graph& graph, const GroundTruthOptions& options)
+    : graph_(graph),
+      options_(options),
+      walker_(graph, options.c),
+      rng_(options.seed) {
+  mc_samples_ = static_cast<uint64_t>(
+      std::ceil(std::log(2.0 / options_.mc_delta) /
+                (2.0 * options_.mc_eps * options_.mc_eps)));
+}
+
+Status GroundTruth::Prepare() {
+  if (graph_.n() <= options_.exact_limit) {
+    PowerMethodOptions pm;
+    pm.c = options_.c;
+    pm.iterations = options_.power_iterations;
+    pm.max_nodes = options_.exact_limit;
+    exact_ = std::make_unique<PowerMethodSimRank>(graph_, pm);
+    return exact_->Preprocess();
+  }
+  return Status::OK();
+}
+
+double GroundTruth::SimRank(NodeId u, NodeId v) {
+  if (u == v) return 1.0;
+  if (exact_ != nullptr) return exact_->SimRank(u, v);
+  const uint64_t key = PairKey(u, v);
+  if (const double* hit = cache_.Find(key)) return *hit;
+  const double value = walker_.EstimateSimRank(u, v, mc_samples_, rng_);
+  cache_[key] = value;
+  return value;
+}
+
+std::vector<double> GroundTruth::SimRankBatch(NodeId u,
+                                              const std::vector<NodeId>& vs) {
+  std::vector<double> out(vs.size());
+  if (exact_ != nullptr) {
+    for (size_t i = 0; i < vs.size(); ++i) out[i] = exact_->SimRank(u, vs[i]);
+    return out;
+  }
+  // Resolve cache misses in parallel with per-pair deterministic seeds.
+  std::vector<size_t> misses;
+  for (size_t i = 0; i < vs.size(); ++i) {
+    if (u == vs[i]) {
+      out[i] = 1.0;
+    } else if (const double* hit = cache_.Find(PairKey(u, vs[i]))) {
+      out[i] = *hit;
+    } else {
+      misses.push_back(i);
+    }
+  }
+  ParallelFor(
+      0, misses.size(),
+      [&](size_t idx) {
+        const size_t i = misses[idx];
+        Rng rng(options_.seed ^ (PairKey(u, vs[i]) * 0x9e3779b97f4a7c15ULL));
+        out[i] = walker_.EstimateSimRank(u, vs[i], mc_samples_, rng);
+      },
+      options_.threads);
+  for (size_t i : misses) cache_[PairKey(u, vs[i])] = out[i];
+  return out;
+}
+
+}  // namespace prsim

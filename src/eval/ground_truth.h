@@ -1,0 +1,65 @@
+// Ground-truth SimRank oracle (Section 5.1 methodology).
+//
+// Small graphs: exact power-method matrix. Larger graphs: the pairwise Monte
+// Carlo estimator run to a configurable (eps_mc, delta_mc) precision with
+// per-pair caching — the paper's "Ground Truth for single-pair queries"
+// approach, with constants documented in DESIGN.md's substitution table.
+
+#ifndef PRSIM_EVAL_GROUND_TRUTH_H_
+#define PRSIM_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/power_method.h"
+#include "graph/graph.h"
+#include "ppr/walker.h"
+#include "util/flat_hash_map.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace prsim {
+
+struct GroundTruthOptions {
+  double c = 0.6;
+  /// Graphs up to this many nodes use the exact power method.
+  NodeId exact_limit = 3000;
+  /// Monte Carlo precision for larger graphs.
+  double mc_eps = 2e-3;
+  double mc_delta = 0.01;
+  uint32_t power_iterations = 30;
+  size_t threads = 0;
+  uint64_t seed = 97;
+};
+
+class GroundTruth {
+ public:
+  GroundTruth(const Graph& graph, const GroundTruthOptions& options);
+
+  /// Builds the exact matrix when the graph is small enough.
+  Status Prepare();
+
+  bool is_exact() const { return exact_ != nullptr; }
+  uint64_t mc_samples() const { return mc_samples_; }
+
+  /// True SimRank s(u, v) (exact or MC-estimated; MC results are cached).
+  double SimRank(NodeId u, NodeId v);
+
+  /// Batch interface used by pooling: resolves many pairs, in parallel for
+  /// the Monte Carlo path.
+  std::vector<double> SimRankBatch(NodeId u, const std::vector<NodeId>& vs);
+
+ private:
+  const Graph& graph_;
+  GroundTruthOptions options_;
+  Walker walker_;
+  std::unique_ptr<PowerMethodSimRank> exact_;
+  FlatHashMap<double> cache_{1024};
+  uint64_t mc_samples_ = 0;
+  Rng rng_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_EVAL_GROUND_TRUTH_H_

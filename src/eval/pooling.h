@@ -1,0 +1,59 @@
+// Pooling-based evaluation of single-source SimRank algorithms (Section 5.1).
+//
+// For each query node u: every algorithm answers the single-source query and
+// nominates its top-k; the union of nominations forms the pool; the ground
+// truth ranks the pool and the best k pooled nodes become V_k. Metrics:
+//   AvgError@k  = (1/k) sum_{v in V_k} |s_hat(u, v) - s(u, v)|
+//   Precision@k = |top-k of algorithm  intersect  V_k| / k
+
+#ifndef PRSIM_EVAL_POOLING_H_
+#define PRSIM_EVAL_POOLING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/single_source.h"
+#include "eval/ground_truth.h"
+#include "graph/graph.h"
+
+namespace prsim {
+
+/// One algorithm registered for evaluation (not owned).
+struct EvalEntry {
+  std::string label;  ///< e.g. "PRSim(eps=0.05)"
+  SingleSourceSimRank* algorithm = nullptr;
+  double preprocess_seconds = 0.0;  ///< recorded by the caller
+};
+
+struct PoolingOptions {
+  uint32_t k = 50;
+  /// Stop issuing further queries for an algorithm once it has spent this
+  /// many seconds in total (keeps sweeps bounded, like the paper's cutoffs).
+  double per_algorithm_budget_seconds = 600.0;
+};
+
+/// Aggregated metrics for one algorithm across all query nodes.
+struct EvalMetrics {
+  std::string label;
+  double avg_error_at_k = 0.0;
+  double precision_at_k = 0.0;
+  double mean_query_seconds = 0.0;
+  size_t index_bytes = 0;
+  double preprocess_seconds = 0.0;
+  uint32_t queries_answered = 0;
+};
+
+/// Runs the pooled evaluation over `query_nodes`.
+std::vector<EvalMetrics> RunPooledEvaluation(
+    const Graph& graph, const std::vector<EvalEntry>& entries,
+    GroundTruth& truth, const std::vector<NodeId>& query_nodes,
+    const PoolingOptions& options = {});
+
+/// Deterministically samples `count` distinct query nodes, biased toward
+/// nodes with at least one in-neighbor (isolated nodes make trivial queries).
+std::vector<NodeId> SampleQueryNodes(const Graph& graph, uint32_t count,
+                                     uint64_t seed);
+
+}  // namespace prsim
+
+#endif  // PRSIM_EVAL_POOLING_H_

@@ -1,0 +1,68 @@
+#include "gen/barabasi_albert.h"
+
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+Result<Graph> GenerateBarabasiAlbert(const BarabasiAlbertOptions& options) {
+  const NodeId n = options.n;
+  const uint32_t k = options.edges_per_node;
+  if (k == 0) {
+    return Status::InvalidArgument("BarabasiAlbert: edges_per_node must be > 0");
+  }
+  if (n < k + 1) {
+    return Status::InvalidArgument("BarabasiAlbert: need n > edges_per_node");
+  }
+  Rng rng(options.seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * k);
+  // Endpoint list: each node appears once per incident edge, so sampling a
+  // uniform entry is sampling proportionally to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * n * k);
+
+  // Seed core: a (k+1)-clique.
+  for (NodeId u = 0; u <= k; ++u) {
+    for (NodeId v = u + 1; v <= k; ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> chosen(k);
+  for (NodeId v = k + 1; v < n; ++v) {
+    // Draw k distinct targets by preferential attachment (retry duplicates;
+    // k is small, so the expected number of retries is negligible).
+    for (uint32_t i = 0; i < k; ++i) {
+      NodeId target;
+      bool duplicate;
+      do {
+        target = endpoints[rng.NextBounded(endpoints.size())];
+        duplicate = false;
+        for (uint32_t j = 0; j < i; ++j) {
+          if (chosen[j] == target) {
+            duplicate = true;
+            break;
+          }
+        }
+      } while (duplicate);
+      chosen[i] = target;
+    }
+    for (uint32_t i = 0; i < k; ++i) {
+      edges.emplace_back(chosen[i], v);
+      endpoints.push_back(chosen[i]);
+      endpoints.push_back(v);
+    }
+  }
+
+  BuildOptions build;
+  build.undirected = true;
+  return BuildGraph(n, std::move(edges), build);
+}
+
+}  // namespace prsim

@@ -1,0 +1,104 @@
+#include "gen/chung_lu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "util/alias_table.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+std::vector<double> PowerLawWeights(NodeId n, double gamma, double mean) {
+  PRSIM_CHECK(gamma > 0) << "power-law exponent must be positive";
+  std::vector<double> weights(n);
+  const double exponent = -1.0 / gamma;
+  double total = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + 1.0, exponent);
+    total += weights[i];
+  }
+  const double scale = mean * n / total;
+  for (auto& w : weights) w *= scale;
+  return weights;
+}
+
+Result<Graph> GenerateChungLu(const ChungLuOptions& options) {
+  if (options.n < 2) {
+    return Status::InvalidArgument("ChungLu: need n >= 2");
+  }
+  if (options.avg_degree <= 0) {
+    return Status::InvalidArgument("ChungLu: avg_degree must be positive");
+  }
+  if (options.gamma_out < 0.5) {
+    return Status::InvalidArgument("ChungLu: gamma_out must be >= 0.5");
+  }
+  const NodeId n = options.n;
+  const double gamma_in =
+      options.gamma_in > 0 ? options.gamma_in : options.gamma_out;
+  Rng rng(options.seed);
+
+  std::vector<double> out_weights =
+      PowerLawWeights(n, options.gamma_out, options.avg_degree);
+  AliasTable out_table(out_weights);
+
+  AliasTable in_table;
+  std::vector<NodeId> in_perm;
+  if (!options.undirected) {
+    std::vector<double> in_weights =
+        PowerLawWeights(n, gamma_in, options.avg_degree);
+    in_table = AliasTable(in_weights);
+    in_perm.resize(n);
+    for (NodeId i = 0; i < n; ++i) in_perm[i] = i;
+    if (options.shuffle_in_weights) {
+      for (NodeId i = n; i > 1; --i) {
+        std::swap(in_perm[i - 1], in_perm[rng.NextIndex(i)]);
+      }
+    }
+  }
+
+  // Target number of *stored* directed edges. Undirected graphs store both
+  // directions, so sample half as many undirected pairs.
+  const uint64_t target_m =
+      static_cast<uint64_t>(std::llround(options.avg_degree * n));
+  const uint64_t target_samples =
+      options.undirected ? target_m / 2 : target_m;
+
+  std::vector<Edge> edges;
+  edges.reserve(target_samples + target_samples / 8);
+  // Dedup eats some samples; resample a few rounds to approach the target.
+  uint64_t wanted = target_samples;
+  for (int round = 0; round < 4 && wanted > 0; ++round) {
+    for (uint64_t i = 0; i < wanted; ++i) {
+      const NodeId src = out_table.Sample(rng);
+      NodeId dst;
+      if (options.undirected) {
+        dst = out_table.Sample(rng);
+      } else {
+        dst = in_perm[in_table.Sample(rng)];
+      }
+      if (src == dst) continue;
+      if (options.undirected && src > dst) {
+        edges.emplace_back(dst, src);
+      } else {
+        edges.emplace_back(src, dst);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    wanted = target_samples > edges.size()
+                 ? target_samples - edges.size()
+                 : 0;
+    // Stop once we are within 2% of the target.
+    if (wanted < target_samples / 50) break;
+  }
+
+  BuildOptions build;
+  build.undirected = options.undirected;
+  build.deduplicate = true;
+  build.remove_self_loops = true;
+  return BuildGraph(n, std::move(edges), build);
+}
+
+}  // namespace prsim

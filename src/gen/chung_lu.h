@@ -1,0 +1,52 @@
+// Chung-Lu style power-law graph generator.
+//
+// Generates graphs whose degree distributions follow a *cumulative* power law
+// P(deg >= k) ~ k^-gamma with a target average degree, the two structural
+// knobs PRSim's analysis depends on (paper Sections 1 and 3.5).
+//
+// Substitution note (see DESIGN.md): the paper's synthetic experiments use the
+// hyperbolic graph generator of Aldecoa et al. [3]; those experiments only
+// exercise the power-law exponent and graph size, which Chung-Lu controls
+// directly. Expected node weights are w_i ~ (i+1)^(-1/gamma), which yields the
+// gamma-cumulative tail; edges are drawn by independent endpoint sampling from
+// alias tables (the O(m) "fast Chung-Lu" construction) and deduplicated.
+
+#ifndef PRSIM_GEN_CHUNG_LU_H_
+#define PRSIM_GEN_CHUNG_LU_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace prsim {
+
+struct ChungLuOptions {
+  NodeId n = 10000;
+  double avg_degree = 10.0;
+  /// Cumulative power-law exponent of the out-degree distribution (>= 0.5).
+  double gamma_out = 2.0;
+  /// Cumulative exponent of the in-degree distribution; ignored when
+  /// undirected. Defaults to gamma_out when <= 0.
+  double gamma_in = -1.0;
+  bool undirected = false;
+  /// Random permutation decouples in- and out-weight ranks so that node 0 is
+  /// not simultaneously the largest authority and the largest hub.
+  bool shuffle_in_weights = true;
+  uint64_t seed = 1;
+};
+
+/// Generates a simple graph (no self-loops, deduplicated).
+///
+/// Because duplicates are removed, the realized average degree falls slightly
+/// below `avg_degree` on dense/hot configurations; generation resamples up to
+/// a few rounds to stay within ~2% of the target.
+Result<Graph> GenerateChungLu(const ChungLuOptions& options);
+
+/// Power-law weight sequence: weights[i] ~ (i+1)^(-1/gamma), scaled so the
+/// mean equals `mean`. Exposed for tests.
+std::vector<double> PowerLawWeights(NodeId n, double gamma, double mean);
+
+}  // namespace prsim
+
+#endif  // PRSIM_GEN_CHUNG_LU_H_

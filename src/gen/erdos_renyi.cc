@@ -1,0 +1,51 @@
+#include "gen/erdos_renyi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  const NodeId n = options.n;
+  if (n < 2) return Status::InvalidArgument("ErdosRenyi: need n >= 2");
+  if (options.avg_degree <= 0 ||
+      options.avg_degree >= static_cast<double>(n)) {
+    return Status::InvalidArgument("ErdosRenyi: need 0 < avg_degree < n");
+  }
+  Rng rng(options.seed);
+
+  const uint64_t target_m =
+      static_cast<uint64_t>(std::llround(options.avg_degree * n));
+  const uint64_t target_samples =
+      options.undirected ? target_m / 2 : target_m;
+
+  std::vector<Edge> edges;
+  edges.reserve(target_samples + target_samples / 8);
+  uint64_t wanted = target_samples;
+  for (int round = 0; round < 6 && wanted > 0; ++round) {
+    for (uint64_t i = 0; i < wanted; ++i) {
+      const NodeId src = rng.NextIndex(n);
+      const NodeId dst = rng.NextIndex(n);
+      if (src == dst) continue;
+      if (options.undirected && src > dst) {
+        edges.emplace_back(dst, src);
+      } else {
+        edges.emplace_back(src, dst);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    wanted =
+        target_samples > edges.size() ? target_samples - edges.size() : 0;
+    if (wanted < target_samples / 100) break;
+  }
+
+  BuildOptions build;
+  build.undirected = options.undirected;
+  return BuildGraph(n, std::move(edges), build);
+}
+
+}  // namespace prsim

@@ -1,0 +1,29 @@
+// Erdos-Renyi G(n, M) generator for the non-power-law experiments (Fig. 7).
+
+#ifndef PRSIM_GEN_ERDOS_RENYI_H_
+#define PRSIM_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace prsim {
+
+struct ErdosRenyiOptions {
+  NodeId n = 10000;
+  /// Target average degree d̄; the generator draws M = n * d̄ distinct directed
+  /// edges uniformly at random (G(n, M) model).
+  double avg_degree = 10.0;
+  bool undirected = false;
+  uint64_t seed = 1;
+};
+
+/// Generates a simple uniform random graph. Degree distributions concentrate
+/// around d̄ (binomial), i.e. no power-law tail — the regime where the paper
+/// contrasts PRSim's backward walk with ProbeSim's full-neighborhood probes.
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+}  // namespace prsim
+
+#endif  // PRSIM_GEN_ERDOS_RENYI_H_

@@ -1,0 +1,68 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace prsim {
+
+namespace {
+
+void Canonicalize(std::vector<Edge>& edges, const BuildOptions& options) {
+  if (options.undirected) {
+    const size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (size_t i = 0; i < original; ++i) {
+      edges.emplace_back(edges[i].second, edges[i].first);
+    }
+  }
+  if (options.remove_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) {
+                                 return e.first == e.second;
+                               }),
+                edges.end());
+  }
+  if (options.deduplicate) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+}
+
+NodeId CompactIds(std::vector<Edge>& edges) {
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(edges.size() * 2);
+  // First-appearance order keeps the renumbering deterministic.
+  for (auto& [src, dst] : edges) {
+    auto [it_s, inserted_s] =
+        remap.emplace(src, static_cast<NodeId>(remap.size()));
+    src = it_s->second;
+    (void)inserted_s;
+    auto [it_d, inserted_d] =
+        remap.emplace(dst, static_cast<NodeId>(remap.size()));
+    dst = it_d->second;
+    (void)inserted_d;
+  }
+  return static_cast<NodeId>(remap.size());
+}
+
+}  // namespace
+
+Result<Graph> GraphBuilder::Build(const BuildOptions& options) const {
+  return BuildGraph(min_n_, edges_, options);
+}
+
+Result<Graph> BuildGraph(NodeId n, std::vector<Edge> edges,
+                         const BuildOptions& options) {
+  Canonicalize(edges, options);
+  if (options.compact_ids) {
+    n = std::max(n, CompactIds(edges));
+  } else {
+    for (const auto& [src, dst] : edges) {
+      n = std::max({n, static_cast<NodeId>(src + 1),
+                    static_cast<NodeId>(dst + 1)});
+    }
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace prsim

@@ -1,0 +1,69 @@
+// Edge-list canonicalization and Graph construction policies.
+
+#ifndef PRSIM_GRAPH_BUILDER_H_
+#define PRSIM_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace prsim {
+
+/// Construction policies applied before CSR conversion.
+struct BuildOptions {
+  /// Remove duplicate (src, dst) pairs. SimRank semantics assume simple
+  /// in-neighbor sets; all paper datasets are simple graphs.
+  bool deduplicate = true;
+  /// Remove self-loops (u, u). A self-loop would let a sqrt(c)-walk "meet
+  /// itself", which the SimRank definition excludes.
+  bool remove_self_loops = true;
+  /// Treat the input as undirected: for every (u, v) also add (v, u).
+  bool undirected = false;
+  /// Renumber nodes to the compact range [0, #distinct endpoints). When
+  /// false, node ids are kept and n = max id + 1 (or the explicit n).
+  bool compact_ids = false;
+};
+
+/// \brief Accumulates edges and produces an immutable Graph.
+///
+/// Typical use:
+///   GraphBuilder b;
+///   b.AddEdge(0, 1);
+///   ...
+///   auto g = b.Build(options).ValueOrDie();
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Reserves space for an expected number of edges.
+  void Reserve(size_t edges) { edges_.reserve(edges); }
+
+  void AddEdge(NodeId src, NodeId dst) { edges_.emplace_back(src, dst); }
+
+  void AddEdges(const std::vector<Edge>& edges) {
+    edges_.insert(edges_.end(), edges.begin(), edges.end());
+  }
+
+  /// Declares that the graph has at least n nodes even if ids above the
+  /// maximum endpoint never appear.
+  void EnsureNodeCount(NodeId n) { min_n_ = std::max(min_n_, n); }
+
+  size_t edge_count() const { return edges_.size(); }
+
+  /// Applies the options and produces the Graph. The builder keeps its edges
+  /// so Build may be called again with different options.
+  Result<Graph> Build(const BuildOptions& options = BuildOptions()) const;
+
+ private:
+  std::vector<Edge> edges_;
+  NodeId min_n_ = 0;
+};
+
+/// Convenience wrapper: canonicalize `edges` per `options` and build.
+Result<Graph> BuildGraph(NodeId n, std::vector<Edge> edges,
+                         const BuildOptions& options = BuildOptions());
+
+}  // namespace prsim
+
+#endif  // PRSIM_GRAPH_BUILDER_H_

@@ -1,0 +1,164 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace prsim {
+
+Result<Graph> Graph::FromEdges(NodeId n, const std::vector<Edge>& edges) {
+  Graph g;
+  g.n_ = n;
+  const uint64_t m = edges.size();
+
+  // Degree pass; also validates endpoints.
+  g.in_degree_.assign(n, 0);
+  std::vector<uint32_t> out_degree(n, 0);
+  for (const auto& [src, dst] : edges) {
+    if (src >= n || dst >= n) {
+      return Status::InvalidArgument("edge endpoint out of range: (" +
+                                     std::to_string(src) + ", " +
+                                     std::to_string(dst) + ") with n = " +
+                                     std::to_string(n));
+    }
+    ++out_degree[src];
+    ++g.in_degree_[dst];
+  }
+
+  // In-adjacency CSR.
+  g.in_off_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    g.in_off_[v + 1] = g.in_off_[v] + g.in_degree_[v];
+  }
+  g.in_adj_.resize(m);
+  {
+    std::vector<uint64_t> cursor(g.in_off_.begin(), g.in_off_.end() - 1);
+    for (const auto& [src, dst] : edges) {
+      g.in_adj_[cursor[dst]++] = src;
+    }
+  }
+
+  // Out-adjacency CSR, with each adjacency list ordered by ascending target
+  // in-degree. Per Algorithm 1 (lines 1-4): counting-sort all edges by
+  // in_degree(target), then append targets to their source's list in sorted
+  // order. Total cost O(n + m).
+  g.out_off_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    g.out_off_[v + 1] = g.out_off_[v] + out_degree[v];
+  }
+  g.out_adj_.resize(m);
+  g.out_tgt_in_degree_.resize(m);
+  {
+    // Bucket edge indices by target in-degree (values in [0, n]).
+    std::vector<uint64_t> bucket_off(n + 2, 0);
+    for (const auto& e : edges) {
+      ++bucket_off[g.in_degree_[e.second] + 1];
+    }
+    std::partial_sum(bucket_off.begin(), bucket_off.end(), bucket_off.begin());
+    std::vector<uint32_t> sorted_src(m);
+    std::vector<NodeId> sorted_dst(m);
+    {
+      std::vector<uint64_t> cursor(bucket_off.begin(), bucket_off.end() - 1);
+      for (const auto& [src, dst] : edges) {
+        const uint64_t pos = cursor[g.in_degree_[dst]]++;
+        sorted_src[pos] = src;
+        sorted_dst[pos] = dst;
+      }
+    }
+    std::vector<uint64_t> cursor(g.out_off_.begin(), g.out_off_.end() - 1);
+    for (uint64_t i = 0; i < m; ++i) {
+      const NodeId src = sorted_src[i];
+      const NodeId dst = sorted_dst[i];
+      const uint64_t pos = cursor[src]++;
+      g.out_adj_[pos] = dst;
+      g.out_tgt_in_degree_[pos] = g.in_degree_[dst];
+    }
+  }
+
+  return g;
+}
+
+NodeId Graph::CountDanglingNodes() const {
+  NodeId count = 0;
+  for (NodeId v = 0; v < n_; ++v) {
+    if (in_degree_[v] == 0) ++count;
+  }
+  return count;
+}
+
+std::vector<Edge> Graph::ToEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(m());
+  for (NodeId v = 0; v < n_; ++v) {
+    for (NodeId w : OutNeighbors(v)) {
+      edges.emplace_back(v, w);
+    }
+  }
+  return edges;
+}
+
+size_t Graph::MemoryBytes() const {
+  return out_off_.size() * sizeof(uint64_t) +
+         out_adj_.size() * sizeof(NodeId) +
+         out_tgt_in_degree_.size() * sizeof(uint32_t) +
+         in_off_.size() * sizeof(uint64_t) + in_adj_.size() * sizeof(NodeId) +
+         in_degree_.size() * sizeof(uint32_t);
+}
+
+Status Graph::Validate() const {
+  if (out_off_.size() != n_ + 1u || in_off_.size() != n_ + 1u) {
+    return Status::Internal("offset arrays have wrong size");
+  }
+  if (out_off_.front() != 0 || in_off_.front() != 0 ||
+      out_off_.back() != out_adj_.size() || in_off_.back() != in_adj_.size() ||
+      out_adj_.size() != in_adj_.size()) {
+    return Status::Internal("offset arrays do not cover adjacency arrays");
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    if (out_off_[v] > out_off_[v + 1] || in_off_[v] > in_off_[v + 1]) {
+      return Status::Internal("non-monotone CSR offsets");
+    }
+    uint32_t prev_deg = 0;
+    auto degs = OutNeighborInDegrees(v);
+    auto outs = OutNeighbors(v);
+    for (size_t i = 0; i < outs.size(); ++i) {
+      if (outs[i] >= n_) return Status::Internal("out-neighbor out of range");
+      if (degs[i] != in_degree_[outs[i]]) {
+        return Status::Internal("stale cached in-degree in out-adjacency");
+      }
+      if (degs[i] < prev_deg) {
+        return Status::Internal("out-adjacency not sorted by target in-degree");
+      }
+      prev_deg = degs[i];
+    }
+    for (NodeId u : InNeighbors(v)) {
+      if (u >= n_) return Status::Internal("in-neighbor out of range");
+    }
+    if (InDegree(v) != in_off_[v + 1] - in_off_[v]) {
+      return Status::Internal("in_degree_ inconsistent with in_off_");
+    }
+  }
+  // Edge multiset equality between directions via degree-count comparison:
+  // count (src,dst) occurrences with a sort-free 64-bit accumulation.
+  // For test-sized graphs a full sort is affordable and exact.
+  if (m() <= (1u << 22)) {
+    std::vector<uint64_t> fwd, bwd;
+    fwd.reserve(m());
+    bwd.reserve(m());
+    for (NodeId v = 0; v < n_; ++v) {
+      for (NodeId w : OutNeighbors(v)) {
+        fwd.push_back((static_cast<uint64_t>(v) << 32) | w);
+      }
+      for (NodeId u : InNeighbors(v)) {
+        bwd.push_back((static_cast<uint64_t>(u) << 32) | v);
+      }
+    }
+    std::sort(fwd.begin(), fwd.end());
+    std::sort(bwd.begin(), bwd.end());
+    if (fwd != bwd) {
+      return Status::Internal("in/out adjacency describe different edges");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace prsim

@@ -1,0 +1,142 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace prsim {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'R', 'S', 'I', 'M', 'G', 'R', '1'};
+
+bool ParseEdgeLine(const char* line, NodeId* src, NodeId* dst) {
+  char* end = nullptr;
+  unsigned long long a = std::strtoull(line, &end, 10);
+  if (end == line) return false;
+  const char* p = end;
+  while (*p == ' ' || *p == '\t' || *p == ',') ++p;
+  unsigned long long b = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  if (a > 0xfffffffeULL || b > 0xfffffffeULL) return false;
+  *src = static_cast<NodeId>(a);
+  *dst = static_cast<NodeId>(b);
+  return true;
+}
+
+Result<std::vector<Edge>> ParseStream(std::istream& in,
+                                      const std::string& origin) {
+  std::vector<Edge> edges;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const char* p = line.c_str();
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '#' || *p == '%') continue;
+    NodeId src, dst;
+    if (!ParseEdgeLine(p, &src, &dst)) {
+      return Status::IOError(origin + ": malformed edge at line " +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    edges.emplace_back(src, dst);
+  }
+  return edges;
+}
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& v) {
+  WritePod<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVector(std::istream& in, std::vector<T>* v) {
+  uint64_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Result<std::vector<Edge>> LoadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ParseStream(in, path);
+}
+
+Result<std::vector<Edge>> ParseEdgeListText(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in, "<string>");
+}
+
+Status SaveEdgeListText(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << "# prsim edge list: n=" << graph.n() << " m=" << graph.m() << "\n";
+  for (NodeId v = 0; v < graph.n(); ++v) {
+    for (NodeId w : graph.OutNeighbors(v)) {
+      out << v << '\t' << w << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<Graph> LoadGraphText(const std::string& path,
+                            const BuildOptions& options) {
+  PRSIM_ASSIGN_OR_RETURN(std::vector<Edge> edges, LoadEdgeListText(path));
+  return BuildGraph(0, std::move(edges), options);
+}
+
+Status GraphIO::SaveBinary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, graph.n_);
+  WriteVector(out, graph.out_off_);
+  WriteVector(out, graph.out_adj_);
+  WriteVector(out, graph.out_tgt_in_degree_);
+  WriteVector(out, graph.in_off_);
+  WriteVector(out, graph.in_adj_);
+  WriteVector(out, graph.in_degree_);
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<Graph> GraphIO::LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("'" + path + "' is not a prsim binary graph");
+  }
+  Graph g;
+  if (!ReadPod(in, &g.n_) || !ReadVector(in, &g.out_off_) ||
+      !ReadVector(in, &g.out_adj_) ||
+      !ReadVector(in, &g.out_tgt_in_degree_) || !ReadVector(in, &g.in_off_) ||
+      !ReadVector(in, &g.in_adj_) || !ReadVector(in, &g.in_degree_)) {
+    return Status::IOError("truncated binary graph '" + path + "'");
+  }
+  PRSIM_RETURN_NOT_OK(g.Validate());
+  return g;
+}
+
+}  // namespace prsim

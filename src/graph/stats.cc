@@ -1,0 +1,155 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace prsim {
+
+namespace {
+
+std::vector<uint32_t> DegreeSequence(const Graph& graph, DegreeDirection dir) {
+  std::vector<uint32_t> degrees(graph.n());
+  for (NodeId v = 0; v < graph.n(); ++v) {
+    degrees[v] =
+        dir == DegreeDirection::kOut ? graph.OutDegree(v) : graph.InDegree(v);
+  }
+  return degrees;
+}
+
+}  // namespace
+
+std::vector<CcdfPoint> DegreeCcdf(const Graph& graph, DegreeDirection dir) {
+  std::vector<uint32_t> degrees = DegreeSequence(graph, dir);
+  std::sort(degrees.begin(), degrees.end());
+  std::vector<CcdfPoint> ccdf;
+  const double n = static_cast<double>(graph.n());
+  // Walk the sorted sequence; for each distinct degree d >= 1, the number of
+  // nodes with degree >= d is (n - first index of d).
+  for (size_t i = 0; i < degrees.size();) {
+    const uint32_t d = degrees[i];
+    size_t j = i;
+    while (j < degrees.size() && degrees[j] == d) ++j;
+    if (d >= 1) {
+      const uint64_t count = degrees.size() - i;
+      ccdf.push_back({d, count, static_cast<double>(count) / n});
+    }
+    i = j;
+  }
+  return ccdf;
+}
+
+PowerLawFit FitCumulativePowerLaw(const std::vector<CcdfPoint>& ccdf,
+                                  uint64_t min_degree, double min_fraction) {
+  PowerLawFit fit;
+  // Collect (log10 k, log10 P(k)) over the usable window.
+  std::vector<std::pair<double, double>> pts;
+  for (const auto& p : ccdf) {
+    if (p.degree < min_degree) continue;
+    if (p.fraction < min_fraction) continue;
+    pts.emplace_back(std::log10(static_cast<double>(p.degree)),
+                     std::log10(p.fraction));
+  }
+  fit.points_used = pts.size();
+  if (pts.size() < 2) return fit;
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (const auto& [x, y] : pts) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  const double k = static_cast<double>(pts.size());
+  const double denom = k * sxx - sx * sx;
+  if (denom <= 0) return fit;
+  const double slope = (k * sxy - sx * sy) / denom;
+  fit.gamma = -slope;
+  fit.intercept = (sy - slope * sx) / k;
+  const double ss_tot = syy - sy * sy / k;
+  double ss_res = 0;
+  for (const auto& [x, y] : pts) {
+    const double pred = fit.intercept + slope * x;
+    ss_res += (y - pred) * (y - pred);
+  }
+  fit.r_squared = ss_tot <= 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+PowerLawFit FitDegreeExponent(const Graph& graph, DegreeDirection dir) {
+  return FitCumulativePowerLaw(DegreeCcdf(graph, dir));
+}
+
+double HillEstimator(const Graph& graph, DegreeDirection dir,
+                     double tail_fraction) {
+  std::vector<uint32_t> degrees = DegreeSequence(graph, dir);
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  size_t k = static_cast<size_t>(tail_fraction * degrees.size());
+  // Need at least two tail entries and a strictly positive threshold degree.
+  while (k >= 2 && degrees[k - 1] == 0) --k;
+  if (k < 2) return 0.0;
+  const double threshold = degrees[k - 1];
+  double sum_log = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i + 1 < k; ++i) {
+    if (degrees[i] == 0) break;
+    sum_log += std::log(static_cast<double>(degrees[i]) / threshold);
+    ++used;
+  }
+  if (used == 0 || sum_log <= 0) return 0.0;
+  return static_cast<double>(used) / sum_log;
+}
+
+PageRankHardness AnalyzePageRankVector(const std::vector<double>& pi) {
+  PageRankHardness h;
+  if (pi.empty()) return h;
+  std::vector<double> sorted(pi);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  h.max_value = sorted.front();
+  for (double x : pi) h.second_moment += x * x;
+
+  // Zipf fit pi(w_j) ~ j^-beta over ranks [2, j_hi] where mass is positive.
+  // Rank 1 is excluded: the single largest value is noisy.
+  size_t j_hi = sorted.size();
+  while (j_hi > 0 && sorted[j_hi - 1] <= 0) --j_hi;
+  if (j_hi < 8) return h;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t used = 0;
+  // Subsample ranks geometrically so huge graphs do not drown the head.
+  for (size_t j = 2; j <= j_hi; j = std::max(j + 1, j + j / 8)) {
+    const double x = std::log10(static_cast<double>(j));
+    const double y = std::log10(sorted[j - 1]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++used;
+  }
+  const double k = static_cast<double>(used);
+  const double denom = k * sxx - sx * sx;
+  if (denom > 0) {
+    h.beta = -(k * sxy - sx * sy) / denom;
+    if (h.beta > 1e-9) h.implied_gamma = 1.0 / h.beta;
+  }
+  return h;
+}
+
+GraphSummary Summarize(const Graph& graph) {
+  GraphSummary s;
+  s.n = graph.n();
+  s.m = graph.m();
+  s.avg_degree = graph.AverageDegree();
+  for (NodeId v = 0; v < graph.n(); ++v) {
+    s.max_out_degree = std::max(s.max_out_degree, graph.OutDegree(v));
+    s.max_in_degree = std::max(s.max_in_degree, graph.InDegree(v));
+  }
+  s.dangling_nodes = graph.CountDanglingNodes();
+  s.out_gamma = FitDegreeExponent(graph, DegreeDirection::kOut).gamma;
+  s.in_gamma = FitDegreeExponent(graph, DegreeDirection::kIn).gamma;
+  return s;
+}
+
+}  // namespace prsim

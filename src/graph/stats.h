@@ -1,0 +1,86 @@
+// Degree and power-law statistics.
+//
+// PRSim's complexity depends on the *cumulative* power-law exponent gamma of
+// the out-degree distribution: P_o(k) = fraction of nodes with out-degree
+// >= k ~ k^-gamma (paper Section 1). This module computes degree CCDFs,
+// fits gamma (log-log least squares over the tail, plus a Hill estimator as a
+// cross-check), and provides the reverse-PageRank "hardness" statistics used
+// by Theorem 3.11 (second moment sum_w pi(w)^2 and the Zipf fit pi(w_j) ~
+// j^-beta with beta = 1/gamma).
+
+#ifndef PRSIM_GRAPH_STATS_H_
+#define PRSIM_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace prsim {
+
+enum class DegreeDirection { kOut, kIn };
+
+/// One point of a degree CCDF: `count` nodes have degree >= `degree`.
+struct CcdfPoint {
+  uint64_t degree;
+  uint64_t count;
+  double fraction;  // count / n
+};
+
+/// Complementary cumulative degree distribution, ascending by degree,
+/// restricted to degrees >= 1.
+std::vector<CcdfPoint> DegreeCcdf(const Graph& graph, DegreeDirection dir);
+
+/// Result of a cumulative power-law fit P(k) ~ k^-gamma.
+struct PowerLawFit {
+  double gamma = 0.0;      ///< fitted cumulative exponent
+  double intercept = 0.0;  ///< fitted log-offset (log10 scale)
+  double r_squared = 0.0;  ///< goodness of the log-log linear fit
+  size_t points_used = 0;  ///< CCDF points included in the regression
+};
+
+/// Least-squares fit of log10 P(k) vs log10 k over CCDF points with degree in
+/// [min_degree, max fraction >= min_fraction]. The tail cutoff avoids the
+/// noisy extreme where only a handful of nodes remain.
+PowerLawFit FitCumulativePowerLaw(const std::vector<CcdfPoint>& ccdf,
+                                  uint64_t min_degree = 2,
+                                  double min_fraction = 1e-5);
+
+/// Convenience: fit the out-degree (or in-degree) exponent of a graph.
+PowerLawFit FitDegreeExponent(const Graph& graph, DegreeDirection dir);
+
+/// Hill maximum-likelihood estimator of the cumulative exponent using the
+/// top `tail_fraction` of the degree sequence. Robust cross-check for the
+/// regression fit.
+double HillEstimator(const Graph& graph, DegreeDirection dir,
+                     double tail_fraction = 0.1);
+
+/// Hardness statistics of a reverse-PageRank vector (Theorem 3.11/3.12).
+struct PageRankHardness {
+  double second_moment = 0.0;  ///< sum_w pi(w)^2 in [1/n, 1]
+  double beta = 0.0;           ///< Zipf fit pi(w_j) ~ j^-beta (= 1/gamma)
+  double implied_gamma = 0.0;  ///< 1/beta
+  double max_value = 0.0;      ///< pi(w_1)
+};
+
+/// Computes the hardness statistics from a (not necessarily normalized)
+/// reverse PageRank vector.
+PageRankHardness AnalyzePageRankVector(const std::vector<double>& pi);
+
+/// Aggregate degree summary used by the Table 3 bench.
+struct GraphSummary {
+  NodeId n = 0;
+  uint64_t m = 0;
+  double avg_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  NodeId dangling_nodes = 0;
+  double out_gamma = 0.0;  // fitted cumulative out-degree exponent
+  double in_gamma = 0.0;   // fitted cumulative in-degree exponent
+};
+
+GraphSummary Summarize(const Graph& graph);
+
+}  // namespace prsim
+
+#endif  // PRSIM_GRAPH_STATS_H_

@@ -1,0 +1,52 @@
+// Leveled backward search (Lofgren et al. [27]; paper Algorithm 1, lines 6-17).
+//
+// Deterministically approximates the l-hop reverse personalized PageRank
+// pi_l(v, w) *to* a fixed target w for every source v and level l. Residues
+// r_l(v, w) represent unconverted walk mass; pushing a residue converts a
+// (1 - sqrt_c) fraction into reserve psi_l(v, w) and forwards sqrt_c,
+// split as r_{l+1}(z, w) += sqrt_c * r_l(v, w) / d_in(z) to each out-neighbor
+// z of v. Residues at or below rmax are dropped, bounding the per-entry error:
+// |psi_l(v, w) - pi_l(v, w)| < rmax (Lemma 3.1).
+
+#ifndef PRSIM_PPR_BACKWARD_SEARCH_H_
+#define PRSIM_PPR_BACKWARD_SEARCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace prsim {
+
+struct BackwardSearchOptions {
+  double c = 0.6;       ///< SimRank decay; propagation factor is sqrt(c)
+  double rmax = 1e-4;   ///< residue threshold (paper: (1-sqrt_c)^2 eps / 12)
+  uint32_t max_level = 64;
+  /// Keep only reserves strictly above this value in the output (Algorithm 1
+  /// line 15 keeps psi > rmax; set to 0 to keep everything for testing).
+  double keep_threshold = -1.0;  ///< < 0 means "use rmax"
+};
+
+/// Reserves for one target node, per level.
+struct BackwardSearchResult {
+  /// levels[l] lists (v, psi_l(v, w)); levels absent past the last non-empty.
+  std::vector<std::vector<std::pair<NodeId, float>>> levels;
+  /// Total residue-push edge operations (cost accounting for Lemma 3.2).
+  uint64_t push_operations = 0;
+
+  /// Number of stored (v, psi) tuples across all levels.
+  size_t TupleCount() const {
+    size_t count = 0;
+    for (const auto& level : levels) count += level.size();
+    return count;
+  }
+};
+
+/// Runs the backward search from target w.
+BackwardSearchResult BackwardSearch(const Graph& graph, NodeId w,
+                                    const BackwardSearchOptions& options);
+
+}  // namespace prsim
+
+#endif  // PRSIM_PPR_BACKWARD_SEARCH_H_

@@ -1,0 +1,67 @@
+// Randomized backward walks: paper Algorithms 2 and 3.
+//
+// Both algorithms produce unbiased estimators pi_hat_l(v, w) of the l-hop
+// reverse personalized PageRank *to* a target node w, for every v, in
+// O(n * pi(w)) expected time — the output-sensitive optimum. They exploit the
+// in-degree-ordered out-adjacency of Graph: at each node x only the prefix of
+// O(x) whose in-degree is below a (randomized) threshold is visited, which is
+// how the cost avoids the full-neighborhood scans of ProbeSim's Probe.
+//
+//  * SimpleBackwardWalk (Algorithm 2) is unbiased but its estimator variance
+//    is unbounded (see the star-gadget example in Section 3.4).
+//  * VarianceBoundedBackwardWalk (Algorithm 3) additionally guarantees
+//    Var[pi_hat_l(v, w)] <= pi_l(v, w) (Lemma 3.5), which is what lets PRSim
+//    apply Chebyshev + the median trick.
+
+#ifndef PRSIM_PPR_BACKWARD_WALK_H_
+#define PRSIM_PPR_BACKWARD_WALK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/flat_hash_map.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+/// Sparse estimates at the target level plus cost accounting.
+struct BackwardWalkResult {
+  /// Non-zero pi_hat_target_level(v, w) entries.
+  std::vector<std::pair<NodeId, double>> estimates;
+  /// Number of estimator increments performed (the quantity bounded by
+  /// O(n pi(w) / (1 - sqrt_c)) in Lemma 3.4).
+  uint64_t increments = 0;
+};
+
+/// \brief Reusable backward-walk engine (scratch maps are recycled between
+/// calls; not thread-safe — use one engine per thread).
+class BackwardWalker {
+ public:
+  BackwardWalker(const Graph& graph, double c);
+
+  /// Algorithm 2. Unbiased, unbounded variance; kept for the ablation bench
+  /// and as a correctness cross-check.
+  BackwardWalkResult RunSimple(NodeId w, uint32_t target_level, Rng& rng);
+
+  /// Algorithm 3. Unbiased with Var[pi_hat] <= pi_l(v, w).
+  BackwardWalkResult RunVarianceBounded(NodeId w, uint32_t target_level,
+                                        Rng& rng);
+
+  double sqrt_c() const { return sqrt_c_; }
+
+ private:
+  template <bool kVarianceBounded>
+  BackwardWalkResult Run(NodeId w, uint32_t target_level, Rng& rng);
+
+  const Graph& graph_;
+  double sqrt_c_;
+  double term_;  // 1 - sqrt_c
+  FlatHashMap<double> cur_{64};
+  FlatHashMap<double> next_{64};
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_PPR_BACKWARD_WALK_H_

@@ -1,0 +1,57 @@
+#include "ppr/reverse_pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace prsim {
+
+std::vector<double> ComputeReversePageRank(
+    const Graph& graph, const ReversePageRankOptions& options) {
+  PRSIM_CHECK(options.c > 0 && options.c < 1);
+  const NodeId n = graph.n();
+  const double sqrt_c = std::sqrt(options.c);
+  std::vector<double> pi(n, 0.0);
+  if (n == 0) return pi;
+
+  // q[v] = Pr[walk from uniform source is alive at v after l moves].
+  // pi accumulates the (1 - sqrt_c) termination slice of each level; the
+  // remaining sqrt_c slice flows from each node to its in-neighbors, split
+  // uniformly. Mass at dangling nodes evaporates, matching the walk
+  // convention.
+  std::vector<double> q(n, 1.0 / n);
+  std::vector<double> q_next(n, 0.0);
+  const double term = 1.0 - sqrt_c;
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    double live = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double mass = q[v];
+      if (mass == 0.0) continue;
+      pi[v] += term * mass;
+      const uint32_t din = graph.InDegree(v);
+      if (din == 0) continue;
+      const double share = sqrt_c * mass / din;
+      for (NodeId u : graph.InNeighbors(v)) {
+        q_next[u] += share;
+      }
+      live += sqrt_c * mass;
+    }
+    q.swap(q_next);
+    std::fill(q_next.begin(), q_next.end(), 0.0);
+    if (live < options.tolerance) break;
+  }
+  return pi;
+}
+
+std::vector<NodeId> RankNodesByValue(const std::vector<double>& values) {
+  std::vector<NodeId> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return values[a] > values[b];
+  });
+  return order;
+}
+
+}  // namespace prsim

@@ -1,0 +1,39 @@
+// Exact reverse PageRank via power iteration.
+//
+// pi(w) is the probability that a sqrt(c)-walk from a uniformly random source
+// terminates at w; equivalently the PageRank of w on the reversed graph with
+// damping sqrt(c). PRSim uses pi to pick hub nodes (Algorithm 1, line 5) and
+// its complexity analysis is parameterized by the second moment sum_w pi(w)^2
+// (Theorem 3.11).
+
+#ifndef PRSIM_PPR_REVERSE_PAGERANK_H_
+#define PRSIM_PPR_REVERSE_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace prsim {
+
+struct ReversePageRankOptions {
+  double c = 0.6;            ///< SimRank decay; walk damping is sqrt(c)
+  double tolerance = 1e-12;  ///< stop when residual live mass drops below
+  /// Residual live mass decays by sqrt(c) per iteration; 320 iterations
+  /// reach ~1e-15 even at c = 0.8.
+  uint32_t max_iterations = 320;
+};
+
+/// Computes pi(w) for all w. The result sums to at most 1; the deficit is the
+/// probability mass lost by walks that hit dangling (in-degree-0) nodes,
+/// consistently with the walk convention in ppr/walker.h.
+std::vector<double> ComputeReversePageRank(
+    const Graph& graph, const ReversePageRankOptions& options = {});
+
+/// Node ids sorted by descending value (ties broken by ascending id); the
+/// first j0 entries are PRSim's hub nodes.
+std::vector<NodeId> RankNodesByValue(const std::vector<double>& values);
+
+}  // namespace prsim
+
+#endif  // PRSIM_PPR_REVERSE_PAGERANK_H_

@@ -1,0 +1,99 @@
+#include "ppr/rppr_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ppr/walker.h"
+#include "util/flat_hash_map.h"
+#include "util/logging.h"
+
+namespace prsim {
+
+RpprEstimator::RpprEstimator(const Graph& graph,
+                             const RpprEstimatorOptions& options)
+    : graph_(graph), options_(options), walker_(graph, options.c),
+      rng_(options.seed) {
+  PRSIM_CHECK(options_.eps > 0);
+  PRSIM_CHECK(options_.delta > 0 && options_.delta < 1);
+  dr_ = static_cast<uint64_t>(
+      std::ceil(options_.alpha / (options_.eps * options_.eps)));
+  dr_ = std::max<uint64_t>(dr_, 1);
+  const double n = std::max<double>(graph_.n(), 2);
+  fr_ = options_.rounds > 0
+            ? options_.rounds
+            : static_cast<uint32_t>(
+                  std::ceil(3.0 * std::log(n / options_.delta)));
+  fr_ |= 1;
+  // Levels beyond L contribute at most sqrt(c)^L < eps/4 in aggregate.
+  const double sqrt_c = std::sqrt(options_.c);
+  max_level_ = static_cast<uint32_t>(
+      std::ceil(std::log(options_.eps / 4.0) / std::log(sqrt_c)));
+  max_level_ = std::min(max_level_, kMaxWalkLevel);
+}
+
+template <typename RunLevel>
+RpprEstimate RpprEstimator::MedianOfMeans(RunLevel&& run) {
+  RpprEstimate out;
+  FlatHashMap<uint32_t> slot_of(1024);
+  std::vector<NodeId> nodes;
+  std::vector<double> columns;  // fr_ doubles per slot
+
+  for (uint32_t round = 0; round < fr_; ++round) {
+    for (uint64_t j = 0; j < dr_; ++j) {
+      run([&](NodeId v, double value) {
+        uint32_t& slot = slot_of[v];
+        if (slot == 0) {
+          nodes.push_back(v);
+          columns.resize(columns.size() + fr_, 0.0);
+          slot = static_cast<uint32_t>(nodes.size());
+        }
+        columns[static_cast<size_t>(slot - 1) * fr_ + round] +=
+            value / static_cast<double>(dr_);
+      });
+    }
+  }
+
+  std::vector<double> buffer(fr_);
+  out.values.reserve(nodes.size());
+  for (size_t slot = 0; slot < nodes.size(); ++slot) {
+    const double* column = &columns[slot * fr_];
+    std::copy(column, column + fr_, buffer.begin());
+    auto mid = buffer.begin() + fr_ / 2;
+    std::nth_element(buffer.begin(), mid, buffer.end());
+    if (*mid > 0) out.values.emplace_back(nodes[slot], *mid);
+  }
+  return out;
+}
+
+RpprEstimate RpprEstimator::EstimateLevel(NodeId w, uint32_t level) {
+  PRSIM_CHECK(w < graph_.n());
+  uint64_t increments = 0;
+  RpprEstimate out = MedianOfMeans([&](auto&& emit) {
+    const BackwardWalkResult result =
+        walker_.RunVarianceBounded(w, level, rng_);
+    increments += result.increments;
+    for (const auto& [v, value] : result.estimates) emit(v, value);
+  });
+  out.total_walk_increments = increments;
+  return out;
+}
+
+RpprEstimate RpprEstimator::EstimateAggregate(NodeId w) {
+  PRSIM_CHECK(w < graph_.n());
+  uint64_t increments = 0;
+  RpprEstimate out = MedianOfMeans([&](auto&& emit) {
+    // One variance-bounded walk per level; the per-sample aggregate is the
+    // sum of unbiased level estimates, itself unbiased for pi(v, w) up to
+    // the truncated < eps/4 tail.
+    for (uint32_t level = 0; level <= max_level_; ++level) {
+      const BackwardWalkResult result =
+          walker_.RunVarianceBounded(w, level, rng_);
+      increments += result.increments;
+      for (const auto& [v, value] : result.estimates) emit(v, value);
+    }
+  });
+  out.total_walk_increments = increments;
+  return out;
+}
+
+}  // namespace prsim

@@ -1,0 +1,77 @@
+// eps-accurate reverse PPR estimation to a target node.
+//
+// The paper notes (Section 1, contribution 2) that the Variance Bounded
+// Backward Walk "improves the time complexity of state-of-the-art PPR
+// algorithms to target nodes for dense graphs and may be of independent
+// interest". This module packages that claim as a standalone API: given a
+// target w, estimate pi_l(v, w) (or the aggregate pi(v, w)) for every source
+// v with additive error eps at probability 1 - delta, in
+// O(n pi(w) log(n/delta)/eps^2) expected time — compared to
+// O(n log(n/delta)/eps^2) for the Randomized Probe of [25].
+//
+// Estimation runs fr = 3 ln(n/delta) rounds of dr = ceil(alpha/eps^2)
+// variance-bounded walks and returns per-node medians of the round means
+// (the same median-of-means argument as PRSim's Lemma 3.7, powered by
+// Var[pi_hat] <= pi from Lemma 3.5).
+
+#ifndef PRSIM_PPR_RPPR_ESTIMATOR_H_
+#define PRSIM_PPR_RPPR_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ppr/backward_walk.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+struct RpprEstimatorOptions {
+  double c = 0.6;
+  double eps = 0.01;
+  double delta = 1e-4;
+  /// Paper constants use alpha = 12; the practical default trades the
+  /// union-bound constant for speed like PRSimOptions does.
+  double alpha = 3.0;
+  /// Practical-mode round count (forced odd); 0 derives 3 ln(n/delta).
+  uint32_t rounds = 7;
+  uint64_t seed = 71;
+};
+
+struct RpprEstimate {
+  /// Non-zero estimates of pi_l(v, w) (or pi(v, w) in aggregate mode).
+  std::vector<std::pair<NodeId, double>> values;
+  uint64_t total_walk_increments = 0;  ///< cost accounting
+};
+
+/// \brief Median-of-means RPPR estimator built on Algorithm 3.
+class RpprEstimator {
+ public:
+  RpprEstimator(const Graph& graph, const RpprEstimatorOptions& options);
+
+  /// Estimates the level-l RPPR slice pi_l(v, w) for all v.
+  RpprEstimate EstimateLevel(NodeId w, uint32_t level);
+
+  /// Estimates the aggregate pi(v, w) = sum_l pi_l(v, w) for all v, summing
+  /// level estimates until the geometric tail c^(l/2) drops below eps / 4.
+  RpprEstimate EstimateAggregate(NodeId w);
+
+  uint64_t samples_per_round() const { return dr_; }
+  uint32_t rounds() const { return fr_; }
+
+ private:
+  template <typename RunLevel>
+  RpprEstimate MedianOfMeans(RunLevel&& run);
+
+  const Graph& graph_;
+  RpprEstimatorOptions options_;
+  BackwardWalker walker_;
+  Rng rng_;
+  uint64_t dr_ = 0;
+  uint32_t fr_ = 0;
+  uint32_t max_level_ = 0;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_PPR_RPPR_ESTIMATOR_H_

@@ -1,0 +1,81 @@
+// sqrt(c)-walk machinery (paper Section 2).
+//
+// A reverse sqrt(c)-discounted random walk from u terminates at the current
+// node with probability 1 - sqrt(c) at every step and otherwise moves to a
+// uniformly random *in*-neighbor. Everything in SimRank-land is expressed in
+// terms of these walks:
+//   * pi_l(u, w)  = Pr[walk from u terminates at w in exactly l steps]
+//   * pi(u, w)    = sum_l pi_l(u, w)                  (reverse PPR)
+//   * pi(w)       = avg_u pi(u, w)                    (reverse PageRank)
+//   * s(u, v)     = Pr[walks from u and v meet]       (SimRank, [32])
+//   * eta(w)      = Pr[two walks from w never meet at any step >= 1]
+//
+// Dangling convention (DESIGN.md Section 1): a walk that decides to move from
+// a node with no in-neighbor is "lost" — it terminates nowhere. This matches
+// the deterministic l-hop recurrence used by backward search / backward walks.
+
+#ifndef PRSIM_PPR_WALKER_H_
+#define PRSIM_PPR_WALKER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+/// Hard cap on walk depth. Survival beyond level L has probability
+/// c^(L/2) — below 1e-9 at L = 64 for any c <= 0.8 — and capped walks are
+/// treated as lost, which keeps every estimator (sub-)unbiased.
+inline constexpr uint32_t kMaxWalkLevel = 64;
+
+/// Outcome of one sqrt(c)-walk.
+struct WalkOutcome {
+  NodeId terminal = 0;   ///< termination node (valid iff terminated)
+  uint32_t steps = 0;    ///< number of moves taken before terminating
+  bool terminated = false;  ///< false if the walk was lost at a dangling node
+};
+
+/// \brief Stateless sampler of sqrt(c)-walks over one graph.
+class Walker {
+ public:
+  /// `c` is the SimRank decay factor in (0, 1); walks move with probability
+  /// sqrt(c).
+  Walker(const Graph& graph, double c);
+
+  double sqrt_c() const { return sqrt_c_; }
+  double c() const { return sqrt_c_ * sqrt_c_; }
+
+  /// Samples one sqrt(c)-walk from u.
+  WalkOutcome SampleWalk(NodeId u, Rng& rng) const;
+
+  /// Samples two independent sqrt(c)-walks from w and reports whether they
+  /// meet: both alive after step i >= 1 and on the same node. Used to sample
+  /// the last-meeting probability eta(w) (Definition 2.1): the returned value
+  /// is true with probability 1 - eta(w).
+  bool SamplePairMeets(NodeId w, Rng& rng) const;
+
+  /// Monte Carlo estimate of eta(w) from `samples` independent pairs.
+  double EstimateEta(NodeId w, uint64_t samples, Rng& rng) const;
+
+  /// Monte Carlo single-pair SimRank: fraction of `samples` walk pairs from
+  /// (u, v) that meet. Exactly the classic MC estimator of [12, 32].
+  double EstimateSimRank(NodeId u, NodeId v, uint64_t samples, Rng& rng) const;
+
+ private:
+  /// Advances a live walk position by one move. Returns false if the walk is
+  /// lost (dangling node).
+  bool Step(NodeId& pos, Rng& rng) const {
+    const uint32_t din = graph_.InDegree(pos);
+    if (din == 0) return false;
+    pos = graph_.InNeighborAt(pos, rng.NextIndex(din));
+    return true;
+  }
+
+  const Graph& graph_;
+  double sqrt_c_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_PPR_WALKER_H_

@@ -1,0 +1,84 @@
+// Walker alias method for O(1) sampling from a discrete distribution.
+//
+// Used by the Chung-Lu generator to draw edge endpoints proportionally to
+// power-law weight sequences. Construction is O(n); each draw costs one RNG
+// call and two array reads.
+
+#ifndef PRSIM_UTIL_ALIAS_TABLE_H_
+#define PRSIM_UTIL_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from non-negative weights (need not be normalized).
+  /// At least one weight must be positive.
+  explicit AliasTable(const std::vector<double>& weights) {
+    const size_t n = weights.size();
+    PRSIM_CHECK(n > 0) << "alias table needs at least one weight";
+    prob_.resize(n);
+    alias_.resize(n);
+    double total = 0;
+    for (double w : weights) {
+      PRSIM_CHECK(w >= 0) << "negative weight";
+      total += w;
+    }
+    PRSIM_CHECK(total > 0) << "all weights are zero";
+
+    // Scaled probabilities; classify into small/large worklists.
+    std::vector<double> scaled(n);
+    std::vector<uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * n / total;
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const uint32_t s = small.back();
+      small.pop_back();
+      const uint32_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    // Leftovers are 1.0 up to floating-point noise.
+    for (uint32_t s : small) {
+      prob_[s] = 1.0;
+      alias_[s] = s;
+    }
+    for (uint32_t l : large) {
+      prob_[l] = 1.0;
+      alias_[l] = l;
+    }
+  }
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+  /// Draws an index distributed proportionally to the input weights.
+  uint32_t Sample(Rng& rng) const {
+    const uint32_t slot = rng.NextIndex(static_cast<uint32_t>(prob_.size()));
+    return rng.NextDouble() < prob_[slot] ? slot : alias_[slot];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_ALIAS_TABLE_H_

@@ -1,0 +1,87 @@
+// Minimal leveled logging and assertion macros.
+//
+// Modeled after the CHECK/DCHECK idiom used by Arrow and RocksDB: CHECK fires
+// in every build type and aborts with a message; DCHECK compiles out of
+// release builds and guards algorithm invariants on hot paths.
+
+#ifndef PRSIM_UTIL_LOGGING_H_
+#define PRSIM_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace prsim {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal {
+
+/// Sink for one log statement; flushes (and aborts on kFatal) in destructor.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Global minimum level below which log statements are dropped.
+/// Defaults to kInfo; tests may lower it, benches may raise it.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace prsim
+
+#define PRSIM_LOG(level)                                                     \
+  ::prsim::internal::LogMessage(::prsim::LogLevel::k##level, __FILE__, __LINE__)
+
+#define PRSIM_CHECK(condition)                                               \
+  if (!(condition))                                                          \
+  PRSIM_LOG(Fatal) << "Check failed: " #condition " "
+
+#define PRSIM_CHECK_OP(lhs, op, rhs)                                         \
+  if (!((lhs)op(rhs)))                                                       \
+  PRSIM_LOG(Fatal) << "Check failed: " #lhs " " #op " " #rhs " ("           \
+                   << (lhs) << " vs " << (rhs) << ") "
+
+#define PRSIM_CHECK_EQ(lhs, rhs) PRSIM_CHECK_OP(lhs, ==, rhs)
+#define PRSIM_CHECK_NE(lhs, rhs) PRSIM_CHECK_OP(lhs, !=, rhs)
+#define PRSIM_CHECK_LT(lhs, rhs) PRSIM_CHECK_OP(lhs, <, rhs)
+#define PRSIM_CHECK_LE(lhs, rhs) PRSIM_CHECK_OP(lhs, <=, rhs)
+#define PRSIM_CHECK_GT(lhs, rhs) PRSIM_CHECK_OP(lhs, >, rhs)
+#define PRSIM_CHECK_GE(lhs, rhs) PRSIM_CHECK_OP(lhs, >=, rhs)
+
+#ifdef NDEBUG
+#define PRSIM_DCHECK(condition) \
+  while (false) PRSIM_CHECK(condition)
+#define PRSIM_DCHECK_LT(lhs, rhs) \
+  while (false) PRSIM_CHECK_LT(lhs, rhs)
+#define PRSIM_DCHECK_LE(lhs, rhs) \
+  while (false) PRSIM_CHECK_LE(lhs, rhs)
+#else
+#define PRSIM_DCHECK(condition) PRSIM_CHECK(condition)
+#define PRSIM_DCHECK_LT(lhs, rhs) PRSIM_CHECK_LT(lhs, rhs)
+#define PRSIM_DCHECK_LE(lhs, rhs) PRSIM_CHECK_LE(lhs, rhs)
+#endif
+
+#endif  // PRSIM_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+// Deterministic chunked parallel-for built on std::thread.
+//
+// Used for embarrassingly parallel work: per-hub backward searches during
+// index construction and per-pair Monte Carlo ground-truth estimation. Chunk
+// assignment is static, so any per-item seeding keyed off the item index stays
+// deterministic regardless of thread count.
+
+#ifndef PRSIM_UTIL_PARALLEL_H_
+#define PRSIM_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace prsim {
+
+/// Number of workers to use by default: hardware concurrency, at least 1.
+inline size_t DefaultThreadCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// Runs fn(i) for i in [begin, end) across `threads` workers.
+///
+/// fn must be safe to invoke concurrently for distinct i. Items are divided
+/// into contiguous chunks; worker t handles chunk t.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t threads = 0) {
+  if (end <= begin) return;
+  const size_t items = end - begin;
+  if (threads == 0) threads = DefaultThreadCount();
+  threads = std::min(threads, items);
+  if (threads <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t chunk = (items + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t lo = begin + t * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_PARALLEL_H_

@@ -1,0 +1,168 @@
+// Arrow-style Status / Result error model.
+//
+// Fallible, non-hot-path APIs (graph construction, file I/O, configuration
+// validation) return Status or Result<T> instead of throwing. Hot algorithm
+// loops never construct Status objects; they validate inputs once up front.
+
+#ifndef PRSIM_UTIL_STATUS_H_
+#define PRSIM_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace prsim {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kOutOfRange = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a short human-readable name for a StatusCode (e.g. "Invalid
+/// argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail.
+///
+/// The OK state carries no allocation; error states allocate a small state
+/// block holding the code and message.
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(code, std::move(message))) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process if not OK. Use at call sites where failure is a
+  /// programming error (e.g. loading a graph the test just wrote).
+  void Abort() const {
+    if (!ok()) {
+      PRSIM_LOG(Fatal) << "Status not OK: " << ToString();
+    }
+  }
+
+ private:
+  struct State {
+    State(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : repr_(std::move(status)) {
+    PRSIM_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Returns the value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out; aborts if this holds an error.
+  T MoveValueUnsafe() {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      PRSIM_LOG(Fatal) << "Result carries error: "
+                       << std::get<Status>(repr_).ToString();
+    }
+  }
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace prsim
+
+/// Propagates an error Status out of the current function.
+#define PRSIM_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::prsim::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Binds `lhs` to the value of a Result expression or propagates its error.
+#define PRSIM_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  auto PRSIM_CONCAT_(_result_, __LINE__) = (rexpr);      \
+  if (!PRSIM_CONCAT_(_result_, __LINE__).ok())           \
+    return PRSIM_CONCAT_(_result_, __LINE__).status();   \
+  lhs = std::move(PRSIM_CONCAT_(_result_, __LINE__)).ValueOrDie()
+
+#define PRSIM_CONCAT_INNER_(a, b) a##b
+#define PRSIM_CONCAT_(a, b) PRSIM_CONCAT_INNER_(a, b)
+
+#endif  // PRSIM_UTIL_STATUS_H_

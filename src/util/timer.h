@@ -1,0 +1,56 @@
+// Wall-clock timing utilities for the benchmark harness.
+
+#ifndef PRSIM_UTIL_TIMER_H_
+#define PRSIM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace prsim {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates the total of several timed sections, e.g. summing per-query
+/// times while excluding evaluation overhead in between.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); running_ = true; }
+  void Stop() {
+    if (running_) {
+      total_ += timer_.Seconds();
+      running_ = false;
+      ++laps_;
+    }
+  }
+  double TotalSeconds() const { return total_; }
+  uint64_t laps() const { return laps_; }
+  double MeanSeconds() const { return laps_ == 0 ? 0.0 : total_ / laps_; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  uint64_t laps_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_TIMER_H_

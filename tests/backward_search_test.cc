@@ -1,0 +1,147 @@
+// Tests for the deterministic backward search against the dense l-hop RPPR
+// recurrence (Lemma 3.1's error bound) and its cost accounting (Lemma 3.2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/chung_lu.h"
+#include "ppr/backward_search.h"
+#include "ppr/reverse_pagerank.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::DenseLevelRppr;
+using testing::MakeCompleteDigraph;
+using testing::MakeCycle;
+using testing::MakeRandomDigraph;
+
+double ReserveAt(const BackwardSearchResult& result, uint32_t level,
+                 NodeId v) {
+  if (level >= result.levels.size()) return 0.0;
+  for (const auto& [node, psi] : result.levels[level]) {
+    if (node == v) return psi;
+  }
+  return 0.0;
+}
+
+TEST(BackwardSearchTest, LevelZeroReserveIsTermProbability) {
+  Graph g = MakeCycle(6);
+  const double c = 0.6;
+  auto result = BackwardSearch(g, 2, {.c = c, .rmax = 1e-5});
+  ASSERT_GE(result.levels.size(), 1u);
+  // Reserves are stored as float; compare at float precision.
+  EXPECT_NEAR(ReserveAt(result, 0, 2), 1.0 - std::sqrt(c), 1e-6);
+}
+
+TEST(BackwardSearchTest, ReservesWithinRmaxOfExact) {
+  const double c = 0.6;
+  const double rmax = 1e-4;
+  for (uint64_t seed : {81u, 82u, 83u}) {
+    Graph g = MakeRandomDigraph(30, 150, seed);
+    const auto pi = DenseLevelRppr(g, c, 40);
+    for (NodeId w = 0; w < 6; ++w) {
+      auto result = BackwardSearch(g, w, {.c = c, .rmax = rmax});
+      for (uint32_t l = 0; l < 12; ++l) {
+        for (NodeId v = 0; v < g.n(); ++v) {
+          const double psi = ReserveAt(result, l, v);
+          // Lemma 3.1: |psi - pi| < rmax; reserves below the keep threshold
+          // are omitted, so a zero reading only tells us pi was small.
+          if (psi > 0) {
+            EXPECT_NEAR(psi, pi[l][v][w], rmax)
+                << "w=" << w << " l=" << l << " v=" << v;
+          } else {
+            EXPECT_LT(pi[l][v][w], 20 * rmax)
+                << "w=" << w << " l=" << l << " v=" << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BackwardSearchTest, TighterRmaxNeverLosesAccuracy) {
+  const double c = 0.6;
+  Graph g = MakeRandomDigraph(40, 240, 84);
+  const auto pi = DenseLevelRppr(g, c, 30);
+  const NodeId w = 1;
+  for (double rmax : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    auto result = BackwardSearch(g, w, {.c = c, .rmax = rmax});
+    double max_error = 0;
+    for (uint32_t l = 0; l < 10; ++l) {
+      for (NodeId v = 0; v < g.n(); ++v) {
+        // Only compare stored reserves; absent entries are below the keep
+        // threshold and are covered by the previous test.
+        const double psi = ReserveAt(result, l, v);
+        if (psi > 0) {
+          max_error = std::max(max_error, std::abs(psi - pi[l][v][w]));
+        }
+      }
+    }
+    EXPECT_LE(max_error, rmax + 1e-12);
+  }
+}
+
+TEST(BackwardSearchTest, TupleCountScalesWithReversePageRank) {
+  // Lemma 3.2: index size for w is O(n pi(w) / eps); nodes with larger
+  // reverse PageRank must produce more tuples at equal rmax.
+  ChungLuOptions options;
+  options.n = 20000;
+  options.avg_degree = 10;
+  options.gamma_out = 1.6;
+  options.seed = 5;
+  Graph g = GenerateChungLu(options).ValueOrDie();
+  auto pi = ComputeReversePageRank(g, {.c = 0.6});
+  auto order = RankNodesByValue(pi);
+  BackwardSearchOptions search{.c = 0.6, .rmax = 1e-4};
+  const auto big = BackwardSearch(g, order.front(), search);
+  const auto small = BackwardSearch(g, order[g.n() / 2], search);
+  EXPECT_GT(big.TupleCount(), small.TupleCount());
+  EXPECT_GT(big.push_operations, small.push_operations);
+}
+
+TEST(BackwardSearchTest, CompleteDigraphSpreadsEvenly) {
+  const double c = 0.6;
+  Graph g = MakeCompleteDigraph(8);
+  auto result = BackwardSearch(g, 0, {.c = c, .rmax = 1e-6});
+  // Level 1: pi_1(v, 0) = (1 - sqrt_c) * sqrt_c / 7 for all v != 0.
+  const double expected = (1 - std::sqrt(c)) * std::sqrt(c) / 7;
+  for (NodeId v = 1; v < 8; ++v) {
+    EXPECT_NEAR(ReserveAt(result, 1, v), expected, 1e-5);
+  }
+}
+
+TEST(BackwardSearchTest, KeepThresholdFiltersOutput) {
+  Graph g = MakeRandomDigraph(30, 150, 85);
+  BackwardSearchOptions loose{.c = 0.6, .rmax = 1e-5, .max_level = 64,
+                              .keep_threshold = 0.05};
+  auto result = BackwardSearch(g, 0, loose);
+  for (const auto& level : result.levels) {
+    for (const auto& [v, psi] : level) {
+      EXPECT_GT(psi, 0.05f);
+    }
+  }
+}
+
+TEST(BackwardSearchTest, MaxLevelTruncates) {
+  Graph g = MakeCycle(10);
+  BackwardSearchOptions options{.c = 0.8, .rmax = 1e-9, .max_level = 3};
+  auto result = BackwardSearch(g, 0, options);
+  EXPECT_LE(result.levels.size(), 3u);
+}
+
+TEST(BackwardSearchTest, DanglingTargetOnlySelfReserve) {
+  // Chain 0 -> 1 -> 2; target 0 has no out-neighbors... it does (node 1).
+  // Use node 2 (no out-neighbors): reserves exist beyond level 0 only via
+  // out-edges of nodes holding residue; node 2 pushes to nothing.
+  Graph g = testing::MakeChain(3);
+  auto result = BackwardSearch(g, 2, {.c = 0.6, .rmax = 1e-6});
+  ASSERT_EQ(result.levels.size(), 1u);
+  ASSERT_EQ(result.levels[0].size(), 1u);
+  EXPECT_EQ(result.levels[0][0].first, 2u);
+}
+
+}  // namespace
+}  // namespace prsim

@@ -1,0 +1,115 @@
+// End-to-end tests for the prsim_cli tool: generate -> stats -> index ->
+// query pipelines through the real binary.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace prsim {
+namespace {
+
+#ifndef PRSIM_CLI_PATH
+#error "PRSIM_CLI_PATH must be defined by the build"
+#endif
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("prsim_cli_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  /// Runs the CLI with `args`, captures stdout, returns the exit code.
+  int Run(const std::string& args, std::string* output = nullptr) {
+    const std::string command =
+        std::string(PRSIM_CLI_PATH) + " " + args + " 2>/dev/null";
+    FILE* pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr) return -1;
+    char buffer[4096];
+    std::string captured;
+    while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+      captured += buffer;
+    }
+    if (output != nullptr) *output = captured;
+    const int status = pclose(pipe);
+    return WEXITSTATUS(status);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliTest, NoArgsShowsUsage) { EXPECT_EQ(Run(""), 2); }
+
+TEST_F(CliTest, UnknownCommandFails) { EXPECT_EQ(Run("frobnicate"), 2); }
+
+TEST_F(CliTest, GenerateStatsPipeline) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --n 2000 --degree 6 --gamma 2 --seed 9"),
+            0);
+  std::string stats;
+  ASSERT_EQ(Run("stats --graph " + Path("g.txt"), &stats), 0);
+  EXPECT_NE(stats.find("n            2000"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("gamma out/in"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateBinaryFormat) {
+  ASSERT_EQ(Run("generate --out " + Path("g.bin") +
+                " --model er --n 1000 --degree 5"),
+            0);
+  std::string stats;
+  ASSERT_EQ(Run("stats --graph " + Path("g.bin"), &stats), 0);
+  EXPECT_NE(stats.find("n            1000"), std::string::npos);
+}
+
+TEST_F(CliTest, IndexAndQueryPipeline) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --n 3000 --degree 8 --gamma 1.8 --seed 4"),
+            0);
+  std::string index_out;
+  ASSERT_EQ(Run("index --graph " + Path("g.txt") + " --out " +
+                    Path("g.idx") + " --eps 0.1",
+                &index_out),
+            0);
+  EXPECT_NE(index_out.find("built index"), std::string::npos);
+
+  std::string query_out;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") + " --index " +
+                    Path("g.idx") + " --source 11 --k 5",
+                &query_out),
+            0);
+  EXPECT_NE(query_out.find("loaded index"), std::string::npos);
+  EXPECT_NE(query_out.find("query answered"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryWithoutIndexPreprocessesInProcess) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model ba --n 1500 --degree 4"),
+            0);
+  std::string query_out;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") + " --source 3 --k 3",
+                &query_out),
+            0);
+  EXPECT_NE(query_out.find("preprocessed in"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingRequiredFlagFails) {
+  EXPECT_EQ(Run("stats"), 2);
+  EXPECT_EQ(Run("index --graph /nonexistent"), 2);
+  EXPECT_EQ(Run("query --graph /nonexistent --source 0"), 1);
+}
+
+TEST_F(CliTest, OutOfRangeSourceFails) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 1000 --degree 4"),
+            0);
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --source 99999"), 2);
+}
+
+}  // namespace
+}  // namespace prsim

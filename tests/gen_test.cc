@@ -1,0 +1,228 @@
+// Tests for the synthetic graph generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/barabasi_albert.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "graph/stats.h"
+
+namespace prsim {
+namespace {
+
+// --------------------------------------------------------------------------
+// Chung-Lu
+// --------------------------------------------------------------------------
+
+TEST(ChungLuTest, RejectsBadOptions) {
+  ChungLuOptions options;
+  options.n = 1;
+  EXPECT_FALSE(GenerateChungLu(options).ok());
+  options.n = 100;
+  options.avg_degree = 0;
+  EXPECT_FALSE(GenerateChungLu(options).ok());
+  options.avg_degree = 5;
+  options.gamma_out = 0.1;
+  EXPECT_FALSE(GenerateChungLu(options).ok());
+}
+
+TEST(ChungLuTest, WeightsHaveRequestedMean) {
+  auto weights = PowerLawWeights(10000, 2.0, 7.5);
+  double total = 0;
+  for (double w : weights) total += w;
+  EXPECT_NEAR(total / weights.size(), 7.5, 1e-9);
+  // Monotone decreasing (rank 0 is the heaviest).
+  for (size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_LE(weights[i], weights[i - 1]);
+  }
+}
+
+TEST(ChungLuTest, HitsTargetAverageDegree) {
+  ChungLuOptions options;
+  options.n = 30000;
+  options.avg_degree = 12;
+  options.gamma_out = 2.2;
+  options.seed = 3;
+  Graph g = GenerateChungLu(options).ValueOrDie();
+  EXPECT_NEAR(g.AverageDegree(), 12.0, 12.0 * 0.06);
+}
+
+TEST(ChungLuTest, DeterministicForSeed) {
+  ChungLuOptions options;
+  options.n = 5000;
+  options.avg_degree = 6;
+  options.seed = 17;
+  Graph a = GenerateChungLu(options).ValueOrDie();
+  Graph b = GenerateChungLu(options).ValueOrDie();
+  EXPECT_EQ(a.m(), b.m());
+  EXPECT_EQ(a.ToEdges(), b.ToEdges());
+}
+
+TEST(ChungLuTest, SeedChangesGraph) {
+  ChungLuOptions options;
+  options.n = 5000;
+  options.avg_degree = 6;
+  options.seed = 1;
+  Graph a = GenerateChungLu(options).ValueOrDie();
+  options.seed = 2;
+  Graph b = GenerateChungLu(options).ValueOrDie();
+  EXPECT_NE(a.ToEdges(), b.ToEdges());
+}
+
+TEST(ChungLuTest, UndirectedIsSymmetric) {
+  ChungLuOptions options;
+  options.n = 3000;
+  options.avg_degree = 8;
+  options.undirected = true;
+  options.seed = 4;
+  Graph g = GenerateChungLu(options).ValueOrDie();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), g.InDegree(v));
+  }
+}
+
+TEST(ChungLuTest, SimpleGraphNoSelfLoopsNoDuplicates) {
+  ChungLuOptions options;
+  options.n = 2000;
+  options.avg_degree = 10;
+  options.seed = 5;
+  Graph g = GenerateChungLu(options).ValueOrDie();
+  auto edges = g.ToEdges();
+  std::sort(edges.begin(), edges.end());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_NE(edges[i].first, edges[i].second);
+    if (i > 0) EXPECT_NE(edges[i], edges[i - 1]);
+  }
+}
+
+TEST(ChungLuTest, SmallerGammaMeansHeavierTail) {
+  ChungLuOptions heavy, light;
+  heavy.n = light.n = 30000;
+  heavy.avg_degree = light.avg_degree = 10;
+  heavy.gamma_out = 1.3;
+  light.gamma_out = 3.0;
+  heavy.seed = light.seed = 6;
+  Graph gh = GenerateChungLu(heavy).ValueOrDie();
+  Graph gl = GenerateChungLu(light).ValueOrDie();
+  EXPECT_GT(Summarize(gh).max_out_degree,
+            2 * Summarize(gl).max_out_degree);
+}
+
+TEST(ChungLuTest, SeparateInExponent) {
+  ChungLuOptions options;
+  options.n = 40000;
+  options.avg_degree = 10;
+  options.gamma_out = 1.4;
+  options.gamma_in = 3.0;
+  options.seed = 7;
+  Graph g = GenerateChungLu(options).ValueOrDie();
+  // Heavy out-tail, light in-tail.
+  EXPECT_GT(Summarize(g).max_out_degree, 2 * Summarize(g).max_in_degree);
+}
+
+// --------------------------------------------------------------------------
+// Erdos-Renyi
+// --------------------------------------------------------------------------
+
+TEST(ErdosRenyiTest, RejectsBadOptions) {
+  ErdosRenyiOptions options;
+  options.n = 1;
+  EXPECT_FALSE(GenerateErdosRenyi(options).ok());
+  options.n = 10;
+  options.avg_degree = 20;  // >= n
+  EXPECT_FALSE(GenerateErdosRenyi(options).ok());
+}
+
+TEST(ErdosRenyiTest, HitsTargetAverageDegree) {
+  ErdosRenyiOptions options;
+  options.n = 20000;
+  options.avg_degree = 15;
+  options.seed = 8;
+  Graph g = GenerateErdosRenyi(options).ValueOrDie();
+  EXPECT_NEAR(g.AverageDegree(), 15.0, 15.0 * 0.05);
+}
+
+TEST(ErdosRenyiTest, DegreesConcentrate) {
+  ErdosRenyiOptions options;
+  options.n = 20000;
+  options.avg_degree = 20;
+  options.seed = 9;
+  Graph g = GenerateErdosRenyi(options).ValueOrDie();
+  // Max degree of a binomial concentrates near the mean: far below any
+  // power-law tail (which would reach hundreds).
+  auto s = Summarize(g);
+  EXPECT_LT(s.max_out_degree, 70u);
+  EXPECT_LT(s.max_in_degree, 70u);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  ErdosRenyiOptions options;
+  options.n = 3000;
+  options.avg_degree = 5;
+  options.seed = 10;
+  Graph a = GenerateErdosRenyi(options).ValueOrDie();
+  Graph b = GenerateErdosRenyi(options).ValueOrDie();
+  EXPECT_EQ(a.ToEdges(), b.ToEdges());
+}
+
+TEST(ErdosRenyiTest, DenseConfiguration) {
+  ErdosRenyiOptions options;
+  options.n = 2000;
+  options.avg_degree = 400;
+  options.seed = 11;
+  Graph g = GenerateErdosRenyi(options).ValueOrDie();
+  EXPECT_NEAR(g.AverageDegree(), 400, 400 * 0.05);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+// --------------------------------------------------------------------------
+// Barabasi-Albert
+// --------------------------------------------------------------------------
+
+TEST(BarabasiAlbertTest, RejectsBadOptions) {
+  BarabasiAlbertOptions options;
+  options.edges_per_node = 0;
+  EXPECT_FALSE(GenerateBarabasiAlbert(options).ok());
+  options.edges_per_node = 50;
+  options.n = 10;
+  EXPECT_FALSE(GenerateBarabasiAlbert(options).ok());
+}
+
+TEST(BarabasiAlbertTest, AverageDegreeApproaches2k) {
+  BarabasiAlbertOptions options;
+  options.n = 20000;
+  options.edges_per_node = 4;
+  options.seed = 12;
+  Graph g = GenerateBarabasiAlbert(options).ValueOrDie();
+  EXPECT_NEAR(g.AverageDegree(), 8.0, 0.5);
+}
+
+TEST(BarabasiAlbertTest, UndirectedAndPowerLaw) {
+  BarabasiAlbertOptions options;
+  options.n = 30000;
+  options.edges_per_node = 5;
+  options.seed = 13;
+  Graph g = GenerateBarabasiAlbert(options).ValueOrDie();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), g.InDegree(v));
+  }
+  // BA converges to cumulative exponent 2.
+  auto fit = FitDegreeExponent(g, DegreeDirection::kOut);
+  EXPECT_NEAR(fit.gamma, 2.0, 0.5);
+}
+
+TEST(BarabasiAlbertTest, MinimumDegreeIsK) {
+  BarabasiAlbertOptions options;
+  options.n = 5000;
+  options.edges_per_node = 3;
+  options.seed = 14;
+  Graph g = GenerateBarabasiAlbert(options).ValueOrDie();
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_GE(g.OutDegree(v), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace prsim

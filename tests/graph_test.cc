@@ -1,0 +1,278 @@
+// Unit tests for src/graph: CSR construction, the in-degree-sorted
+// out-adjacency invariant, builder policies, and I/O round-trips.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace prsim {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakeRandomDigraph;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdges(0, {}).ValueOrDie();
+  EXPECT_EQ(g.n(), 0u);
+  EXPECT_EQ(g.m(), 0u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, NodesWithoutEdges) {
+  Graph g = Graph::FromEdges(5, {}).ValueOrDie();
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(g.m(), 0u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 0u);
+    EXPECT_EQ(g.InDegree(v), 0u);
+    EXPECT_TRUE(g.OutNeighbors(v).empty());
+    EXPECT_TRUE(g.InNeighbors(v).empty());
+  }
+  EXPECT_EQ(g.CountDanglingNodes(), 5u);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoint) {
+  auto result = Graph::FromEdges(3, {{0, 3}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, DegreesAndAdjacency) {
+  // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
+  Graph g = Graph::FromEdges(3, {{0, 1}, {0, 2}, {1, 2}, {2, 0}}).ValueOrDie();
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  std::set<NodeId> outs(g.OutNeighbors(0).begin(), g.OutNeighbors(0).end());
+  EXPECT_EQ(outs, (std::set<NodeId>{1, 2}));
+  std::set<NodeId> ins(g.InNeighbors(2).begin(), g.InNeighbors(2).end());
+  EXPECT_EQ(ins, (std::set<NodeId>{0, 1}));
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, OutAdjacencySortedByTargetInDegree) {
+  // In-degrees: 1:1, 2:2, 3:3 (from extra feeders), node 0 points at all.
+  std::vector<Edge> edges = {{0, 1}, {0, 2}, {0, 3}, {4, 2},
+                             {4, 3}, {5, 3}};
+  Graph g = Graph::FromEdges(6, edges).ValueOrDie();
+  auto outs = g.OutNeighbors(0);
+  auto degs = g.OutNeighborInDegrees(0);
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(degs.begin(), degs.end()));
+  EXPECT_EQ(outs[0], 1u);  // in-degree 1
+  EXPECT_EQ(outs[1], 2u);  // in-degree 2
+  EXPECT_EQ(outs[2], 3u);  // in-degree 3
+  for (size_t i = 0; i < outs.size(); ++i) {
+    EXPECT_EQ(degs[i], g.InDegree(outs[i]));
+  }
+}
+
+TEST(GraphTest, SortInvariantHoldsOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Graph g = MakeRandomDigraph(200, 2000, seed);
+    ASSERT_TRUE(g.Validate().ok());
+    for (NodeId v = 0; v < g.n(); ++v) {
+      auto degs = g.OutNeighborInDegrees(v);
+      EXPECT_TRUE(std::is_sorted(degs.begin(), degs.end()));
+    }
+  }
+}
+
+TEST(GraphTest, ToEdgesRoundTrip) {
+  Graph g = MakeRandomDigraph(50, 300, 7);
+  std::vector<Edge> edges = g.ToEdges();
+  Graph g2 = Graph::FromEdges(g.n(), edges).ValueOrDie();
+  EXPECT_EQ(g2.m(), g.m());
+  std::vector<Edge> e1 = g.ToEdges(), e2 = g2.ToEdges();
+  std::sort(e1.begin(), e1.end());
+  std::sort(e2.begin(), e2.end());
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(GraphTest, MemoryBytesPositiveAndScales) {
+  Graph small = MakeCycle(10);
+  Graph large = MakeCycle(1000);
+  EXPECT_GT(small.MemoryBytes(), 0u);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(GraphTest, AverageDegree) {
+  Graph g = MakeCycle(10);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 1.0);
+}
+
+TEST(GraphTest, DuplicateEdgesKeptByRawConstructor) {
+  Graph g = Graph::FromEdges(2, {{0, 1}, {0, 1}}).ValueOrDie();
+  EXPECT_EQ(g.m(), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+// --------------------------------------------------------------------------
+// GraphBuilder
+// --------------------------------------------------------------------------
+
+TEST(BuilderTest, Deduplicates) {
+  Graph g = BuildGraph(0, {{0, 1}, {0, 1}, {1, 2}}).ValueOrDie();
+  EXPECT_EQ(g.m(), 2u);
+}
+
+TEST(BuilderTest, RemovesSelfLoops) {
+  Graph g = BuildGraph(0, {{0, 0}, {0, 1}, {1, 1}}).ValueOrDie();
+  EXPECT_EQ(g.m(), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+}
+
+TEST(BuilderTest, KeepsSelfLoopsWhenAsked) {
+  BuildOptions options;
+  options.remove_self_loops = false;
+  Graph g = BuildGraph(0, {{0, 0}, {0, 1}}, options).ValueOrDie();
+  EXPECT_EQ(g.m(), 2u);
+}
+
+TEST(BuilderTest, UndirectedSymmetrizes) {
+  BuildOptions options;
+  options.undirected = true;
+  Graph g = BuildGraph(0, {{0, 1}, {1, 2}}, options).ValueOrDie();
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  // Symmetric: every edge has its reverse.
+  for (NodeId v = 0; v < g.n(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      auto ins = g.InNeighbors(v);
+      EXPECT_NE(std::find(ins.begin(), ins.end(), w), ins.end());
+    }
+  }
+}
+
+TEST(BuilderTest, InfersNodeCountFromMaxId) {
+  Graph g = BuildGraph(0, {{3, 9}}).ValueOrDie();
+  EXPECT_EQ(g.n(), 10u);
+}
+
+TEST(BuilderTest, EnsureNodeCountExtends) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureNodeCount(20);
+  Graph g = b.Build().ValueOrDie();
+  EXPECT_EQ(g.n(), 20u);
+}
+
+TEST(BuilderTest, CompactIdsRenumbersDensely) {
+  BuildOptions options;
+  options.compact_ids = true;
+  options.deduplicate = false;
+  Graph g = BuildGraph(0, {{100, 5000}, {5000, 9999}}, options).ValueOrDie();
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.m(), 2u);
+}
+
+TEST(BuilderTest, BuilderAccumulatesEdges) {
+  GraphBuilder b;
+  b.Reserve(10);
+  b.AddEdge(0, 1);
+  b.AddEdges({{1, 2}, {2, 3}});
+  EXPECT_EQ(b.edge_count(), 3u);
+  Graph g = b.Build().ValueOrDie();
+  EXPECT_EQ(g.m(), 3u);
+}
+
+// --------------------------------------------------------------------------
+// I/O
+// --------------------------------------------------------------------------
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("prsim_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, ParseEdgeListSkipsCommentsAndBlanks) {
+  auto edges = ParseEdgeListText(
+                   "# SNAP comment\n"
+                   "% matrix-market comment\n"
+                   "\n"
+                   "0\t1\n"
+                   "  2 3\n"
+                   "4,5\n")
+                   .ValueOrDie();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], Edge(0, 1));
+  EXPECT_EQ(edges[1], Edge(2, 3));
+  EXPECT_EQ(edges[2], Edge(4, 5));
+}
+
+TEST_F(IoTest, ParseRejectsMalformedLine) {
+  auto result = ParseEdgeListText("0 1\nnot an edge\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, LoadMissingFileFails) {
+  auto result = LoadEdgeListText(Path("missing.txt"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, TextRoundTrip) {
+  Graph g = testing::MakeRandomDigraph(60, 400, 3);
+  ASSERT_TRUE(SaveEdgeListText(g, Path("g.txt")).ok());
+  Graph loaded = LoadGraphText(Path("g.txt")).ValueOrDie();
+  EXPECT_EQ(loaded.n(), g.n());
+  EXPECT_EQ(loaded.m(), g.m());
+  auto e1 = g.ToEdges(), e2 = loaded.ToEdges();
+  std::sort(e1.begin(), e1.end());
+  std::sort(e2.begin(), e2.end());
+  EXPECT_EQ(e1, e2);
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  Graph g = testing::MakeRandomDigraph(80, 600, 4);
+  ASSERT_TRUE(GraphIO::SaveBinary(g, Path("g.bin")).ok());
+  Graph loaded = GraphIO::LoadBinary(Path("g.bin")).ValueOrDie();
+  EXPECT_EQ(loaded.n(), g.n());
+  EXPECT_EQ(loaded.m(), g.m());
+  EXPECT_TRUE(loaded.Validate().ok());
+  auto e1 = g.ToEdges(), e2 = loaded.ToEdges();
+  EXPECT_EQ(e1, e2);  // binary preserves exact ordering
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  {
+    std::ofstream out(Path("junk.bin"), std::ios::binary);
+    out << "this is not a graph";
+  }
+  auto result = GraphIO::LoadBinary(Path("junk.bin"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncated) {
+  Graph g = MakeCycle(50);
+  ASSERT_TRUE(GraphIO::SaveBinary(g, Path("full.bin")).ok());
+  // Truncate the file to half.
+  const auto size = std::filesystem::file_size(Path("full.bin"));
+  std::filesystem::resize_file(Path("full.bin"), size / 2);
+  auto result = GraphIO::LoadBinary(Path("full.bin"));
+  ASSERT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace prsim

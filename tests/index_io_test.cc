@@ -1,0 +1,110 @@
+// Tests for PRSim index serialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/index_io.h"
+#include "core/prsim.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::MakeRandomDigraph;
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("prsim_index_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IndexIoTest, RoundTripPreservesEverything) {
+  Graph g = MakeRandomDigraph(200, 1200, 1);
+  PRSimIndexOptions options;
+  options.eps = 0.05;
+  options.j0 = 30;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  ASSERT_TRUE(PRSimIndexIO::Save(index, g, Path("a.idx")).ok());
+  auto loaded = PRSimIndexIO::Load(g, Path("a.idx")).ValueOrDie();
+
+  EXPECT_EQ(loaded.hub_count(), index.hub_count());
+  EXPECT_EQ(loaded.hub_nodes(), index.hub_nodes());
+  EXPECT_EQ(loaded.total_tuples(), index.total_tuples());
+  EXPECT_DOUBLE_EQ(loaded.rmax(), index.rmax());
+  EXPECT_EQ(loaded.reverse_pagerank(), index.reverse_pagerank());
+  for (NodeId hub : index.hub_nodes()) {
+    for (uint32_t level = 0; level < 20; ++level) {
+      const auto* a = index.Find(hub, level);
+      const auto* b = loaded.Find(hub, level);
+      ASSERT_EQ(a == nullptr, b == nullptr) << hub << " " << level;
+      if (a != nullptr) {
+        EXPECT_EQ(*a, *b);
+      }
+    }
+  }
+}
+
+TEST_F(IndexIoTest, LoadedIndexAnswersQueriesIdentically) {
+  Graph g = MakeRandomDigraph(150, 800, 2);
+  PRSimOptions options;
+  options.eps = 0.1;
+  options.seed = 11;
+  PRSim fresh(g, options);
+  ASSERT_TRUE(fresh.Preprocess().ok());
+  ASSERT_TRUE(PRSimIndexIO::Save(fresh.index(), g, Path("b.idx")).ok());
+
+  PRSim restored(g, options);
+  restored.AdoptIndex(PRSimIndexIO::Load(g, Path("b.idx")).ValueOrDie());
+  auto a = fresh.Query(7);
+  auto b = restored.Query(7);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);  // same seed + same index => identical estimates
+}
+
+TEST_F(IndexIoTest, RejectsWrongGraph) {
+  Graph g = MakeRandomDigraph(100, 500, 3);
+  Graph other = MakeRandomDigraph(101, 500, 3);
+  PRSimIndexOptions options;
+  options.eps = 0.1;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  ASSERT_TRUE(PRSimIndexIO::Save(index, g, Path("c.idx")).ok());
+  auto result = PRSimIndexIO::Load(other, Path("c.idx"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexIoTest, RejectsGarbageAndTruncation) {
+  Graph g = MakeRandomDigraph(50, 250, 4);
+  {
+    std::ofstream out(Path("junk.idx"), std::ios::binary);
+    out << "not an index";
+  }
+  EXPECT_FALSE(PRSimIndexIO::Load(g, Path("junk.idx")).ok());
+
+  PRSimIndexOptions options;
+  options.eps = 0.1;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  ASSERT_TRUE(PRSimIndexIO::Save(index, g, Path("full.idx")).ok());
+  const auto size = std::filesystem::file_size(Path("full.idx"));
+  std::filesystem::resize_file(Path("full.idx"), size * 2 / 3);
+  EXPECT_FALSE(PRSimIndexIO::Load(g, Path("full.idx")).ok());
+}
+
+TEST_F(IndexIoTest, MissingFileFails) {
+  Graph g = MakeRandomDigraph(20, 80, 5);
+  auto result = PRSimIndexIO::Load(g, Path("missing.idx"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace prsim

@@ -1,0 +1,175 @@
+// Integration tests: the full pipeline (generate -> index -> query ->
+// pooled evaluation) with all algorithms side by side, and cross-algorithm
+// consistency checks on a medium power-law graph.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/monte_carlo.h"
+#include "baselines/probesim.h"
+#include "baselines/reads.h"
+#include "baselines/sling.h"
+#include "baselines/topsim.h"
+#include "baselines/tsf.h"
+#include "core/prsim.h"
+#include "eval/datasets.h"
+#include "eval/ground_truth.h"
+#include "eval/pooling.h"
+#include "gen/chung_lu.h"
+#include "graph/stats.h"
+#include "ppr/reverse_pagerank.h"
+#include "util/timer.h"
+
+namespace prsim {
+namespace {
+
+TEST(IntegrationTest, FullPipelineOnPowerLawGraph) {
+  // A ~2k-node power-law graph small enough for the exact oracle.
+  ChungLuOptions gen;
+  gen.n = 1500;
+  gen.avg_degree = 8;
+  gen.gamma_out = 1.8;
+  gen.seed = 77;
+  Graph g = GenerateChungLu(gen).ValueOrDie();
+  ASSERT_TRUE(g.Validate().ok());
+
+  GroundTruthOptions gt_options;
+  gt_options.exact_limit = 3000;
+  GroundTruth truth(g, gt_options);
+  ASSERT_TRUE(truth.Prepare().ok());
+  ASSERT_TRUE(truth.is_exact());
+
+  PRSimOptions prsim_options;
+  prsim_options.eps = 0.05;
+  prsim_options.alpha = 6;
+  PRSim prsim(g, prsim_options);
+
+  ProbeSimOptions probe_options;
+  probe_options.eps = 0.05;
+  probe_options.alpha = 6;
+  ProbeSim probe(g, probe_options);
+
+  SlingOptions sling_options;
+  sling_options.eps = 0.05;
+  Sling sling(g, sling_options);
+
+  TsfOptions tsf_options;
+  Tsf tsf(g, tsf_options);
+
+  ReadsOptions reads_options;
+  reads_options.r = 300;
+  Reads reads(g, reads_options);
+
+  TopSimOptions topsim_options;
+  TopSim topsim(g, topsim_options);
+
+  std::vector<EvalEntry> entries;
+  for (SingleSourceSimRank* algo :
+       std::initializer_list<SingleSourceSimRank*>{&prsim, &probe, &sling,
+                                                   &tsf, &reads, &topsim}) {
+    WallTimer timer;
+    ASSERT_TRUE(algo->Preprocess().ok()) << algo->name();
+    entries.push_back({algo->name(), algo, timer.Seconds()});
+  }
+
+  auto queries = SampleQueryNodes(g, 6, 123);
+  PoolingOptions pooling;
+  pooling.k = 25;
+  auto metrics = RunPooledEvaluation(g, entries, truth, queries, pooling);
+  ASSERT_EQ(metrics.size(), 6u);
+
+  for (const auto& m : metrics) {
+    EXPECT_EQ(m.queries_answered, queries.size()) << m.label;
+    EXPECT_GE(m.precision_at_k, 0.0) << m.label;
+    EXPECT_LE(m.precision_at_k, 1.0) << m.label;
+  }
+  // PRSim at eps=0.05 must beat the heuristic TopSim on error and be in the
+  // same accuracy class as ProbeSim.
+  const auto& prsim_m = metrics[0];
+  const auto& topsim_m = metrics[5];
+  EXPECT_LT(prsim_m.avg_error_at_k, 0.1);
+  EXPECT_GE(prsim_m.precision_at_k, 0.6);
+  EXPECT_LE(prsim_m.avg_error_at_k, topsim_m.avg_error_at_k + 0.02);
+}
+
+TEST(IntegrationTest, PRSimTracksHardnessAcrossGamma) {
+  // The headline claim, in miniature: at fixed n and d̄, PRSim's per-query
+  // backward-walk work drops as the out-degree exponent grows.
+  uint64_t work_flat = 0, work_steep = 0;
+  for (auto [gamma, work] :
+       std::initializer_list<std::pair<double, uint64_t*>>{
+           {1.3, &work_flat}, {4.0, &work_steep}}) {
+    ChungLuOptions gen;
+    gen.n = 20000;
+    gen.avg_degree = 10;
+    gen.gamma_out = gamma;
+    gen.seed = 9;
+    Graph g = GenerateChungLu(gen).ValueOrDie();
+    PRSimOptions options;
+    options.eps = 0.1;
+    PRSim algo(g, options);
+    ASSERT_TRUE(algo.Preprocess().ok());
+    uint64_t total = 0;
+    for (NodeId u : SampleQueryNodes(g, 5, 13)) {
+      algo.Query(u);
+      total += algo.last_query_stats().backward_increments +
+               algo.last_query_stats().hub_tuples_read;
+    }
+    *work = total;
+  }
+  EXPECT_LT(work_steep, work_flat);
+}
+
+TEST(IntegrationTest, SecondMomentPredictsQueryCost) {
+  // Theorem 3.11: expected cost scales with sum_w pi(w)^2. Verify the
+  // hardness statistic orders two graphs the same way as measured work.
+  double moment_flat, moment_steep;
+  uint64_t work_flat = 0, work_steep = 0;
+  for (auto [gamma, moment, work] :
+       std::initializer_list<std::tuple<double, double*, uint64_t*>>{
+           {1.3, &moment_flat, &work_flat},
+           {3.0, &moment_steep, &work_steep}}) {
+    ChungLuOptions gen;
+    gen.n = 15000;
+    gen.avg_degree = 10;
+    gen.gamma_out = gamma;
+    gen.seed = 21;
+    Graph g = GenerateChungLu(gen).ValueOrDie();
+    auto pi = ComputeReversePageRank(g, {.c = 0.6});
+    *moment = AnalyzePageRankVector(pi).second_moment;
+
+    PRSimOptions options;
+    options.eps = 0.1;
+    options.j0 = 1;  // isolate the backward-walk term
+    PRSim algo(g, options);
+    ASSERT_TRUE(algo.Preprocess().ok());
+    uint64_t total = 0;
+    for (NodeId u : SampleQueryNodes(g, 5, 31)) {
+      algo.Query(u);
+      total += algo.last_query_stats().backward_increments;
+    }
+    *work = total;
+  }
+  EXPECT_GT(moment_flat, moment_steep);
+  EXPECT_GT(work_flat, work_steep);
+}
+
+TEST(IntegrationTest, GraphRoundTripThroughDatasetRegistry) {
+  Graph g = MakeDataset(FindDataset("LJ").ValueOrDie(), 0.05).ValueOrDie();
+  ASSERT_TRUE(g.Validate().ok());
+  auto summary = Summarize(g);
+  EXPECT_GT(summary.n, 1000u);
+  EXPECT_GT(summary.avg_degree, 5.0);
+
+  PRSimOptions options;
+  options.eps = 0.25;
+  PRSim algo(g, options);
+  ASSERT_TRUE(algo.Preprocess().ok());
+  auto result = algo.Query(SampleQueryNodes(g, 1, 3)[0]);
+  EXPECT_FALSE(result.empty());
+}
+
+}  // namespace
+}  // namespace prsim

@@ -1,0 +1,55 @@
+// Tests for the logging and assertion macros.
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace prsim {
+namespace {
+
+TEST(LoggingTest, ThresholdRoundTrip) {
+  const LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(LogLevel::kDebug);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kDebug);
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreCheap) {
+  // No assertion beyond "does not crash / does not abort".
+  SetLogThreshold(LogLevel::kError);
+  for (int i = 0; i < 100; ++i) {
+    PRSIM_LOG(Debug) << "suppressed " << i;
+    PRSIM_LOG(Info) << "suppressed " << i;
+  }
+  SetLogThreshold(LogLevel::kInfo);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(PRSIM_CHECK(1 == 2) << "boom", "Check failed");
+  EXPECT_DEATH(PRSIM_CHECK_EQ(3, 4), "3 vs 4");
+  EXPECT_DEATH(PRSIM_CHECK_LT(5, 5), "Check failed");
+  EXPECT_DEATH(PRSIM_CHECK_GE(1, 2), "Check failed");
+}
+
+TEST(LoggingTest, PassingChecksAreSilent) {
+  PRSIM_CHECK(true);
+  PRSIM_CHECK_EQ(1, 1);
+  PRSIM_CHECK_NE(1, 2);
+  PRSIM_CHECK_LT(1, 2);
+  PRSIM_CHECK_LE(2, 2);
+  PRSIM_CHECK_GT(3, 2);
+  PRSIM_CHECK_GE(3, 3);
+  PRSIM_DCHECK(true);
+  SUCCEED();
+}
+
+TEST(LoggingTest, FatalAlwaysAborts) {
+  SetLogThreshold(LogLevel::kFatal);
+  EXPECT_DEATH(PRSIM_LOG(Fatal) << "goodbye", "goodbye");
+  SetLogThreshold(LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace prsim

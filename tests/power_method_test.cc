@@ -1,0 +1,154 @@
+// Tests for the exact power-method oracle: closed forms on structured
+// graphs and agreement with the independent pair-walk meeting computation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/power_method.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::ExactMeetingSimRank;
+using testing::MakeChain;
+using testing::MakeCompleteDigraph;
+using testing::MakeCycle;
+using testing::MakeRandomDigraph;
+using testing::MakeSharedParent;
+
+PowerMethodSimRank MakeOracle(const Graph& g, double c = 0.6) {
+  PowerMethodOptions options;
+  options.c = c;
+  PowerMethodSimRank oracle(g, options);
+  oracle.Preprocess().Abort();
+  return oracle;
+}
+
+TEST(PowerMethodTest, DiagonalIsOne) {
+  Graph g = MakeRandomDigraph(30, 120, 1);
+  auto oracle = MakeOracle(g);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    EXPECT_DOUBLE_EQ(oracle.SimRank(v, v), 1.0);
+  }
+}
+
+TEST(PowerMethodTest, SymmetricMatrix) {
+  Graph g = MakeRandomDigraph(40, 200, 2);
+  auto oracle = MakeOracle(g);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_NEAR(oracle.SimRank(u, v), oracle.SimRank(v, u), 1e-12);
+    }
+  }
+}
+
+TEST(PowerMethodTest, ValuesInUnitInterval) {
+  Graph g = MakeRandomDigraph(40, 300, 3);
+  auto oracle = MakeOracle(g, 0.8);
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_GE(oracle.SimRank(u, v), 0.0);
+      EXPECT_LE(oracle.SimRank(u, v), 1.0);
+    }
+  }
+}
+
+TEST(PowerMethodTest, SharedParentClosedForm) {
+  // I(0) = I(1) = {2} gives s(0, 1) = c * s(2, 2) = c.
+  for (double c : {0.4, 0.6, 0.8}) {
+    auto oracle = MakeOracle(MakeSharedParent(), c);
+    EXPECT_NEAR(oracle.SimRank(0, 1), c, 1e-9) << c;
+    // Node 2 has no in-neighbors: similarity 0 to everything else.
+    EXPECT_DOUBLE_EQ(oracle.SimRank(0, 2), 0.0);
+    EXPECT_DOUBLE_EQ(oracle.SimRank(1, 2), 0.0);
+  }
+}
+
+TEST(PowerMethodTest, ChainHasZeroOffDiagonal) {
+  // On the chain 0 -> 1 -> 2 -> 3 both walks from distinct nodes stay at a
+  // constant distance, so they never meet.
+  auto oracle = MakeOracle(MakeChain(4));
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) EXPECT_DOUBLE_EQ(oracle.SimRank(u, v), 0.0);
+    }
+  }
+}
+
+TEST(PowerMethodTest, CycleHasZeroOffDiagonal) {
+  // Same invariant-distance argument on the cycle.
+  auto oracle = MakeOracle(MakeCycle(6));
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) {
+      EXPECT_NEAR(oracle.SimRank(u, v), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(PowerMethodTest, CompleteDigraphClosedForm) {
+  // All off-diagonal pairs are equivalent by symmetry. Coupled walks from
+  // distinct (u, v) move to uniform (a, b) in (V \ {u}) x (V \ {v}); they
+  // coincide on one of the n-2 nodes outside {u, v}:
+  //   s = c (n-2)/(n-1)^2 + c (1 - (n-2)/(n-1)^2) s
+  //   => s = c (n-2) / ((n-1)^2 - c ((n-1)^2 - (n-2))).
+  const double c = 0.6;
+  const NodeId n = 7;
+  auto oracle = MakeOracle(MakeCompleteDigraph(n), c);
+  const double d2 = (n - 1.0) * (n - 1.0);
+  const double expected = c * (n - 2) / (d2 - c * (d2 - (n - 2)));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      EXPECT_NEAR(oracle.SimRank(u, v), expected, 1e-9);
+    }
+  }
+}
+
+TEST(PowerMethodTest, AgreesWithPairWalkMeetingProbability) {
+  // Independent formulations must coincide: recurrence iteration (power
+  // method) vs coupled-walk meeting probability ([32]).
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    Graph g = MakeRandomDigraph(16, 70, seed);
+    auto oracle = MakeOracle(g);
+    const auto exact = ExactMeetingSimRank(g, 0.6);
+    for (NodeId u = 0; u < g.n(); ++u) {
+      for (NodeId v = 0; v < g.n(); ++v) {
+        EXPECT_NEAR(oracle.SimRank(u, v), exact[u][v], 1e-6)
+            << "seed=" << seed << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(PowerMethodTest, QueryReturnsRow) {
+  Graph g = MakeSharedParent();
+  auto oracle = MakeOracle(g);
+  ScoreList row = oracle.Query(0);
+  EXPECT_NEAR(ScoreOf(row, 1), 0.6, 1e-9);
+  EXPECT_DOUBLE_EQ(ScoreOf(row, 0), 1.0);
+}
+
+TEST(PowerMethodTest, RefusesLargeGraphs) {
+  PowerMethodOptions options;
+  options.max_nodes = 10;
+  Graph g = MakeCycle(11);
+  PowerMethodSimRank oracle(g, options);
+  auto st = oracle.Preprocess();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PowerMethodTest, HigherDecayRaisesSimilarity) {
+  Graph g = MakeRandomDigraph(25, 150, 14);
+  auto low = MakeOracle(g, 0.4);
+  auto high = MakeOracle(g, 0.8);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = 10; v < 20; ++v) {
+      EXPECT_LE(low.SimRank(u, v), high.SimRank(u, v) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prsim

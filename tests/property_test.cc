@@ -1,0 +1,160 @@
+// Cross-formulation property tests, parameterized over decay factors and
+// graph families.
+//
+// The deepest invariant in the paper is Equation (6):
+//
+//   s(u,v) = 1/(1-sqrt c)^2 * sum_l sum_w pi_l(u,w) pi_l(v,w) eta(w)
+//
+// Here it is assembled from three *independent* dense computations — the
+// l-hop RPPR recurrence, the coupled pair-chain eta, and compared against
+// two more independent formulations: the power-method fixed point and the
+// pair-walk meeting probability. Any systematic error in walk semantics,
+// dangling handling, or level accounting breaks the equality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "baselines/power_method.h"
+#include "core/prsim.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::DenseLevelRppr;
+using testing::ExactEta;
+using testing::ExactMeetingSimRank;
+using testing::MakeRandomDigraph;
+
+class FormulationEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t, bool>> {};
+
+TEST_P(FormulationEquivalenceTest, Equation6MatchesPowerMethodAndMeeting) {
+  const auto [c, seed, undirected] = GetParam();
+  Graph g = MakeRandomDigraph(14, 60, seed, undirected);
+  const uint32_t levels = 50;
+
+  // Piece 1: dense l-hop RPPR.
+  const auto pi = DenseLevelRppr(g, c, levels);
+  // Piece 2: exact eta from the coupled pair chain.
+  const auto eta = ExactEta(g, c, levels);
+  // Reference A: power method on the SimRank recurrence.
+  PowerMethodOptions pm;
+  pm.c = c;
+  pm.iterations = 60;
+  PowerMethodSimRank oracle(g, pm);
+  oracle.Preprocess().Abort();
+  // Reference B: pair-walk meeting probability.
+  const auto meeting = ExactMeetingSimRank(g, c, levels);
+
+  const double sqrt_c = std::sqrt(c);
+  const double inv = 1.0 / ((1 - sqrt_c) * (1 - sqrt_c));
+  for (NodeId u = 0; u < g.n(); ++u) {
+    for (NodeId v = 0; v < g.n(); ++v) {
+      if (u == v) continue;
+      double assembled = 0;
+      for (uint32_t l = 0; l <= levels; ++l) {
+        for (NodeId w = 0; w < g.n(); ++w) {
+          assembled += pi[l][u][w] * pi[l][v][w] * eta[w];
+        }
+      }
+      assembled *= inv;
+      EXPECT_NEAR(assembled, oracle.SimRank(u, v), 2e-4)
+          << "u=" << u << " v=" << v << " c=" << c;
+      EXPECT_NEAR(assembled, meeting[u][v], 2e-4)
+          << "u=" << u << " v=" << v << " c=" << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DecaysAndGraphs, FormulationEquivalenceTest,
+    ::testing::Combine(::testing::Values(0.4, 0.6, 0.8),
+                       ::testing::Values(101u, 102u),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      // NOTE: no structured bindings here — the preprocessor would split
+      // INSTANTIATE_TEST_SUITE_P's arguments at the commas in brackets.
+      const double c = std::get<0>(info.param);
+      const uint64_t seed = std::get<1>(info.param);
+      const bool undirected = std::get<2>(info.param);
+      return "c" + std::to_string(static_cast<int>(c * 10)) + "_seed" +
+             std::to_string(seed) + (undirected ? "_undirected" : "_directed");
+    });
+
+// PRSim end-to-end across decay factors: the full pipeline must track the
+// oracle for every supported c, not just the default 0.6.
+class PRSimDecayTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PRSimDecayTest, AccuracyAcrossDecayFactors) {
+  const double c = GetParam();
+  Graph g = MakeRandomDigraph(100, 600, 55);
+  PowerMethodOptions pm;
+  pm.c = c;
+  pm.iterations = 80;  // slower convergence at high c
+  PowerMethodSimRank oracle(g, pm);
+  oracle.Preprocess().Abort();
+
+  PRSimOptions options;
+  options.c = c;
+  options.eps = 0.08;
+  options.alpha = 8;
+  options.seed = 77;
+  PRSim algo(g, options);
+  ASSERT_TRUE(algo.Preprocess().ok());
+  for (NodeId u : {NodeId(0), NodeId(31)}) {
+    ScoreList result = algo.Query(u);
+    for (NodeId v = 0; v < g.n(); ++v) {
+      EXPECT_NEAR(ScoreOf(result, v), oracle.SimRank(u, v), 3 * options.eps)
+          << "c=" << c << " u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Decays, PRSimDecayTest,
+                         ::testing::Values(0.3, 0.5, 0.6, 0.8),
+                         [](const auto& info) {
+                           return "c" + std::to_string(static_cast<int>(
+                                            info.param * 10));
+                         });
+
+// Monotonicity property: adding a shared in-neighbor never decreases the
+// similarity of the pair it feeds (checked exactly via the oracle).
+TEST(StructuralPropertyTest, SharedParentIncreasesSimilarity) {
+  for (uint64_t seed : {201u, 202u, 203u}) {
+    Graph base = MakeRandomDigraph(30, 90, seed);
+    auto edges = base.ToEdges();
+    // Pick u, v without a shared parent yet; wire node 29 into both.
+    edges.emplace_back(29, 0);
+    edges.emplace_back(29, 1);
+    Graph extended = BuildGraph(30, edges).ValueOrDie();
+
+    PowerMethodOptions pm;
+    PowerMethodSimRank before(base, pm), after(extended, pm);
+    before.Preprocess().Abort();
+    after.Preprocess().Abort();
+    EXPECT_GE(after.SimRank(0, 1), before.SimRank(0, 1) - 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+// Scale-freeness of the estimate: every algorithm estimate must lie in
+// [0, 1] up to eps noise (SimRank is a probability).
+TEST(StructuralPropertyTest, EstimatesBoundedByOne) {
+  Graph g = MakeRandomDigraph(120, 900, 204);
+  PRSimOptions options;
+  options.eps = 0.1;
+  PRSim algo(g, options);
+  ASSERT_TRUE(algo.Preprocess().ok());
+  for (NodeId u = 0; u < 10; ++u) {
+    for (const auto& [v, score] : algo.Query(u)) {
+      EXPECT_LE(score, 1.0 + 3 * options.eps) << u << " " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prsim

@@ -1,0 +1,154 @@
+// Tests for PRSim's hub index (Algorithm 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/prsim_index.h"
+#include "gen/chung_lu.h"
+#include "ppr/reverse_pagerank.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::DenseLevelRppr;
+using testing::MakeRandomDigraph;
+
+TEST(PRSimIndexTest, RejectsBadOptions) {
+  Graph g = MakeRandomDigraph(20, 80, 1);
+  PRSimIndexOptions options;
+  options.c = 1.5;
+  EXPECT_FALSE(PRSimIndex::Build(g, options).ok());
+  options.c = 0.6;
+  options.eps = 0;
+  EXPECT_FALSE(PRSimIndex::Build(g, options).ok());
+}
+
+TEST(PRSimIndexTest, DefaultHubCountIsSqrtN) {
+  Graph g = MakeRandomDigraph(400, 3000, 2);
+  PRSimIndexOptions options;
+  options.eps = 0.1;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  EXPECT_EQ(index.hub_count(), 20u);
+}
+
+TEST(PRSimIndexTest, HubsAreTopReversePageRankNodes) {
+  Graph g = MakeRandomDigraph(300, 2500, 3);
+  PRSimIndexOptions options;
+  options.eps = 0.1;
+  options.j0 = 25;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  auto pi = ComputeReversePageRank(g, {.c = options.c});
+  auto ranked = RankNodesByValue(pi);
+  std::set<NodeId> expected(ranked.begin(), ranked.begin() + 25);
+  for (NodeId hub : index.hub_nodes()) {
+    EXPECT_TRUE(expected.count(hub)) << hub;
+    EXPECT_TRUE(index.IsHub(hub));
+  }
+  EXPECT_FALSE(index.IsHub(ranked.back()));
+}
+
+TEST(PRSimIndexTest, RmaxMatchesPaperFormula) {
+  Graph g = MakeRandomDigraph(50, 200, 4);
+  PRSimIndexOptions options;
+  options.c = 0.6;
+  options.eps = 0.25;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  const double sqrt_c = std::sqrt(0.6);
+  EXPECT_NEAR(index.rmax(), (1 - sqrt_c) * (1 - sqrt_c) * 0.25 / 12, 1e-15);
+}
+
+TEST(PRSimIndexTest, StoredReservesApproximateExactRppr) {
+  const double c = 0.6;
+  Graph g = MakeRandomDigraph(30, 150, 5);
+  const auto pi = DenseLevelRppr(g, c, 30);
+  PRSimIndexOptions options;
+  options.c = c;
+  options.eps = 0.05;
+  options.j0 = 10;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  for (NodeId hub : index.hub_nodes()) {
+    for (uint32_t l = 0; l < 10; ++l) {
+      const auto* list = index.Find(hub, l);
+      if (list == nullptr) continue;
+      for (const auto& [v, psi] : *list) {
+        EXPECT_NEAR(psi, pi[l][v][hub], index.rmax()) << hub << " " << l;
+      }
+    }
+  }
+}
+
+TEST(PRSimIndexTest, FindReturnsNullForNonHubOrMissingLevel) {
+  Graph g = MakeRandomDigraph(100, 500, 6);
+  PRSimIndexOptions options;
+  options.eps = 0.1;
+  options.j0 = 5;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  auto pi = ComputeReversePageRank(g, {.c = options.c});
+  auto ranked = RankNodesByValue(pi);
+  EXPECT_EQ(index.Find(ranked.back(), 0), nullptr);
+  EXPECT_EQ(index.Find(index.hub_nodes()[0], 1000), nullptr);
+  EXPECT_NE(index.Find(index.hub_nodes()[0], 0), nullptr);
+}
+
+TEST(PRSimIndexTest, IndexSizeGrowsWithHubCountAndShrinksWithEps) {
+  ChungLuOptions gen;
+  gen.n = 10000;
+  gen.avg_degree = 8;
+  gen.gamma_out = 1.8;
+  gen.seed = 7;
+  Graph g = GenerateChungLu(gen).ValueOrDie();
+
+  PRSimIndexOptions small;
+  small.eps = 0.1;
+  small.j0 = 10;
+  PRSimIndexOptions big = small;
+  big.j0 = 200;
+  auto index_small = PRSimIndex::Build(g, small).ValueOrDie();
+  auto index_big = PRSimIndex::Build(g, big).ValueOrDie();
+  EXPECT_GT(index_big.IndexBytes(), index_small.IndexBytes());
+  EXPECT_GT(index_big.total_tuples(), index_small.total_tuples());
+
+  PRSimIndexOptions coarse = small;
+  coarse.eps = 0.5;
+  auto index_coarse = PRSimIndex::Build(g, coarse).ValueOrDie();
+  EXPECT_LT(index_coarse.total_tuples(), index_small.total_tuples());
+}
+
+TEST(PRSimIndexTest, J0CappedAtN) {
+  Graph g = MakeRandomDigraph(10, 40, 8);
+  PRSimIndexOptions options;
+  options.eps = 0.1;
+  options.j0 = 1000;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  EXPECT_EQ(index.hub_count(), 10u);
+}
+
+TEST(PRSimIndexTest, ParallelBuildMatchesSerialBuild) {
+  Graph g = MakeRandomDigraph(200, 1500, 9);
+  PRSimIndexOptions serial;
+  serial.eps = 0.1;
+  serial.j0 = 40;
+  serial.threads = 1;
+  PRSimIndexOptions parallel = serial;
+  parallel.threads = 4;
+  auto a = PRSimIndex::Build(g, serial).ValueOrDie();
+  auto b = PRSimIndex::Build(g, parallel).ValueOrDie();
+  EXPECT_EQ(a.total_tuples(), b.total_tuples());
+  EXPECT_EQ(a.hub_nodes(), b.hub_nodes());
+  for (NodeId hub : a.hub_nodes()) {
+    for (uint32_t l = 0; l < 20; ++l) {
+      const auto* la = a.Find(hub, l);
+      const auto* lb = b.Find(hub, l);
+      ASSERT_EQ(la == nullptr, lb == nullptr);
+      if (la != nullptr) {
+        EXPECT_EQ(*la, *lb);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prsim

@@ -1,0 +1,124 @@
+// Tests for the reverse PageRank power iteration.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/chung_lu.h"
+#include "ppr/reverse_pagerank.h"
+#include "ppr/walker.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::DenseReversePageRank;
+using testing::MakeChain;
+using testing::MakeCompleteDigraph;
+using testing::MakeCycle;
+using testing::MakeRandomDigraph;
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ReversePageRankTest, UniformOnCycle) {
+  // Perfect symmetry: pi(w) = 1/n for all w, total mass 1 (no dangling).
+  Graph g = MakeCycle(16);
+  auto pi = ComputeReversePageRank(g, {.c = 0.6});
+  EXPECT_NEAR(Sum(pi), 1.0, 1e-9);
+  for (double x : pi) EXPECT_NEAR(x, 1.0 / 16, 1e-9);
+}
+
+TEST(ReversePageRankTest, UniformOnCompleteDigraph) {
+  Graph g = MakeCompleteDigraph(9);
+  auto pi = ComputeReversePageRank(g, {.c = 0.8});
+  EXPECT_NEAR(Sum(pi), 1.0, 1e-9);
+  for (double x : pi) EXPECT_NEAR(x, 1.0 / 9, 1e-9);
+}
+
+TEST(ReversePageRankTest, MatchesDenseReference) {
+  const double c = 0.6;
+  Graph g = MakeRandomDigraph(25, 120, 71);
+  auto pi = ComputeReversePageRank(g, {.c = c});
+  auto ref = DenseReversePageRank(g, c);
+  ASSERT_EQ(pi.size(), ref.size());
+  for (NodeId w = 0; w < g.n(); ++w) {
+    EXPECT_NEAR(pi[w], ref[w], 1e-9) << "w=" << w;
+  }
+}
+
+TEST(ReversePageRankTest, MatchesMonteCarloWalks) {
+  const double c = 0.6;
+  Graph g = MakeRandomDigraph(30, 150, 72);
+  auto pi = ComputeReversePageRank(g, {.c = c});
+  Walker walker(g, c);
+  Rng rng(1);
+  std::vector<double> counts(g.n(), 0.0);
+  const int samples = 600000;
+  for (int i = 0; i < samples; ++i) {
+    auto out = walker.SampleWalk(rng.NextIndex(g.n()), rng);
+    if (out.terminated) counts[out.terminal] += 1.0;
+  }
+  for (NodeId w = 0; w < g.n(); ++w) {
+    EXPECT_NEAR(counts[w] / samples, pi[w], 0.004) << "w=" << w;
+  }
+}
+
+TEST(ReversePageRankTest, DanglingMassEvaporates) {
+  // Chain: node 0 has no in-neighbors; mass that tries to move from 0 is
+  // lost, so the total is strictly below 1.
+  Graph g = MakeChain(5);
+  auto pi = ComputeReversePageRank(g, {.c = 0.6});
+  EXPECT_LT(Sum(pi), 1.0);
+  EXPECT_GT(Sum(pi), 0.0);
+  // Node 4 is pointed at by 3; its pi includes 2+ step paths: strictly more
+  // than a node only reachable at level 0 from itself... all nodes get the
+  // level-0 slice (1 - sqrt_c)/n.
+  const double base = (1 - std::sqrt(0.6)) / 5;
+  for (double x : pi) EXPECT_GE(x, base - 1e-12);
+}
+
+TEST(ReversePageRankTest, SumsToOneWithoutDanglingNodes) {
+  ChungLuOptions options;
+  options.n = 5000;
+  options.avg_degree = 8;
+  options.undirected = true;  // undirected CL keeps din >= 1 for all touched
+  options.seed = 2;
+  Graph g = GenerateChungLu(options).ValueOrDie();
+  auto pi = ComputeReversePageRank(g, {.c = 0.6});
+  // Isolated nodes (never sampled an edge) are dangling; account for them.
+  const double isolated_fraction =
+      static_cast<double>(g.CountDanglingNodes()) / g.n();
+  const double sqrt_c = std::sqrt(0.6);
+  // Each isolated node loses sqrt_c of its 1/n share.
+  EXPECT_NEAR(Sum(pi), 1.0 - isolated_fraction * sqrt_c, 1e-6);
+}
+
+TEST(ReversePageRankTest, HubConcentration) {
+  // Flat power-law graphs concentrate reverse PageRank on few hubs.
+  ChungLuOptions options;
+  options.n = 20000;
+  options.avg_degree = 10;
+  options.gamma_out = 1.4;
+  options.seed = 3;
+  Graph g = GenerateChungLu(options).ValueOrDie();
+  auto pi = ComputeReversePageRank(g, {.c = 0.6});
+  auto order = RankNodesByValue(pi);
+  double top100 = 0;
+  for (int i = 0; i < 100; ++i) top100 += pi[order[i]];
+  EXPECT_GT(top100, 0.05);  // top 0.5% of nodes carry >> uniform share
+}
+
+TEST(RankNodesByValueTest, SortsDescendingWithStableTies) {
+  std::vector<double> values = {0.1, 0.5, 0.5, 0.2};
+  auto order = RankNodesByValue(values);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);  // tie between 1 and 2 broken by id
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 0u);
+}
+
+}  // namespace
+}  // namespace prsim

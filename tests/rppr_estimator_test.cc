@@ -1,0 +1,111 @@
+// Tests for the standalone median-of-means RPPR estimator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/chung_lu.h"
+#include "ppr/reverse_pagerank.h"
+#include "ppr/rppr_estimator.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+using testing::DenseLevelRppr;
+using testing::MakeRandomDigraph;
+
+double ValueAt(const RpprEstimate& estimate, NodeId v) {
+  for (const auto& [node, value] : estimate.values) {
+    if (node == v) return value;
+  }
+  return 0.0;
+}
+
+TEST(RpprEstimatorTest, LevelEstimateWithinEps) {
+  const double c = 0.6;
+  Graph g = MakeRandomDigraph(40, 200, 5);
+  const auto pi = DenseLevelRppr(g, c, 8);
+  RpprEstimatorOptions options;
+  options.c = c;
+  options.eps = 0.02;
+  options.alpha = 6;
+  RpprEstimator estimator(g, options);
+  for (NodeId w : {NodeId(0), NodeId(7)}) {
+    for (uint32_t level : {1u, 3u}) {
+      auto estimate = estimator.EstimateLevel(w, level);
+      for (NodeId v = 0; v < g.n(); ++v) {
+        EXPECT_NEAR(ValueAt(estimate, v), pi[level][v][w], options.eps)
+            << "w=" << w << " level=" << level << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(RpprEstimatorTest, AggregateMatchesLevelSums) {
+  const double c = 0.6;
+  Graph g = MakeRandomDigraph(30, 160, 6);
+  const uint32_t levels = 24;
+  const auto pi = DenseLevelRppr(g, c, levels);
+  RpprEstimatorOptions options;
+  options.c = c;
+  options.eps = 0.03;
+  options.alpha = 6;
+  RpprEstimator estimator(g, options);
+  const NodeId w = 2;
+  auto estimate = estimator.EstimateAggregate(w);
+  for (NodeId v = 0; v < g.n(); ++v) {
+    double exact = 0;
+    for (uint32_t l = 0; l <= levels; ++l) exact += pi[l][v][w];
+    EXPECT_NEAR(ValueAt(estimate, v), exact, 2 * options.eps) << "v=" << v;
+  }
+}
+
+TEST(RpprEstimatorTest, AggregateSumsToAtMostNPi) {
+  // sum_v pi(v, w) = n pi(w); the estimate's total must be close.
+  const double c = 0.6;
+  Graph g = MakeRandomDigraph(50, 400, 7);
+  auto rpr = ComputeReversePageRank(g, {.c = c});
+  RpprEstimatorOptions options;
+  options.c = c;
+  options.eps = 0.02;
+  options.alpha = 6;
+  RpprEstimator estimator(g, options);
+  const NodeId w = 3;
+  auto estimate = estimator.EstimateAggregate(w);
+  double total = 0;
+  for (const auto& [v, value] : estimate.values) total += value;
+  EXPECT_NEAR(total, g.n() * rpr[w], 0.1 * g.n() * rpr[w] + 0.05);
+}
+
+TEST(RpprEstimatorTest, CostScalesWithTargetPageRank) {
+  ChungLuOptions gen;
+  gen.n = 20000;
+  gen.avg_degree = 10;
+  gen.gamma_out = 1.6;
+  gen.seed = 8;
+  Graph g = GenerateChungLu(gen).ValueOrDie();
+  auto rpr = ComputeReversePageRank(g, {.c = 0.6});
+  auto order = RankNodesByValue(rpr);
+  RpprEstimatorOptions options;
+  options.eps = 0.1;
+  options.rounds = 3;
+  RpprEstimator estimator(g, options);
+  auto hub = estimator.EstimateLevel(order.front(), 4);
+  auto mid = estimator.EstimateLevel(order[g.n() / 2], 4);
+  EXPECT_GT(hub.total_walk_increments, mid.total_walk_increments);
+}
+
+TEST(RpprEstimatorTest, RoundsDerivedFromDeltaWhenZero) {
+  Graph g = MakeRandomDigraph(100, 500, 9);
+  RpprEstimatorOptions options;
+  options.rounds = 0;
+  options.delta = 1e-4;
+  RpprEstimator estimator(g, options);
+  // 3 ln(100 / 1e-4) ~= 41.4 -> 42 rounds, forced odd -> 43.
+  EXPECT_GE(estimator.rounds(), 41u);
+  EXPECT_EQ(estimator.rounds() % 2, 1u);
+}
+
+}  // namespace
+}  // namespace prsim

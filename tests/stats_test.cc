@@ -1,0 +1,152 @@
+// Tests for degree statistics and power-law fitting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/chung_lu.h"
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace prsim {
+namespace {
+
+TEST(CcdfTest, RegularGraphHasSinglePoint) {
+  Graph g = testing::MakeCycle(100);
+  auto ccdf = DegreeCcdf(g, DegreeDirection::kOut);
+  ASSERT_EQ(ccdf.size(), 1u);
+  EXPECT_EQ(ccdf[0].degree, 1u);
+  EXPECT_EQ(ccdf[0].count, 100u);
+  EXPECT_DOUBLE_EQ(ccdf[0].fraction, 1.0);
+}
+
+TEST(CcdfTest, MonotoneDecreasingCounts) {
+  Graph g = testing::MakeRandomDigraph(500, 4000, 11);
+  for (auto dir : {DegreeDirection::kOut, DegreeDirection::kIn}) {
+    auto ccdf = DegreeCcdf(g, dir);
+    for (size_t i = 1; i < ccdf.size(); ++i) {
+      EXPECT_LT(ccdf[i - 1].degree, ccdf[i].degree);
+      EXPECT_GT(ccdf[i - 1].count, ccdf[i].count);
+    }
+  }
+}
+
+TEST(CcdfTest, CountsMatchDegrees) {
+  // Star: hub 0 -> spokes; out-degree of hub = 9, spokes 0; in-degrees 1.
+  std::vector<Edge> edges;
+  for (NodeId i = 1; i < 10; ++i) edges.emplace_back(0, i);
+  Graph g = BuildGraph(10, edges).ValueOrDie();
+  auto ccdf = DegreeCcdf(g, DegreeDirection::kOut);
+  ASSERT_EQ(ccdf.size(), 1u);
+  EXPECT_EQ(ccdf[0].degree, 9u);
+  EXPECT_EQ(ccdf[0].count, 1u);
+}
+
+TEST(PowerLawFitTest, RecoversSyntheticExponent) {
+  // Build an exact synthetic CCDF P(k) = k^-gamma and fit it.
+  for (double gamma : {1.2, 1.8, 2.5}) {
+    std::vector<CcdfPoint> ccdf;
+    for (uint64_t k = 1; k <= 4096; k *= 2) {
+      const double frac = std::pow(static_cast<double>(k), -gamma);
+      ccdf.push_back({k, static_cast<uint64_t>(frac * 1e9), frac});
+    }
+    auto fit = FitCumulativePowerLaw(ccdf, 1, 0.0);
+    EXPECT_NEAR(fit.gamma, gamma, 1e-6) << "gamma=" << gamma;
+    EXPECT_GT(fit.r_squared, 0.999);
+  }
+}
+
+TEST(PowerLawFitTest, TooFewPointsGiveZero) {
+  std::vector<CcdfPoint> ccdf = {{1, 100, 1.0}};
+  auto fit = FitCumulativePowerLaw(ccdf);
+  EXPECT_EQ(fit.gamma, 0.0);
+  EXPECT_EQ(fit.points_used, 0u);
+}
+
+TEST(PowerLawFitTest, ChungLuGraphFitsCloseToTarget) {
+  for (double gamma : {1.5, 2.0, 3.0}) {
+    ChungLuOptions options;
+    options.n = 60000;
+    options.avg_degree = 8;
+    options.gamma_out = gamma;
+    options.seed = 5;
+    Graph g = GenerateChungLu(options).ValueOrDie();
+    auto fit = FitDegreeExponent(g, DegreeDirection::kOut);
+    // Finite-size effects blur the tail; accept 25% relative error.
+    EXPECT_NEAR(fit.gamma, gamma, 0.25 * gamma) << "gamma=" << gamma;
+  }
+}
+
+TEST(HillEstimatorTest, AgreesOnChungLuTail) {
+  ChungLuOptions options;
+  options.n = 60000;
+  options.avg_degree = 8;
+  options.gamma_out = 2.0;
+  options.seed = 9;
+  Graph g = GenerateChungLu(options).ValueOrDie();
+  const double hill = HillEstimator(g, DegreeDirection::kOut, 0.05);
+  EXPECT_GT(hill, 1.2);
+  EXPECT_LT(hill, 3.0);
+}
+
+TEST(HillEstimatorTest, DegenerateGraphGivesZero) {
+  Graph g = Graph::FromEdges(10, {}).ValueOrDie();
+  EXPECT_EQ(HillEstimator(g, DegreeDirection::kOut), 0.0);
+}
+
+TEST(PageRankHardnessTest, UniformVectorSecondMoment) {
+  std::vector<double> pi(1000, 1.0 / 1000);
+  auto h = AnalyzePageRankVector(pi);
+  EXPECT_NEAR(h.second_moment, 1.0 / 1000, 1e-12);
+  EXPECT_NEAR(h.max_value, 1.0 / 1000, 1e-12);
+}
+
+TEST(PageRankHardnessTest, ZipfVectorRecoversBeta) {
+  // pi(w_j) ~ j^-beta with beta = 0.5 (gamma = 2).
+  const size_t n = 100000;
+  std::vector<double> pi(n);
+  double total = 0;
+  for (size_t j = 0; j < n; ++j) {
+    pi[j] = std::pow(static_cast<double>(j + 1), -0.5);
+    total += pi[j];
+  }
+  for (auto& x : pi) x /= total;
+  auto h = AnalyzePageRankVector(pi);
+  EXPECT_NEAR(h.beta, 0.5, 0.05);
+  EXPECT_NEAR(h.implied_gamma, 2.0, 0.25);
+}
+
+TEST(PageRankHardnessTest, EmptyVector) {
+  auto h = AnalyzePageRankVector({});
+  EXPECT_EQ(h.second_moment, 0.0);
+  EXPECT_EQ(h.beta, 0.0);
+}
+
+TEST(SummarizeTest, BasicFields) {
+  Graph g = testing::MakeRandomDigraph(300, 2400, 21);
+  auto s = Summarize(g);
+  EXPECT_EQ(s.n, g.n());
+  EXPECT_EQ(s.m, g.m());
+  EXPECT_NEAR(s.avg_degree, g.AverageDegree(), 1e-12);
+  EXPECT_GT(s.max_out_degree, 0u);
+  EXPECT_GT(s.max_in_degree, 0u);
+  EXPECT_EQ(s.dangling_nodes, g.CountDanglingNodes());
+}
+
+TEST(SummarizeTest, SteeperGammaMeansFasterTailDecay) {
+  // The Figure 1 phenomenon: IT-like graphs (large gamma) should have a much
+  // smaller maximum out-degree than TW-like graphs (small gamma) at equal
+  // size and average degree.
+  ChungLuOptions steep, flat;
+  steep.n = flat.n = 40000;
+  steep.avg_degree = flat.avg_degree = 10;
+  steep.gamma_out = 2.6;
+  flat.gamma_out = 1.35;
+  steep.seed = flat.seed = 31;
+  auto gs = GenerateChungLu(steep).ValueOrDie();
+  auto gf = GenerateChungLu(flat).ValueOrDie();
+  EXPECT_LT(Summarize(gs).max_out_degree, Summarize(gf).max_out_degree / 2);
+}
+
+}  // namespace
+}  // namespace prsim

@@ -1,0 +1,236 @@
+// Shared fixtures and dense reference implementations for the test suite.
+//
+// The reference implementations deliberately use the most direct O(n^2)/O(n^3)
+// formulations of the quantities the library estimates, so every randomized
+// or truncated algorithm can be checked against an independent ground truth:
+//   * DenseLevelRppr   — exact l-hop reverse PPR pi_l(v, w) by the recurrence;
+//   * DenseReversePageRank — exact pi(w) from the level sums;
+//   * ExactEta         — exact last-meeting probability via the coupled
+//                        pair-walk Markov chain;
+//   * ExactMeetingSimRank — exact SimRank as the pair-walk meeting
+//                        probability (the [32] formulation), which must agree
+//                        with the power method AND with Eq. 6 assembled from
+//                        the pieces above.
+
+#ifndef PRSIM_TESTS_TEST_UTIL_H_
+#define PRSIM_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace prsim::testing {
+
+// ---------------------------------------------------------------------------
+// Small deterministic graph fixtures.
+// ---------------------------------------------------------------------------
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+inline Graph MakeCycle(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return BuildGraph(n, std::move(edges)).ValueOrDie();
+}
+
+/// Directed chain 0 -> 1 -> ... -> n-1 (node 0 is dangling for walks).
+inline Graph MakeChain(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return BuildGraph(n, std::move(edges)).ValueOrDie();
+}
+
+/// Complete digraph on n nodes (all ordered pairs, no self-loops).
+inline Graph MakeCompleteDigraph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  return BuildGraph(n, std::move(edges)).ValueOrDie();
+}
+
+/// The unbounded-variance gadget of Section 3.4: w -> x_i -> v for
+/// i = 1..spokes, nodes are w = 0, v = 1, x_i = 1 + i.
+inline Graph MakeVarianceGadget(NodeId spokes) {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < spokes; ++i) {
+    edges.emplace_back(0, 2 + i);
+    edges.emplace_back(2 + i, 1);
+  }
+  return BuildGraph(spokes + 2, std::move(edges)).ValueOrDie();
+}
+
+/// Two nodes (0, 1) both pointed at by node 2: the classic s(0,1) = c case
+/// -- wait, with in-neighbor sets {2} and {2}: s(0,1) = c * s(2,2) = c.
+inline Graph MakeSharedParent() {
+  return BuildGraph(3, {{2, 0}, {2, 1}}).ValueOrDie();
+}
+
+/// Erdos-Renyi-ish random simple digraph (test-sized; uses rejection).
+inline Graph MakeRandomDigraph(NodeId n, uint64_t m, uint64_t seed,
+                               bool undirected = false) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint64_t i = 0; i < m * 3 && edges.size() < m; ++i) {
+    const NodeId u = rng.NextIndex(n);
+    const NodeId v = rng.NextIndex(n);
+    if (u != v) edges.emplace_back(u, v);
+  }
+  BuildOptions options;
+  options.undirected = undirected;
+  return BuildGraph(n, std::move(edges), options).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Dense reference computations.
+// ---------------------------------------------------------------------------
+
+/// pi[l][v][w]: exact l-hop reverse PPR by the recurrence
+/// pi_{l+1}(y, w) = sum_{x in I(y)} sqrt_c / d_in(y) * pi_l(x, w),
+/// pi_0(u, w) = (1 - sqrt_c) [u = w].
+inline std::vector<std::vector<std::vector<double>>> DenseLevelRppr(
+    const Graph& g, double c, uint32_t levels) {
+  const NodeId n = g.n();
+  const double sqrt_c = std::sqrt(c);
+  std::vector<std::vector<std::vector<double>>> pi(
+      levels + 1,
+      std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)));
+  for (NodeId w = 0; w < n; ++w) pi[0][w][w] = 1.0 - sqrt_c;
+  for (uint32_t l = 0; l < levels; ++l) {
+    for (NodeId y = 0; y < n; ++y) {
+      const auto ins = g.InNeighbors(y);
+      if (ins.empty()) continue;
+      const double share = sqrt_c / static_cast<double>(ins.size());
+      for (NodeId w = 0; w < n; ++w) {
+        double sum = 0.0;
+        for (NodeId x : ins) sum += pi[l][x][w];
+        pi[l + 1][y][w] = share * sum;
+      }
+    }
+  }
+  return pi;
+}
+
+/// Exact reverse PageRank pi(w) = avg_u sum_l pi_l(u, w).
+inline std::vector<double> DenseReversePageRank(const Graph& g, double c,
+                                                uint32_t levels = 80) {
+  const auto pi = DenseLevelRppr(g, c, levels);
+  std::vector<double> result(g.n(), 0.0);
+  for (uint32_t l = 0; l < pi.size(); ++l) {
+    for (NodeId u = 0; u < g.n(); ++u) {
+      for (NodeId w = 0; w < g.n(); ++w) result[w] += pi[l][u][w];
+    }
+  }
+  for (auto& x : result) x /= g.n();
+  return result;
+}
+
+/// Exact meeting probability of two coupled sqrt(c)-walks from (a0, b0):
+/// both walks move each step with joint probability c; they meet when the
+/// moved positions coincide. Returns the full n x n matrix; meet[a][a] is the
+/// probability for two walks from the same node (1 - eta(a)).
+inline std::vector<std::vector<double>> ExactMeetingMatrix(const Graph& g,
+                                                           double c,
+                                                           uint32_t levels) {
+  const NodeId n = g.n();
+  // state[a][b] = Pr[both alive at (a, b), no meeting yet]; symmetric.
+  std::vector<std::vector<double>> state(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>> meet(n, std::vector<double>(n, 0.0));
+  // Process each start pair via shared level sweeps: we need all pairs, so
+  // run the chain once per start pair (test-sized graphs only).
+  for (NodeId a0 = 0; a0 < n; ++a0) {
+    for (NodeId b0 = 0; b0 < n; ++b0) {
+      for (auto& row : state) std::fill(row.begin(), row.end(), 0.0);
+      state[a0][b0] = 1.0;
+      double met = 0.0;
+      for (uint32_t l = 0; l < levels; ++l) {
+        std::vector<std::vector<double>> next(n,
+                                              std::vector<double>(n, 0.0));
+        for (NodeId a = 0; a < n; ++a) {
+          for (NodeId b = 0; b < n; ++b) {
+            const double mass = state[a][b];
+            if (mass == 0.0) continue;
+            const auto ia = g.InNeighbors(a);
+            const auto ib = g.InNeighbors(b);
+            if (ia.empty() || ib.empty()) continue;
+            const double step =
+                c * mass /
+                (static_cast<double>(ia.size()) * ib.size());
+            for (NodeId ap : ia) {
+              for (NodeId bp : ib) {
+                if (ap == bp) {
+                  met += step;
+                } else {
+                  next[ap][bp] += step;
+                }
+              }
+            }
+          }
+        }
+        state.swap(next);
+      }
+      meet[a0][b0] = met;
+    }
+  }
+  return meet;
+}
+
+/// Exact eta(w) = 1 - meeting probability of two walks from w. Runs the
+/// pair chain only from diagonal starts, so it is O(n) cheaper than
+/// ExactMeetingMatrix.
+inline std::vector<double> ExactEta(const Graph& g, double c,
+                                    uint32_t levels = 60) {
+  const NodeId n = g.n();
+  std::vector<double> eta(n);
+  std::vector<std::vector<double>> state(n, std::vector<double>(n, 0.0));
+  for (NodeId w = 0; w < n; ++w) {
+    for (auto& row : state) std::fill(row.begin(), row.end(), 0.0);
+    state[w][w] = 1.0;
+    double met = 0.0;
+    for (uint32_t l = 0; l < levels; ++l) {
+      std::vector<std::vector<double>> next(n, std::vector<double>(n, 0.0));
+      for (NodeId a = 0; a < n; ++a) {
+        for (NodeId b = 0; b < n; ++b) {
+          const double mass = state[a][b];
+          if (mass == 0.0) continue;
+          const auto ia = g.InNeighbors(a);
+          const auto ib = g.InNeighbors(b);
+          if (ia.empty() || ib.empty()) continue;
+          const double step =
+              c * mass / (static_cast<double>(ia.size()) * ib.size());
+          for (NodeId ap : ia) {
+            for (NodeId bp : ib) {
+              if (ap == bp) {
+                met += step;
+              } else {
+                next[ap][bp] += step;
+              }
+            }
+          }
+        }
+      }
+      state.swap(next);
+    }
+    eta[w] = 1.0 - met;
+  }
+  return eta;
+}
+
+/// Exact SimRank: meeting matrix with the diagonal pinned to 1.
+inline std::vector<std::vector<double>> ExactMeetingSimRank(
+    const Graph& g, double c, uint32_t levels = 60) {
+  auto s = ExactMeetingMatrix(g, c, levels);
+  for (NodeId v = 0; v < g.n(); ++v) s[v][v] = 1.0;
+  return s;
+}
+
+}  // namespace prsim::testing
+
+#endif  // PRSIM_TESTS_TEST_UTIL_H_

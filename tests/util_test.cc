@@ -1,0 +1,338 @@
+// Unit tests for src/util: Status/Result, Rng, FlatHashMap, AliasTable,
+// ParallelFor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "util/alias_table.h"
+#include "util/flat_hash_map.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace prsim {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status / Result
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad n");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad n");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyShareState) {
+  Status a = Status::IOError("disk gone");
+  Status b = a;
+  EXPECT_FALSE(b.ok());
+  EXPECT_EQ(b.message(), "disk gone");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> HelperReturningError() { return Status::OutOfRange("boom"); }
+
+Status UseAssignOrReturn(int* out) {
+  PRSIM_ASSIGN_OR_RETURN(int v, HelperReturningError());
+  *out = v;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = -1;
+  Status st = UseAssignOrReturn(&out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, -1);
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(10);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(11);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(12);
+  const uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextBounded(bound)];
+  for (uint64_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], n / bound, 5 * std::sqrt(n / bound));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(p);
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(77);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (parent.Next() == child.Next());
+  EXPECT_LT(equal, 2);
+}
+
+// --------------------------------------------------------------------------
+// FlatHashMap
+// --------------------------------------------------------------------------
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  FlatHashMap<double> map;
+  map[3] = 1.5;
+  map[7] += 2.0;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(3), nullptr);
+  EXPECT_DOUBLE_EQ(*map.Find(3), 1.5);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_DOUBLE_EQ(*map.Find(7), 2.0);
+  EXPECT_EQ(map.Find(4), nullptr);
+}
+
+TEST(FlatHashMapTest, OperatorBracketDefaultConstructs) {
+  FlatHashMap<double> map;
+  EXPECT_DOUBLE_EQ(map[42], 0.0);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, GrowPreservesEntries) {
+  FlatHashMap<uint64_t> map(4);
+  for (uint64_t i = 0; i < 5000; ++i) map[i * 3 + 1] = i;
+  EXPECT_EQ(map.size(), 5000u);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const uint64_t* v = map.Find(i * 3 + 1);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FlatHashMapTest, ClearEmpties) {
+  FlatHashMap<int> map;
+  for (uint64_t i = 0; i < 100; ++i) map[i] = 1;
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(5), nullptr);
+  map[5] = 2;
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, ForEachVisitsAllOnce) {
+  FlatHashMap<uint64_t> map;
+  for (uint64_t i = 0; i < 257; ++i) map[i + 1] = i;
+  std::set<uint64_t> keys;
+  map.ForEach([&](uint64_t k, const uint64_t& v) {
+    EXPECT_EQ(v, k - 1);
+    EXPECT_TRUE(keys.insert(k).second);
+  });
+  EXPECT_EQ(keys.size(), 257u);
+}
+
+TEST(FlatHashMapTest, AgreesWithStdUnorderedMapUnderRandomOps) {
+  // Property test: random accumulation pattern must match std::unordered_map.
+  Rng rng(99);
+  FlatHashMap<double> mine;
+  std::unordered_map<uint64_t, double> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(3000);
+    const double val = rng.NextDouble();
+    mine[key] += val;
+    ref[key] += val;
+  }
+  EXPECT_EQ(mine.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const double* found = mine.Find(k);
+    ASSERT_NE(found, nullptr);
+    EXPECT_NEAR(*found, v, 1e-9);
+  }
+}
+
+TEST(FlatHashMapTest, PackUnpackNodeLevel) {
+  const uint64_t key = PackNodeLevel(0xdeadbeefu, 63);
+  EXPECT_EQ(UnpackNode(key), 0xdeadbeefu);
+  EXPECT_EQ(UnpackLevel(key), 63u);
+  EXPECT_EQ(UnpackLevel(PackNodeLevel(5, 0)), 0u);
+}
+
+// --------------------------------------------------------------------------
+// AliasTable
+// --------------------------------------------------------------------------
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable table(std::vector<double>{1, 1, 1, 1});
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 4, 5 * std::sqrt(n / 4.0));
+}
+
+TEST(AliasTableTest, SkewedWeightsMatchProportions) {
+  const std::vector<double> weights{8, 4, 2, 1, 1};
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  AliasTable table(weights);
+  Rng rng(6);
+  std::vector<int> counts(weights.size(), 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = n * weights[i] / total;
+    EXPECT_NEAR(counts[i], expected, 6 * std::sqrt(expected)) << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table(std::vector<double>{1, 0, 1});
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, SingleEntry) {
+  AliasTable table(std::vector<double>{3.5});
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+// --------------------------------------------------------------------------
+// ParallelFor
+// --------------------------------------------------------------------------
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(0, hits.size(), [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(5, 5, [&](size_t) { called = true; });
+  ParallelFor(7, 3, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, hits.size(), [&](size_t i) { hits[i]++; }, /*threads=*/1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, RespectsBeginOffset) {
+  std::atomic<size_t> sum{0};
+  ParallelFor(10, 20, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+// --------------------------------------------------------------------------
+// Timers
+// --------------------------------------------------------------------------
+
+TEST(TimerTest, MeasuresNonNegativeMonotonicTime) {
+  WallTimer t;
+  const double a = t.Seconds();
+  const double b = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, AccumulatingTimerCountsLaps) {
+  AccumulatingTimer t;
+  t.Start();
+  t.Stop();
+  t.Start();
+  t.Stop();
+  EXPECT_EQ(t.laps(), 2u);
+  EXPECT_GE(t.TotalSeconds(), 0.0);
+  EXPECT_GE(t.MeanSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace prsim

@@ -1,0 +1,265 @@
+// prsim_cli — command-line front end for the library.
+//
+// Subcommands:
+//   prsim_cli stats     --graph g.txt
+//       Prints n, m, degree extremes and fitted power-law exponents.
+//   prsim_cli index     --graph g.txt --out g.idx [--eps 0.1] [--c 0.6]
+//                       [--j0 N]
+//       Builds the PRSim hub index and serializes it.
+//   prsim_cli query     --graph g.txt --source U [--index g.idx]
+//                       [--eps 0.1] [--c 0.6] [--k 20] [--seed S]
+//       Answers a single-source query (loading the index if given,
+//       otherwise preprocessing in-process) and prints the top-k.
+//   prsim_cli generate  --out g.txt [--model chunglu|er|ba] [--n N]
+//                       [--degree D] [--gamma G] [--seed S] [--undirected]
+//       Writes a synthetic edge list.
+//
+// Graphs are SNAP-style edge-list text ('#' comments) or the binary format
+// produced by this tool when the path ends in ".bin".
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/index_io.h"
+#include "core/prsim.h"
+#include "eval/datasets.h"
+#include "gen/barabasi_albert.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace prsim;
+
+/// Minimal flag parser: --name value pairs after the subcommand.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_.emplace_back(argv[i] + 2, argv[i + 1]);
+    }
+    // Boolean flags (no value) are detected separately.
+    for (int i = first; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--undirected") == 0) undirected_ = true;
+    }
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) return v;
+    }
+    return fallback;
+  }
+  double GetDouble(const std::string& name, double fallback) const {
+    const std::string raw = Get(name, "");
+    return raw.empty() ? fallback : std::strtod(raw.c_str(), nullptr);
+  }
+  uint64_t GetInt(const std::string& name, uint64_t fallback) const {
+    const std::string raw = Get(name, "");
+    return raw.empty() ? fallback : std::strtoull(raw.c_str(), nullptr, 10);
+  }
+  bool undirected() const { return undirected_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+  bool undirected_ = false;
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Result<Graph> LoadAnyGraph(const std::string& path) {
+  if (EndsWith(path, ".bin")) return GraphIO::LoadBinary(path);
+  return LoadGraphText(path);
+}
+
+int CmdStats(const Flags& flags) {
+  const std::string path = flags.Get("graph", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "stats: --graph is required\n");
+    return 2;
+  }
+  auto graph = LoadAnyGraph(path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const GraphSummary s = Summarize(graph.ValueOrDie());
+  std::printf("n            %u\n", s.n);
+  std::printf("m            %llu\n", static_cast<unsigned long long>(s.m));
+  std::printf("avg degree   %.2f\n", s.avg_degree);
+  std::printf("max out/in   %u / %u\n", s.max_out_degree, s.max_in_degree);
+  std::printf("dangling     %u\n", s.dangling_nodes);
+  std::printf("gamma out/in %.2f / %.2f (cumulative power-law fits)\n",
+              s.out_gamma, s.in_gamma);
+  return 0;
+}
+
+int CmdIndex(const Flags& flags) {
+  const std::string graph_path = flags.Get("graph", "");
+  const std::string out_path = flags.Get("out", "");
+  if (graph_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "index: --graph and --out are required\n");
+    return 2;
+  }
+  auto graph = LoadAnyGraph(graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  PRSimIndexOptions options;
+  options.c = flags.GetDouble("c", 0.6);
+  options.eps = flags.GetDouble("eps", 0.1);
+  options.j0 = static_cast<uint32_t>(flags.GetInt("j0", 0));
+  WallTimer timer;
+  auto index = PRSimIndex::Build(graph.ValueOrDie(), options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  Status st =
+      PRSimIndexIO::Save(index.ValueOrDie(), graph.ValueOrDie(), out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("built index: %u hubs, %llu tuples, %.2f MB in %.2fs -> %s\n",
+              index.ValueOrDie().hub_count(),
+              static_cast<unsigned long long>(
+                  index.ValueOrDie().total_tuples()),
+              index.ValueOrDie().IndexBytes() / 1e6, timer.Seconds(),
+              out_path.c_str());
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  const std::string graph_path = flags.Get("graph", "");
+  if (graph_path.empty()) {
+    std::fprintf(stderr, "query: --graph is required\n");
+    return 2;
+  }
+  auto graph_result = LoadAnyGraph(graph_path);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
+    return 1;
+  }
+  Graph graph = std::move(graph_result).ValueOrDie();
+
+  PRSimOptions options;
+  options.c = flags.GetDouble("c", 0.6);
+  options.eps = flags.GetDouble("eps", 0.1);
+  options.seed = flags.GetInt("seed", 42);
+  PRSim prsim(graph, options);
+
+  const std::string index_path = flags.Get("index", "");
+  WallTimer prep_timer;
+  if (!index_path.empty()) {
+    auto index = PRSimIndexIO::Load(graph, index_path);
+    if (!index.ok()) {
+      std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    prsim.AdoptIndex(std::move(index).ValueOrDie());
+    std::printf("loaded index from %s in %.2fs\n", index_path.c_str(),
+                prep_timer.Seconds());
+  } else {
+    prsim.Preprocess().Abort();
+    std::printf("preprocessed in %.2fs (no --index given)\n",
+                prep_timer.Seconds());
+  }
+
+  const auto source = static_cast<NodeId>(flags.GetInt("source", 0));
+  if (source >= graph.n()) {
+    std::fprintf(stderr, "query: --source %u out of range (n = %u)\n", source,
+                 graph.n());
+    return 2;
+  }
+  const auto k = static_cast<uint32_t>(flags.GetInt("k", 20));
+  WallTimer query_timer;
+  ScoreList scores = prsim.Query(source);
+  std::printf("query answered in %.4fs (%zu non-zero scores)\n",
+              query_timer.Seconds(), scores.size());
+  for (const auto& [v, s] : TopK(scores, k, source)) {
+    std::printf("%-10u %.6f\n", v, s);
+  }
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out_path = flags.Get("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  const std::string model = flags.Get("model", "chunglu");
+  Result<Graph> graph = Status::InvalidArgument("unknown model: " + model);
+  if (model == "chunglu") {
+    ChungLuOptions options;
+    options.n = static_cast<NodeId>(flags.GetInt("n", 100000));
+    options.avg_degree = flags.GetDouble("degree", 10);
+    options.gamma_out = flags.GetDouble("gamma", 2.0);
+    options.gamma_in = flags.GetDouble("gamma_in", -1);
+    options.undirected = flags.undirected();
+    options.seed = flags.GetInt("seed", 1);
+    graph = GenerateChungLu(options);
+  } else if (model == "er") {
+    ErdosRenyiOptions options;
+    options.n = static_cast<NodeId>(flags.GetInt("n", 100000));
+    options.avg_degree = flags.GetDouble("degree", 10);
+    options.undirected = flags.undirected();
+    options.seed = flags.GetInt("seed", 1);
+    graph = GenerateErdosRenyi(options);
+  } else if (model == "ba") {
+    BarabasiAlbertOptions options;
+    options.n = static_cast<NodeId>(flags.GetInt("n", 100000));
+    options.edges_per_node = static_cast<uint32_t>(flags.GetInt("degree", 5));
+    options.seed = flags.GetInt("seed", 1);
+    graph = GenerateBarabasiAlbert(options);
+  }
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  Status st = EndsWith(out_path, ".bin")
+                  ? GraphIO::SaveBinary(graph.ValueOrDie(), out_path)
+                  : SaveEdgeListText(graph.ValueOrDie(), out_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: n=%u m=%llu\n", out_path.c_str(),
+              graph.ValueOrDie().n(),
+              static_cast<unsigned long long>(graph.ValueOrDie().m()));
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: prsim_cli <stats|index|query|generate> [--flags]\n"
+               "  see the header comment of tools/prsim_cli.cc\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "index") return CmdIndex(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "generate") return CmdGenerate(flags);
+  Usage();
+  return 2;
+}
