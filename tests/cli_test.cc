@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 namespace prsim {
 namespace {
@@ -40,6 +44,27 @@ class CliTest : public ::testing::Test {
     if (output != nullptr) *output = captured;
     const int status = pclose(pipe);
     return WEXITSTATUS(status);
+  }
+
+  std::string ReadFile(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  /// Extracts the top-k result lines ("<node> <score>") from query output,
+  /// skipping the timing lines whose wording varies run to run.
+  std::vector<std::string> ScoreLines(const std::string& output) {
+    std::vector<std::string> lines;
+    std::istringstream stream(output);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (!line.empty() && std::isdigit(static_cast<unsigned char>(line[0]))) {
+        lines.push_back(line);
+      }
+    }
+    return lines;
   }
 
   std::filesystem::path dir_;
@@ -103,6 +128,90 @@ TEST_F(CliTest, MissingRequiredFlagFails) {
   EXPECT_EQ(Run("stats"), 2);
   EXPECT_EQ(Run("index --graph /nonexistent"), 2);
   EXPECT_EQ(Run("query --graph /nonexistent --source 0"), 1);
+}
+
+// Regression: the old pairwise parser treated the boolean --undirected as a
+// valued flag, consuming the next token and dropping every flag after it.
+// The generated graph must be byte-identical no matter where --undirected
+// appears, and the flags following it must take effect.
+TEST_F(CliTest, UndirectedFlagPositionIndependent) {
+  const std::string params = " --model er --n 50 --degree 4 --seed 1";
+  ASSERT_EQ(
+      Run("generate --undirected --out " + Path("first.txt") + params), 0);
+  ASSERT_EQ(
+      Run("generate --out " + Path("middle.txt") + " --undirected" + params),
+      0);
+  ASSERT_EQ(Run("generate --out " + Path("last.txt") + params +
+                " --undirected"),
+            0);
+
+  const std::string first = ReadFile(Path("first.txt"));
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, ReadFile(Path("middle.txt")));
+  EXPECT_EQ(first, ReadFile(Path("last.txt")));
+
+  // The flags after --undirected must not be swallowed: 50 nodes, not the
+  // 100k-node Chung-Lu default.
+  std::string stats;
+  ASSERT_EQ(Run("stats --graph " + Path("first.txt"), &stats), 0);
+  EXPECT_NE(stats.find("n            50"), std::string::npos) << stats;
+}
+
+TEST_F(CliTest, UnknownFlagFails) {
+  EXPECT_EQ(Run("generate --out " + Path("g.txt") + " --frobnicate 1"), 2);
+  // --eps is a real flag elsewhere but stats does not accept it.
+  EXPECT_EQ(Run("stats --graph " + Path("g.txt") + " --eps 0.1"), 2);
+}
+
+TEST_F(CliTest, ValuedFlagWithoutValueFails) {
+  EXPECT_EQ(Run("generate --out " + Path("g.txt") + " --seed"), 2);
+  EXPECT_EQ(Run("stats --graph"), 2);
+}
+
+TEST_F(CliTest, DuplicateFlagFails) {
+  EXPECT_EQ(Run("generate --out " + Path("g.txt") + " --seed 1 --seed 2"), 2);
+}
+
+TEST_F(CliTest, FlagTokenAsValueFails) {
+  // A forgotten value must not consume the next --flag as its value.
+  EXPECT_EQ(Run("generate --out --undirected --model er --n 50"), 2);
+}
+
+TEST_F(CliTest, OversizedNumericValueFails) {
+  // Larger than uint32: must error, not truncate into a wrong-sized graph.
+  EXPECT_EQ(Run("generate --out " + Path("g.txt") + " --n 5000000000"), 2);
+  EXPECT_EQ(
+      Run("generate --out " + Path("g.txt") + " --n 99999999999999999999999"),
+      2);
+}
+
+TEST_F(CliTest, MalformedNumericValueFails) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 500 --degree 4"),
+            0);
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --source abc"), 2);
+  EXPECT_EQ(Run("generate --out " + Path("h.txt") + " --n -5"), 2);
+  EXPECT_EQ(Run("generate --out " + Path("h.txt") + " --n 10x"), 2);
+}
+
+// End-to-end over the binary graph format: generate (.bin) -> index ->
+// query, with a fixed seed; the top-k must be stable across runs.
+TEST_F(CliTest, BinaryPipelineStableTopK) {
+  ASSERT_EQ(Run("generate --out " + Path("g.bin") +
+                " --n 2000 --degree 6 --gamma 1.9 --seed 7"),
+            0);
+  ASSERT_EQ(Run("index --graph " + Path("g.bin") + " --out " + Path("g.idx") +
+                " --eps 0.1"),
+            0);
+
+  const std::string query = "query --graph " + Path("g.bin") + " --index " +
+                            Path("g.idx") + " --source 5 --k 10 --seed 123";
+  std::string run1, run2;
+  ASSERT_EQ(Run(query, &run1), 0);
+  ASSERT_EQ(Run(query, &run2), 0);
+
+  const std::vector<std::string> topk1 = ScoreLines(run1);
+  EXPECT_FALSE(topk1.empty()) << run1;
+  EXPECT_EQ(topk1, ScoreLines(run2));
 }
 
 TEST_F(CliTest, OutOfRangeSourceFails) {

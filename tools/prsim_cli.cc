@@ -17,10 +17,15 @@
 // Graphs are SNAP-style edge-list text ('#' comments) or the binary format
 // produced by this tool when the path ends in ".bin".
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/index_io.h"
 #include "core/prsim.h"
@@ -36,39 +41,111 @@ namespace {
 
 using namespace prsim;
 
-/// Minimal flag parser: --name value pairs after the subcommand.
+/// Minimal flag parser: --name value pairs after the subcommand, plus
+/// boolean flags that take no value. Each subcommand declares which flags
+/// it accepts; anything else (unknown flags, bare positional arguments, a
+/// valued flag at the end of the line with no value) is a parse error
+/// surfaced through ok()/error() rather than being silently dropped.
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_.emplace_back(argv[i] + 2, argv[i + 1]);
-    }
-    // Boolean flags (no value) are detected separately.
+  Flags(int argc, char** argv, int first,
+        std::initializer_list<const char*> valued,
+        std::initializer_list<const char*> booleans = {}) {
     for (int i = first; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--undirected") == 0) undirected_ = true;
+      const std::string arg = argv[i];
+      if (arg.compare(0, 2, "--") != 0) {
+        error_ = "unexpected argument: " + arg;
+        return;
+      }
+      const std::string name = arg.substr(2);
+      if (Contains(booleans, name)) {
+        if (!Has(name)) booleans_.push_back(name);
+        continue;
+      }
+      if (!Contains(valued, name)) {
+        error_ = "unknown flag: " + arg;
+        return;
+      }
+      if (Find(name) != nullptr) {
+        error_ = "duplicate flag: " + arg;
+        return;
+      }
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        error_ = arg + " expects a value";
+        return;
+      }
+      values_.emplace_back(name, argv[++i]);
     }
   }
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
 
   std::string Get(const std::string& name, const std::string& fallback) const {
-    for (const auto& [k, v] : values_) {
-      if (k == name) return v;
-    }
-    return fallback;
+    const std::string* raw = Find(name);
+    return raw == nullptr ? fallback : *raw;
   }
   double GetDouble(const std::string& name, double fallback) const {
-    const std::string raw = Get(name, "");
-    return raw.empty() ? fallback : std::strtod(raw.c_str(), nullptr);
+    const std::string* raw = Find(name);
+    if (raw == nullptr) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(raw->c_str(), &end);
+    if (end == raw->c_str() || *end != '\0') InvalidValue(name, *raw);
+    return value;
   }
   uint64_t GetInt(const std::string& name, uint64_t fallback) const {
-    const std::string raw = Get(name, "");
-    return raw.empty() ? fallback : std::strtoull(raw.c_str(), nullptr, 10);
+    const std::string* raw = Find(name);
+    if (raw == nullptr) return fallback;
+    char* end = nullptr;
+    errno = 0;
+    const uint64_t value = std::strtoull(raw->c_str(), &end, 10);
+    if (raw->empty() || (*raw)[0] == '-' || end == raw->c_str() ||
+        *end != '\0' || errno == ERANGE) {
+      InvalidValue(name, *raw);
+    }
+    return value;
   }
-  bool undirected() const { return undirected_; }
+  /// GetInt with a range check against the 32-bit node/count call sites so
+  /// oversized values error instead of silently truncating in a cast.
+  uint32_t GetUint32(const std::string& name, uint32_t fallback) const {
+    const uint64_t value = GetInt(name, fallback);
+    if (value > UINT32_MAX) InvalidValue(name, Get(name, ""));
+    return static_cast<uint32_t>(value);
+  }
+  bool Has(const std::string& name) const {
+    for (const auto& b : booleans_) {
+      if (b == name) return true;
+    }
+    return false;
+  }
+  bool undirected() const { return Has("undirected"); }
 
  private:
+  const std::string* Find(const std::string& name) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) return &v;
+    }
+    return nullptr;
+  }
+
+  static bool Contains(std::initializer_list<const char*> names,
+                       const std::string& name) {
+    for (const char* candidate : names) {
+      if (name == candidate) return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] static void InvalidValue(const std::string& name,
+                                        const std::string& raw) {
+    std::fprintf(stderr, "invalid value for --%s: '%s'\n", name.c_str(),
+                 raw.c_str());
+    std::exit(2);
+  }
+
   std::vector<std::pair<std::string, std::string>> values_;
-  bool undirected_ = false;
+  std::vector<std::string> booleans_;
+  std::string error_;
 };
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -118,7 +195,7 @@ int CmdIndex(const Flags& flags) {
   PRSimIndexOptions options;
   options.c = flags.GetDouble("c", 0.6);
   options.eps = flags.GetDouble("eps", 0.1);
-  options.j0 = static_cast<uint32_t>(flags.GetInt("j0", 0));
+  options.j0 = flags.GetUint32("j0", 0);
   WallTimer timer;
   auto index = PRSimIndex::Build(graph.ValueOrDie(), options);
   if (!index.ok()) {
@@ -153,6 +230,16 @@ int CmdQuery(const Flags& flags) {
   }
   Graph graph = std::move(graph_result).ValueOrDie();
 
+  // Validate the cheap flags before index loading / preprocessing so a bad
+  // --source or --k fails fast instead of after minutes of preprocessing.
+  const auto source = static_cast<NodeId>(flags.GetUint32("source", 0));
+  if (source >= graph.n()) {
+    std::fprintf(stderr, "query: --source %u out of range (n = %u)\n", source,
+                 graph.n());
+    return 2;
+  }
+  const uint32_t k = flags.GetUint32("k", 20);
+
   PRSimOptions options;
   options.c = flags.GetDouble("c", 0.6);
   options.eps = flags.GetDouble("eps", 0.1);
@@ -176,13 +263,6 @@ int CmdQuery(const Flags& flags) {
                 prep_timer.Seconds());
   }
 
-  const auto source = static_cast<NodeId>(flags.GetInt("source", 0));
-  if (source >= graph.n()) {
-    std::fprintf(stderr, "query: --source %u out of range (n = %u)\n", source,
-                 graph.n());
-    return 2;
-  }
-  const auto k = static_cast<uint32_t>(flags.GetInt("k", 20));
   WallTimer query_timer;
   ScoreList scores = prsim.Query(source);
   std::printf("query answered in %.4fs (%zu non-zero scores)\n",
@@ -203,7 +283,7 @@ int CmdGenerate(const Flags& flags) {
   Result<Graph> graph = Status::InvalidArgument("unknown model: " + model);
   if (model == "chunglu") {
     ChungLuOptions options;
-    options.n = static_cast<NodeId>(flags.GetInt("n", 100000));
+    options.n = flags.GetUint32("n", 100000);
     options.avg_degree = flags.GetDouble("degree", 10);
     options.gamma_out = flags.GetDouble("gamma", 2.0);
     options.gamma_in = flags.GetDouble("gamma_in", -1);
@@ -212,15 +292,15 @@ int CmdGenerate(const Flags& flags) {
     graph = GenerateChungLu(options);
   } else if (model == "er") {
     ErdosRenyiOptions options;
-    options.n = static_cast<NodeId>(flags.GetInt("n", 100000));
+    options.n = flags.GetUint32("n", 100000);
     options.avg_degree = flags.GetDouble("degree", 10);
     options.undirected = flags.undirected();
     options.seed = flags.GetInt("seed", 1);
     graph = GenerateErdosRenyi(options);
   } else if (model == "ba") {
     BarabasiAlbertOptions options;
-    options.n = static_cast<NodeId>(flags.GetInt("n", 100000));
-    options.edges_per_node = static_cast<uint32_t>(flags.GetInt("degree", 5));
+    options.n = flags.GetUint32("n", 100000);
+    options.edges_per_node = flags.GetUint32("degree", 5);
     options.seed = flags.GetInt("seed", 1);
     graph = GenerateBarabasiAlbert(options);
   }
@@ -247,6 +327,20 @@ void Usage() {
                "  see the header comment of tools/prsim_cli.cc\n");
 }
 
+/// Parses the flags a subcommand accepts and runs it, or reports the parse
+/// error with usage and exits 2.
+int Dispatch(int argc, char** argv, std::initializer_list<const char*> valued,
+             std::initializer_list<const char*> booleans,
+             int (*cmd)(const Flags&)) {
+  const Flags flags(argc, argv, 2, valued, booleans);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.error().c_str());
+    Usage();
+    return 2;
+  }
+  return cmd(flags);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -255,11 +349,24 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
-  const Flags flags(argc, argv, 2);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "index") return CmdIndex(flags);
-  if (command == "query") return CmdQuery(flags);
-  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") {
+    return Dispatch(argc, argv, {"graph"}, {}, CmdStats);
+  }
+  if (command == "index") {
+    return Dispatch(argc, argv, {"graph", "out", "eps", "c", "j0"}, {},
+                    CmdIndex);
+  }
+  if (command == "query") {
+    return Dispatch(argc, argv,
+                    {"graph", "index", "source", "eps", "c", "k", "seed"}, {},
+                    CmdQuery);
+  }
+  if (command == "generate") {
+    return Dispatch(argc, argv,
+                    {"out", "model", "n", "degree", "gamma", "gamma_in",
+                     "seed"},
+                    {"undirected"}, CmdGenerate);
+  }
   Usage();
   return 2;
 }
