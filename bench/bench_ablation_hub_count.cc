@@ -51,8 +51,8 @@ int main() {
     WallTimer timer;
     for (NodeId u : queries) {
       ScoreList result = prsim.Query(u);
-      tuples += prsim.last_query_stats().hub_tuples_read;
-      increments += prsim.last_query_stats().backward_increments;
+      tuples += prsim.last_query_cost().index_tuples_read;
+      increments += prsim.last_query_cost().backward_increments;
       for (NodeId v = 0; v < g.n(); ++v) {
         max_err = std::max(
             max_err, std::abs(ScoreOf(result, v) - oracle.SimRank(u, v)));

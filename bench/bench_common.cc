@@ -2,12 +2,7 @@
 
 #include <cstdio>
 
-#include "baselines/probesim.h"
-#include "baselines/reads.h"
-#include "baselines/sling.h"
-#include "baselines/topsim.h"
-#include "baselines/tsf.h"
-#include "core/prsim.h"
+#include "core/engine_registry.h"
 #include "eval/datasets.h"
 #include "util/timer.h"
 
@@ -23,6 +18,21 @@ std::string FormatDouble(double value) {
 
 }  // namespace
 
+SweepConfig MakeSweepConfig(const Graph& graph, const std::string& engine,
+                            const std::string& params, uint64_t seed,
+                            const std::string& display_param) {
+  const EngineRegistry& registry = EngineRegistry::Global();
+  const EngineInfo* info = registry.Find(engine);
+  PRSIM_CHECK(info != nullptr) << "unknown engine: " << engine;
+  auto config = EngineConfig::Parse(params);
+  config.status().Abort();
+  config.ValueOrDie().SetOrReplace("seed", std::to_string(seed));
+  auto instance = registry.Create(engine, graph, config.ValueOrDie());
+  instance.status().Abort();
+  return {info->display_name, display_param.empty() ? params : display_param,
+          std::move(instance).ValueOrDie(), info->index_based};
+}
+
 std::vector<SweepConfig> BuildParameterSweep(const Graph& graph,
                                              bool index_based_only,
                                              uint64_t seed) {
@@ -31,116 +41,69 @@ std::vector<SweepConfig> BuildParameterSweep(const Graph& graph,
   // PRSim: eps sweep (Section 5.2 uses {0.5, 0.1, 0.05, 0.01, 0.005};
   // the two smallest are trimmed to keep laptop runtimes bounded).
   for (double eps : {0.5, 0.1, 0.05, 0.02}) {
-    PRSimOptions options;
-    options.eps = eps;
-    options.seed = seed;
-    configs.push_back({"PRSim", "eps=" + FormatDouble(eps),
-                       std::make_unique<PRSim>(graph, options), true});
+    configs.push_back(
+        MakeSweepConfig(graph, "prsim", "eps=" + FormatDouble(eps), seed));
   }
 
   // SLING: eps_a sweep; small eps on large graphs exhausts the tuple budget
   // and is skipped at preprocessing, mirroring the paper's omissions.
   for (double eps : {0.5, 0.1, 0.05}) {
-    SlingOptions options;
-    options.eps = eps;
-    options.seed = seed;
-    options.max_index_tuples = 60000000;
-    configs.push_back({"SLING", "eps=" + FormatDouble(eps),
-                       std::make_unique<Sling>(graph, options), true});
+    configs.push_back(MakeSweepConfig(
+        graph, "sling",
+        "eps=" + FormatDouble(eps) + ",max_tuples=60000000", seed,
+        "eps=" + FormatDouble(eps)));
   }
 
   // TSF: (Rg, Rq) sweep.
   for (auto [rg, rq] : std::vector<std::pair<uint32_t, uint32_t>>{
            {10, 2}, {100, 20}, {300, 40}}) {
-    TsfOptions options;
-    options.rg = rg;
-    options.rq = rq;
-    options.seed = seed;
-    configs.push_back({"TSF",
-                       "Rg=" + std::to_string(rg) + ",Rq=" +
-                           std::to_string(rq),
-                       std::make_unique<Tsf>(graph, options), true});
+    configs.push_back(MakeSweepConfig(
+        graph, "tsf",
+        "rg=" + std::to_string(rg) + ",rq=" + std::to_string(rq), seed,
+        "Rg=" + std::to_string(rg) + ",Rq=" + std::to_string(rq)));
   }
 
   // READS: (r, t) sweep.
   for (auto [r, t] : std::vector<std::pair<uint32_t, uint32_t>>{
            {10, 2}, {50, 5}, {100, 10}, {200, 10}}) {
-    ReadsOptions options;
-    options.r = r;
-    options.t = t;
-    options.seed = seed;
-    options.max_index_entries = 100000000;
-    configs.push_back({"READS",
-                       "r=" + std::to_string(r) + ",t=" + std::to_string(t),
-                       std::make_unique<Reads>(graph, options), true});
+    configs.push_back(MakeSweepConfig(
+        graph, "reads",
+        "r=" + std::to_string(r) + ",t=" + std::to_string(t) +
+            ",max_entries=100000000",
+        seed, "r=" + std::to_string(r) + ",t=" + std::to_string(t)));
   }
 
   if (!index_based_only) {
     // ProbeSim: eps sweep.
     for (double eps : {0.5, 0.1, 0.05}) {
-      ProbeSimOptions options;
-      options.eps = eps;
-      options.seed = seed;
-      configs.push_back({"ProbeSim", "eps=" + FormatDouble(eps),
-                         std::make_unique<ProbeSim>(graph, options), false});
+      configs.push_back(MakeSweepConfig(graph, "probesim",
+                                        "eps=" + FormatDouble(eps), seed));
     }
     // TopSim: (T, 1/h) sweep.
     for (auto [depth, cap] : std::vector<std::pair<uint32_t, uint32_t>>{
              {1, 10}, {3, 100}, {3, 1000}}) {
-      TopSimOptions options;
-      options.depth = depth;
-      options.degree_cap = cap;
-      options.seed = seed;
-      configs.push_back({"TopSim",
-                         "T=" + std::to_string(depth) + ",1/h=" +
-                             std::to_string(cap),
-                         std::make_unique<TopSim>(graph, options), false});
+      configs.push_back(MakeSweepConfig(
+          graph, "topsim",
+          "depth=" + std::to_string(depth) + ",degree_cap=" +
+              std::to_string(cap),
+          seed,
+          "T=" + std::to_string(depth) + ",1/h=" + std::to_string(cap)));
     }
   }
   return configs;
 }
 
 std::vector<SweepConfig> BuildFixedConfigs(const Graph& graph, uint64_t seed) {
+  // Fixed Section 5.3 settings; TSF/READS/TopSim ride on their paper-default
+  // options (Rg=300, Rq=40; r=100, t=10; T=3, 1/h=100).
   std::vector<SweepConfig> configs;
-  {
-    PRSimOptions options;
-    options.eps = 0.25;
-    options.seed = seed;
-    configs.push_back({"PRSim", "eps=0.25",
-                       std::make_unique<PRSim>(graph, options), true});
-  }
-  {
-    SlingOptions options;
-    options.eps = 0.25;
-    options.seed = seed;
-    configs.push_back({"SLING", "eps=0.25",
-                       std::make_unique<Sling>(graph, options), true});
-  }
-  {
-    TsfOptions options;  // paper defaults Rg=300, Rq=40
-    options.seed = seed;
-    configs.push_back({"TSF", "Rg=300,Rq=40",
-                       std::make_unique<Tsf>(graph, options), true});
-  }
-  {
-    ReadsOptions options;  // paper defaults r=100, t=10
-    options.seed = seed;
-    configs.push_back({"READS", "r=100,t=10",
-                       std::make_unique<Reads>(graph, options), true});
-  }
-  {
-    ProbeSimOptions options;
-    options.eps = 0.25;
-    options.seed = seed;
-    configs.push_back({"ProbeSim", "eps=0.25",
-                       std::make_unique<ProbeSim>(graph, options), false});
-  }
-  {
-    TopSimOptions options;  // paper defaults T=3, 1/h=100
-    options.seed = seed;
-    configs.push_back({"TopSim", "T=3,1/h=100",
-                       std::make_unique<TopSim>(graph, options), false});
-  }
+  configs.push_back(MakeSweepConfig(graph, "prsim", "eps=0.25", seed));
+  configs.push_back(MakeSweepConfig(graph, "sling", "eps=0.25", seed));
+  configs.push_back(MakeSweepConfig(graph, "tsf", "", seed, "Rg=300,Rq=40"));
+  configs.push_back(MakeSweepConfig(graph, "reads", "", seed, "r=100,t=10"));
+  configs.push_back(MakeSweepConfig(graph, "probesim", "eps=0.25", seed));
+  configs.push_back(
+      MakeSweepConfig(graph, "topsim", "", seed, "T=3,1/h=100"));
   return configs;
 }
 

@@ -29,6 +29,16 @@ struct SweepConfig {
   bool index_based = false;
 };
 
+/// Builds one sweep entry through the engine registry: `engine` is a
+/// registry name ("prsim", "reads", ...), `params` a "k=v,k=v" config
+/// string; `seed` overrides any seed in `params`. The display name and
+/// index-based flag come from the registry metadata, and the printable
+/// param defaults to `params` unless `display_param` overrides it.
+/// Aborts on registry errors (a bench config is a programming error).
+SweepConfig MakeSweepConfig(const Graph& graph, const std::string& engine,
+                            const std::string& params, uint64_t seed,
+                            const std::string& display_param = "");
+
 /// Result row of a pooled sweep evaluation.
 struct SweepRow {
   std::string algo;

@@ -44,8 +44,8 @@ int main() {
     uint64_t work = 0;
     for (NodeId u : queries) {
       prsim.Query(u);
-      work += prsim.last_query_stats().backward_increments +
-              prsim.last_query_stats().hub_tuples_read;
+      work += prsim.last_query_cost().backward_increments +
+              prsim.last_query_cost().index_tuples_read;
     }
     std::printf("[figure6b] n=%u m=%llu gen_s=%.1f preprocess_s=%.2f "
                 "query_s=%.5f query_work=%llu index_mb=%.2f\n",

@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "core/prsim.h"
+#include "core/engine_registry.h"
 #include "eval/pooling.h"
 #include "gen/chung_lu.h"
 #include "graph/stats.h"
@@ -40,11 +40,11 @@ int main() {
     auto pi = ComputeReversePageRank(graph, {.c = 0.6});
     const PageRankHardness hardness = AnalyzePageRankVector(pi);
 
-    // Measured PRSim behavior.
-    PRSimOptions options;
-    options.eps = 0.1;
-    options.seed = 3;
-    PRSim prsim(graph, options);
+    // Measured PRSim behavior (constructed through the registry).
+    auto prsim_result =
+        EngineRegistry::Global().Create("prsim", graph, "eps=0.1,seed=3");
+    prsim_result.status().Abort();
+    SingleSourceSimRank& prsim = *prsim_result.ValueOrDie();
     prsim.Preprocess().Abort();
     const auto queries = SampleQueryNodes(graph, 8, 55);
     WallTimer timer;

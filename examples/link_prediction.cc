@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/prsim.h"
+#include "core/engine_registry.h"
 #include "gen/chung_lu.h"
 #include "graph/builder.h"
 #include "util/rng.h"
@@ -50,12 +50,13 @@ int main() {
   std::printf("observed graph: m=%llu (%zu edges hidden)\n",
               static_cast<unsigned long long>(observed.m()), hidden.size());
 
-  // 3. Index the observed graph once, then score candidates per node.
-  PRSimOptions options;
-  options.eps = 0.02;
-  options.alpha = 5.0;
-  options.seed = 5;
-  PRSim prsim(observed, options);
+  // 3. Index the observed graph once, then score candidates per node. The
+  // engine comes from the registry, so swapping the name (or reading it
+  // from argv) compares link-prediction quality across methods.
+  auto prsim_result = EngineRegistry::Global().Create(
+      "prsim", observed, "eps=0.02,alpha=5,seed=5");
+  prsim_result.status().Abort();
+  SingleSourceSimRank& prsim = *prsim_result.ValueOrDie();
   prsim.Preprocess().Abort();
 
   // 4. For a sample of endpoints with hidden edges, check whether the hidden

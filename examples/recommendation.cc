@@ -13,8 +13,7 @@
 #include <cstdio>
 #include <set>
 
-#include "baselines/probesim.h"
-#include "core/prsim.h"
+#include "core/engine_registry.h"
 #include "eval/pooling.h"
 #include "gen/chung_lu.h"
 #include "util/timer.h"
@@ -34,19 +33,21 @@ int main() {
   std::printf("catalog graph: n=%u m=%llu\n", graph.n(),
               static_cast<unsigned long long>(graph.m()));
 
-  PRSimOptions prsim_options;
-  prsim_options.eps = 0.05;
-  prsim_options.seed = 1;
-  PRSim prsim(graph, prsim_options);
+  // Both engines come from the registry with the same parameter string —
+  // the uniform construction path the comparison machinery relies on.
+  const EngineRegistry& registry = EngineRegistry::Global();
+  auto prsim_result = registry.Create("prsim", graph, "eps=0.05,seed=1");
+  prsim_result.status().Abort();
+  SingleSourceSimRank& prsim = *prsim_result.ValueOrDie();
   WallTimer preprocess_timer;
   prsim.Preprocess().Abort();
   std::printf("PRSim preprocessing: %.2fs, index %.1f MB\n",
               preprocess_timer.Seconds(), prsim.IndexBytes() / 1e6);
 
-  ProbeSimOptions probe_options;
-  probe_options.eps = 0.05;
-  probe_options.seed = 1;
-  ProbeSim probe(graph, probe_options);
+  auto probe_result = registry.Create("probesim", graph, "eps=0.05,seed=1");
+  probe_result.status().Abort();
+  SingleSourceSimRank& probe = *probe_result.ValueOrDie();
+  probe.Preprocess().Abort();
 
   double prsim_seconds = 0, probe_seconds = 0;
   double overlap_sum = 0;

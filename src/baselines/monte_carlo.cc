@@ -23,16 +23,35 @@ double MonteCarloSimRank::EstimatePair(NodeId u, NodeId v) {
   return walker_.EstimateSimRank(u, v, options_.samples, rng_);
 }
 
+double MonteCarloSimRank::QueryPair(NodeId u, NodeId v) {
+  PRSIM_CHECK(u < graph_.n() && v < graph_.n());
+  cost_ = QueryCost{};
+  if (u == v) return 1.0;
+  cost_.meeting_tests = options_.samples;
+  cost_.walks = 2 * options_.samples;
+  return EstimatePair(u, v);
+}
+
+std::unique_ptr<SingleSourceSimRank> MonteCarloSimRank::CloneWithSeed(
+    uint64_t seed) const {
+  MonteCarloOptions options = options_;
+  options.seed = seed;
+  return std::make_unique<MonteCarloSimRank>(graph_, options);
+}
+
 ScoreList MonteCarloSimRank::Query(NodeId u) {
   PRSIM_CHECK(u < graph_.n());
+  cost_ = QueryCost{};
   ScoreList out;
   out.reserve(64);
   for (NodeId v = 0; v < graph_.n(); ++v) {
     if (v == u) continue;
     const double estimate =
         walker_.EstimateSimRank(u, v, options_.samples, rng_);
+    cost_.meeting_tests += options_.samples;
     if (estimate > 0) out.emplace_back(v, estimate);
   }
+  cost_.walks = 2 * cost_.meeting_tests;
   out.emplace_back(u, 1.0);
   return out;
 }

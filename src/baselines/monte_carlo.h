@@ -32,9 +32,22 @@ class MonteCarloSimRank : public SingleSourceSimRank {
   MonteCarloSimRank(const Graph& graph, const MonteCarloOptions& options);
 
   std::string name() const override { return "MonteCarlo"; }
+  NodeId node_count() const override { return graph_.n(); }
 
   /// O(n * samples): estimates s(u, v) for every v by pairing fresh walks.
   ScoreList Query(NodeId u) override;
+
+  /// Native pair estimator: O(samples) instead of a full O(n * samples)
+  /// single-source query.
+  double QueryPair(NodeId u, NodeId v) override;
+
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const override;
+  uint64_t seed() const override { return options_.seed; }
+  void Reseed(uint64_t seed) override {
+    options_.seed = seed;
+    rng_.Reseed(seed);
+  }
 
   /// Pairwise estimate of s(u, v).
   double EstimatePair(NodeId u, NodeId v);

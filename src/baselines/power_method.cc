@@ -19,8 +19,8 @@ Status PowerMethodSimRank::Preprocess() {
   }
   const size_t n = n_;
   const double c = options_.c;
-  matrix_.assign(n * n, 0.0);
-  for (size_t u = 0; u < n; ++u) matrix_[u * n + u] = 1.0;
+  std::vector<double> matrix(n * n, 0.0);
+  for (size_t u = 0; u < n; ++u) matrix[u * n + u] = 1.0;
 
   std::vector<double> half(n * n);  // M1(u, v) = avg_{u' in I(u)} S(u', v)
   std::vector<double> next(n * n);
@@ -36,7 +36,7 @@ Status PowerMethodSimRank::Preprocess() {
       }
       std::fill(out_row, out_row + n, 0.0);
       for (NodeId up : ins) {
-        const double* in_row = &matrix_[static_cast<size_t>(up) * n];
+        const double* in_row = &matrix[static_cast<size_t>(up) * n];
         for (size_t v = 0; v < n; ++v) out_row[v] += in_row[v];
       }
       const double inv = 1.0 / static_cast<double>(ins.size());
@@ -63,16 +63,19 @@ Status PowerMethodSimRank::Preprocess() {
         out_row[v] = c * sum / static_cast<double>(ins.size());
       }
     });
-    matrix_.swap(next);
+    matrix.swap(next);
   }
+  matrix_ = std::make_shared<const std::vector<double>>(std::move(matrix));
   return Status::OK();
 }
 
 ScoreList PowerMethodSimRank::Query(NodeId u) {
   PRSIM_CHECK(preprocessed()) << "call Preprocess() before Query()";
   PRSIM_CHECK(u < n_);
+  cost_ = QueryCost{};
+  cost_.index_tuples_read = n_;
   ScoreList out;
-  const double* row = &matrix_[static_cast<size_t>(u) * n_];
+  const double* row = matrix_->data() + static_cast<size_t>(u) * n_;
   for (NodeId v = 0; v < n_; ++v) {
     if (row[v] > 0) out.emplace_back(v, row[v]);
   }

@@ -35,6 +35,7 @@ class PowerMethodSimRank : public SingleSourceSimRank {
   PowerMethodSimRank(const Graph& graph, const PowerMethodOptions& options);
 
   std::string name() const override { return "PowerMethod"; }
+  NodeId node_count() const override { return graph_.n(); }
 
   /// Materializes the full SimRank matrix.
   Status Preprocess() override;
@@ -42,23 +43,43 @@ class PowerMethodSimRank : public SingleSourceSimRank {
   /// Returns the exact row s(u, .), including zero-suppressed entries.
   ScoreList Query(NodeId u) override;
 
+  /// Native pair estimator: an O(1) matrix lookup.
+  double QueryPair(NodeId u, NodeId v) override {
+    PRSIM_CHECK(preprocessed()) << "call Preprocess() before QueryPair()";
+    PRSIM_CHECK(u < n_ && v < n_);
+    cost_ = QueryCost{};
+    cost_.index_tuples_read = 1;
+    return SimRank(u, v);
+  }
+
+  /// The method is deterministic, so the seed is ignored; the clone shares
+  /// the immutable materialized matrix (O(1)) and answers without
+  /// re-running Preprocess().
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t /*seed*/) const override {
+    auto clone = std::make_unique<PowerMethodSimRank>(graph_, options_);
+    clone->matrix_ = matrix_;
+    return clone;
+  }
+
   size_t IndexBytes() const override {
-    return matrix_.size() * sizeof(double);
+    return matrix_ == nullptr ? 0 : matrix_->size() * sizeof(double);
   }
   bool IsIndexBased() const override { return true; }
 
   /// Exact pairwise lookup (Preprocess must have run).
   double SimRank(NodeId u, NodeId v) const {
-    return matrix_[static_cast<size_t>(u) * n_ + v];
+    return (*matrix_)[static_cast<size_t>(u) * n_ + v];
   }
 
-  bool preprocessed() const { return !matrix_.empty(); }
+  bool preprocessed() const { return matrix_ != nullptr; }
 
  private:
   const Graph& graph_;
   PowerMethodOptions options_;
   NodeId n_;
-  std::vector<double> matrix_;  // row-major n x n
+  /// Row-major n x n matrix; immutable once built, shared across clones.
+  std::shared_ptr<const std::vector<double>> matrix_;
 };
 
 }  // namespace prsim

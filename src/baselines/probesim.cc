@@ -51,6 +51,8 @@ void ProbeSim::Probe(NodeId w, uint32_t level,
 
 ScoreList ProbeSim::Query(NodeId u) {
   PRSIM_CHECK(u < graph_.n());
+  cost_ = QueryCost{};
+  cost_.walks = samples_;
   FlatHashMap<double> scores(1024);
   std::vector<NodeId> trajectory;
   trajectory.reserve(16);
@@ -69,6 +71,7 @@ ScoreList ProbeSim::Query(NodeId u) {
       trajectory.push_back(pos);
     }
     for (uint32_t level = 1; level < trajectory.size(); ++level) {
+      ++cost_.backward_walks;
       Probe(trajectory[level], level, trajectory, scores);
     }
   }

@@ -40,8 +40,21 @@ class ProbeSim : public SingleSourceSimRank {
   ProbeSim(const Graph& graph, const ProbeSimOptions& options);
 
   std::string name() const override { return "ProbeSim"; }
+  NodeId node_count() const override { return graph_.n(); }
 
   ScoreList Query(NodeId u) override;
+
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const override {
+    ProbeSimOptions options = options_;
+    options.seed = seed;
+    return std::make_unique<ProbeSim>(graph_, options);
+  }
+  uint64_t seed() const override { return options_.seed; }
+  void Reseed(uint64_t seed) override {
+    options_.seed = seed;
+    rng_.Reseed(seed);
+  }
 
   uint64_t samples() const { return samples_; }
 

@@ -28,9 +28,9 @@ Status Reads::Preprocess() {
         "READS: expected index entries exceed budget");
   }
 
-  traj_off_.assign(static_cast<size_t>(n) * r + 1, 0);
-  traj_pos_.clear();
-  buckets_.assign(static_cast<size_t>(r) * t, {});
+  StoredWalks walks;
+  walks.traj_off.assign(static_cast<size_t>(n) * r + 1, 0);
+  walks.buckets.assign(static_cast<size_t>(r) * t, {});
 
   // Sample and store r truncated sqrt(c)-walks per node. Trajectories hold
   // positions for steps 1..len (step 0 is the source itself).
@@ -42,34 +42,34 @@ Status Reads::Preprocess() {
         const uint32_t din = graph_.InDegree(pos);
         if (din == 0) break;
         pos = graph_.InNeighborAt(pos, rng_.NextIndex(din));
-        traj_pos_.push_back(pos);
-        buckets_[static_cast<size_t>(j) * t + (i - 1)].push_back({pos, v});
+        walks.traj_pos.push_back(pos);
+        walks.buckets[static_cast<size_t>(j) * t + (i - 1)].push_back(
+            {pos, v});
       }
-      traj_off_[static_cast<size_t>(v) * r + j + 1] =
-          static_cast<uint32_t>(traj_pos_.size());
+      walks.traj_off[static_cast<size_t>(v) * r + j + 1] =
+          static_cast<uint32_t>(walks.traj_pos.size());
     }
   }
-  if (traj_pos_.size() > options_.max_index_entries) {
-    traj_off_.clear();
-    traj_pos_.clear();
-    buckets_.clear();
+  if (walks.traj_pos.size() > options_.max_index_entries) {
     return Status::ResourceExhausted("READS: index entries exceed budget");
   }
-  for (auto& bucket : buckets_) {
+  for (auto& bucket : walks.buckets) {
     std::sort(bucket.begin(), bucket.end(),
               [](const Occurrence& a, const Occurrence& b) {
                 return a.node < b.node;
               });
   }
+  index_ = std::make_shared<const StoredWalks>(std::move(walks));
   meet_epoch_.assign(n, 0);
   epoch_ = 0;
-  preprocessed_ = true;
   return Status::OK();
 }
 
 ScoreList Reads::Query(NodeId u) {
-  PRSIM_CHECK(preprocessed_) << "call Preprocess() before Query()";
+  PRSIM_CHECK(index_ != nullptr) << "call Preprocess() before Query()";
   PRSIM_CHECK(u < graph_.n());
+  cost_ = QueryCost{};
+  const StoredWalks& walks = *index_;
   const uint32_t r = options_.r;
   const uint32_t t = options_.t;
   const double inv_r = 1.0 / static_cast<double>(r);
@@ -77,16 +77,17 @@ ScoreList Reads::Query(NodeId u) {
 
   for (uint32_t j = 0; j < r; ++j) {
     ++epoch_;  // one epoch per sample: a v meeting at several steps counts once
-    const uint32_t begin = traj_off_[static_cast<size_t>(u) * r + j];
-    const uint32_t end = traj_off_[static_cast<size_t>(u) * r + j + 1];
+    const uint32_t begin = walks.traj_off[static_cast<size_t>(u) * r + j];
+    const uint32_t end = walks.traj_off[static_cast<size_t>(u) * r + j + 1];
     for (uint32_t i = 0; i < end - begin && i < t; ++i) {
-      const NodeId x = traj_pos_[begin + i];
-      const auto& bucket = buckets_[static_cast<size_t>(j) * t + i];
+      const NodeId x = walks.traj_pos[begin + i];
+      const auto& bucket = walks.buckets[static_cast<size_t>(j) * t + i];
       // All sources whose walk j is also at x at step i + 1.
       auto lo = std::lower_bound(
           bucket.begin(), bucket.end(), x,
           [](const Occurrence& occ, NodeId node) { return occ.node < node; });
       for (; lo != bucket.end() && lo->node == x; ++lo) {
+        ++cost_.index_tuples_read;
         const NodeId v = lo->source;
         if (v == u) continue;
         if (meet_epoch_[v] == epoch_) continue;  // already met this sample
@@ -106,9 +107,10 @@ ScoreList Reads::Query(NodeId u) {
 }
 
 size_t Reads::IndexBytes() const {
-  size_t bytes = traj_off_.size() * sizeof(uint32_t) +
-                 traj_pos_.size() * sizeof(NodeId);
-  for (const auto& bucket : buckets_) {
+  if (index_ == nullptr) return 0;
+  size_t bytes = index_->traj_off.size() * sizeof(uint32_t) +
+                 index_->traj_pos.size() * sizeof(NodeId);
+  for (const auto& bucket : index_->buckets) {
     bytes += bucket.size() * sizeof(Occurrence);
   }
   return bytes;

@@ -39,9 +39,28 @@ class Reads : public SingleSourceSimRank {
   Reads(const Graph& graph, const ReadsOptions& options);
 
   std::string name() const override { return "READS"; }
+  NodeId node_count() const override { return graph_.n(); }
 
   Status Preprocess() override;
   ScoreList Query(NodeId u) override;
+
+  /// The stored-walk index is immutable after Preprocess(), so the clone
+  /// shares it in O(1) (queries are index joins; the seed only matters at
+  /// build time). Per-query scratch stays per instance.
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const override {
+    ReadsOptions options = options_;
+    options.seed = seed;
+    auto clone = std::make_unique<Reads>(graph_, options);
+    clone->index_ = index_;
+    if (clone->index_ != nullptr) clone->meet_epoch_.assign(graph_.n(), 0);
+    return clone;
+  }
+  uint64_t seed() const override { return options_.seed; }
+  void Reseed(uint64_t seed) override {
+    options_.seed = seed;
+    rng_.Reseed(seed);
+  }
 
   size_t IndexBytes() const override;
   bool IsIndexBased() const override { return true; }
@@ -54,19 +73,23 @@ class Reads : public SingleSourceSimRank {
     NodeId source;
   };
 
+  /// The immutable stored-walk index, shared across clones.
+  ///
+  /// walk_pos_[(j * n + v) * t + i] would be too large, so walks are stored
+  /// per (j, step) in the inverted table only, plus a compact per-source
+  /// trajectory for the query node side: packed positions with offsets.
+  struct StoredWalks {
+    std::vector<uint32_t> traj_off;  // (n * r + 1) offsets
+    std::vector<NodeId> traj_pos;    // concatenated positions, steps 1..len
+    /// Inverted table: bucket (j, i) -> occurrences sorted by node.
+    std::vector<std::vector<Occurrence>> buckets;  // size r * t
+  };
+
   const Graph& graph_;
   ReadsOptions options_;
   Rng rng_;
-  bool preprocessed_ = false;
+  std::shared_ptr<const StoredWalks> index_;
 
-  /// walks_[j] holds u-side walk positions: walk_pos_[(j * n + v) * t + i]
-  /// would be too large, so walks are stored per (j, step) in the inverted
-  /// table only, plus a compact per-source trajectory for the query node
-  /// side: trajectories_[v] packed positions with offsets.
-  std::vector<uint32_t> traj_off_;   // (n * r + 1) offsets
-  std::vector<NodeId> traj_pos_;     // concatenated positions, steps 1..len
-  /// Inverted table: bucket (j, i) -> occurrences sorted by node.
-  std::vector<std::vector<Occurrence>> buckets_;  // size r * t
   std::vector<uint32_t> meet_epoch_;  // scratch: first-meeting dedup
   uint32_t epoch_ = 0;
 };

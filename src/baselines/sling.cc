@@ -28,12 +28,13 @@ Status Sling::Preprocess() {
       options_.alpha_eta * log_factor / (options_.eps * options_.eps)));
   eta_samples = std::min(std::max<uint64_t>(eta_samples, 100),
                          options_.max_eta_samples);
-  eta_.assign(n, 1.0);
+  Index index;
+  index.eta.assign(n, 1.0);
   ParallelFor(
       0, n,
       [&](size_t w) {
         Rng rng(options_.seed ^ (0x9e3779b97f4a7c15ULL * (w + 1)));
-        eta_[w] =
+        index.eta[w] =
             walker_.EstimateEta(static_cast<NodeId>(w), eta_samples, rng);
       },
       options_.threads);
@@ -49,7 +50,7 @@ Status Sling::Preprocess() {
   search.max_level = options_.max_level;
   search.keep_threshold = term * options_.eps / 4.0;
 
-  source_index_.assign(n, {});
+  index.source_index.assign(n, {});
   // Per-target results are collected serially per chunk under a mutex to
   // keep memory accounting exact; backward searches dominate the cost.
   std::mutex mu;
@@ -74,42 +75,42 @@ Status Sling::Preprocess() {
           total_tuples += reserves.size();
           const uint64_t key =
               PackNodeLevel(static_cast<NodeId>(w), level);
-          TargetList& list = target_lists_[key];
-          list.begin = target_payload_.size();
+          TargetList& list = index.target_lists[key];
+          list.begin = index.target_payload.size();
           for (const auto& [v, psi] : reserves) {
             const float h = psi / static_cast<float>(term);
-            target_payload_.emplace_back(v, h);
-            source_index_[v].push_back(
+            index.target_payload.emplace_back(v, h);
+            index.source_index[v].push_back(
                 {static_cast<NodeId>(w), level, h});
           }
-          list.end = target_payload_.size();
+          list.end = index.target_payload.size();
         }
         if (total_tuples > options_.max_index_tuples) exhausted = true;
       },
       threads);
   if (exhausted) {
-    eta_.clear();
-    source_index_.clear();
-    target_payload_.clear();
     return Status::ResourceExhausted(
         "SLING: index exceeds max_index_tuples = " +
         std::to_string(options_.max_index_tuples));
   }
-  preprocessed_ = true;
+  index_ = std::make_shared<const Index>(std::move(index));
   return Status::OK();
 }
 
 ScoreList Sling::Query(NodeId u) {
-  PRSIM_CHECK(preprocessed_) << "call Preprocess() before Query()";
+  PRSIM_CHECK(index_ != nullptr) << "call Preprocess() before Query()";
   PRSIM_CHECK(u < graph_.n());
+  cost_ = QueryCost{};
+  const Index& index = *index_;
   FlatHashMap<double> scores(1024);
-  for (const SourceEntry& entry : source_index_[u]) {
+  for (const SourceEntry& entry : index.source_index[u]) {
     const uint64_t key = PackNodeLevel(entry.w, entry.level);
-    const TargetList* list = target_lists_.Find(key);
+    const TargetList* list = index.target_lists.Find(key);
     if (list == nullptr) continue;
-    const double lhs = static_cast<double>(entry.h) * eta_[entry.w];
+    cost_.index_tuples_read += list->end - list->begin;
+    const double lhs = static_cast<double>(entry.h) * index.eta[entry.w];
     for (uint64_t i = list->begin; i < list->end; ++i) {
-      const auto& [v, h] = target_payload_[i];
+      const auto& [v, h] = index.target_payload[i];
       scores[v] += lhs * static_cast<double>(h);
     }
   }
@@ -124,12 +125,13 @@ ScoreList Sling::Query(NodeId u) {
 }
 
 size_t Sling::IndexBytes() const {
-  size_t bytes = eta_.size() * sizeof(double);
-  for (const auto& entries : source_index_) {
+  if (index_ == nullptr) return 0;
+  size_t bytes = index_->eta.size() * sizeof(double);
+  for (const auto& entries : index_->source_index) {
     bytes += entries.size() * sizeof(SourceEntry);
   }
-  bytes += target_lists_.MemoryBytes();
-  bytes += target_payload_.size() * sizeof(std::pair<NodeId, float>);
+  bytes += index_->target_lists.MemoryBytes();
+  bytes += index_->target_payload.size() * sizeof(std::pair<NodeId, float>);
   return bytes;
 }
 

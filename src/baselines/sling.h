@@ -50,15 +50,29 @@ class Sling : public SingleSourceSimRank {
   Sling(const Graph& graph, const SlingOptions& options);
 
   std::string name() const override { return "SLING"; }
+  NodeId node_count() const override { return graph_.n(); }
 
   Status Preprocess() override;
   ScoreList Query(NodeId u) override;
 
+  /// Queries are deterministic index joins over an immutable index, so the
+  /// clone shares it in O(1) (the seed only enters eta estimation at build
+  /// time).
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const override {
+    SlingOptions options = options_;
+    options.seed = seed;
+    auto clone = std::make_unique<Sling>(graph_, options);
+    clone->index_ = index_;
+    return clone;
+  }
+  uint64_t seed() const override { return options_.seed; }
+
   size_t IndexBytes() const override;
   bool IsIndexBased() const override { return true; }
 
-  double eta(NodeId w) const { return eta_[w]; }
-  bool preprocessed() const { return preprocessed_; }
+  double eta(NodeId w) const { return index_->eta[w]; }
+  bool preprocessed() const { return index_ != nullptr; }
 
  private:
   // Source-major view: for query node u, all (level, w, h_l(u, w)).
@@ -73,16 +87,18 @@ class Sling : public SingleSourceSimRank {
     uint64_t begin = 0;
     uint64_t end = 0;
   };
+  /// The immutable built index, shared across clones.
+  struct Index {
+    std::vector<double> eta;
+    std::vector<std::vector<SourceEntry>> source_index;
+    FlatHashMap<TargetList> target_lists{1024};
+    std::vector<std::pair<NodeId, float>> target_payload;
+  };
 
   const Graph& graph_;
   SlingOptions options_;
   Walker walker_;
-  bool preprocessed_ = false;
-
-  std::vector<double> eta_;
-  std::vector<std::vector<SourceEntry>> source_index_;
-  FlatHashMap<TargetList> target_lists_{1024};
-  std::vector<std::pair<NodeId, float>> target_payload_;
+  std::shared_ptr<const Index> index_;
 };
 
 }  // namespace prsim

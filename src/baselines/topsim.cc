@@ -33,6 +33,7 @@ std::vector<std::pair<NodeId, double>> TopSim::TrimFrontier(
 
 ScoreList TopSim::Query(NodeId u) {
   PRSIM_CHECK(u < graph_.n());
+  cost_ = QueryCost{};  // deterministic truncated enumeration: no sampling
   const double c = options_.c;
   FlatHashMap<double> scores(1024);
 

@@ -42,8 +42,21 @@ class TopSim : public SingleSourceSimRank {
   TopSim(const Graph& graph, const TopSimOptions& options);
 
   std::string name() const override { return "TopSim"; }
+  NodeId node_count() const override { return graph_.n(); }
 
   ScoreList Query(NodeId u) override;
+
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const override {
+    TopSimOptions options = options_;
+    options.seed = seed;
+    return std::make_unique<TopSim>(graph_, options);
+  }
+  uint64_t seed() const override { return options_.seed; }
+  void Reseed(uint64_t seed) override {
+    options_.seed = seed;
+    rng_.Reseed(seed);
+  }
 
  private:
   /// Keeps the `width` heaviest entries of a frontier map, dropping the rest.

@@ -21,26 +21,29 @@ Status Tsf::Preprocess() {
         "TSF: index of " + std::to_string(entries) +
         " parent pointers exceeds budget");
   }
-  parents_.resize(entries);
+  std::vector<NodeId> parents(entries);
   for (uint32_t g = 0; g < options_.rg; ++g) {
-    NodeId* slice = &parents_[static_cast<uint64_t>(g) * n];
+    NodeId* slice = &parents[static_cast<uint64_t>(g) * n];
     for (NodeId v = 0; v < n; ++v) {
       const uint32_t din = graph_.InDegree(v);
       slice[v] =
           din == 0 ? kNoParent : graph_.InNeighborAt(v, rng_.NextIndex(din));
     }
   }
-  preprocessed_ = true;
+  parents_ = std::make_shared<const std::vector<NodeId>>(std::move(parents));
   return Status::OK();
 }
 
 ScoreList Tsf::Query(NodeId u) {
-  PRSIM_CHECK(preprocessed_) << "call Preprocess() before Query()";
+  PRSIM_CHECK(parents_ != nullptr) << "call Preprocess() before Query()";
   PRSIM_CHECK(u < graph_.n());
   const NodeId n = graph_.n();
   const double c = options_.c;
   const double inv_norm =
       1.0 / (static_cast<double>(options_.rg) * options_.rq);
+  cost_ = QueryCost{};
+  cost_.walks =
+      static_cast<uint64_t>(options_.rg) * static_cast<uint64_t>(options_.rq);
   FlatHashMap<double> scores(1024);
 
   child_off_.assign(n + 1, 0);
@@ -48,7 +51,7 @@ ScoreList Tsf::Query(NodeId u) {
   std::vector<NodeId> walk(options_.depth + 1);
 
   for (uint32_t g = 0; g < options_.rg; ++g) {
-    const NodeId* parent = &parents_[static_cast<uint64_t>(g) * n];
+    const NodeId* parent = parents_->data() + static_cast<uint64_t>(g) * n;
     // Invert the parent pointers of this one-way graph into child lists so
     // "which nodes are i steps above x" is a BFS down the child CSR.
     std::fill(child_off_.begin(), child_off_.end(), 0);
@@ -106,6 +109,8 @@ ScoreList Tsf::Query(NodeId u) {
   return out;
 }
 
-size_t Tsf::IndexBytes() const { return parents_.size() * sizeof(NodeId); }
+size_t Tsf::IndexBytes() const {
+  return parents_ == nullptr ? 0 : parents_->size() * sizeof(NodeId);
+}
 
 }  // namespace prsim

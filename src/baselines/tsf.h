@@ -40,9 +40,26 @@ class Tsf : public SingleSourceSimRank {
   Tsf(const Graph& graph, const TsfOptions& options);
 
   std::string name() const override { return "TSF"; }
+  NodeId node_count() const override { return graph_.n(); }
 
   Status Preprocess() override;
   ScoreList Query(NodeId u) override;
+
+  /// The clone shares the immutable one-way-graph index in O(1) and reseeds
+  /// the query-time walk sampler (query scratch is rebuilt per query).
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const override {
+    TsfOptions options = options_;
+    options.seed = seed;
+    auto clone = std::make_unique<Tsf>(graph_, options);
+    clone->parents_ = parents_;
+    return clone;
+  }
+  uint64_t seed() const override { return options_.seed; }
+  void Reseed(uint64_t seed) override {
+    options_.seed = seed;
+    rng_.Reseed(seed);
+  }
 
   size_t IndexBytes() const override;
   bool IsIndexBased() const override { return true; }
@@ -53,10 +70,10 @@ class Tsf : public SingleSourceSimRank {
   const Graph& graph_;
   TsfOptions options_;
   Rng rng_;
-  bool preprocessed_ = false;
 
-  /// parents_[g * n + v] = sampled in-neighbor of v in one-way graph g.
-  std::vector<NodeId> parents_;
+  /// (*parents_)[g * n + v] = sampled in-neighbor of v in one-way graph g.
+  /// Immutable once built, shared across clones.
+  std::shared_ptr<const std::vector<NodeId>> parents_;
 
   // Scratch reused across queries: child CSR of one one-way graph.
   std::vector<uint32_t> child_off_;

@@ -1,26 +1,84 @@
-// Parallel batch querying over a shared PRSim index.
+// Parallel batch querying over any registry engine.
 //
-// PRSim queries are independent given the (immutable) hub index, so a batch
-// of single-source queries parallelizes perfectly: one PRSim engine per
-// worker, all sharing the leader's index via ShareIndexFrom, deterministic
-// per-query seeds derived from the leader's options.
+// Single-source queries are independent given an (immutable) index, so a
+// batch parallelizes perfectly: one engine clone per worker, minted through
+// CloneWithSeed (every index-based engine shares its immutable built index
+// with clones via shared_ptr — PRSim's ShareIndexFrom fast path, generalized)
+// with deterministic per-query seeds derived from the leader's seed and the
+// query's position.
 
 #ifndef PRSIM_CORE_BATCH_QUERY_H_
 #define PRSIM_CORE_BATCH_QUERY_H_
 
+#include <algorithm>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/prsim.h"
+#include "core/single_source.h"
 #include "util/parallel.h"
 
 namespace prsim {
 
+namespace internal {
+/// Deterministic per-query seed: depends only on (base seed, position), so
+/// batch results are independent of the thread count and chunking. The
+/// constant is the 64-bit golden-ratio increment.
+inline uint64_t BatchQuerySeed(uint64_t base_seed, size_t position) {
+  return base_seed ^ (0x9e3779b97f4a7c15ULL * (position + 1));
+}
+}  // namespace internal
+
 /// Answers one single-source query per entry of `sources`, using up to
 /// `threads` workers (0 = hardware concurrency). `leader` must be
 /// preprocessed; it is not modified. Results are positionally aligned with
-/// `sources`, and each query's seed depends only on (leader seed, position),
-/// so results are independent of the thread count.
+/// `sources`. One clone is minted per worker (cloning is O(1) — the built
+/// index is shared — but per-query cloning would still churn allocations),
+/// and Reseed() makes each query a pure function of (leader seed, position),
+/// so results are independent of the thread count and chunking. For PRSim
+/// leaders the per-query seeds are
+/// bit-identical to the historical positional-seed scheme, so results match
+/// the PRSim-specific overload below exactly.
+inline std::vector<ScoreList> BatchQuery(const SingleSourceSimRank& leader,
+                                         const std::vector<NodeId>& sources,
+                                         size_t threads = 0) {
+  if (sources.empty()) return {};
+  if (threads == 0) threads = DefaultThreadCount();
+  threads = std::max<size_t>(1, std::min(threads, sources.size()));
+
+  std::vector<ScoreList> results(sources.size());
+  const auto run_chunk = [&](size_t lo, size_t hi) {
+    std::unique_ptr<SingleSourceSimRank> engine =
+        leader.CloneWithSeed(leader.seed());
+    PRSIM_CHECK(engine != nullptr)
+        << leader.name() << " returned a null CloneWithSeed()";
+    for (size_t i = lo; i < hi; ++i) {
+      engine->Reseed(internal::BatchQuerySeed(leader.seed(), i));
+      results[i] = engine->Query(sources[i]);
+    }
+  };
+  if (threads == 1) {
+    run_chunk(0, sources.size());
+    return results;
+  }
+  // Static contiguous chunks, mirroring ParallelFor.
+  const size_t chunk = (sources.size() + threads - 1) / threads;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t lo = t * chunk;
+    const size_t hi = std::min(sources.size(), lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back([&run_chunk, lo, hi] { run_chunk(lo, hi); });
+  }
+  for (auto& w : workers) w.join();
+  return results;
+}
+
+/// PRSim-specific overload keeping the original signature: `options` lets
+/// callers batch with query options that differ from the leader's (the index
+/// is reused either way through ShareIndexFrom).
 inline std::vector<ScoreList> BatchQuery(const Graph& graph,
                                          const PRSim& leader,
                                          const PRSimOptions& options,
@@ -34,11 +92,8 @@ inline std::vector<ScoreList> BatchQuery(const Graph& graph,
   ParallelFor(
       0, sources.size(),
       [&](size_t i) {
-        // Engine construction without Preprocess is cheap (no index build);
-        // a per-query deterministic reseed keeps results independent of the
-        // thread count and chunking.
         PRSimOptions per_query = options;
-        per_query.seed = options.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+        per_query.seed = internal::BatchQuerySeed(options.seed, i);
         PRSim engine(graph, per_query);
         engine.ShareIndexFrom(leader);
         results[i] = engine.Query(sources[i]);

@@ -1,0 +1,196 @@
+#include "core/engine_config.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace prsim {
+
+Result<EngineConfig> EngineConfig::Parse(const std::string& text) {
+  EngineConfig config;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string segment = text.substr(start, end - start);
+    start = end + 1;
+    if (segment.empty()) continue;  // tolerate "a=1,,b=2" and trailing commas
+    const size_t eq = segment.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("config segment '" + segment +
+                                     "' is not of the form key=value");
+    }
+    PRSIM_RETURN_NOT_OK(
+        config.Set(segment.substr(0, eq), segment.substr(eq + 1)));
+  }
+  return config;
+}
+
+Status EngineConfig::Set(const std::string& key, std::string value) {
+  if (Find(key) != nullptr) {
+    return Status::InvalidArgument("duplicate config key: " + key);
+  }
+  entries_.emplace_back(key, std::move(value));
+  return Status::OK();
+}
+
+void EngineConfig::SetOrReplace(const std::string& key, std::string value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+const std::string* EngineConfig::Find(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Status EngineConfig::GetDouble(const std::string& key, double* out) const {
+  const std::string* raw = Find(key);
+  if (raw == nullptr) return Status::OK();
+  char* end = nullptr;
+  const double value = std::strtod(raw->c_str(), &end);
+  // Non-finite values are rejected outright: "inf" would pass the > 0 range
+  // checks and then hit undefined float-to-integer casts in sample-count
+  // derivations like dr = ceil(alpha / eps^2).
+  if (raw->empty() || end == raw->c_str() || *end != '\0' ||
+      !std::isfinite(value)) {
+    return Status::InvalidArgument("config key '" + key +
+                                   "': malformed number '" + *raw + "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status EngineConfig::GetUint64(const std::string& key, uint64_t* out) const {
+  const std::string* raw = Find(key);
+  if (raw == nullptr) return Status::OK();
+  // Strictly digits only: strtoull alone would skip leading whitespace and
+  // wrap negatives (" -1" -> 2^64 - 1), silently disabling budget guards.
+  if (raw->empty() ||
+      raw->find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("config key '" + key +
+                                   "': malformed unsigned integer '" + *raw +
+                                   "'");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const uint64_t value = std::strtoull(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("config key '" + key +
+                                   "': malformed unsigned integer '" + *raw +
+                                   "'");
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status EngineConfig::GetUint32(const std::string& key, uint32_t* out) const {
+  uint64_t value = *out;
+  PRSIM_RETURN_NOT_OK(GetUint64(key, &value));
+  if (value > UINT32_MAX) {
+    return Status::InvalidArgument("config key '" + key + "': value " +
+                                   std::to_string(value) +
+                                   " exceeds 32-bit range");
+  }
+  *out = static_cast<uint32_t>(value);
+  return Status::OK();
+}
+
+Status EngineConfig::GetSize(const std::string& key, size_t* out) const {
+  uint64_t value = *out;
+  PRSIM_RETURN_NOT_OK(GetUint64(key, &value));
+  *out = static_cast<size_t>(value);
+  return Status::OK();
+}
+
+Status EngineConfig::GetBool(const std::string& key, bool* out) const {
+  const std::string* raw = Find(key);
+  if (raw == nullptr) return Status::OK();
+  if (*raw == "true" || *raw == "1") {
+    *out = true;
+    return Status::OK();
+  }
+  if (*raw == "false" || *raw == "0") {
+    *out = false;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("config key '" + key +
+                                 "': expected true/false/1/0, got '" + *raw +
+                                 "'");
+}
+
+Status EngineConfig::GetPositiveDouble(const std::string& key,
+                                       double* out) const {
+  double value = *out;
+  PRSIM_RETURN_NOT_OK(GetDouble(key, &value));
+  if (Find(key) != nullptr && !(value > 0)) {
+    return Status::InvalidArgument("config key '" + key +
+                                   "': must be > 0, got " +
+                                   std::to_string(value));
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status EngineConfig::GetOpenInterval(const std::string& key, double lo,
+                                     double hi, double* out) const {
+  double value = *out;
+  PRSIM_RETURN_NOT_OK(GetDouble(key, &value));
+  if (Find(key) != nullptr && !(value > lo && value < hi)) {
+    return Status::InvalidArgument(
+        "config key '" + key + "': must lie in (" + std::to_string(lo) +
+        ", " + std::to_string(hi) + "), got " + std::to_string(value));
+  }
+  *out = value;
+  return Status::OK();
+}
+
+Status EngineConfig::ExpectOnly(
+    std::initializer_list<const char*> allowed) const {
+  for (const auto& [key, value] : entries_) {
+    bool known = false;
+    for (const char* candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string list;
+      for (const char* candidate : allowed) {
+        if (!list.empty()) list += ", ";
+        list += candidate;
+      }
+      return Status::InvalidArgument("unknown config key '" + key +
+                                     "' (supported: " + list + ")");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> EngineConfig::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) keys.push_back(k);
+  return keys;
+}
+
+std::string EngineConfig::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : entries_) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace prsim

@@ -1,0 +1,78 @@
+// Typed key/value configuration for engine construction.
+//
+// EngineConfig is the single currency the engine registry trades in: a flat
+// bag of string key/value pairs ("c", "eps", "samples", ...) parsed from the
+// CLI's "k=v,k=v" syntax or assembled programmatically, with typed accessors
+// that validate on read. Each registry factory maps the keys it understands
+// onto its options struct and rejects everything else, so a typo like
+// "epps=0.1" is an error instead of a silently ignored knob.
+
+#ifndef PRSIM_CORE_ENGINE_CONFIG_H_
+#define PRSIM_CORE_ENGINE_CONFIG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prsim {
+
+class EngineConfig {
+ public:
+  EngineConfig() = default;
+
+  /// Parses "k=v,k=v,..." (empty string = empty config). Errors on segments
+  /// without '=', empty keys, and duplicate keys.
+  static Result<EngineConfig> Parse(const std::string& text);
+
+  /// Adds a key; errors if the key is already present.
+  Status Set(const std::string& key, std::string value);
+
+  /// Adds or overwrites a key (used by callers layering explicit flags on
+  /// top of a parsed --params string).
+  void SetOrReplace(const std::string& key, std::string value);
+
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+  bool empty() const { return entries_.empty(); }
+
+  // Typed accessors. Each leaves *out untouched when the key is absent (so
+  // callers preload defaults) and returns InvalidArgument when the stored
+  // value does not parse as the requested type.
+  Status GetDouble(const std::string& key, double* out) const;
+  Status GetUint64(const std::string& key, uint64_t* out) const;
+  Status GetUint32(const std::string& key, uint32_t* out) const;
+  Status GetSize(const std::string& key, size_t* out) const;
+  /// Accepts "true"/"false"/"1"/"0".
+  Status GetBool(const std::string& key, bool* out) const;
+
+  // Range-checked convenience readers used by engine factories; `name` only
+  // shapes the error message.
+  /// Requires the value (if present) to be > 0.
+  Status GetPositiveDouble(const std::string& key, double* out) const;
+  /// Requires the value (if present) to lie strictly inside (lo, hi) — the
+  /// check used for the decay factor c and the failure probability delta.
+  Status GetOpenInterval(const std::string& key, double lo, double hi,
+                         double* out) const;
+
+  /// Errors with the offending key if the config holds any key outside
+  /// `allowed` — every factory's first line of defense.
+  Status ExpectOnly(std::initializer_list<const char*> allowed) const;
+
+  /// Keys in insertion order (for error messages and debugging).
+  std::vector<std::string> Keys() const;
+
+  /// Canonical "k=v,k=v" rendering in insertion order.
+  std::string ToString() const;
+
+ private:
+  const std::string* Find(const std::string& key) const;
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_ENGINE_CONFIG_H_

@@ -1,0 +1,259 @@
+#include "core/engine_registry.h"
+
+#include <cctype>
+
+#include "baselines/monte_carlo.h"
+#include "baselines/power_method.h"
+#include "baselines/probesim.h"
+#include "baselines/reads.h"
+#include "baselines/sling.h"
+#include "baselines/topsim.h"
+#include "baselines/tsf.h"
+#include "core/prsim.h"
+
+namespace prsim {
+
+namespace {
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& ch : out) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return out;
+}
+
+/// Requires an integer-valued key (if present) to be >= 1, so option structs
+/// whose constructors PRSIM_CHECK positivity report a clean error instead of
+/// aborting the process.
+Status GetPositiveUint32(const EngineConfig& config, const char* key,
+                         uint32_t* out) {
+  PRSIM_RETURN_NOT_OK(config.GetUint32(key, out));
+  if (config.Has(key) && *out == 0) {
+    return Status::InvalidArgument(std::string("config key '") + key +
+                                   "': must be >= 1");
+  }
+  return Status::OK();
+}
+
+using EnginePtr = std::unique_ptr<SingleSourceSimRank>;
+
+Result<EnginePtr> MakePRSim(const Graph& graph, const EngineConfig& config) {
+  PRSIM_RETURN_NOT_OK(config.ExpectOnly({"c", "eps", "delta", "j0", "alpha",
+                                         "rounds", "max_level", "threads",
+                                         "paper_constants", "seed"}));
+  PRSimOptions options;
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("c", 0.0, 1.0, &options.c));
+  PRSIM_RETURN_NOT_OK(config.GetPositiveDouble("eps", &options.eps));
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("delta", 0.0, 1.0,
+                                             &options.delta));
+  PRSIM_RETURN_NOT_OK(config.GetUint32("j0", &options.j0));
+  PRSIM_RETURN_NOT_OK(config.GetPositiveDouble("alpha", &options.alpha));
+  PRSIM_RETURN_NOT_OK(GetPositiveUint32(config, "rounds", &options.rounds));
+  PRSIM_RETURN_NOT_OK(
+      GetPositiveUint32(config, "max_level", &options.max_level));
+  PRSIM_RETURN_NOT_OK(config.GetSize("threads", &options.threads));
+  PRSIM_RETURN_NOT_OK(
+      config.GetBool("paper_constants", &options.paper_constants));
+  PRSIM_RETURN_NOT_OK(config.GetUint64("seed", &options.seed));
+  return EnginePtr(std::make_unique<PRSim>(graph, options));
+}
+
+Result<EnginePtr> MakeProbeSim(const Graph& graph,
+                               const EngineConfig& config) {
+  PRSIM_RETURN_NOT_OK(config.ExpectOnly({"c", "eps", "alpha", "seed"}));
+  ProbeSimOptions options;
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("c", 0.0, 1.0, &options.c));
+  PRSIM_RETURN_NOT_OK(config.GetPositiveDouble("eps", &options.eps));
+  PRSIM_RETURN_NOT_OK(config.GetPositiveDouble("alpha", &options.alpha));
+  PRSIM_RETURN_NOT_OK(config.GetUint64("seed", &options.seed));
+  return EnginePtr(std::make_unique<ProbeSim>(graph, options));
+}
+
+Result<EnginePtr> MakeReads(const Graph& graph, const EngineConfig& config) {
+  PRSIM_RETURN_NOT_OK(
+      config.ExpectOnly({"c", "r", "t", "max_entries", "seed"}));
+  ReadsOptions options;
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("c", 0.0, 1.0, &options.c));
+  PRSIM_RETURN_NOT_OK(GetPositiveUint32(config, "r", &options.r));
+  PRSIM_RETURN_NOT_OK(GetPositiveUint32(config, "t", &options.t));
+  PRSIM_RETURN_NOT_OK(
+      config.GetUint64("max_entries", &options.max_index_entries));
+  PRSIM_RETURN_NOT_OK(config.GetUint64("seed", &options.seed));
+  return EnginePtr(std::make_unique<Reads>(graph, options));
+}
+
+Result<EnginePtr> MakeSling(const Graph& graph, const EngineConfig& config) {
+  PRSIM_RETURN_NOT_OK(config.ExpectOnly({"c", "eps", "delta", "alpha_eta",
+                                         "max_eta_samples", "max_tuples",
+                                         "max_level", "threads", "seed"}));
+  SlingOptions options;
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("c", 0.0, 1.0, &options.c));
+  PRSIM_RETURN_NOT_OK(config.GetPositiveDouble("eps", &options.eps));
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("delta", 0.0, 1.0,
+                                             &options.delta));
+  PRSIM_RETURN_NOT_OK(
+      config.GetPositiveDouble("alpha_eta", &options.alpha_eta));
+  PRSIM_RETURN_NOT_OK(
+      config.GetUint64("max_eta_samples", &options.max_eta_samples));
+  PRSIM_RETURN_NOT_OK(
+      config.GetUint64("max_tuples", &options.max_index_tuples));
+  PRSIM_RETURN_NOT_OK(
+      GetPositiveUint32(config, "max_level", &options.max_level));
+  PRSIM_RETURN_NOT_OK(config.GetSize("threads", &options.threads));
+  PRSIM_RETURN_NOT_OK(config.GetUint64("seed", &options.seed));
+  return EnginePtr(std::make_unique<Sling>(graph, options));
+}
+
+Result<EnginePtr> MakeTopSim(const Graph& graph, const EngineConfig& config) {
+  PRSIM_RETURN_NOT_OK(config.ExpectOnly(
+      {"c", "depth", "degree_cap", "eta_prune", "width", "seed"}));
+  TopSimOptions options;
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("c", 0.0, 1.0, &options.c));
+  PRSIM_RETURN_NOT_OK(GetPositiveUint32(config, "depth", &options.depth));
+  PRSIM_RETURN_NOT_OK(
+      GetPositiveUint32(config, "degree_cap", &options.degree_cap));
+  PRSIM_RETURN_NOT_OK(
+      config.GetPositiveDouble("eta_prune", &options.eta_prune));
+  PRSIM_RETURN_NOT_OK(GetPositiveUint32(config, "width", &options.width));
+  PRSIM_RETURN_NOT_OK(config.GetUint64("seed", &options.seed));
+  return EnginePtr(std::make_unique<TopSim>(graph, options));
+}
+
+Result<EnginePtr> MakeTsf(const Graph& graph, const EngineConfig& config) {
+  PRSIM_RETURN_NOT_OK(
+      config.ExpectOnly({"c", "rg", "rq", "depth", "max_entries", "seed"}));
+  TsfOptions options;
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("c", 0.0, 1.0, &options.c));
+  PRSIM_RETURN_NOT_OK(GetPositiveUint32(config, "rg", &options.rg));
+  PRSIM_RETURN_NOT_OK(GetPositiveUint32(config, "rq", &options.rq));
+  PRSIM_RETURN_NOT_OK(GetPositiveUint32(config, "depth", &options.depth));
+  PRSIM_RETURN_NOT_OK(
+      config.GetUint64("max_entries", &options.max_index_entries));
+  PRSIM_RETURN_NOT_OK(config.GetUint64("seed", &options.seed));
+  return EnginePtr(std::make_unique<Tsf>(graph, options));
+}
+
+Result<EnginePtr> MakeMonteCarlo(const Graph& graph,
+                                 const EngineConfig& config) {
+  PRSIM_RETURN_NOT_OK(config.ExpectOnly({"c", "samples", "seed"}));
+  MonteCarloOptions options;
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("c", 0.0, 1.0, &options.c));
+  PRSIM_RETURN_NOT_OK(config.GetUint64("samples", &options.samples));
+  if (options.samples == 0) {
+    return Status::InvalidArgument("config key 'samples': must be >= 1");
+  }
+  PRSIM_RETURN_NOT_OK(config.GetUint64("seed", &options.seed));
+  return EnginePtr(std::make_unique<MonteCarloSimRank>(graph, options));
+}
+
+Result<EnginePtr> MakePowerMethod(const Graph& graph,
+                                  const EngineConfig& config) {
+  // `seed` is accepted (and ignored) so seed-setting callers like BatchQuery
+  // helpers and the CLI's --seed work uniformly across engines.
+  PRSIM_RETURN_NOT_OK(
+      config.ExpectOnly({"c", "iterations", "max_nodes", "seed"}));
+  PowerMethodOptions options;
+  PRSIM_RETURN_NOT_OK(config.GetOpenInterval("c", 0.0, 1.0, &options.c));
+  PRSIM_RETURN_NOT_OK(
+      GetPositiveUint32(config, "iterations", &options.iterations));
+  PRSIM_RETURN_NOT_OK(config.GetUint32("max_nodes", &options.max_nodes));
+  return EnginePtr(std::make_unique<PowerMethodSimRank>(graph, options));
+}
+
+}  // namespace
+
+EngineRegistry::EngineRegistry() {
+  Register({"prsim", "PRSim", /*index_based=*/true,
+            /*supports_pair_query=*/false,
+            "c,eps,delta,j0,alpha,rounds,max_level,threads,paper_constants,"
+            "seed",
+            "Wei et al., SIGMOD 2019"},
+           MakePRSim);
+  Register({"probesim", "ProbeSim", /*index_based=*/false,
+            /*supports_pair_query=*/false, "c,eps,alpha,seed",
+            "Liu et al., VLDB 2017"},
+           MakeProbeSim);
+  Register({"reads", "READS", /*index_based=*/true,
+            /*supports_pair_query=*/false, "c,r,t,max_entries,seed",
+            "Jiang et al., VLDB 2017"},
+           MakeReads);
+  Register({"sling", "SLING", /*index_based=*/true,
+            /*supports_pair_query=*/false,
+            "c,eps,delta,alpha_eta,max_eta_samples,max_tuples,max_level,"
+            "threads,seed",
+            "Tian & Xiao, SIGMOD 2016"},
+           MakeSling);
+  Register({"topsim", "TopSim", /*index_based=*/false,
+            /*supports_pair_query=*/false,
+            "c,depth,degree_cap,eta_prune,width,seed",
+            "Lee et al., ICDE 2012"},
+           MakeTopSim);
+  Register({"tsf", "TSF", /*index_based=*/true,
+            /*supports_pair_query=*/false, "c,rg,rq,depth,max_entries,seed",
+            "Shao et al., VLDB 2015"},
+           MakeTsf);
+  Register({"montecarlo", "MonteCarlo", /*index_based=*/false,
+            /*supports_pair_query=*/true, "c,samples,seed",
+            "Fogaras & Racz, WWW 2005"},
+           MakeMonteCarlo);
+  Register({"powermethod", "PowerMethod", /*index_based=*/true,
+            /*supports_pair_query=*/true, "c,iterations,max_nodes,seed",
+            "Jeh & Widom, KDD 2002"},
+           MakePowerMethod);
+}
+
+void EngineRegistry::Register(EngineInfo info, Factory factory) {
+  engines_.emplace_back(std::move(info), std::move(factory));
+}
+
+const EngineRegistry& EngineRegistry::Global() {
+  static const EngineRegistry* registry = new EngineRegistry();
+  return *registry;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const auto& [info, factory] : engines_) names.push_back(info.name);
+  return names;
+}
+
+const EngineInfo* EngineRegistry::Find(const std::string& name) const {
+  const std::string key = ToLower(name);
+  for (const auto& [info, factory] : engines_) {
+    if (info.name == key) return &info;
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<SingleSourceSimRank>> EngineRegistry::Create(
+    const std::string& name, const Graph& graph,
+    const EngineConfig& config) const {
+  const std::string key = ToLower(name);
+  for (const auto& [info, factory] : engines_) {
+    if (info.name == key) return factory(graph, config);
+  }
+  std::string known;
+  for (const auto& [info, factory] : engines_) {
+    if (!known.empty()) known += ", ";
+    known += info.name;
+  }
+  return Status::NotFound("unknown engine '" + name + "' (known: " + known +
+                          ")");
+}
+
+Result<std::unique_ptr<SingleSourceSimRank>> EngineRegistry::Create(
+    const std::string& name, const Graph& graph,
+    const std::string& params) const {
+  PRSIM_ASSIGN_OR_RETURN(EngineConfig config, EngineConfig::Parse(params));
+  return Create(name, graph, config);
+}
+
+Status EngineRegistry::Validate(const std::string& name,
+                                const EngineConfig& config) const {
+  static const Graph* const empty = new Graph();
+  return Create(name, *empty, config).status();
+}
+
+}  // namespace prsim

@@ -1,0 +1,79 @@
+// String-keyed registry of every single-source SimRank engine.
+//
+// The paper's evaluation is comparative, so every consumer (CLI, benches,
+// pooled evaluation, examples) needs to construct any of the 8 engines from
+// the same inputs: a name, a graph, and an EngineConfig. The registry owns
+// that mapping — per-engine factories translate config keys onto the
+// engine's options struct (rejecting unknown keys and out-of-range values)
+// — plus the metadata the CLI's `algos` subcommand and the README table
+// surface.
+
+#ifndef PRSIM_CORE_ENGINE_REGISTRY_H_
+#define PRSIM_CORE_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine_config.h"
+#include "core/single_source.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace prsim {
+
+/// Static metadata describing one registered engine.
+struct EngineInfo {
+  std::string name;          ///< canonical lowercase key, e.g. "prsim"
+  std::string display_name;  ///< e.g. "PRSim", as printed by name()
+  bool index_based = false;
+  /// True when the engine overrides QueryPair with a native pair estimator
+  /// (instead of deriving it from a full single-source query).
+  bool supports_pair_query = false;
+  std::string config_keys;   ///< comma-separated supported EngineConfig keys
+  std::string paper_ref;     ///< citation shown by `prsim_cli algos`
+};
+
+class EngineRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<SingleSourceSimRank>>(
+      const Graph&, const EngineConfig&)>;
+
+  /// The process-wide registry holding all 8 engines.
+  static const EngineRegistry& Global();
+
+  /// Canonical engine names in registration order.
+  std::vector<std::string> Names() const;
+
+  /// Metadata lookup; name matching is case-insensitive ("PRSim" == "prsim").
+  /// Returns nullptr for unknown names.
+  const EngineInfo* Find(const std::string& name) const;
+
+  /// Constructs an engine (not yet preprocessed). Errors on unknown engine
+  /// names, unknown config keys, and out-of-range config values.
+  Result<std::unique_ptr<SingleSourceSimRank>> Create(
+      const std::string& name, const Graph& graph,
+      const EngineConfig& config) const;
+
+  /// Convenience: Create from a raw "k=v,k=v" parameter string.
+  Result<std::unique_ptr<SingleSourceSimRank>> Create(
+      const std::string& name, const Graph& graph,
+      const std::string& params) const;
+
+  /// Runs the full factory validation (engine name, config keys, value
+  /// ranges) without a real graph, so callers can fail fast before loading
+  /// one. Engine constructors are O(1) in the graph, making this cheap.
+  Status Validate(const std::string& name, const EngineConfig& config) const;
+
+ private:
+  EngineRegistry();
+  void Register(EngineInfo info, Factory factory);
+
+  std::vector<std::pair<EngineInfo, Factory>> engines_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_ENGINE_REGISTRY_H_

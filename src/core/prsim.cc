@@ -49,7 +49,7 @@ Status PRSim::Preprocess() {
 ScoreList PRSim::Query(NodeId u) {
   PRSIM_CHECK(index_ != nullptr) << "call Preprocess() before Query()";
   PRSIM_CHECK(u < graph_.n()) << "query node out of range";
-  stats_ = PRSimQueryStats{};
+  cost_ = QueryCost{};
 
   const uint64_t nr = dr_ * fr_;
   const double inv_nr = 1.0 / static_cast<double>(nr);
@@ -67,13 +67,13 @@ ScoreList PRSim::Query(NodeId u) {
 
   for (uint32_t round = 0; round < fr_; ++round) {
     for (uint64_t j = 0; j < dr_; ++j) {
-      ++stats_.walks;
+      ++cost_.walks;
       const WalkOutcome walk = walker_.SampleWalk(u, rng_);
       if (!walk.terminated) continue;
       const NodeId w = walk.terminal;
       const uint32_t level = walk.steps;
 
-      ++stats_.meeting_tests;
+      ++cost_.meeting_tests;
       if (walker_.SamplePairMeets(w, rng_)) continue;
       // Non-meeting sample: contributes to eta(w) * pi_l(u, w), and for
       // non-hub w also to the backward-walk tail estimate (the proof of
@@ -81,10 +81,10 @@ ScoreList PRSim::Query(NodeId u) {
       eta_pi[PackNodeLevel(w, level)] += inv_nr;
 
       if (index_->IsHub(w)) continue;
-      ++stats_.backward_walks;
+      ++cost_.backward_walks;
       const BackwardWalkResult bw =
           backward_.RunVarianceBounded(w, level, rng_);
-      stats_.backward_increments += bw.increments;
+      cost_.backward_increments += bw.increments;
       for (const auto& [v, value] : bw.estimates) {
         uint32_t& slot = tail_slot[v];
         if (slot == 0) {  // 0 is the sentinel for "new"; slots start at 1
@@ -118,7 +118,7 @@ ScoreList PRSim::Query(NodeId u) {
     const uint32_t level = UnpackLevel(key);
     const auto* reserves = index_->Find(w, level);
     if (reserves == nullptr) return;
-    stats_.hub_tuples_read += reserves->size();
+    cost_.index_tuples_read += reserves->size();
     const double scale = mass * inv_term_sq_;
     for (const auto& [v, psi] : *reserves) {
       scores[v] += scale * static_cast<double>(psi);

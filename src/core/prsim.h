@@ -54,20 +54,12 @@ struct PRSimOptions {
   uint64_t seed = 42;
 };
 
-/// Per-query cost counters, refreshed by each Query() call.
-struct PRSimQueryStats {
-  uint64_t walks = 0;               ///< sqrt(c)-walks sampled from u
-  uint64_t meeting_tests = 0;       ///< eta sampling pair-walks
-  uint64_t backward_walks = 0;      ///< Algorithm 3 invocations
-  uint64_t backward_increments = 0; ///< estimator increments inside Alg. 3
-  uint64_t hub_tuples_read = 0;     ///< (v, psi) tuples merged from the index
-};
-
 class PRSim : public SingleSourceSimRank {
  public:
   PRSim(const Graph& graph, const PRSimOptions& options);
 
   std::string name() const override { return "PRSim"; }
+  NodeId node_count() const override { return graph_.n(); }
 
   /// Builds the hub index (Algorithm 1). Must be called before Query.
   Status Preprocess() override;
@@ -92,10 +84,25 @@ class PRSim : public SingleSourceSimRank {
   /// Algorithm 4. Returns sparse non-zero estimates including (u, 1).
   ScoreList Query(NodeId u) override;
 
+  /// Independently seeded engine sharing this engine's (immutable) index —
+  /// the ShareIndexFrom fast path, packaged for the generic BatchQuery.
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const override {
+    PRSimOptions options = options_;
+    options.seed = seed;
+    auto clone = std::make_unique<PRSim>(graph_, options);
+    clone->index_ = index_;
+    return clone;
+  }
+  uint64_t seed() const override { return options_.seed; }
+  void Reseed(uint64_t seed) override {
+    options_.seed = seed;
+    rng_.Reseed(seed);
+  }
+
   size_t IndexBytes() const override;
   bool IsIndexBased() const override { return true; }
 
-  const PRSimQueryStats& last_query_stats() const { return stats_; }
   const PRSimIndex& index() const { return *index_; }
   bool preprocessed() const { return index_ != nullptr; }
 
@@ -110,7 +117,6 @@ class PRSim : public SingleSourceSimRank {
   BackwardWalker backward_;
   std::shared_ptr<const PRSimIndex> index_;
   Rng rng_;
-  PRSimQueryStats stats_;
 
   double sqrt_c_ = 0;
   double inv_term_sq_ = 0;  // 1 / (1 - sqrt_c)^2

@@ -1,13 +1,15 @@
 // Common interface for single-source SimRank algorithms.
 //
 // PRSim and every baseline implement this interface so the evaluation harness
-// (pooling, parameter sweeps, figure benches) can treat them uniformly.
+// (pooling, parameter sweeps, figure benches), the engine registry, and the
+// batch layer can treat them uniformly.
 
 #ifndef PRSIM_CORE_SINGLE_SOURCE_H_
 #define PRSIM_CORE_SINGLE_SOURCE_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,17 +24,33 @@ namespace prsim {
 using ScoreEntry = std::pair<NodeId, double>;
 using ScoreList = std::vector<ScoreEntry>;
 
+/// Uniform per-query cost counters, refreshed by each Query() call. Every
+/// engine fills in the counters that apply to it (an index-free sampler
+/// leaves `index_tuples_read` at 0, a deterministic index join leaves
+/// `walks` at 0); zero simply means "this engine does no such work".
+struct QueryCost {
+  uint64_t walks = 0;               ///< forward random walks sampled
+  uint64_t meeting_tests = 0;       ///< pair-walk meeting trials
+  uint64_t backward_walks = 0;      ///< backward walk / probe invocations
+  uint64_t backward_increments = 0; ///< estimator increments inside those
+  uint64_t index_tuples_read = 0;   ///< tuples merged from a prebuilt index
+};
+
 /// \brief Abstract single-source SimRank solver.
 ///
 /// Lifecycle: construct over a Graph, call Preprocess() once (may be a no-op
 /// for index-free methods), then Query() any number of times. Implementations
-/// own per-query scratch, so one instance must not be queried concurrently.
+/// own per-query scratch, so one instance must not be queried concurrently;
+/// CloneWithSeed() mints an independently seeded sibling for that.
 class SingleSourceSimRank {
  public:
   virtual ~SingleSourceSimRank() = default;
 
   /// Short identifier used in bench output ("PRSim", "ProbeSim", ...).
   virtual std::string name() const = 0;
+
+  /// Number of nodes in the underlying graph; query nodes must be < this.
+  virtual NodeId node_count() const = 0;
 
   /// Builds any index structures. Returns an error if the configuration is
   /// infeasible (e.g. the index would exceed a configured memory budget).
@@ -41,10 +59,43 @@ class SingleSourceSimRank {
   /// Estimates s(u, v) for all v; returns the non-zero estimates.
   virtual ScoreList Query(NodeId u) = 0;
 
+  /// Top-k most similar nodes to u (excluding u itself), sorted descending
+  /// by score with ties broken by ascending node id. The default evaluates
+  /// the full single-source query; pruned engines may override with a
+  /// cheaper direct top-k path.
+  virtual ScoreList QueryTopK(NodeId u, size_t k);
+
+  /// Estimates the single pair s(u, v). The default extracts it from a full
+  /// single-source query; engines with a native pair estimator (Monte Carlo
+  /// pair walks, the exact power-method matrix) override it.
+  virtual double QueryPair(NodeId u, NodeId v);
+
+  /// Returns an independently seeded engine over the same graph and options
+  /// that shares (or copies) any already built index, so the clone answers
+  /// queries without re-running Preprocess(). Used by BatchQuery to fan one
+  /// leader out across worker threads.
+  virtual std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const = 0;
+
+  /// The seed this engine was configured with (0 for deterministic engines).
+  virtual uint64_t seed() const { return 0; }
+
+  /// Resets the query-time random state as if the engine had been
+  /// constructed with `seed` (a no-op for engines whose queries are
+  /// deterministic). Lets BatchQuery reuse one clone per worker while
+  /// keeping every query a pure function of (seed, source).
+  virtual void Reseed(uint64_t seed) { (void)seed; }
+
   /// Bytes held by index structures (0 for index-free methods).
   virtual size_t IndexBytes() const { return 0; }
 
   virtual bool IsIndexBased() const { return false; }
+
+  /// Cost counters of the most recent Query() call.
+  const QueryCost& last_query_cost() const { return cost_; }
+
+ protected:
+  QueryCost cost_;
 };
 
 /// Returns the k entries with the largest scores (ties by ascending node id),
@@ -74,6 +125,17 @@ inline double ScoreOf(const ScoreList& scores, NodeId v) {
     if (node == v) return score;
   }
   return 0.0;
+}
+
+inline ScoreList SingleSourceSimRank::QueryTopK(NodeId u, size_t k) {
+  return TopK(Query(u), k, u);
+}
+
+inline double SingleSourceSimRank::QueryPair(NodeId u, NodeId v) {
+  PRSIM_CHECK(u < node_count() && v < node_count())
+      << "pair (" << u << ", " << v << ") out of range";
+  if (u == v) return 1.0;
+  return ScoreOf(Query(u), v);
 }
 
 }  // namespace prsim

@@ -1,7 +1,10 @@
 #include "eval/ground_truth.h"
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 
+#include "core/engine_registry.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -11,6 +14,13 @@ namespace {
 
 uint64_t PairKey(NodeId u, NodeId v) {
   return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+/// Round-trip-exact double rendering for EngineConfig values.
+std::string FormatExact(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
 }
 
 }  // namespace
@@ -27,11 +37,14 @@ GroundTruth::GroundTruth(const Graph& graph, const GroundTruthOptions& options)
 
 Status GroundTruth::Prepare() {
   if (graph_.n() <= options_.exact_limit) {
-    PowerMethodOptions pm;
-    pm.c = options_.c;
-    pm.iterations = options_.power_iterations;
-    pm.max_nodes = options_.exact_limit;
-    exact_ = std::make_unique<PowerMethodSimRank>(graph_, pm);
+    EngineConfig config;
+    config.SetOrReplace("c", FormatExact(options_.c));
+    config.SetOrReplace("iterations",
+                        std::to_string(options_.power_iterations));
+    config.SetOrReplace("max_nodes", std::to_string(options_.exact_limit));
+    PRSIM_ASSIGN_OR_RETURN(
+        exact_, EngineRegistry::Global().Create("powermethod", graph_,
+                                                config));
     return exact_->Preprocess();
   }
   return Status::OK();
@@ -39,7 +52,7 @@ Status GroundTruth::Prepare() {
 
 double GroundTruth::SimRank(NodeId u, NodeId v) {
   if (u == v) return 1.0;
-  if (exact_ != nullptr) return exact_->SimRank(u, v);
+  if (exact_ != nullptr) return exact_->QueryPair(u, v);
   const uint64_t key = PairKey(u, v);
   if (const double* hit = cache_.Find(key)) return *hit;
   const double value = walker_.EstimateSimRank(u, v, mc_samples_, rng_);
@@ -51,7 +64,9 @@ std::vector<double> GroundTruth::SimRankBatch(NodeId u,
                                               const std::vector<NodeId>& vs) {
   std::vector<double> out(vs.size());
   if (exact_ != nullptr) {
-    for (size_t i = 0; i < vs.size(); ++i) out[i] = exact_->SimRank(u, vs[i]);
+    for (size_t i = 0; i < vs.size(); ++i) {
+      out[i] = exact_->QueryPair(u, vs[i]);
+    }
     return out;
   }
   // Resolve cache misses in parallel with per-pair deterministic seeds.

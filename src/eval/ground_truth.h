@@ -12,7 +12,7 @@
 #include <memory>
 #include <vector>
 
-#include "baselines/power_method.h"
+#include "core/single_source.h"
 #include "graph/graph.h"
 #include "ppr/walker.h"
 #include "util/flat_hash_map.h"
@@ -54,7 +54,9 @@ class GroundTruth {
   const Graph& graph_;
   GroundTruthOptions options_;
   Walker walker_;
-  std::unique_ptr<PowerMethodSimRank> exact_;
+  /// Exact oracle built through the engine registry ("powermethod"); pair
+  /// lookups go through the uniform QueryPair surface.
+  std::unique_ptr<SingleSourceSimRank> exact_;
   FlatHashMap<double> cache_{1024};
   uint64_t mc_samples_ = 0;
   Rng rng_;

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace prsim {
@@ -218,6 +219,131 @@ TEST_F(CliTest, OutOfRangeSourceFails) {
   ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 1000 --degree 4"),
             0);
   EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --source 99999"), 2);
+}
+
+TEST_F(CliTest, AlgosListsAllEightEngines) {
+  std::string out;
+  ASSERT_EQ(Run("algos", &out), 0);
+  for (const char* name : {"prsim", "probesim", "reads", "sling", "topsim",
+                           "tsf", "montecarlo", "powermethod"}) {
+    EXPECT_NE(out.find(name), std::string::npos) << name << "\n" << out;
+  }
+}
+
+// Registry round-trip over the real binary: query --algo <name> must succeed
+// for every engine the `algos` subcommand lists.
+TEST_F(CliTest, QuerySucceedsForEveryRegisteredAlgo) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 400 --degree 5 --seed 2"),
+            0);
+  // Small per-engine params keep the heavyweight engines test-sized.
+  const std::vector<std::pair<std::string, std::string>> algos = {
+      {"prsim", ""},
+      {"probesim", ""},
+      {"reads", " --params r=20,t=5"},
+      {"sling", " --params eps=0.25"},
+      {"topsim", ""},
+      {"tsf", " --params rg=30,rq=5"},
+      {"montecarlo", " --params samples=100"},
+      {"powermethod", " --params iterations=8"},
+  };
+  for (const auto& [algo, params] : algos) {
+    std::string out;
+    ASSERT_EQ(Run("query --graph " + Path("g.txt") +
+                      " --source 7 --k 5 --algo " + algo + params,
+                  &out),
+              0)
+        << algo;
+    EXPECT_NE(out.find("query answered"), std::string::npos) << algo;
+    EXPECT_NE(out.find("cost: algo="), std::string::npos) << algo;
+  }
+}
+
+TEST_F(CliTest, UnknownAlgoFails) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 300 --degree 4"),
+            0);
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                " --source 0 --algo simrankpp"),
+            2);
+}
+
+TEST_F(CliTest, UnknownParamKeyFails) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 300 --degree 4"),
+            0);
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                " --source 0 --params frobnicate=1"),
+            2);
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                " --source 0 --params eps"),
+            2);
+}
+
+// Regression: out-of-range --eps / --c used to flow into the engines
+// unchecked; they must be rejected with exit 2 before any preprocessing.
+TEST_F(CliTest, OutOfRangeEpsAndCFail) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 300 --degree 4"),
+            0);
+  const std::string query = "query --graph " + Path("g.txt") + " --source 0";
+  EXPECT_EQ(Run(query + " --eps -0.5"), 2);
+  EXPECT_EQ(Run(query + " --eps 0"), 2);
+  EXPECT_EQ(Run(query + " --c 1.5"), 2);
+  EXPECT_EQ(Run(query + " --c 0"), 2);
+  const std::string index =
+      "index --graph " + Path("g.txt") + " --out " + Path("g.idx");
+  EXPECT_EQ(Run(index + " --eps -0.5"), 2);
+  EXPECT_EQ(Run(index + " --c 1.5"), 2);
+  EXPECT_EQ(Run(index + " --c 0"), 2);
+}
+
+TEST_F(CliTest, IndexFlagRejectedForNonPRSimAlgo) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 300 --degree 4"),
+            0);
+  ASSERT_EQ(Run("index --graph " + Path("g.txt") + " --out " + Path("g.idx") +
+                " --eps 0.2"),
+            0);
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --index " +
+                Path("g.idx") + " --source 0 --algo probesim"),
+            2);
+}
+
+// The PRSim knobs that used to be unreachable from the CLI: --j0, --alpha,
+// --rounds, --threads, --paper-constants on query (and --threads on index).
+TEST_F(CliTest, PRSimKnobsAreReachable) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 400 --degree 5 --seed 6"),
+            0);
+  std::string out;
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                    " --source 1 --k 3 --j0 4 --alpha 5 --rounds 3 "
+                    "--threads 2 --seed 9",
+                &out),
+            0)
+      << out;
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                " --source 1 --k 3 --eps 0.4 --paper-constants"),
+            0);
+  EXPECT_EQ(Run("index --graph " + Path("g.txt") + " --out " + Path("g.idx") +
+                " --eps 0.2 --threads 2"),
+            0);
+  // Dedicated flags override the same key inside --params.
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                " --source 1 --k 3 --params eps=0.5 --eps 0.3"),
+            0);
+}
+
+// --params routes engine knobs and the dedicated flags still win; the same
+// (seed, params) setting must reproduce the same top-k.
+TEST_F(CliTest, AlgoQueryDeterministicUnderSeed) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 400 --degree 5 --seed 8"),
+            0);
+  const std::string query = "query --graph " + Path("g.txt") +
+                            " --source 3 --k 8 --algo probesim --seed 321";
+  std::string run1, run2;
+  ASSERT_EQ(Run(query, &run1), 0);
+  ASSERT_EQ(Run(query, &run2), 0);
+  EXPECT_FALSE(ScoreLines(run1).empty()) << run1;
+  EXPECT_EQ(ScoreLines(run1), ScoreLines(run2));
 }
 
 }  // namespace

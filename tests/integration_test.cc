@@ -114,8 +114,8 @@ TEST(IntegrationTest, PRSimTracksHardnessAcrossGamma) {
     uint64_t total = 0;
     for (NodeId u : SampleQueryNodes(g, 5, 13)) {
       algo.Query(u);
-      total += algo.last_query_stats().backward_increments +
-               algo.last_query_stats().hub_tuples_read;
+      total += algo.last_query_cost().backward_increments +
+               algo.last_query_cost().index_tuples_read;
     }
     *work = total;
   }
@@ -148,7 +148,7 @@ TEST(IntegrationTest, SecondMomentPredictsQueryCost) {
     uint64_t total = 0;
     for (NodeId u : SampleQueryNodes(g, 5, 31)) {
       algo.Query(u);
-      total += algo.last_query_stats().backward_increments;
+      total += algo.last_query_cost().backward_increments;
     }
     *work = total;
   }

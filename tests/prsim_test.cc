@@ -173,7 +173,7 @@ TEST(PRSimTest, StatsPopulated) {
   PRSim algo(g, options);
   ASSERT_TRUE(algo.Preprocess().ok());
   algo.Query(3);
-  const auto& stats = algo.last_query_stats();
+  const auto& stats = algo.last_query_cost();
   EXPECT_EQ(stats.walks, algo.samples_per_round() * algo.rounds());
   EXPECT_GT(stats.meeting_tests, 0u);
   EXPECT_GT(stats.backward_walks, 0u);
@@ -204,14 +204,14 @@ TEST(PRSimTest, HubHeavyConfigurationShiftsWorkToIndex) {
   PRSim algo(g, options);
   ASSERT_TRUE(algo.Preprocess().ok());
   algo.Query(0);
-  EXPECT_EQ(algo.last_query_stats().backward_walks, 0u);
+  EXPECT_EQ(algo.last_query_cost().backward_walks, 0u);
 
   PRSimOptions no_hubs = options;
   no_hubs.j0 = 1;
   PRSim algo2(g, no_hubs);
   ASSERT_TRUE(algo2.Preprocess().ok());
   algo2.Query(0);
-  EXPECT_GT(algo2.last_query_stats().backward_walks, 0u);
+  EXPECT_GT(algo2.last_query_cost().backward_walks, 0u);
 }
 
 TEST(PRSimTest, SharedParentValue) {

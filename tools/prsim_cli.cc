@@ -3,13 +3,20 @@
 // Subcommands:
 //   prsim_cli stats     --graph g.txt
 //       Prints n, m, degree extremes and fitted power-law exponents.
+//   prsim_cli algos
+//       Lists every engine in the registry with its metadata and the
+//       config keys it accepts via --params.
 //   prsim_cli index     --graph g.txt --out g.idx [--eps 0.1] [--c 0.6]
-//                       [--j0 N]
+//                       [--j0 N] [--threads T]
 //       Builds the PRSim hub index and serializes it.
-//   prsim_cli query     --graph g.txt --source U [--index g.idx]
-//                       [--eps 0.1] [--c 0.6] [--k 20] [--seed S]
-//       Answers a single-source query (loading the index if given,
-//       otherwise preprocessing in-process) and prints the top-k.
+//   prsim_cli query     --graph g.txt --source U [--algo prsim]
+//                       [--params k=v,k=v] [--index g.idx] [--eps 0.1]
+//                       [--c 0.6] [--k 20] [--seed S] [--j0 N] [--alpha A]
+//                       [--rounds R] [--threads T] [--paper-constants]
+//       Answers a single-source query with any registry engine (loading the
+//       PRSim index if given, otherwise preprocessing in-process) and prints
+//       the top-k. Engine-specific knobs go through --params; the dedicated
+//       flags override keys of the same name.
 //   prsim_cli generate  --out g.txt [--model chunglu|er|ba] [--n N]
 //                       [--degree D] [--gamma G] [--seed S] [--undirected]
 //       Writes a synthetic edge list.
@@ -23,10 +30,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/engine_config.h"
+#include "core/engine_registry.h"
 #include "core/index_io.h"
 #include "core/prsim.h"
 #include "eval/datasets.h"
@@ -118,6 +128,9 @@ class Flags {
     }
     return false;
   }
+  /// True when a valued flag was given, even with an empty value (so callers
+  /// can route "" into validation instead of mistaking it for "absent").
+  bool HasValue(const std::string& name) const { return Find(name) != nullptr; }
   bool undirected() const { return Has("undirected"); }
 
  private:
@@ -180,6 +193,47 @@ int CmdStats(const Flags& flags) {
   return 0;
 }
 
+/// Builds an EngineConfig from --params plus the dedicated engine flags
+/// (which override keys of the same name). Returns exit code 0 on success,
+/// 2 on a malformed --params string.
+int BuildEngineConfig(const Flags& flags, EngineConfig* out) {
+  auto parsed = EngineConfig::Parse(flags.Get("params", ""));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--params: %s\n",
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  *out = parsed.MoveValueUnsafe();
+  // Dedicated flags share their config key's name (--paper-constants is the
+  // one spelling difference); values stay raw strings so the engine factory
+  // is the single place numbers are parsed and range-checked.
+  for (const char* key :
+       {"c", "eps", "seed", "j0", "alpha", "rounds", "threads"}) {
+    if (flags.HasValue(key)) out->SetOrReplace(key, flags.Get(key, ""));
+  }
+  if (flags.Has("paper-constants")) {
+    out->SetOrReplace("paper_constants", "true");
+  }
+  return 0;
+}
+
+int CmdAlgos(const Flags&) {
+  const EngineRegistry& registry = EngineRegistry::Global();
+  std::printf("%-12s %-6s %-5s %-28s %s\n", "name", "index", "pair",
+              "reference", "config keys");
+  for (const std::string& name : registry.Names()) {
+    const EngineInfo* info = registry.Find(name);
+    std::printf("%-12s %-6s %-5s %-28s %s\n", info->name.c_str(),
+                info->index_based ? "yes" : "no",
+                info->supports_pair_query ? "yes" : "no",
+                info->paper_ref.c_str(), info->config_keys.c_str());
+  }
+  std::printf(
+      "\nusage: prsim_cli query --graph g.txt --source U --algo <name> "
+      "[--params k=v,k=v]\n");
+  return 0;
+}
+
 int CmdIndex(const Flags& flags) {
   const std::string graph_path = flags.Get("graph", "");
   const std::string out_path = flags.Get("out", "");
@@ -187,32 +241,39 @@ int CmdIndex(const Flags& flags) {
     std::fprintf(stderr, "index: --graph and --out are required\n");
     return 2;
   }
+  // Validate eps/c/j0/threads through the registry before touching the
+  // graph file, so bad flag values fail fast with exit 2.
+  EngineConfig config;
+  if (const int rc = BuildEngineConfig(flags, &config); rc != 0) return rc;
+  if (Status st = EngineRegistry::Global().Validate("prsim", config);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   auto graph = LoadAnyGraph(graph_path);
   if (!graph.ok()) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
   }
-  PRSimIndexOptions options;
-  options.c = flags.GetDouble("c", 0.6);
-  options.eps = flags.GetDouble("eps", 0.1);
-  options.j0 = flags.GetUint32("j0", 0);
+  auto engine = EngineRegistry::Global().Create("prsim", graph.ValueOrDie(),
+                                                config);
+  engine.status().Abort();  // config already validated above
+  auto* prsim = dynamic_cast<PRSim*>(engine.ValueOrDie().get());
   WallTimer timer;
-  auto index = PRSimIndex::Build(graph.ValueOrDie(), options);
-  if (!index.ok()) {
-    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+  Status st = prsim->Preprocess();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  Status st =
-      PRSimIndexIO::Save(index.ValueOrDie(), graph.ValueOrDie(), out_path);
+  st = PRSimIndexIO::Save(prsim->index(), graph.ValueOrDie(), out_path);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
   std::printf("built index: %u hubs, %llu tuples, %.2f MB in %.2fs -> %s\n",
-              index.ValueOrDie().hub_count(),
-              static_cast<unsigned long long>(
-                  index.ValueOrDie().total_tuples()),
-              index.ValueOrDie().IndexBytes() / 1e6, timer.Seconds(),
+              prsim->index().hub_count(),
+              static_cast<unsigned long long>(prsim->index().total_tuples()),
+              prsim->index().IndexBytes() / 1e6, timer.Seconds(),
               out_path.c_str());
   return 0;
 }
@@ -223,50 +284,85 @@ int CmdQuery(const Flags& flags) {
     std::fprintf(stderr, "query: --graph is required\n");
     return 2;
   }
+  // Validate the cheap inputs — the algo name, its config, --source, --k —
+  // before graph loading / index loading / preprocessing, so a bad flag
+  // fails fast with exit 2 instead of after minutes of work.
+  const std::string algo = flags.Get("algo", "prsim");
+  const EngineInfo* info = EngineRegistry::Global().Find(algo);
+  if (info == nullptr) {
+    std::fprintf(stderr,
+                 "query: unknown --algo '%s' (run `prsim_cli algos`)\n",
+                 algo.c_str());
+    return 2;
+  }
+  EngineConfig config;
+  if (const int rc = BuildEngineConfig(flags, &config); rc != 0) return rc;
+  if (Status st = EngineRegistry::Global().Validate(algo, config); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  const auto source = static_cast<NodeId>(flags.GetUint32("source", 0));
+  const uint32_t k = flags.GetUint32("k", 20);
+  const std::string index_path = flags.Get("index", "");
+  if (!index_path.empty() && info->name != "prsim") {
+    std::fprintf(stderr,
+                 "query: --index is only supported with --algo prsim "
+                 "(got %s)\n",
+                 info->name.c_str());
+    return 2;
+  }
+
   auto graph_result = LoadAnyGraph(graph_path);
   if (!graph_result.ok()) {
     std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
     return 1;
   }
   Graph graph = std::move(graph_result).ValueOrDie();
-
-  // Validate the cheap flags before index loading / preprocessing so a bad
-  // --source or --k fails fast instead of after minutes of preprocessing.
-  const auto source = static_cast<NodeId>(flags.GetUint32("source", 0));
   if (source >= graph.n()) {
     std::fprintf(stderr, "query: --source %u out of range (n = %u)\n", source,
                  graph.n());
     return 2;
   }
-  const uint32_t k = flags.GetUint32("k", 20);
 
-  PRSimOptions options;
-  options.c = flags.GetDouble("c", 0.6);
-  options.eps = flags.GetDouble("eps", 0.1);
-  options.seed = flags.GetInt("seed", 42);
-  PRSim prsim(graph, options);
+  auto engine_result = EngineRegistry::Global().Create(algo, graph, config);
+  engine_result.status().Abort();  // config already validated above
+  std::unique_ptr<SingleSourceSimRank> engine =
+      std::move(engine_result).ValueOrDie();
 
-  const std::string index_path = flags.Get("index", "");
   WallTimer prep_timer;
   if (!index_path.empty()) {
+    auto* prsim = dynamic_cast<PRSim*>(engine.get());
+    PRSIM_CHECK(prsim != nullptr);  // guaranteed by the --algo check above
     auto index = PRSimIndexIO::Load(graph, index_path);
     if (!index.ok()) {
       std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
       return 1;
     }
-    prsim.AdoptIndex(std::move(index).ValueOrDie());
+    prsim->AdoptIndex(std::move(index).ValueOrDie());
     std::printf("loaded index from %s in %.2fs\n", index_path.c_str(),
                 prep_timer.Seconds());
   } else {
-    prsim.Preprocess().Abort();
+    Status st = engine->Preprocess();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
     std::printf("preprocessed in %.2fs (no --index given)\n",
                 prep_timer.Seconds());
   }
 
   WallTimer query_timer;
-  ScoreList scores = prsim.Query(source);
+  ScoreList scores = engine->Query(source);
   std::printf("query answered in %.4fs (%zu non-zero scores)\n",
               query_timer.Seconds(), scores.size());
+  const QueryCost& cost = engine->last_query_cost();
+  std::printf("cost: algo=%s walks=%llu meeting_tests=%llu "
+              "backward_walks=%llu index_tuples=%llu\n",
+              engine->name().c_str(),
+              static_cast<unsigned long long>(cost.walks),
+              static_cast<unsigned long long>(cost.meeting_tests),
+              static_cast<unsigned long long>(cost.backward_walks),
+              static_cast<unsigned long long>(cost.index_tuples_read));
   for (const auto& [v, s] : TopK(scores, k, source)) {
     std::printf("%-10u %.6f\n", v, s);
   }
@@ -323,7 +419,8 @@ int CmdGenerate(const Flags& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: prsim_cli <stats|index|query|generate> [--flags]\n"
+               "usage: prsim_cli <stats|algos|index|query|generate> "
+               "[--flags]\n"
                "  see the header comment of tools/prsim_cli.cc\n");
 }
 
@@ -352,14 +449,18 @@ int main(int argc, char** argv) {
   if (command == "stats") {
     return Dispatch(argc, argv, {"graph"}, {}, CmdStats);
   }
+  if (command == "algos") {
+    return Dispatch(argc, argv, {}, {}, CmdAlgos);
+  }
   if (command == "index") {
-    return Dispatch(argc, argv, {"graph", "out", "eps", "c", "j0"}, {},
-                    CmdIndex);
+    return Dispatch(argc, argv, {"graph", "out", "eps", "c", "j0", "threads"},
+                    {}, CmdIndex);
   }
   if (command == "query") {
     return Dispatch(argc, argv,
-                    {"graph", "index", "source", "eps", "c", "k", "seed"}, {},
-                    CmdQuery);
+                    {"graph", "index", "source", "eps", "c", "k", "seed",
+                     "algo", "params", "j0", "alpha", "rounds", "threads"},
+                    {"paper-constants"}, CmdQuery);
   }
   if (command == "generate") {
     return Dispatch(argc, argv,
