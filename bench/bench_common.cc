@@ -1,9 +1,14 @@
 #include "bench_common.h"
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include "core/engine_registry.h"
 #include "eval/datasets.h"
+#include "util/serde.h"
 #include "util/timer.h"
 
 namespace prsim::bench {
@@ -14,6 +19,33 @@ std::string FormatDouble(double value) {
   char buffer[32];
   std::snprintf(buffer, sizeof(buffer), "%g", value);
   return buffer;
+}
+
+/// Directory for cached index artifacts, created on demand; "" = disabled
+/// (PRSIM_BENCH_CACHE=0, or the directory cannot be created).
+std::string BenchCacheDir() {
+  const char* toggle = std::getenv("PRSIM_BENCH_CACHE");
+  if (toggle != nullptr && std::string(toggle) == "0") return "";
+  const char* configured = std::getenv("PRSIM_BENCH_CACHE_DIR");
+  std::filesystem::path dir =
+      configured != nullptr && configured[0] != '\0'
+          ? std::filesystem::path(configured)
+          : std::filesystem::temp_directory_path() / "prsim-bench-cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "";
+  return dir.string();
+}
+
+/// Cache file for one (graph, engine, params) triple. The engine's own
+/// fingerprint check re-validates on load, so a hash collision degrades to
+/// a rebuild, never to a wrong index.
+std::string CachePath(const std::string& dir, uint64_t graph_checksum,
+                      const SweepConfig& config) {
+  char suffix[40];
+  std::snprintf(suffix, sizeof(suffix), "-%016" PRIx64 ".idx",
+                HashString(config.cache_key) ^ graph_checksum);
+  return dir + "/" + config.engine + suffix;
 }
 
 }  // namespace
@@ -30,7 +62,8 @@ SweepConfig MakeSweepConfig(const Graph& graph, const std::string& engine,
   auto instance = registry.Create(engine, graph, config.ValueOrDie());
   instance.status().Abort();
   return {info->display_name, display_param.empty() ? params : display_param,
-          std::move(instance).ValueOrDie(), info->index_based};
+          std::move(instance).ValueOrDie(), info->index_based, info->name,
+          info->has_persistent_index ? config.ValueOrDie().ToString() : ""};
 }
 
 std::vector<SweepConfig> BuildParameterSweep(const Graph& graph,
@@ -111,21 +144,59 @@ std::vector<SweepRow> RunSweep(const Graph& graph,
                                std::vector<SweepConfig> configs,
                                uint32_t query_count, uint32_t k,
                                double per_algo_budget_seconds, uint64_t seed) {
+  const std::string cache_dir = BenchCacheDir();
+  // One O(n + m) checksum per sweep, not one per config (SaveIndex /
+  // LoadIndex still hash internally for their fingerprints).
+  const uint64_t graph_checksum =
+      cache_dir.empty() ? 0 : graph.Checksum();
   std::vector<EvalEntry> entries;
   std::vector<const SweepConfig*> kept;
   std::vector<double> preprocess_seconds;
+  std::vector<bool> reused_cache;
   for (auto& config : configs) {
-    WallTimer timer;
-    Status st = config.instance->Preprocess();
-    if (!st.ok()) {
-      std::fprintf(stderr, "  [skip] %s(%s): %s\n", config.algo.c_str(),
-                   config.param.c_str(), st.ToString().c_str());
-      continue;
+    std::string cache_path;
+    if (!cache_dir.empty() && !config.cache_key.empty()) {
+      cache_path = CachePath(cache_dir, graph_checksum, config);
+    }
+    bool reused = false;
+    double seconds = 0;
+    if (!cache_path.empty()) {
+      WallTimer load_timer;
+      if (Status load = config.instance->LoadIndex(cache_path); load.ok()) {
+        reused = true;
+        seconds = load_timer.Seconds();
+        std::fprintf(stderr,
+                     "  [cache] %s(%s): reused index %s (loaded in %.2fs)\n",
+                     config.algo.c_str(), config.param.c_str(),
+                     cache_path.c_str(), seconds);
+      }
+    }
+    if (!reused) {
+      WallTimer build_timer;
+      Status st = config.instance->Preprocess();
+      if (!st.ok()) {
+        std::fprintf(stderr, "  [skip] %s(%s): %s\n", config.algo.c_str(),
+                     config.param.c_str(), st.ToString().c_str());
+        continue;
+      }
+      // Capture the build time before the artifact write: preprocess_s is
+      // the paper's preprocessing metric, and serializing a large index is
+      // not part of it.
+      seconds = build_timer.Seconds();
+      if (!cache_path.empty()) {
+        if (Status save = config.instance->SaveIndex(cache_path);
+            !save.ok()) {
+          std::fprintf(stderr, "  [cache] %s(%s): save failed: %s\n",
+                       config.algo.c_str(), config.param.c_str(),
+                       save.ToString().c_str());
+        }
+      }
     }
     kept.push_back(&config);
-    preprocess_seconds.push_back(timer.Seconds());
+    preprocess_seconds.push_back(seconds);
+    reused_cache.push_back(reused);
     entries.push_back({config.algo + "(" + config.param + ")",
-                       config.instance.get(), timer.Seconds()});
+                       config.instance.get(), seconds});
   }
 
   GroundTruthOptions gt_options;
@@ -151,6 +222,7 @@ std::vector<SweepRow> RunSweep(const Graph& graph,
     row.index_bytes = metrics[i].index_bytes;
     row.preprocess_seconds = preprocess_seconds[i];
     row.index_based = kept[i]->index_based;
+    row.from_cache = reused_cache[i];
     rows.push_back(row);
   }
   return rows;
@@ -160,10 +232,10 @@ void PrintRow(const std::string& figure, const std::string& dataset,
               const SweepRow& row) {
   std::printf(
       "[%s] dataset=%s algo=%s param=%s query_s=%.5f avg_err@50=%.5f "
-      "precision@50=%.3f index_mb=%.2f preprocess_s=%.2f\n",
+      "precision@50=%.3f index_mb=%.2f preprocess_s=%.2f cached=%d\n",
       figure.c_str(), dataset.c_str(), row.algo.c_str(), row.param.c_str(),
       row.query_seconds, row.avg_error, row.precision,
-      row.index_bytes / 1e6, row.preprocess_seconds);
+      row.index_bytes / 1e6, row.preprocess_seconds, row.from_cache ? 1 : 0);
   std::fflush(stdout);
 }
 

@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/artifact.h"
 #include "util/flat_hash_map.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace prsim {
+
+namespace {
+
+constexpr char kReadsKind[] = "reads-index";
+
+}  // namespace
 
 Reads::Reads(const Graph& graph, const ReadsOptions& options)
     : graph_(graph), options_(options), rng_(options.seed) {
@@ -104,6 +112,113 @@ ScoreList Reads::Query(NodeId u) {
   });
   out.emplace_back(u, 1.0);
   return out;
+}
+
+uint64_t Reads::OptionsHash() const {
+  // c shapes the walk termination, (r, t) the index dimensions, and the
+  // seed the sampled walks themselves; max_index_entries is only a budget.
+  return OptionsHasher()
+      .Add("c", options_.c)
+      .Add("r", options_.r)
+      .Add("t", options_.t)
+      .Add("seed", options_.seed)
+      .hash();
+}
+
+Status Reads::SaveIndex(const std::string& path) const {
+  if (index_ == nullptr) {
+    return Status::InvalidArgument(
+        "READS: no index built; call Preprocess() before SaveIndex()");
+  }
+  const StoredWalks& walks = *index_;
+  BinaryWriter writer(path, kReadsKind, kArtifactVersion);
+  WriteFingerprint(writer, MakeFingerprint(graph_, OptionsHash()));
+  writer.WriteVector(walks.traj_off);
+  writer.WriteVector(walks.traj_pos);
+
+  std::vector<uint64_t> bucket_off;
+  bucket_off.reserve(walks.buckets.size() + 1);
+  uint64_t total = 0;
+  bucket_off.push_back(0);
+  for (const auto& bucket : walks.buckets) {
+    total += bucket.size();
+    bucket_off.push_back(total);
+  }
+  writer.WriteVector(bucket_off);
+  // Stream the occurrence table bucket by bucket (same bytes as one
+  // WriteVector of the concatenation, without holding that second copy).
+  writer.WritePod(total);
+  for (const auto& bucket : walks.buckets) {
+    writer.WriteElements(bucket.data(), bucket.size());
+  }
+  return writer.Finish();
+}
+
+Status Reads::LoadIndex(const std::string& path) {
+  const NodeId n = graph_.n();
+  const size_t bucket_count =
+      static_cast<size_t>(options_.r) * options_.t;
+  BinaryReader reader(path, kReadsKind, kArtifactVersion);
+  PRSIM_RETURN_NOT_OK(reader.status());
+  PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
+      reader, MakeFingerprint(graph_, OptionsHash()), path));
+
+  StoredWalks walks;
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&walks.traj_off));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&walks.traj_pos));
+  if (walks.traj_off.size() != static_cast<size_t>(n) * options_.r + 1 ||
+      walks.traj_off.front() != 0 ||
+      walks.traj_off.back() != walks.traj_pos.size()) {
+    return Status::IOError("corrupt trajectory offsets in '" + path + "'");
+  }
+  for (size_t i = 0; i + 1 < walks.traj_off.size(); ++i) {
+    if (walks.traj_off[i] > walks.traj_off[i + 1]) {
+      return Status::IOError("corrupt trajectory offsets in '" + path + "'");
+    }
+  }
+  for (NodeId pos : walks.traj_pos) {
+    if (pos >= n) {
+      return Status::IOError("corrupt trajectory position in '" + path +
+                             "'");
+    }
+  }
+
+  std::vector<uint64_t> bucket_off;
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&bucket_off));
+  if (bucket_off.size() != bucket_count + 1 || bucket_off.front() != 0) {
+    return Status::IOError("corrupt bucket offsets in '" + path + "'");
+  }
+  for (size_t i = 0; i < bucket_count; ++i) {
+    if (bucket_off[i] > bucket_off[i + 1]) {
+      return Status::IOError("corrupt bucket offsets in '" + path + "'");
+    }
+  }
+  uint64_t total = 0;
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&total));
+  if (total != bucket_off.back() ||
+      total > reader.remaining() / sizeof(Occurrence)) {
+    return Status::IOError("corrupt occurrence count in '" + path + "'");
+  }
+  walks.buckets.assign(bucket_count, {});
+  for (size_t i = 0; i < bucket_count; ++i) {
+    auto& bucket = walks.buckets[i];
+    bucket.resize(bucket_off[i + 1] - bucket_off[i]);
+    PRSIM_RETURN_NOT_OK(reader.ReadElements(bucket.data(), bucket.size()));
+    for (size_t j = 0; j < bucket.size(); ++j) {
+      const Occurrence& occ = bucket[j];
+      // Query's std::lower_bound requires buckets sorted by node; enforce
+      // the invariant here so a crafted file cannot load into silent UB.
+      if (occ.node >= n || occ.source >= n ||
+          (j > 0 && bucket[j - 1].node > occ.node)) {
+        return Status::IOError("corrupt occurrence in '" + path + "'");
+      }
+    }
+  }
+  PRSIM_RETURN_NOT_OK(reader.Finish());
+  index_ = std::make_shared<const StoredWalks>(std::move(walks));
+  meet_epoch_.assign(n, 0);
+  epoch_ = 0;
+  return Status::OK();
 }
 
 size_t Reads::IndexBytes() const {

@@ -44,6 +44,12 @@ class Reads : public SingleSourceSimRank {
   Status Preprocess() override;
   ScoreList Query(NodeId u) override;
 
+  /// Persists the stored walks and the inverted occurrence table as a
+  /// fingerprinted artifact. The options hash includes the seed: the walk
+  /// set is a sample, so indexes from different seeds are different indexes.
+  Status SaveIndex(const std::string& path) const override;
+  Status LoadIndex(const std::string& path) override;
+
   /// The stored-walk index is immutable after Preprocess(), so the clone
   /// shares it in O(1) (queries are index joins; the seed only matters at
   /// build time). Per-query scratch stays per instance.
@@ -84,6 +90,8 @@ class Reads : public SingleSourceSimRank {
     /// Inverted table: bucket (j, i) -> occurrences sorted by node.
     std::vector<std::vector<Occurrence>> buckets;  // size r * t
   };
+
+  uint64_t OptionsHash() const;
 
   const Graph& graph_;
   ReadsOptions options_;

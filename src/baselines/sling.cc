@@ -1,13 +1,30 @@
 #include "baselines/sling.h"
 
+#include <algorithm>
 #include <cmath>
 #include <mutex>
 
+#include "core/artifact.h"
 #include "ppr/backward_search.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/serde.h"
 
 namespace prsim {
+
+namespace {
+
+constexpr char kSlingKind[] = "sling-index";
+
+/// On-disk record of one inverted-view list: PackNodeLevel key plus the
+/// [begin, end) range into the target payload.
+struct TargetListRecord {
+  uint64_t key;
+  uint64_t begin;
+  uint64_t end;
+};
+
+}  // namespace
 
 Sling::Sling(const Graph& graph, const SlingOptions& options)
     : graph_(graph), options_(options), walker_(graph, options.c) {
@@ -122,6 +139,128 @@ ScoreList Sling::Query(NodeId u) {
   });
   out.emplace_back(u, 1.0);
   return out;
+}
+
+uint64_t Sling::OptionsHash() const {
+  // Everything that shapes the index contents. Thread count and the tuple
+  // budget only change how (or whether) the build completes, never what the
+  // finished index holds; the seed does (eta is Monte Carlo).
+  return OptionsHasher()
+      .Add("c", options_.c)
+      .Add("eps", options_.eps)
+      .Add("delta", options_.delta)
+      .Add("alpha_eta", options_.alpha_eta)
+      .Add("max_eta_samples", options_.max_eta_samples)
+      .Add("max_level", options_.max_level)
+      .Add("seed", options_.seed)
+      .hash();
+}
+
+Status Sling::SaveIndex(const std::string& path) const {
+  if (index_ == nullptr) {
+    return Status::InvalidArgument(
+        "SLING: no index built; call Preprocess() before SaveIndex()");
+  }
+  const Index& index = *index_;
+  const NodeId n = graph_.n();
+  BinaryWriter writer(path, kSlingKind, kArtifactVersion);
+  WriteFingerprint(writer, MakeFingerprint(graph_, OptionsHash()));
+  writer.WriteVector(index.eta);
+  writer.WriteVector(index.target_payload);
+
+  std::vector<TargetListRecord> records;
+  records.reserve(index.target_lists.size());
+  index.target_lists.ForEach([&](uint64_t key, const TargetList& list) {
+    records.push_back({key, list.begin, list.end});
+  });
+  // ForEach order follows the hash layout; sort so equal indexes always
+  // produce byte-identical artifacts.
+  std::sort(records.begin(), records.end(),
+            [](const TargetListRecord& a, const TargetListRecord& b) {
+              return a.key < b.key;
+            });
+  writer.WriteVector(records);
+
+  std::vector<uint64_t> offsets;
+  offsets.reserve(static_cast<size_t>(n) + 1);
+  uint64_t total = 0;
+  offsets.push_back(0);
+  for (NodeId v = 0; v < n; ++v) {
+    total += index.source_index[v].size();
+    offsets.push_back(total);
+  }
+  writer.WriteVector(offsets);
+  // Stream the source-major view node by node (same bytes as one
+  // WriteVector of the concatenation, without holding that second copy).
+  writer.WritePod(total);
+  for (NodeId v = 0; v < n; ++v) {
+    writer.WriteElements(index.source_index[v].data(),
+                         index.source_index[v].size());
+  }
+  return writer.Finish();
+}
+
+Status Sling::LoadIndex(const std::string& path) {
+  const NodeId n = graph_.n();
+  BinaryReader reader(path, kSlingKind, kArtifactVersion);
+  PRSIM_RETURN_NOT_OK(reader.status());
+  PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
+      reader, MakeFingerprint(graph_, OptionsHash()), path));
+
+  Index index;
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&index.eta));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&index.target_payload));
+  if (index.eta.size() != n) {
+    return Status::IOError("corrupt eta block in '" + path + "'");
+  }
+  for (const auto& [v, h] : index.target_payload) {
+    if (v >= n) {
+      return Status::IOError("corrupt target payload in '" + path + "'");
+    }
+  }
+
+  std::vector<TargetListRecord> records;
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&records));
+  for (const TargetListRecord& record : records) {
+    if (record.begin > record.end ||
+        record.end > index.target_payload.size() ||
+        index.target_lists.Contains(record.key)) {
+      return Status::IOError("corrupt target list in '" + path + "'");
+    }
+    index.target_lists[record.key] = {record.begin, record.end};
+  }
+
+  std::vector<uint64_t> offsets;
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&offsets));
+  if (offsets.size() != static_cast<size_t>(n) + 1 || offsets.front() != 0) {
+    return Status::IOError("corrupt source index offsets in '" + path + "'");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::IOError("corrupt source index offsets in '" + path +
+                             "'");
+    }
+  }
+  uint64_t total = 0;
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&total));
+  if (total != offsets.back() ||
+      total > reader.remaining() / sizeof(SourceEntry)) {
+    return Status::IOError("corrupt source entry count in '" + path + "'");
+  }
+  index.source_index.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    auto& list = index.source_index[v];
+    list.resize(offsets[v + 1] - offsets[v]);
+    PRSIM_RETURN_NOT_OK(reader.ReadElements(list.data(), list.size()));
+    for (const SourceEntry& entry : list) {
+      if (entry.w >= n) {
+        return Status::IOError("corrupt source entry in '" + path + "'");
+      }
+    }
+  }
+  PRSIM_RETURN_NOT_OK(reader.Finish());
+  index_ = std::make_shared<const Index>(std::move(index));
+  return Status::OK();
 }
 
 size_t Sling::IndexBytes() const {

@@ -55,6 +55,12 @@ class Sling : public SingleSourceSimRank {
   Status Preprocess() override;
   ScoreList Query(NodeId u) override;
 
+  /// Persists the full index (eta, source-major view, inverted view) as a
+  /// fingerprinted artifact. The options hash covers everything that shapes
+  /// the index contents, including the build seed (eta is Monte Carlo).
+  Status SaveIndex(const std::string& path) const override;
+  Status LoadIndex(const std::string& path) override;
+
   /// Queries are deterministic index joins over an immutable index, so the
   /// clone shares it in O(1) (the seed only enters eta estimation at build
   /// time).
@@ -94,6 +100,8 @@ class Sling : public SingleSourceSimRank {
     FlatHashMap<TargetList> target_lists{1024};
     std::vector<std::pair<NodeId, float>> target_payload;
   };
+
+  uint64_t OptionsHash() const;
 
   const Graph& graph_;
   SlingOptions options_;

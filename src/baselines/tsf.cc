@@ -2,10 +2,21 @@
 
 #include <cmath>
 
+#include "core/artifact.h"
 #include "util/flat_hash_map.h"
 #include "util/logging.h"
+#include "util/serde.h"
 
 namespace prsim {
+
+namespace {
+
+constexpr char kTsfKind[] = "tsf-index";
+
+/// Decorrelates the query-time walk stream from the raw build seed.
+constexpr uint64_t kQueryStreamSalt = 0xa24baed4963ee407ULL;
+
+}  // namespace
 
 Tsf::Tsf(const Graph& graph, const TsfOptions& options)
     : graph_(graph), options_(options), rng_(options.seed) {
@@ -31,6 +42,55 @@ Status Tsf::Preprocess() {
     }
   }
   parents_ = std::make_shared<const std::vector<NodeId>>(std::move(parents));
+  StartQueryStream();
+  return Status::OK();
+}
+
+void Tsf::StartQueryStream() { rng_.Reseed(options_.seed ^ kQueryStreamSalt); }
+
+uint64_t Tsf::OptionsHash() const {
+  // The stored parents depend on (rg, seed) only, but rq and depth define
+  // the estimator the index was sized for, so they are fingerprinted too;
+  // c and max_index_entries never reach the index bytes.
+  return OptionsHasher()
+      .Add("rg", options_.rg)
+      .Add("rq", options_.rq)
+      .Add("depth", options_.depth)
+      .Add("seed", options_.seed)
+      .hash();
+}
+
+Status Tsf::SaveIndex(const std::string& path) const {
+  if (parents_ == nullptr) {
+    return Status::InvalidArgument(
+        "TSF: no index built; call Preprocess() before SaveIndex()");
+  }
+  BinaryWriter writer(path, kTsfKind, kArtifactVersion);
+  WriteFingerprint(writer, MakeFingerprint(graph_, OptionsHash()));
+  writer.WriteVector(*parents_);
+  return writer.Finish();
+}
+
+Status Tsf::LoadIndex(const std::string& path) {
+  const NodeId n = graph_.n();
+  BinaryReader reader(path, kTsfKind, kArtifactVersion);
+  PRSIM_RETURN_NOT_OK(reader.status());
+  PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
+      reader, MakeFingerprint(graph_, OptionsHash()), path));
+  std::vector<NodeId> parents;
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&parents));
+  if (parents.size() !=
+      static_cast<uint64_t>(options_.rg) * static_cast<uint64_t>(n)) {
+    return Status::IOError("corrupt parent block in '" + path + "'");
+  }
+  for (NodeId parent : parents) {
+    if (parent >= n && parent != kNoParent) {
+      return Status::IOError("corrupt parent pointer in '" + path + "'");
+    }
+  }
+  PRSIM_RETURN_NOT_OK(reader.Finish());
+  parents_ = std::make_shared<const std::vector<NodeId>>(std::move(parents));
+  StartQueryStream();
   return Status::OK();
 }
 

@@ -45,6 +45,12 @@ class Tsf : public SingleSourceSimRank {
   Status Preprocess() override;
   ScoreList Query(NodeId u) override;
 
+  /// Persists the one-way-graph parent pointers as a fingerprinted
+  /// artifact. The options hash includes the seed: the parents are a
+  /// sample, so indexes from different seeds are different indexes.
+  Status SaveIndex(const std::string& path) const override;
+  Status LoadIndex(const std::string& path) override;
+
   /// The clone shares the immutable one-way-graph index in O(1) and reseeds
   /// the query-time walk sampler (query scratch is rebuilt per query).
   std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
@@ -66,6 +72,14 @@ class Tsf : public SingleSourceSimRank {
 
  private:
   static constexpr NodeId kNoParent = ~static_cast<NodeId>(0);
+
+  uint64_t OptionsHash() const;
+
+  /// Resets rng_ to the query stream for options_.seed. Both Preprocess()
+  /// (which consumes build draws from rng_) and LoadIndex() (which consumes
+  /// none) end by calling this, so a loaded index answers queries exactly
+  /// like a freshly built one under the same seed.
+  void StartQueryStream();
 
   const Graph& graph_;
   TsfOptions options_;

@@ -1,0 +1,81 @@
+#include "core/artifact.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace prsim {
+
+OptionsHasher& OptionsHasher::Add(const char* key, double value) {
+  char rendered[40];
+  std::snprintf(rendered, sizeof(rendered), "%.17g", value);
+  AddEntry(key, rendered);
+  return *this;
+}
+
+OptionsHasher& OptionsHasher::AddUint(const char* key, uint64_t value) {
+  char rendered[24];
+  std::snprintf(rendered, sizeof(rendered), "%" PRIu64, value);
+  AddEntry(key, rendered);
+  return *this;
+}
+
+void OptionsHasher::AddEntry(const char* key, const char* rendered) {
+  fnv_.Update(key, std::char_traits<char>::length(key));
+  fnv_.Update("=", 1);
+  fnv_.Update(rendered, std::char_traits<char>::length(rendered));
+  fnv_.Update(";", 1);
+}
+
+ArtifactFingerprint MakeFingerprint(const Graph& graph,
+                                    uint64_t options_hash) {
+  ArtifactFingerprint fp;
+  fp.n = graph.n();
+  fp.m = graph.m();
+  fp.graph_checksum = graph.Checksum();
+  fp.options_hash = options_hash;
+  return fp;
+}
+
+void WriteFingerprint(BinaryWriter& writer, const ArtifactFingerprint& fp) {
+  writer.WritePod(fp.n);
+  writer.WritePod(fp.m);
+  writer.WritePod(fp.graph_checksum);
+  writer.WritePod(fp.options_hash);
+}
+
+Status ReadAndCheckFingerprint(BinaryReader& reader,
+                               const ArtifactFingerprint& expected,
+                               const std::string& path) {
+  ArtifactFingerprint stored;
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&stored.n));
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&stored.m));
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&stored.graph_checksum));
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&stored.options_hash));
+  if (stored.n != expected.n) {
+    return Status::InvalidArgument(
+        "'" + path + "' was built for a graph with n = " +
+        std::to_string(stored.n) + ", but the supplied graph has n = " +
+        std::to_string(expected.n));
+  }
+  if (stored.m != expected.m) {
+    return Status::InvalidArgument(
+        "'" + path + "' was built for a graph with m = " +
+        std::to_string(stored.m) + ", but the supplied graph has m = " +
+        std::to_string(expected.m));
+  }
+  if (stored.graph_checksum != expected.graph_checksum) {
+    return Status::InvalidArgument(
+        "'" + path +
+        "' was built for a different graph with the same size (graph "
+        "checksum mismatch)");
+  }
+  if (stored.options_hash != expected.options_hash) {
+    return Status::InvalidArgument(
+        "'" + path +
+        "' was built with different options than this engine was "
+        "configured with (options hash mismatch)");
+  }
+  return Status::OK();
+}
+
+}  // namespace prsim

@@ -165,41 +165,41 @@ Result<EnginePtr> MakePowerMethod(const Graph& graph,
 
 EngineRegistry::EngineRegistry() {
   Register({"prsim", "PRSim", /*index_based=*/true,
-            /*supports_pair_query=*/false,
+            /*supports_pair_query=*/false, /*has_persistent_index=*/true,
             "c,eps,delta,j0,alpha,rounds,max_level,threads,paper_constants,"
             "seed",
             "Wei et al., SIGMOD 2019"},
            MakePRSim);
   Register({"probesim", "ProbeSim", /*index_based=*/false,
-            /*supports_pair_query=*/false, "c,eps,alpha,seed",
-            "Liu et al., VLDB 2017"},
+            /*supports_pair_query=*/false, /*has_persistent_index=*/false,
+            "c,eps,alpha,seed", "Liu et al., VLDB 2017"},
            MakeProbeSim);
   Register({"reads", "READS", /*index_based=*/true,
-            /*supports_pair_query=*/false, "c,r,t,max_entries,seed",
-            "Jiang et al., VLDB 2017"},
+            /*supports_pair_query=*/false, /*has_persistent_index=*/true,
+            "c,r,t,max_entries,seed", "Jiang et al., VLDB 2017"},
            MakeReads);
   Register({"sling", "SLING", /*index_based=*/true,
-            /*supports_pair_query=*/false,
+            /*supports_pair_query=*/false, /*has_persistent_index=*/true,
             "c,eps,delta,alpha_eta,max_eta_samples,max_tuples,max_level,"
             "threads,seed",
             "Tian & Xiao, SIGMOD 2016"},
            MakeSling);
   Register({"topsim", "TopSim", /*index_based=*/false,
-            /*supports_pair_query=*/false,
+            /*supports_pair_query=*/false, /*has_persistent_index=*/false,
             "c,depth,degree_cap,eta_prune,width,seed",
             "Lee et al., ICDE 2012"},
            MakeTopSim);
   Register({"tsf", "TSF", /*index_based=*/true,
-            /*supports_pair_query=*/false, "c,rg,rq,depth,max_entries,seed",
-            "Shao et al., VLDB 2015"},
+            /*supports_pair_query=*/false, /*has_persistent_index=*/true,
+            "c,rg,rq,depth,max_entries,seed", "Shao et al., VLDB 2015"},
            MakeTsf);
   Register({"montecarlo", "MonteCarlo", /*index_based=*/false,
-            /*supports_pair_query=*/true, "c,samples,seed",
-            "Fogaras & Racz, WWW 2005"},
+            /*supports_pair_query=*/true, /*has_persistent_index=*/false,
+            "c,samples,seed", "Fogaras & Racz, WWW 2005"},
            MakeMonteCarlo);
   Register({"powermethod", "PowerMethod", /*index_based=*/true,
-            /*supports_pair_query=*/true, "c,iterations,max_nodes,seed",
-            "Jeh & Widom, KDD 2002"},
+            /*supports_pair_query=*/true, /*has_persistent_index=*/false,
+            "c,iterations,max_nodes,seed", "Jeh & Widom, KDD 2002"},
            MakePowerMethod);
 }
 
@@ -248,6 +248,15 @@ Result<std::unique_ptr<SingleSourceSimRank>> EngineRegistry::Create(
     const std::string& params) const {
   PRSIM_ASSIGN_OR_RETURN(EngineConfig config, EngineConfig::Parse(params));
   return Create(name, graph, config);
+}
+
+Result<std::unique_ptr<SingleSourceSimRank>> EngineRegistry::CreateFromIndex(
+    const std::string& name, const Graph& graph, const EngineConfig& config,
+    const std::string& index_path) const {
+  PRSIM_ASSIGN_OR_RETURN(std::unique_ptr<SingleSourceSimRank> engine,
+                         Create(name, graph, config));
+  PRSIM_RETURN_NOT_OK(engine->LoadIndex(index_path));
+  return engine;
 }
 
 Status EngineRegistry::Validate(const std::string& name,

@@ -32,6 +32,10 @@ struct EngineInfo {
   /// True when the engine overrides QueryPair with a native pair estimator
   /// (instead of deriving it from a full single-source query).
   bool supports_pair_query = false;
+  /// True when the engine implements SaveIndex()/LoadIndex() so its index
+  /// round-trips through on-disk artifacts (PowerMethod is index-based but
+  /// its dense matrix is rebuilt, never persisted).
+  bool has_persistent_index = false;
   std::string config_keys;   ///< comma-separated supported EngineConfig keys
   std::string paper_ref;     ///< citation shown by `prsim_cli algos`
 };
@@ -61,6 +65,15 @@ class EngineRegistry {
   Result<std::unique_ptr<SingleSourceSimRank>> Create(
       const std::string& name, const Graph& graph,
       const std::string& params) const;
+
+  /// Constructs an engine and installs its index from a SaveIndex()
+  /// artifact instead of preprocessing — the cold-start path for serving.
+  /// Propagates factory errors, kUnimplemented for engines without a
+  /// persistent index, kInvalidArgument when the artifact was built against
+  /// a different graph or options, and kIOError on corruption.
+  Result<std::unique_ptr<SingleSourceSimRank>> CreateFromIndex(
+      const std::string& name, const Graph& graph, const EngineConfig& config,
+      const std::string& index_path) const;
 
   /// Runs the full factory validation (engine name, config keys, value
   /// ranges) without a real graph, so callers can fail fast before loading

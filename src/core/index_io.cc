@@ -1,127 +1,104 @@
 #include "core/index_io.h"
 
-#include <cstring>
-#include <fstream>
+#include <utility>
 
+#include "core/artifact.h"
 #include "ppr/walker.h"
+#include "util/serde.h"
 
 namespace prsim {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'R', 'S', 'I', 'M', 'I', 'X', '1'};
-
-template <typename T>
-void WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
+constexpr char kKind[] = "prsim-index";
 
 }  // namespace
 
+uint64_t PRSimIndexIO::OptionsHash(const PRSimIndexOptions& options) {
+  return OptionsHasher()
+      .Add("c", options.c)
+      .Add("eps", options.eps)
+      .Add("j0", options.j0)
+      .Add("rmax", options.rmax)
+      .Add("max_level", options.max_level)
+      .hash();
+}
+
 Status PRSimIndexIO::Save(const PRSimIndex& index, const Graph& graph,
+                          const PRSimIndexOptions& options,
                           const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<uint32_t>(out, graph.n());
-  WritePod<double>(out, index.rmax());
-  WritePod<uint32_t>(out, index.hub_count());
-
-  const auto& rpr = index.reverse_pagerank();
-  WritePod<uint64_t>(out, rpr.size());
-  out.write(reinterpret_cast<const char*>(rpr.data()),
-            static_cast<std::streamsize>(rpr.size() * sizeof(double)));
-
+  BinaryWriter writer(path, kKind, kArtifactVersion);
+  WriteFingerprint(writer, MakeFingerprint(graph, OptionsHash(options)));
+  writer.WritePod(index.rmax());
+  writer.WritePod(index.hub_count());
+  writer.WriteVector(index.reverse_pagerank());
   for (NodeId hub : index.hub_nodes()) {
-    WritePod<uint32_t>(out, hub);
-    // Non-empty levels as (level, count, entries...) records, terminated by
-    // level = 0xffffffff.
+    writer.WritePod(hub);
+    uint32_t level_count = 0;
+    for (uint32_t level = 0; level < kMaxWalkLevel; ++level) {
+      if (index.Find(hub, level) != nullptr) ++level_count;
+    }
+    writer.WritePod(level_count);
     for (uint32_t level = 0; level < kMaxWalkLevel; ++level) {
       const auto* list = index.Find(hub, level);
       if (list == nullptr) continue;
-      WritePod<uint32_t>(out, level);
-      WritePod<uint64_t>(out, static_cast<uint64_t>(list->size()));
-      for (const auto& [v, psi] : *list) {
-        WritePod<uint32_t>(out, v);
-        WritePod<float>(out, psi);
-      }
+      writer.WritePod(level);
+      writer.WriteVector(*list);
     }
-    WritePod<uint32_t>(out, 0xffffffffu);
   }
-  if (!out) return Status::IOError("write failure on '" + path + "'");
-  return Status::OK();
+  return writer.Finish();
 }
 
 Result<PRSimIndex> PRSimIndexIO::Load(const Graph& graph,
+                                      const PRSimIndexOptions& options,
                                       const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::IOError("'" + path + "' is not a prsim index file");
-  }
-  uint32_t n = 0;
-  double rmax = 0;
-  uint32_t hub_count = 0;
-  if (!ReadPod(in, &n) || !ReadPod(in, &rmax) || !ReadPod(in, &hub_count)) {
-    return Status::IOError("truncated index header in '" + path + "'");
-  }
-  if (n != graph.n()) {
-    return Status::InvalidArgument(
-        "index was built for a graph with n = " + std::to_string(n) +
-        ", but the supplied graph has n = " + std::to_string(graph.n()));
-  }
+  BinaryReader reader(path, kKind, kArtifactVersion);
+  PRSIM_RETURN_NOT_OK(reader.status());
+  PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
+      reader, MakeFingerprint(graph, OptionsHash(options)), path));
+  const NodeId n = graph.n();
 
   PRSimIndex index;
-  index.rmax_ = rmax;
-  uint64_t rpr_size = 0;
-  if (!ReadPod(in, &rpr_size) || rpr_size != n) {
-    return Status::IOError("corrupt reverse PageRank block in '" + path +
-                           "'");
+  uint32_t hub_count = 0;
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&index.rmax_));
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&hub_count));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&index.rpr_));
+  if (hub_count > n || index.rpr_.size() != n) {
+    return Status::IOError("corrupt prsim index header in '" + path + "'");
   }
-  index.rpr_.resize(rpr_size);
-  in.read(reinterpret_cast<char*>(index.rpr_.data()),
-          static_cast<std::streamsize>(rpr_size * sizeof(double)));
-  if (!in) return Status::IOError("truncated reverse PageRank block");
 
   index.hub_levels_.resize(hub_count);
   index.hub_nodes_.resize(hub_count);
   for (uint32_t slot = 0; slot < hub_count; ++slot) {
     uint32_t hub = 0;
-    if (!ReadPod(in, &hub) || hub >= n) {
+    uint32_t level_count = 0;
+    PRSIM_RETURN_NOT_OK(reader.ReadPod(&hub));
+    PRSIM_RETURN_NOT_OK(reader.ReadPod(&level_count));
+    if (hub >= n || index.hub_slot_.Contains(hub) ||
+        level_count > kMaxWalkLevel) {
       return Status::IOError("corrupt hub record in '" + path + "'");
     }
     index.hub_nodes_[slot] = hub;
     index.hub_slot_[hub] = slot;
     auto& levels = index.hub_levels_[slot].levels;
-    while (true) {
+    for (uint32_t i = 0; i < level_count; ++i) {
       uint32_t level = 0;
-      if (!ReadPod(in, &level)) {
-        return Status::IOError("truncated hub levels in '" + path + "'");
-      }
-      if (level == 0xffffffffu) break;
-      uint64_t count = 0;
-      if (level >= kMaxWalkLevel || !ReadPod(in, &count)) {
+      PRSIM_RETURN_NOT_OK(reader.ReadPod(&level));
+      if (level >= kMaxWalkLevel) {
         return Status::IOError("corrupt level record in '" + path + "'");
       }
       if (levels.size() <= level) levels.resize(level + 1);
       auto& list = levels[level];
-      list.resize(count);
-      for (auto& [v, psi] : list) {
-        if (!ReadPod(in, &v) || !ReadPod(in, &psi) || v >= n) {
+      PRSIM_RETURN_NOT_OK(reader.ReadVector(&list));
+      for (const auto& [v, psi] : list) {
+        if (v >= n) {
           return Status::IOError("corrupt reserve tuple in '" + path + "'");
         }
-        ++index.total_tuples_;
       }
+      index.total_tuples_ += list.size();
     }
   }
+  PRSIM_RETURN_NOT_OK(reader.Finish());
   return index;
 }
 

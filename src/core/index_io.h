@@ -1,11 +1,13 @@
 // Binary persistence for the PRSim hub index.
 //
 // Preprocessing costs O(m/eps); persisting the finished index lets a serving
-// process skip it entirely. The format stores the options fingerprint
-// (c, eps, rmax), the reverse PageRank vector, and every hub's per-level
-// reserve lists. Loading validates the fingerprint against the graph the
-// caller supplies (n must match) so a stale index cannot be paired with a
-// different graph silently.
+// process skip it entirely. The artifact rides on the shared serde envelope
+// (magic + version + kind + checksum trailer) and embeds the full
+// ArtifactFingerprint: n, m, a graph checksum, and a hash of every
+// index-shaping option (c, eps, j0, rmax, max_level). Loading validates the
+// fingerprint against the graph and options the caller supplies, so a stale
+// index can no longer be paired silently with a different graph of the same
+// size or with different build parameters.
 
 #ifndef PRSIM_CORE_INDEX_IO_H_
 #define PRSIM_CORE_INDEX_IO_H_
@@ -20,13 +22,22 @@ namespace prsim {
 
 class PRSimIndexIO {
  public:
-  /// Serializes a built index to `path`.
+  /// Serializes a built index to `path`. `options` must be the options the
+  /// index was built with; they are fingerprinted into the artifact.
   static Status Save(const PRSimIndex& index, const Graph& graph,
+                     const PRSimIndexOptions& options,
                      const std::string& path);
 
-  /// Loads an index previously saved against a graph with the same node
-  /// count; fails with kInvalidArgument on fingerprint mismatch.
-  static Result<PRSimIndex> Load(const Graph& graph, const std::string& path);
+  /// Loads an index previously saved against the same graph and options;
+  /// fails with kInvalidArgument on any fingerprint mismatch (n, m, graph
+  /// checksum, or options) and kIOError on corruption.
+  static Result<PRSimIndex> Load(const Graph& graph,
+                                 const PRSimIndexOptions& options,
+                                 const std::string& path);
+
+  /// Hash of the index-shaping options (threads excluded: they change build
+  /// parallelism, never the index contents).
+  static uint64_t OptionsHash(const PRSimIndexOptions& options);
 };
 
 }  // namespace prsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/index_io.h"
 #include "util/logging.h"
 
 namespace prsim {
@@ -33,16 +34,35 @@ PRSim::PRSim(const Graph& graph, const PRSimOptions& options)
   fr_ |= 1;  // odd round count keeps the median unambiguous
 }
 
-Status PRSim::Preprocess() {
+PRSimIndexOptions PRSim::IndexOptions() const {
   PRSimIndexOptions index_options;
   index_options.c = options_.c;
   index_options.eps = options_.eps;
   index_options.j0 = options_.j0;
   index_options.max_level = options_.max_level;
   index_options.threads = options_.threads;
+  return index_options;
+}
+
+Status PRSim::Preprocess() {
   PRSIM_ASSIGN_OR_RETURN(PRSimIndex built,
-                         PRSimIndex::Build(graph_, index_options));
+                         PRSimIndex::Build(graph_, IndexOptions()));
   index_ = std::make_shared<const PRSimIndex>(std::move(built));
+  return Status::OK();
+}
+
+Status PRSim::SaveIndex(const std::string& path) const {
+  if (index_ == nullptr) {
+    return Status::InvalidArgument(
+        "PRSim: no index built; call Preprocess() before SaveIndex()");
+  }
+  return PRSimIndexIO::Save(*index_, graph_, IndexOptions(), path);
+}
+
+Status PRSim::LoadIndex(const std::string& path) {
+  PRSIM_ASSIGN_OR_RETURN(PRSimIndex loaded,
+                         PRSimIndexIO::Load(graph_, IndexOptions(), path));
+  index_ = std::make_shared<const PRSimIndex>(std::move(loaded));
   return Status::OK();
 }
 

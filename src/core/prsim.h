@@ -64,12 +64,15 @@ class PRSim : public SingleSourceSimRank {
   /// Builds the hub index (Algorithm 1). Must be called before Query.
   Status Preprocess() override;
 
-  /// Installs a previously built (e.g. deserialized) index instead of
-  /// running Preprocess(). The index must have been built over a graph with
-  /// the same node count.
-  void AdoptIndex(PRSimIndex index) {
-    index_ = std::make_shared<const PRSimIndex>(std::move(index));
-  }
+  /// Persists the built hub index as a fingerprinted artifact (see
+  /// PRSimIndexIO); the fingerprint covers the graph and the index-shaping
+  /// options (c, eps, j0, max_level).
+  Status SaveIndex(const std::string& path) const override;
+
+  /// Loads a SaveIndex() artifact instead of running Preprocess(); queries
+  /// afterwards match a freshly preprocessed engine with the same seed
+  /// bit-for-bit (index construction never draws from the query RNG).
+  Status LoadIndex(const std::string& path) override;
 
   /// Shares another engine's (immutable) index. Queries are stateful per
   /// engine, so concurrent querying uses one PRSim per thread, all sharing
@@ -111,6 +114,10 @@ class PRSim : public SingleSourceSimRank {
   uint32_t rounds() const { return fr_; }
 
  private:
+  /// The PRSimIndexOptions this engine's options resolve to (the mapping
+  /// Preprocess, SaveIndex, and LoadIndex all share).
+  PRSimIndexOptions IndexOptions() const;
+
   const Graph& graph_;
   PRSimOptions options_;
   Walker walker_;

@@ -91,6 +91,27 @@ class SingleSourceSimRank {
 
   virtual bool IsIndexBased() const { return false; }
 
+  /// Serializes the built index to a versioned artifact at `path`, embedding
+  /// a fingerprint of the graph and of every index-shaping option. Requires
+  /// a completed Preprocess()/LoadIndex(); engines without a persistent
+  /// index (including index-free methods) return kUnimplemented.
+  virtual Status SaveIndex(const std::string& path) const {
+    (void)path;
+    return Status::Unimplemented(name() + " has no persistent index");
+  }
+
+  /// Installs the index from an artifact previously written by SaveIndex()
+  /// against the same graph and options, replacing Preprocess(). Fails with
+  /// kInvalidArgument when the artifact's fingerprint does not match this
+  /// engine's graph or options, kIOError on corruption, and kUnimplemented
+  /// for engines without a persistent index. After a successful load the
+  /// engine answers queries exactly as a freshly preprocessed instance with
+  /// the same seed would.
+  virtual Status LoadIndex(const std::string& path) {
+    (void)path;
+    return Status::Unimplemented(name() + " has no persistent index");
+  }
+
   /// Cost counters of the most recent Query() call.
   const QueryCost& last_query_cost() const { return cost_; }
 

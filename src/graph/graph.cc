@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/serde.h"
+
 namespace prsim {
 
 Result<Graph> Graph::FromEdges(NodeId n, const std::vector<Edge>& edges) {
@@ -102,6 +104,18 @@ size_t Graph::MemoryBytes() const {
          out_tgt_in_degree_.size() * sizeof(uint32_t) +
          in_off_.size() * sizeof(uint64_t) + in_adj_.size() * sizeof(NodeId) +
          in_degree_.size() * sizeof(uint32_t);
+}
+
+uint64_t Graph::Checksum() const {
+  Fnv64 hash;
+  hash.Update(&n_, sizeof(n_));
+  if (!out_off_.empty()) {
+    hash.Update(out_off_.data(), out_off_.size() * sizeof(uint64_t));
+  }
+  if (!out_adj_.empty()) {
+    hash.Update(out_adj_.data(), out_adj_.size() * sizeof(NodeId));
+  }
+  return hash.digest();
 }
 
 Status Graph::Validate() const {

@@ -88,6 +88,12 @@ class Graph {
   /// Heap bytes held by adjacency structures.
   size_t MemoryBytes() const;
 
+  /// FNV-1a over n and the out-CSR arrays, in O(n + m). Artifact
+  /// fingerprints embed this so an index saved against one graph cannot be
+  /// loaded against a different graph of the same size. The in-adjacency is
+  /// derived from the same edge multiset and is not hashed separately.
+  uint64_t Checksum() const;
+
   /// Invariant checker used by tests and the binary loader: offsets are
   /// monotone, adjacency ids are in range, the in-degree ordering of
   /// out-adjacency holds, and both directions describe the same edge multiset.

@@ -1,15 +1,17 @@
 #include "graph/io.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "util/serde.h"
 
 namespace prsim {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'R', 'S', 'I', 'M', 'G', 'R', '1'};
+constexpr char kGraphKind[] = "graph";
+constexpr uint32_t kGraphVersion = 1;
 
 bool ParseEdgeLine(const char* line, NodeId* src, NodeId* dst) {
   char* end = nullptr;
@@ -45,34 +47,6 @@ Result<std::vector<Edge>> ParseStream(std::istream& in,
   return edges;
 }
 
-template <typename T>
-void WritePod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-void WriteVector(std::ostream& out, const std::vector<T>& v) {
-  WritePod<uint64_t>(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-bool ReadPod(std::istream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
-
-template <typename T>
-bool ReadVector(std::istream& in, std::vector<T>* v) {
-  uint64_t size = 0;
-  if (!ReadPod(in, &size)) return false;
-  v->resize(size);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
-  return static_cast<bool>(in);
-}
-
 }  // namespace
 
 Result<std::vector<Edge>> LoadEdgeListText(const std::string& path) {
@@ -106,35 +80,28 @@ Result<Graph> LoadGraphText(const std::string& path,
 }
 
 Status GraphIO::SaveBinary(const Graph& graph, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<uint32_t>(out, graph.n_);
-  WriteVector(out, graph.out_off_);
-  WriteVector(out, graph.out_adj_);
-  WriteVector(out, graph.out_tgt_in_degree_);
-  WriteVector(out, graph.in_off_);
-  WriteVector(out, graph.in_adj_);
-  WriteVector(out, graph.in_degree_);
-  if (!out) return Status::IOError("write failure on '" + path + "'");
-  return Status::OK();
+  BinaryWriter writer(path, kGraphKind, kGraphVersion);
+  writer.WritePod(graph.n_);
+  writer.WriteVector(graph.out_off_);
+  writer.WriteVector(graph.out_adj_);
+  writer.WriteVector(graph.out_tgt_in_degree_);
+  writer.WriteVector(graph.in_off_);
+  writer.WriteVector(graph.in_adj_);
+  writer.WriteVector(graph.in_degree_);
+  return writer.Finish();
 }
 
 Result<Graph> GraphIO::LoadBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::IOError("'" + path + "' is not a prsim binary graph");
-  }
+  BinaryReader reader(path, kGraphKind, kGraphVersion);
   Graph g;
-  if (!ReadPod(in, &g.n_) || !ReadVector(in, &g.out_off_) ||
-      !ReadVector(in, &g.out_adj_) ||
-      !ReadVector(in, &g.out_tgt_in_degree_) || !ReadVector(in, &g.in_off_) ||
-      !ReadVector(in, &g.in_adj_) || !ReadVector(in, &g.in_degree_)) {
-    return Status::IOError("truncated binary graph '" + path + "'");
-  }
+  PRSIM_RETURN_NOT_OK(reader.ReadPod(&g.n_));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.out_off_));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.out_adj_));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.out_tgt_in_degree_));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.in_off_));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.in_adj_));
+  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.in_degree_));
+  PRSIM_RETURN_NOT_OK(reader.Finish());
   PRSIM_RETURN_NOT_OK(g.Validate());
   return g;
 }

@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -24,7 +26,11 @@ inline size_t DefaultThreadCount() {
 /// Runs fn(i) for i in [begin, end) across `threads` workers.
 ///
 /// fn must be safe to invoke concurrently for distinct i. Items are divided
-/// into contiguous chunks; worker t handles chunk t.
+/// into contiguous chunks; worker t handles chunk t. If fn throws, the first
+/// exception (in capture order) is rethrown on the calling thread after all
+/// workers have joined; an exception escaping a std::thread would otherwise
+/// call std::terminate. Workers whose chunk started before the failure run
+/// their remaining items to completion.
 template <typename Fn>
 void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t threads = 0) {
   if (end <= begin) return;
@@ -37,16 +43,26 @@ void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t threads = 0) {
   }
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  std::exception_ptr first_exception;
+  std::mutex exception_mu;
   const size_t chunk = (items + threads - 1) / threads;
   for (size_t t = 0; t < threads; ++t) {
     const size_t lo = begin + t * chunk;
     const size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    workers.emplace_back([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+    workers.emplace_back([lo, hi, &fn, &first_exception, &exception_mu] {
+      try {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(exception_mu);
+        if (first_exception == nullptr) {
+          first_exception = std::current_exception();
+        }
+      }
     });
   }
   for (auto& w : workers) w.join();
+  if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 
 }  // namespace prsim

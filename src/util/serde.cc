@@ -1,0 +1,180 @@
+#include "util/serde.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace prsim {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'R', 'S', 'I', 'M', 'A', 'R', 'T'};
+constexpr uint64_t kTrailerBytes = sizeof(uint64_t);
+/// Cap enforced symmetrically by WriteString and ReadString.
+constexpr uint32_t kMaxStringLength = 256;
+
+/// Temp-file names must be unique per writer, not just per process: two
+/// threads saving the same path must not truncate each other's temp.
+std::string UniqueTmpPath(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path, const std::string& kind,
+                           uint32_t version)
+    : path_(path), tmp_path_(UniqueTmpPath(path)) {
+  out_.open(tmp_path_, std::ios::binary);
+  if (!out_) {
+    status_ = Status::IOError("cannot open '" + path + "' for writing");
+    return;
+  }
+  Append(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(version);
+  WriteString(kind);
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (!finished_) {
+    // Abandoned or failed write: drop the temporary, leaving any previous
+    // artifact at path_ untouched.
+    out_.close();
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+  }
+}
+
+void BinaryWriter::Append(const void* data, size_t len) {
+  if (!status_.ok() || len == 0) return;
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(len));
+  if (!out_) {
+    status_ = Status::IOError("write failure on '" + path_ + "'");
+    return;
+  }
+  checksum_.Update(data, len);
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  if (status_.ok() && s.size() > kMaxStringLength) {
+    status_ = Status::InvalidArgument(
+        "string of " + std::to_string(s.size()) +
+        " bytes exceeds the artifact string cap of " +
+        std::to_string(kMaxStringLength));
+    return;
+  }
+  WritePod<uint32_t>(static_cast<uint32_t>(s.size()));
+  Append(s.data(), s.size());
+}
+
+Status BinaryWriter::Finish() {
+  if (status_.ok() && !finished_) {
+    const uint64_t digest = checksum_.digest();
+    out_.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+    out_.close();
+    if (!out_) {
+      status_ = Status::IOError("write failure on '" + path_ + "'");
+    } else {
+      std::error_code ec;
+      std::filesystem::rename(tmp_path_, path_, ec);
+      if (ec) {
+        status_ = Status::IOError("cannot move temporary into '" + path_ +
+                                  "': " + ec.message());
+      } else {
+        finished_ = true;
+      }
+    }
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path, const std::string& kind,
+                           uint32_t version)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) {
+    status_ = Status::IOError("cannot open '" + path + "' for reading");
+    return;
+  }
+  in_.seekg(0, std::ios::end);
+  const auto file_size = static_cast<uint64_t>(in_.tellg());
+  in_.seekg(0, std::ios::beg);
+  // Smallest well-formed artifact: magic + version + empty kind + trailer.
+  if (file_size < sizeof(kMagic) + sizeof(uint32_t) * 2 + kTrailerBytes) {
+    status_ = Status::IOError("'" + path + "' is too short to be an artifact");
+    return;
+  }
+  payload_end_ = file_size - kTrailerBytes;
+
+  char magic[sizeof(kMagic)];
+  if (Status st = Consume(magic, sizeof(magic)); !st.ok()) return;
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    status_ = Status::IOError("'" + path + "' is not a prsim artifact");
+    return;
+  }
+  uint32_t stored_version = 0;
+  if (Status st = ReadPod(&stored_version); !st.ok()) return;
+  if (stored_version != version) {
+    status_ = Status::IOError(
+        "'" + path + "' has artifact version " +
+        std::to_string(stored_version) + "; this build reads version " +
+        std::to_string(version));
+    return;
+  }
+  std::string stored_kind;
+  if (Status st = ReadString(&stored_kind); !st.ok()) return;
+  if (stored_kind != kind) {
+    status_ = Status::IOError("'" + path + "' holds a '" + stored_kind +
+                              "' artifact, expected '" + kind + "'");
+  }
+}
+
+Status BinaryReader::Consume(void* dst, size_t len) {
+  if (!status_.ok()) return status_;
+  if (len == 0) return Status::OK();
+  if (len > remaining()) {
+    return Corrupt("truncated (wanted " + std::to_string(len) +
+                   " bytes, have " + std::to_string(remaining()) + ")");
+  }
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(len));
+  if (!in_) return Corrupt("read failure");
+  checksum_.Update(dst, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  uint32_t len = 0;
+  PRSIM_RETURN_NOT_OK(ReadPod(&len));
+  if (len > kMaxStringLength || len > remaining()) {
+    return Corrupt("string length " + std::to_string(len) + " out of range");
+  }
+  out->resize(len);
+  return Consume(out->data(), len);
+}
+
+Status BinaryReader::Finish() {
+  if (!status_.ok()) return status_;
+  if (pos_ != payload_end_) {
+    return Corrupt(std::to_string(payload_end_ - pos_) +
+                   " unread payload bytes before the checksum trailer");
+  }
+  uint64_t stored = 0;
+  in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in_) return Corrupt("missing checksum trailer");
+  if (stored != checksum_.digest()) {
+    return Corrupt("checksum mismatch (file corrupt)");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::Corrupt(const std::string& what) {
+  status_ = Status::IOError("corrupt artifact '" + path_ + "': " + what);
+  return status_;
+}
+
+}  // namespace prsim

@@ -1,0 +1,204 @@
+// Versioned binary serialization framework for on-disk artifacts.
+//
+// Every persistent artifact in the library (graph snapshots, engine indexes,
+// bench caches) shares one envelope so corruption, format drift, and stale
+// files all fail with a clean Status instead of crashing or silently loading
+// garbage:
+//
+//   [8-byte magic "PRSIMART"] [u32 version] [kind string] [payload...] [u64 checksum]
+//
+// BinaryWriter streams the envelope and maintains a running FNV-1a checksum
+// over everything it writes; Finish() appends the digest as a trailer.
+// BinaryReader validates magic/version/kind up front, bounds every read
+// against the actual file size (a hostile length prefix cannot trigger a
+// multi-gigabyte allocation), and Finish() recomputes the checksum and
+// requires the payload to end exactly at the trailer.
+//
+// Values are written in host byte order (the library targets little-endian
+// x86-64/aarch64); vectors are length-prefixed with a u64 element count.
+
+#ifndef PRSIM_UTIL_SERDE_H_
+#define PRSIM_UTIL_SERDE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prsim {
+
+/// Incremental FNV-1a 64-bit hash; also the running artifact checksum.
+class Fnv64 {
+ public:
+  void Update(const void* data, size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x00000100000001b3ULL;
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// One-shot FNV-1a over a byte range / string.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  Fnv64 h;
+  h.Update(data, len);
+  return h.digest();
+}
+inline uint64_t HashString(const std::string& s) {
+  return HashBytes(s.data(), s.size());
+}
+
+namespace serde_internal {
+
+/// Types we byte-copy: trivially copyable types, plus std::pair of them
+/// (std::pair's non-trivial assignment operator disqualifies it from
+/// std::is_trivially_copyable even when a byte copy is exact).
+template <typename T>
+struct IsSerdePod : std::is_trivially_copyable<T> {};
+template <typename A, typename B>
+struct IsSerdePod<std::pair<A, B>>
+    : std::bool_constant<std::is_trivially_copyable_v<A> &&
+                         std::is_trivially_copyable_v<B>> {};
+
+}  // namespace serde_internal
+
+/// \brief Streams one artifact to disk. Errors are sticky: after the first
+/// failure every write is a no-op and Finish() returns the original error.
+///
+/// Writes go to a process-unique temporary file next to `path`; Finish()
+/// renames it into place, so a failed or interrupted save never destroys a
+/// previously valid artifact, and concurrent writers of the same path leave
+/// one winner instead of a torn file.
+class BinaryWriter {
+ public:
+  /// Opens a temporary next to `path` and writes the envelope header
+  /// (magic, `version`, `kind`).
+  BinaryWriter(const std::string& path, const std::string& kind,
+               uint32_t version);
+  ~BinaryWriter();
+
+  template <typename T>
+  void WritePod(const T& value) {
+    static_assert(serde_internal::IsSerdePod<T>::value,
+                  "WritePod requires a byte-copyable type");
+    Append(&value, sizeof(T));
+  }
+
+  /// Length-prefixed (u32) byte string; strings over 256 bytes are a
+  /// sticky error (the reader enforces the same cap).
+  void WriteString(const std::string& s);
+
+  /// Length-prefixed (u64 element count) vector of byte-copyable elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(serde_internal::IsSerdePod<T>::value,
+                  "WriteVector requires byte-copyable elements");
+    WritePod<uint64_t>(v.size());
+    Append(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Raw elements with no length prefix. Pair with an explicit
+  /// WritePod<uint64_t> total so a table scattered across many buckets can
+  /// stream out piecewise — producing bytes identical to one WriteVector of
+  /// the concatenation — without materializing that concatenation.
+  template <typename T>
+  void WriteElements(const T* data, size_t count) {
+    static_assert(serde_internal::IsSerdePod<T>::value,
+                  "WriteElements requires byte-copyable elements");
+    Append(data, count * sizeof(T));
+  }
+
+  /// Appends the checksum trailer, renames the temporary onto the target
+  /// path, and returns the sticky status.
+  Status Finish();
+
+  const Status& status() const { return status_; }
+
+ private:
+  void Append(const void* data, size_t len);
+
+  std::ofstream out_;
+  std::string path_;
+  std::string tmp_path_;
+  Fnv64 checksum_;
+  Status status_;
+  bool finished_ = false;
+};
+
+/// \brief Reads one artifact. The constructor validates the envelope header;
+/// check status() before the first read. Errors are sticky.
+class BinaryReader {
+ public:
+  /// Opens `path` and validates magic, `version`, and `kind`.
+  BinaryReader(const std::string& path, const std::string& kind,
+               uint32_t version);
+
+  template <typename T>
+  Status ReadPod(T* out) {
+    static_assert(serde_internal::IsSerdePod<T>::value,
+                  "ReadPod requires a byte-copyable type");
+    return Consume(out, sizeof(T));
+  }
+
+  Status ReadString(std::string* out);
+
+  template <typename T>
+  Status ReadVector(std::vector<T>* out) {
+    static_assert(serde_internal::IsSerdePod<T>::value,
+                  "ReadVector requires byte-copyable elements");
+    uint64_t count = 0;
+    PRSIM_RETURN_NOT_OK(ReadPod(&count));
+    if (count > remaining() / sizeof(T)) {
+      return Corrupt("vector of " + std::to_string(count) +
+                     " elements exceeds the bytes left in the file");
+    }
+    out->resize(static_cast<size_t>(count));
+    return Consume(out->data(), static_cast<size_t>(count) * sizeof(T));
+  }
+
+  /// Mirror of WriteElements: reads `count` raw elements into `dst`.
+  template <typename T>
+  Status ReadElements(T* dst, size_t count) {
+    static_assert(serde_internal::IsSerdePod<T>::value,
+                  "ReadElements requires byte-copyable elements");
+    if (count > remaining() / sizeof(T)) {
+      return Corrupt(std::to_string(count) +
+                     " elements exceed the bytes left in the file");
+    }
+    return Consume(dst, count * sizeof(T));
+  }
+
+  /// Payload bytes left before the checksum trailer.
+  uint64_t remaining() const { return payload_end_ - pos_; }
+
+  /// Requires the payload to be fully consumed, then verifies the checksum
+  /// trailer against the running digest.
+  Status Finish();
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status Consume(void* dst, size_t len);
+  Status Corrupt(const std::string& what);
+
+  std::ifstream in_;
+  std::string path_;
+  uint64_t payload_end_ = 0;
+  uint64_t pos_ = 0;
+  Fnv64 checksum_;
+  Status status_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_SERDE_H_

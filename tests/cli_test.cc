@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -64,6 +65,17 @@ class CliTest : public ::testing::Test {
       if (!line.empty() && std::isdigit(static_cast<unsigned char>(line[0]))) {
         lines.push_back(line);
       }
+    }
+    return lines;
+  }
+
+  /// Extracts the "score\t<node>\t<value>" rows of --format tsv output.
+  std::vector<std::string> ScoreTsvLines(const std::string& output) {
+    std::vector<std::string> lines;
+    std::istringstream stream(output);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (line.rfind("score\t", 0) == 0) lines.push_back(line);
     }
     return lines;
   }
@@ -295,15 +307,132 @@ TEST_F(CliTest, OutOfRangeEpsAndCFail) {
   EXPECT_EQ(Run(index + " --c 0"), 2);
 }
 
-TEST_F(CliTest, IndexFlagRejectedForNonPRSimAlgo) {
+TEST_F(CliTest, IndexFlagRejectedForNonPersistentAlgo) {
   ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 300 --degree 4"),
             0);
   ASSERT_EQ(Run("index --graph " + Path("g.txt") + " --out " + Path("g.idx") +
                 " --eps 0.2"),
             0);
-  EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --index " +
-                Path("g.idx") + " --source 0 --algo probesim"),
+  // ProbeSim is index-free; PowerMethod is index-based but its dense matrix
+  // is never persisted. Both must reject --index with exit 2, as must the
+  // index subcommand itself.
+  for (const char* algo : {"probesim", "powermethod"}) {
+    EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --index " +
+                  Path("g.idx") + " --source 0 --algo " + algo),
+              2)
+        << algo;
+    EXPECT_EQ(Run("index --graph " + Path("g.txt") + " --out " +
+                  Path("x.idx") + " --algo " + algo),
+              2)
+        << algo;
+  }
+}
+
+// The cold-start workflow for every persistent engine: build the index in
+// one process, reload it in another, and get bit-identical scores to an
+// in-process preprocessing run under the same seed. threads=1 keeps the
+// two independent SLING builds byte-identical (parallel build interleaving
+// reorders float accumulation).
+TEST_F(CliTest, EveryPersistentEngineRoundTripsThroughIndexFiles) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 400 --degree 5 --seed 2"),
+            0);
+  const std::vector<std::pair<std::string, std::string>> algos = {
+      {"prsim", " --eps 0.3"},
+      {"sling", " --params eps=0.3,threads=1"},
+      {"reads", " --params r=10,t=4"},
+      {"tsf", " --params rg=10,rq=3"},
+  };
+  for (const auto& [algo, params] : algos) {
+    const std::string idx = Path(algo + ".idx");
+    std::string index_out;
+    ASSERT_EQ(Run("index --graph " + Path("g.txt") + " --out " + idx +
+                      " --algo " + algo + " --seed 5" + params,
+                  &index_out),
+              0)
+        << algo << "\n" << index_out;
+    EXPECT_NE(index_out.find("built index"), std::string::npos) << algo;
+
+    const std::string query = "query --graph " + Path("g.txt") +
+                              " --source 7 --k 8 --algo " + algo +
+                              " --seed 5 --format tsv" + params;
+    std::string loaded, fresh;
+    ASSERT_EQ(Run(query + " --index " + idx, &loaded), 0) << algo;
+    ASSERT_EQ(Run(query, &fresh), 0) << algo;
+    const auto loaded_scores = ScoreTsvLines(loaded);
+    EXPECT_FALSE(loaded_scores.empty()) << algo << "\n" << loaded;
+    EXPECT_EQ(loaded_scores, ScoreTsvLines(fresh)) << algo;
+  }
+}
+
+TEST_F(CliTest, QueryFormatTsvIsMachineReadable) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::string out;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") +
+                    " --source 2 --k 5 --format tsv",
+                &out),
+            0);
+  EXPECT_NE(out.find("meta\talgo\tPRSim\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("meta\tquery_s\t"), std::string::npos);
+  EXPECT_NE(out.find("meta\twalks\t"), std::string::npos);
+  EXPECT_FALSE(ScoreTsvLines(out).empty()) << out;
+  // Machine output only: no human progress lines on stdout.
+  EXPECT_EQ(out.find("preprocessed in"), std::string::npos) << out;
+  for (const auto& line : ScoreTsvLines(out)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\t'), 2) << line;
+  }
+}
+
+TEST_F(CliTest, QueryFormatJsonIsMachineReadable) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::string out;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") +
+                    " --source 2 --k 5 --algo montecarlo "
+                    "--params samples=50 --format json",
+                &out),
+            0);
+  EXPECT_EQ(out.rfind("{\"algo\":\"MonteCarlo\"", 0), 0u) << out;
+  EXPECT_NE(out.find("\"cost\":{"), std::string::npos);
+  EXPECT_NE(out.find("\"scores\":["), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST_F(CliTest, UnknownQueryFormatFails) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 300 --degree 4"),
+            0);
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                " --source 0 --format xml"),
             2);
+}
+
+// The stale-index footgun, end to end: an index built with one eps (or for
+// another graph of the same size) must be rejected at load time.
+TEST_F(CliTest, MismatchedIndexArtifactsAreRejected) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 1"),
+            0);
+  ASSERT_EQ(Run("generate --out " + Path("h.txt") +
+                " --model er --n 300 --degree 4 --seed 2"),
+            0);
+  ASSERT_EQ(Run("index --graph " + Path("g.txt") + " --out " + Path("g.idx") +
+                " --eps 0.3"),
+            0);
+  // Same graph, different index-shaping option.
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --index " +
+                Path("g.idx") + " --source 0 --eps 0.2"),
+            1);
+  // Different graph with the same node count.
+  EXPECT_EQ(Run("query --graph " + Path("h.txt") + " --index " +
+                Path("g.idx") + " --source 0 --eps 0.3"),
+            1);
+  // Matching options on the matching graph still load.
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --index " +
+                Path("g.idx") + " --source 0 --eps 0.3"),
+            0);
 }
 
 // The PRSim knobs that used to be unreachable from the CLI: --j0, --alpha,

@@ -32,8 +32,8 @@ TEST_F(IndexIoTest, RoundTripPreservesEverything) {
   options.eps = 0.05;
   options.j0 = 30;
   auto index = PRSimIndex::Build(g, options).ValueOrDie();
-  ASSERT_TRUE(PRSimIndexIO::Save(index, g, Path("a.idx")).ok());
-  auto loaded = PRSimIndexIO::Load(g, Path("a.idx")).ValueOrDie();
+  ASSERT_TRUE(PRSimIndexIO::Save(index, g, options, Path("a.idx")).ok());
+  auto loaded = PRSimIndexIO::Load(g, options, Path("a.idx")).ValueOrDie();
 
   EXPECT_EQ(loaded.hub_count(), index.hub_count());
   EXPECT_EQ(loaded.hub_nodes(), index.hub_nodes());
@@ -59,10 +59,10 @@ TEST_F(IndexIoTest, LoadedIndexAnswersQueriesIdentically) {
   options.seed = 11;
   PRSim fresh(g, options);
   ASSERT_TRUE(fresh.Preprocess().ok());
-  ASSERT_TRUE(PRSimIndexIO::Save(fresh.index(), g, Path("b.idx")).ok());
+  ASSERT_TRUE(fresh.SaveIndex(Path("b.idx")).ok());
 
   PRSim restored(g, options);
-  restored.AdoptIndex(PRSimIndexIO::Load(g, Path("b.idx")).ValueOrDie());
+  ASSERT_TRUE(restored.LoadIndex(Path("b.idx")).ok());
   auto a = fresh.Query(7);
   auto b = restored.Query(7);
   std::sort(a.begin(), a.end());
@@ -76,32 +76,73 @@ TEST_F(IndexIoTest, RejectsWrongGraph) {
   PRSimIndexOptions options;
   options.eps = 0.1;
   auto index = PRSimIndex::Build(g, options).ValueOrDie();
-  ASSERT_TRUE(PRSimIndexIO::Save(index, g, Path("c.idx")).ok());
-  auto result = PRSimIndexIO::Load(other, Path("c.idx"));
+  ASSERT_TRUE(PRSimIndexIO::Save(index, g, options, Path("c.idx")).ok());
+  auto result = PRSimIndexIO::Load(other, options, Path("c.idx"));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+// The stale-index footgun: a graph with the same node count but different
+// edges must be rejected (the old format only compared n).
+TEST_F(IndexIoTest, RejectsSameSizeDifferentGraph) {
+  Graph g = MakeRandomDigraph(100, 500, 3);
+  Graph same_n = MakeRandomDigraph(100, 500, 4);
+  PRSimIndexOptions options;
+  options.eps = 0.1;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  ASSERT_TRUE(PRSimIndexIO::Save(index, g, options, Path("d.idx")).ok());
+  auto result = PRSimIndexIO::Load(same_n, options, Path("d.idx"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexIoTest, RejectsDifferentOptions) {
+  Graph g = MakeRandomDigraph(100, 500, 5);
+  PRSimIndexOptions options;
+  options.eps = 0.1;
+  auto index = PRSimIndex::Build(g, options).ValueOrDie();
+  ASSERT_TRUE(PRSimIndexIO::Save(index, g, options, Path("e.idx")).ok());
+
+  PRSimIndexOptions narrower = options;
+  narrower.eps = 0.05;
+  auto result = PRSimIndexIO::Load(g, narrower, Path("e.idx"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  PRSimIndexOptions more_hubs = options;
+  more_hubs.j0 = 77;
+  result = PRSimIndexIO::Load(g, more_hubs, Path("e.idx"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // Thread count shapes build parallelism, not the index: it must not be
+  // fingerprinted.
+  PRSimIndexOptions more_threads = options;
+  more_threads.threads = 7;
+  EXPECT_TRUE(PRSimIndexIO::Load(g, more_threads, Path("e.idx")).ok());
+}
+
 TEST_F(IndexIoTest, RejectsGarbageAndTruncation) {
   Graph g = MakeRandomDigraph(50, 250, 4);
+  PRSimIndexOptions options;
+  options.eps = 0.1;
   {
     std::ofstream out(Path("junk.idx"), std::ios::binary);
     out << "not an index";
   }
-  EXPECT_FALSE(PRSimIndexIO::Load(g, Path("junk.idx")).ok());
+  EXPECT_FALSE(PRSimIndexIO::Load(g, options, Path("junk.idx")).ok());
 
-  PRSimIndexOptions options;
-  options.eps = 0.1;
   auto index = PRSimIndex::Build(g, options).ValueOrDie();
-  ASSERT_TRUE(PRSimIndexIO::Save(index, g, Path("full.idx")).ok());
+  ASSERT_TRUE(PRSimIndexIO::Save(index, g, options, Path("full.idx")).ok());
   const auto size = std::filesystem::file_size(Path("full.idx"));
   std::filesystem::resize_file(Path("full.idx"), size * 2 / 3);
-  EXPECT_FALSE(PRSimIndexIO::Load(g, Path("full.idx")).ok());
+  EXPECT_FALSE(PRSimIndexIO::Load(g, options, Path("full.idx")).ok());
 }
 
 TEST_F(IndexIoTest, MissingFileFails) {
   Graph g = MakeRandomDigraph(20, 80, 5);
-  auto result = PRSimIndexIO::Load(g, Path("missing.idx"));
+  PRSimIndexOptions options;
+  auto result = PRSimIndexIO::Load(g, options, Path("missing.idx"));
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
 }

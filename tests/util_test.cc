@@ -6,6 +6,8 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -309,6 +311,54 @@ TEST(ParallelForTest, RespectsBeginOffset) {
   std::atomic<size_t> sum{0};
   ParallelFor(10, 20, [&](size_t i) { sum += i; });
   EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+// Regression: an exception escaping a worker used to hit the std::thread
+// boundary and call std::terminate; it must be rethrown on the caller.
+TEST(ParallelForTest, WorkerExceptionRethrownOnCaller) {
+  EXPECT_THROW(
+      ParallelFor(
+          0, 1000,
+          [](size_t i) {
+            if (i == 637) throw std::runtime_error("item 637 failed");
+          },
+          /*threads=*/4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, WorkerExceptionCarriesMessage) {
+  try {
+    ParallelFor(
+        0, 100, [](size_t i) { throw std::invalid_argument("boom " +
+                                                           std::to_string(i)); },
+        /*threads=*/4);
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u) << e.what();
+  }
+}
+
+TEST(ParallelForTest, SerialPathPropagatesException) {
+  EXPECT_THROW(ParallelFor(
+                   0, 10, [](size_t) { throw std::runtime_error("serial"); },
+                   /*threads=*/1),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, OtherItemsStillRunAfterException) {
+  std::vector<std::atomic<int>> hits(256);
+  EXPECT_THROW(ParallelFor(
+                   0, hits.size(),
+                   [&](size_t i) {
+                     hits[i]++;
+                     if (i % 64 == 0) throw std::runtime_error("sparse");
+                   },
+                   /*threads=*/4),
+               std::runtime_error);
+  // Every worker's first item before its failure point still executed; the
+  // items of a worker after its throw are skipped, but the loop never
+  // deadlocks or terminates the process.
+  EXPECT_GE(hits[0].load(), 1);
 }
 
 // --------------------------------------------------------------------------

@@ -6,17 +6,23 @@
 //   prsim_cli algos
 //       Lists every engine in the registry with its metadata and the
 //       config keys it accepts via --params.
-//   prsim_cli index     --graph g.txt --out g.idx [--eps 0.1] [--c 0.6]
-//                       [--j0 N] [--threads T]
-//       Builds the PRSim hub index and serializes it.
+//   prsim_cli index     --graph g.txt --out g.idx [--algo prsim]
+//                       [--params k=v,k=v] [--eps 0.1] [--c 0.6] [--j0 N]
+//                       [--seed S] [--threads T]
+//       Builds the index of any persistent engine (prsim, sling, reads,
+//       tsf) and serializes it as a fingerprinted artifact.
 //   prsim_cli query     --graph g.txt --source U [--algo prsim]
 //                       [--params k=v,k=v] [--index g.idx] [--eps 0.1]
 //                       [--c 0.6] [--k 20] [--seed S] [--j0 N] [--alpha A]
 //                       [--rounds R] [--threads T] [--paper-constants]
-//       Answers a single-source query with any registry engine (loading the
-//       PRSim index if given, otherwise preprocessing in-process) and prints
-//       the top-k. Engine-specific knobs go through --params; the dedicated
-//       flags override keys of the same name.
+//                       [--format text|tsv|json]
+//       Answers a single-source query with any registry engine (loading a
+//       saved index if given — the artifact must match the graph and the
+//       index-shaping options — otherwise preprocessing in-process) and
+//       prints the top-k. Engine-specific knobs go through --params; the
+//       dedicated flags override keys of the same name. --format tsv/json
+//       emit machine-readable scores, QueryCost counters, and timings on
+//       stdout (progress goes to stderr).
 //   prsim_cli generate  --out g.txt [--model chunglu|er|ba] [--n N]
 //                       [--degree D] [--gamma G] [--seed S] [--undirected]
 //       Writes a synthetic edge list.
@@ -37,7 +43,6 @@
 
 #include "core/engine_config.h"
 #include "core/engine_registry.h"
-#include "core/index_io.h"
 #include "core/prsim.h"
 #include "eval/datasets.h"
 #include "gen/barabasi_albert.h"
@@ -219,13 +224,14 @@ int BuildEngineConfig(const Flags& flags, EngineConfig* out) {
 
 int CmdAlgos(const Flags&) {
   const EngineRegistry& registry = EngineRegistry::Global();
-  std::printf("%-12s %-6s %-5s %-28s %s\n", "name", "index", "pair",
-              "reference", "config keys");
+  std::printf("%-12s %-6s %-5s %-8s %-28s %s\n", "name", "index", "pair",
+              "persist", "reference", "config keys");
   for (const std::string& name : registry.Names()) {
     const EngineInfo* info = registry.Find(name);
-    std::printf("%-12s %-6s %-5s %-28s %s\n", info->name.c_str(),
+    std::printf("%-12s %-6s %-5s %-8s %-28s %s\n", info->name.c_str(),
                 info->index_based ? "yes" : "no",
                 info->supports_pair_query ? "yes" : "no",
+                info->has_persistent_index ? "yes" : "no",
                 info->paper_ref.c_str(), info->config_keys.c_str());
   }
   std::printf(
@@ -241,11 +247,24 @@ int CmdIndex(const Flags& flags) {
     std::fprintf(stderr, "index: --graph and --out are required\n");
     return 2;
   }
-  // Validate eps/c/j0/threads through the registry before touching the
+  const std::string algo = flags.Get("algo", "prsim");
+  const EngineInfo* info = EngineRegistry::Global().Find(algo);
+  if (info == nullptr) {
+    std::fprintf(stderr,
+                 "index: unknown --algo '%s' (run `prsim_cli algos`)\n",
+                 algo.c_str());
+    return 2;
+  }
+  if (!info->has_persistent_index) {
+    std::fprintf(stderr, "index: --algo %s has no persistent index\n",
+                 info->name.c_str());
+    return 2;
+  }
+  // Validate the engine config through the registry before touching the
   // graph file, so bad flag values fail fast with exit 2.
   EngineConfig config;
   if (const int rc = BuildEngineConfig(flags, &config); rc != 0) return rc;
-  if (Status st = EngineRegistry::Global().Validate("prsim", config);
+  if (Status st = EngineRegistry::Global().Validate(info->name, config);
       !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 2;
@@ -255,27 +274,88 @@ int CmdIndex(const Flags& flags) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
   }
-  auto engine = EngineRegistry::Global().Create("prsim", graph.ValueOrDie(),
-                                                config);
+  auto engine = EngineRegistry::Global().Create(info->name,
+                                                graph.ValueOrDie(), config);
   engine.status().Abort();  // config already validated above
-  auto* prsim = dynamic_cast<PRSim*>(engine.ValueOrDie().get());
   WallTimer timer;
-  Status st = prsim->Preprocess();
+  Status st = engine.ValueOrDie()->Preprocess();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  st = PRSimIndexIO::Save(prsim->index(), graph.ValueOrDie(), out_path);
+  st = engine.ValueOrDie()->SaveIndex(out_path);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("built index: %u hubs, %llu tuples, %.2f MB in %.2fs -> %s\n",
-              prsim->index().hub_count(),
-              static_cast<unsigned long long>(prsim->index().total_tuples()),
-              prsim->index().IndexBytes() / 1e6, timer.Seconds(),
+  std::printf("built index: algo=%s %.2f MB in %.2fs -> %s\n",
+              engine.ValueOrDie()->name().c_str(),
+              engine.ValueOrDie()->IndexBytes() / 1e6, timer.Seconds(),
               out_path.c_str());
+  if (const auto* prsim =
+          dynamic_cast<const PRSim*>(engine.ValueOrDie().get())) {
+    std::printf("  %u hubs, %llu tuples\n", prsim->index().hub_count(),
+                static_cast<unsigned long long>(
+                    prsim->index().total_tuples()));
+  }
   return 0;
+}
+
+/// Output format of `query`: human text (default) or machine-readable
+/// tsv/json carrying the scores, QueryCost counters, and timings.
+enum class QueryFormat { kText, kTsv, kJson };
+
+/// The QueryCost counters as (name, value) pairs — the single field list
+/// every output format renders, so a new counter cannot be dropped from
+/// one format silently.
+std::vector<std::pair<const char*, unsigned long long>> CostFields(
+    const QueryCost& cost) {
+  return {{"walks", cost.walks},
+          {"meeting_tests", cost.meeting_tests},
+          {"backward_walks", cost.backward_walks},
+          {"backward_increments", cost.backward_increments},
+          {"index_tuples_read", cost.index_tuples_read}};
+}
+
+void PrintQueryTsv(const SingleSourceSimRank& engine, NodeId source,
+                   uint32_t k, double preprocess_seconds,
+                   double query_seconds, size_t nonzero,
+                   const ScoreList& topk) {
+  std::printf("meta\talgo\t%s\n", engine.name().c_str());
+  std::printf("meta\tsource\t%u\n", source);
+  std::printf("meta\tk\t%u\n", k);
+  std::printf("meta\tpreprocess_s\t%.6f\n", preprocess_seconds);
+  std::printf("meta\tquery_s\t%.6f\n", query_seconds);
+  std::printf("meta\tnonzero_scores\t%zu\n", nonzero);
+  for (const auto& [name, value] : CostFields(engine.last_query_cost())) {
+    std::printf("meta\t%s\t%llu\n", name, value);
+  }
+  for (const auto& [v, s] : topk) {
+    std::printf("score\t%u\t%.17g\n", v, s);
+  }
+}
+
+void PrintQueryJson(const SingleSourceSimRank& engine, NodeId source,
+                    uint32_t k, double preprocess_seconds,
+                    double query_seconds, size_t nonzero,
+                    const ScoreList& topk) {
+  std::printf("{\"algo\":\"%s\",\"source\":%u,\"k\":%u,",
+              engine.name().c_str(), source, k);
+  std::printf("\"preprocess_seconds\":%.6f,\"query_seconds\":%.6f,",
+              preprocess_seconds, query_seconds);
+  std::printf("\"nonzero_scores\":%zu,", nonzero);
+  std::printf("\"cost\":{");
+  bool first = true;
+  for (const auto& [name, value] : CostFields(engine.last_query_cost())) {
+    std::printf("%s\"%s\":%llu", first ? "" : ",", name, value);
+    first = false;
+  }
+  std::printf("},\"scores\":[");
+  for (size_t i = 0; i < topk.size(); ++i) {
+    std::printf("%s[%u,%.17g]", i == 0 ? "" : ",", topk[i].first,
+                topk[i].second);
+  }
+  std::printf("]}\n");
 }
 
 int CmdQuery(const Flags& flags) {
@@ -284,15 +364,27 @@ int CmdQuery(const Flags& flags) {
     std::fprintf(stderr, "query: --graph is required\n");
     return 2;
   }
-  // Validate the cheap inputs — the algo name, its config, --source, --k —
-  // before graph loading / index loading / preprocessing, so a bad flag
-  // fails fast with exit 2 instead of after minutes of work.
+  // Validate the cheap inputs — the algo name, its config, --source, --k,
+  // --format — before graph loading / index loading / preprocessing, so a
+  // bad flag fails fast with exit 2 instead of after minutes of work.
   const std::string algo = flags.Get("algo", "prsim");
   const EngineInfo* info = EngineRegistry::Global().Find(algo);
   if (info == nullptr) {
     std::fprintf(stderr,
                  "query: unknown --algo '%s' (run `prsim_cli algos`)\n",
                  algo.c_str());
+    return 2;
+  }
+  const std::string format_name = flags.Get("format", "text");
+  QueryFormat format = QueryFormat::kText;
+  if (format_name == "tsv") {
+    format = QueryFormat::kTsv;
+  } else if (format_name == "json") {
+    format = QueryFormat::kJson;
+  } else if (format_name != "text") {
+    std::fprintf(stderr,
+                 "query: unknown --format '%s' (text, tsv, or json)\n",
+                 format_name.c_str());
     return 2;
   }
   EngineConfig config;
@@ -304,10 +396,10 @@ int CmdQuery(const Flags& flags) {
   const auto source = static_cast<NodeId>(flags.GetUint32("source", 0));
   const uint32_t k = flags.GetUint32("k", 20);
   const std::string index_path = flags.Get("index", "");
-  if (!index_path.empty() && info->name != "prsim") {
+  if (!index_path.empty() && !info->has_persistent_index) {
     std::fprintf(stderr,
-                 "query: --index is only supported with --algo prsim "
-                 "(got %s)\n",
+                 "query: --algo %s has no persistent index, so --index is "
+                 "not supported\n",
                  info->name.c_str());
     return 2;
   }
@@ -329,41 +421,51 @@ int CmdQuery(const Flags& flags) {
   std::unique_ptr<SingleSourceSimRank> engine =
       std::move(engine_result).ValueOrDie();
 
+  // In machine-readable modes the progress lines move to stderr so stdout
+  // carries nothing but the tsv/json payload.
+  FILE* progress = format == QueryFormat::kText ? stdout : stderr;
   WallTimer prep_timer;
   if (!index_path.empty()) {
-    auto* prsim = dynamic_cast<PRSim*>(engine.get());
-    PRSIM_CHECK(prsim != nullptr);  // guaranteed by the --algo check above
-    auto index = PRSimIndexIO::Load(graph, index_path);
-    if (!index.ok()) {
-      std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    Status st = engine->LoadIndex(index_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    prsim->AdoptIndex(std::move(index).ValueOrDie());
-    std::printf("loaded index from %s in %.2fs\n", index_path.c_str(),
-                prep_timer.Seconds());
+    std::fprintf(progress, "loaded index from %s in %.2fs\n",
+                 index_path.c_str(), prep_timer.Seconds());
   } else {
     Status st = engine->Preprocess();
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("preprocessed in %.2fs (no --index given)\n",
-                prep_timer.Seconds());
+    std::fprintf(progress, "preprocessed in %.2fs (no --index given)\n",
+                 prep_timer.Seconds());
   }
+  const double preprocess_seconds = prep_timer.Seconds();
 
   WallTimer query_timer;
   ScoreList scores = engine->Query(source);
+  const double query_seconds = query_timer.Seconds();
+  const ScoreList topk = TopK(scores, k, source);
+  if (format == QueryFormat::kTsv) {
+    PrintQueryTsv(*engine, source, k, preprocess_seconds, query_seconds,
+                  scores.size(), topk);
+    return 0;
+  }
+  if (format == QueryFormat::kJson) {
+    PrintQueryJson(*engine, source, k, preprocess_seconds, query_seconds,
+                   scores.size(), topk);
+    return 0;
+  }
   std::printf("query answered in %.4fs (%zu non-zero scores)\n",
-              query_timer.Seconds(), scores.size());
-  const QueryCost& cost = engine->last_query_cost();
-  std::printf("cost: algo=%s walks=%llu meeting_tests=%llu "
-              "backward_walks=%llu index_tuples=%llu\n",
-              engine->name().c_str(),
-              static_cast<unsigned long long>(cost.walks),
-              static_cast<unsigned long long>(cost.meeting_tests),
-              static_cast<unsigned long long>(cost.backward_walks),
-              static_cast<unsigned long long>(cost.index_tuples_read));
-  for (const auto& [v, s] : TopK(scores, k, source)) {
+              query_seconds, scores.size());
+  std::printf("cost: algo=%s", engine->name().c_str());
+  for (const auto& [name, value] : CostFields(engine->last_query_cost())) {
+    std::printf(" %s=%llu", name, value);
+  }
+  std::printf("\n");
+  for (const auto& [v, s] : topk) {
     std::printf("%-10u %.6f\n", v, s);
   }
   return 0;
@@ -453,13 +555,16 @@ int main(int argc, char** argv) {
     return Dispatch(argc, argv, {}, {}, CmdAlgos);
   }
   if (command == "index") {
-    return Dispatch(argc, argv, {"graph", "out", "eps", "c", "j0", "threads"},
+    return Dispatch(argc, argv,
+                    {"graph", "out", "algo", "params", "eps", "c", "j0",
+                     "seed", "threads"},
                     {}, CmdIndex);
   }
   if (command == "query") {
     return Dispatch(argc, argv,
                     {"graph", "index", "source", "eps", "c", "k", "seed",
-                     "algo", "params", "j0", "alpha", "rounds", "threads"},
+                     "algo", "params", "j0", "alpha", "rounds", "threads",
+                     "format"},
                     {"paper-constants"}, CmdQuery);
   }
   if (command == "generate") {
