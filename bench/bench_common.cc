@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,8 @@
 
 #include "core/engine_registry.h"
 #include "eval/datasets.h"
+#include "util/cache_dir.h"
+#include "util/parse.h"
 #include "util/serde.h"
 #include "util/timer.h"
 
@@ -46,6 +49,23 @@ std::string CachePath(const std::string& dir, uint64_t graph_checksum,
   std::snprintf(suffix, sizeof(suffix), "-%016" PRIx64 ".idx",
                 HashString(config.cache_key) ^ graph_checksum);
   return dir + "/" + config.engine + suffix;
+}
+
+/// Cache size cap in bytes: PRSIM_BENCH_CACHE_LIMIT_MB (default 2048 MB).
+/// Parameter sweeps write one artifact per configuration, so the cache is
+/// trimmed back to the cap after each sweep with mtime-LRU order — loads
+/// Touch their artifact, keeping hot configurations resident.
+uint64_t BenchCacheLimitBytes() {
+  constexpr uint64_t kDefaultMb = 2048;
+  constexpr uint64_t kMaxMb = UINT64_MAX >> 20;  // saturate, don't wrap
+  uint64_t mb = kDefaultMb;
+  if (const char* env = std::getenv("PRSIM_BENCH_CACHE_LIMIT_MB");
+      env != nullptr && env[0] != '\0') {
+    if (uint64_t value = 0; ParseUint64(env, &value)) {
+      mb = std::min(value, kMaxMb);
+    }
+  }
+  return mb * 1024 * 1024;
 }
 
 }  // namespace
@@ -165,6 +185,8 @@ std::vector<SweepRow> RunSweep(const Graph& graph,
       if (Status load = config.instance->LoadIndex(cache_path); load.ok()) {
         reused = true;
         seconds = load_timer.Seconds();
+        // Mark most-recently-used so LRU eviction keeps hot configs.
+        TouchFile(cache_path);
         std::fprintf(stderr,
                      "  [cache] %s(%s): reused index %s (loaded in %.2fs)\n",
                      config.algo.c_str(), config.param.c_str(),
@@ -197,6 +219,20 @@ std::vector<SweepRow> RunSweep(const Graph& graph,
     reused_cache.push_back(reused);
     entries.push_back({config.algo + "(" + config.param + ")",
                        config.instance.get(), seconds});
+  }
+  if (!cache_dir.empty()) {
+    // Trim the cache back to its byte cap, oldest-mtime first; the
+    // artifacts this sweep just wrote or touched are the newest and go
+    // last.
+    const CacheEvictionStats evicted =
+        EvictLruFiles(cache_dir, BenchCacheLimitBytes());
+    if (evicted.files_removed > 0) {
+      std::fprintf(stderr,
+                   "  [cache] evicted %zu file(s), %.1f MB (cache now "
+                   "%.1f MB)\n",
+                   evicted.files_removed, evicted.bytes_removed / 1e6,
+                   evicted.bytes_remaining / 1e6);
+    }
   }
 
   GroundTruthOptions gt_options;

@@ -80,7 +80,11 @@ std::vector<SweepConfig> BuildFixedConfigs(const Graph& graph, uint64_t seed);
 /// amortize preprocessing. The SweepRow then reports the load time as its
 /// preprocessing time and the reuse is logged. Cache location is
 /// $PRSIM_BENCH_CACHE_DIR (default: <tmp>/prsim-bench-cache); set
-/// PRSIM_BENCH_CACHE=0 to disable caching entirely.
+/// PRSIM_BENCH_CACHE=0 to disable caching entirely. The cache is capped at
+/// $PRSIM_BENCH_CACHE_LIMIT_MB (default 2048): after each sweep it is
+/// trimmed back under the cap by deleting oldest-mtime artifacts first
+/// (reused artifacts are re-touched on load), so parameter sweeps no
+/// longer grow it without bound.
 std::vector<SweepRow> RunSweep(const Graph& graph,
                                std::vector<SweepConfig> configs,
                                uint32_t query_count, uint32_t k,

@@ -1,23 +1,29 @@
 // Parallel batch querying over any registry engine.
 //
 // Single-source queries are independent given an (immutable) index, so a
-// batch parallelizes perfectly: one engine clone per worker, minted through
-// CloneWithSeed (every index-based engine shares its immutable built index
-// with clones via shared_ptr — PRSim's ShareIndexFrom fast path, generalized)
-// with deterministic per-query seeds derived from the leader's seed and the
-// query's position.
+// batch parallelizes perfectly: one engine clone per static chunk, minted
+// through CloneWithSeed (every index-based engine shares its immutable built
+// index with clones via shared_ptr — PRSim's ShareIndexFrom fast path,
+// generalized) with deterministic per-query seeds derived from the leader's
+// seed and the query's position. Chunks are scheduled on the shared
+// ThreadPool instead of freshly spawned std::threads, so sustained batch
+// load pays queue pushes rather than thread churn.
 
 #ifndef PRSIM_CORE_BATCH_QUERY_H_
 #define PRSIM_CORE_BATCH_QUERY_H_
 
 #include <algorithm>
+#include <exception>
+#include <future>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "core/prsim.h"
 #include "core/single_source.h"
 #include "util/parallel.h"
+#include "util/percentiles.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace prsim {
 
@@ -30,50 +36,97 @@ inline uint64_t BatchQuerySeed(uint64_t base_seed, size_t position) {
 }
 }  // namespace internal
 
+/// Scores plus the batch-aggregated cost: summed QueryCost counters and
+/// nearest-rank p50/p95/p99 over the per-query wall times.
+struct BatchQueryResult {
+  std::vector<ScoreList> scores;  ///< positionally aligned with `sources`
+  QueryCost cost;
+};
+
 /// Answers one single-source query per entry of `sources`, using up to
-/// `threads` workers (0 = hardware concurrency). `leader` must be
-/// preprocessed; it is not modified. Results are positionally aligned with
-/// `sources`. One clone is minted per worker (cloning is O(1) — the built
-/// index is shared — but per-query cloning would still churn allocations),
-/// and Reseed() makes each query a pure function of (leader seed, position),
-/// so results are independent of the thread count and chunking. For PRSim
-/// leaders the per-query seeds are
-/// bit-identical to the historical positional-seed scheme, so results match
-/// the PRSim-specific overload below exactly.
-inline std::vector<ScoreList> BatchQuery(const SingleSourceSimRank& leader,
-                                         const std::vector<NodeId>& sources,
-                                         size_t threads = 0) {
-  if (sources.empty()) return {};
+/// `threads` static chunks (0 = DefaultThreadCount()) scheduled on the
+/// shared ThreadPool. `leader` must be preprocessed; it is not modified.
+/// One clone is minted per chunk (cloning is O(1) — the built index is
+/// shared — but per-query cloning would still churn allocations), and
+/// Reseed() makes each query a pure function of (leader seed, position), so
+/// results are bit-identical across any `threads` value and any pool size.
+/// For PRSim leaders the per-query seeds match the historical
+/// positional-seed scheme, so results match the PRSim-specific overload
+/// below exactly. Per-query wall times land in `cost` as p50/p95/p99.
+inline BatchQueryResult BatchQueryWithStats(const SingleSourceSimRank& leader,
+                                            const std::vector<NodeId>& sources,
+                                            size_t threads = 0) {
+  BatchQueryResult result;
+  if (sources.empty()) return result;
   if (threads == 0) threads = DefaultThreadCount();
   threads = std::max<size_t>(1, std::min(threads, sources.size()));
+  if (ThreadPool::InWorker()) threads = 1;  // see ParallelFor's rationale
 
-  std::vector<ScoreList> results(sources.size());
-  const auto run_chunk = [&](size_t lo, size_t hi) {
+  result.scores.resize(sources.size());
+  std::vector<double> latencies(sources.size());
+  std::vector<QueryCost> chunk_costs(threads);
+  const auto run_chunk = [&](size_t chunk_index, size_t lo, size_t hi) {
     std::unique_ptr<SingleSourceSimRank> engine =
         leader.CloneWithSeed(leader.seed());
     PRSIM_CHECK(engine != nullptr)
         << leader.name() << " returned a null CloneWithSeed()";
+    WallTimer timer;
     for (size_t i = lo; i < hi; ++i) {
       engine->Reseed(internal::BatchQuerySeed(leader.seed(), i));
-      results[i] = engine->Query(sources[i]);
+      timer.Restart();
+      result.scores[i] = engine->Query(sources[i]);
+      latencies[i] = timer.Seconds();
+      chunk_costs[chunk_index].Accumulate(engine->last_query_cost());
     }
   };
   if (threads == 1) {
-    run_chunk(0, sources.size());
-    return results;
+    run_chunk(0, 0, sources.size());
+  } else {
+    // Static contiguous chunks; chunk 0 runs on the calling thread, the
+    // rest on the shared pool (mirroring ParallelFor). Every pending future
+    // is drained before any rethrow — the chunk tasks capture this frame's
+    // locals, so unwinding past them while a worker still runs would be a
+    // use-after-free.
+    const size_t chunk = (sources.size() + threads - 1) / threads;
+    std::vector<std::future<void>> pending;
+    pending.reserve(threads - 1);
+    for (size_t t = 1; t < threads; ++t) {
+      const size_t lo = t * chunk;
+      const size_t hi = std::min(sources.size(), lo + chunk);
+      if (lo >= hi) break;
+      pending.push_back(ThreadPool::Shared().Submit(
+          [&run_chunk, t, lo, hi] { run_chunk(t, lo, hi); }));
+    }
+    std::exception_ptr first_exception;
+    try {
+      run_chunk(0, 0, std::min(sources.size(), chunk));
+    } catch (...) {
+      first_exception = std::current_exception();
+    }
+    for (auto& future : pending) {
+      try {
+        future.get();
+      } catch (...) {
+        if (first_exception == nullptr) {
+          first_exception = std::current_exception();
+        }
+      }
+    }
+    if (first_exception != nullptr) std::rethrow_exception(first_exception);
   }
-  // Static contiguous chunks, mirroring ParallelFor.
-  const size_t chunk = (sources.size() + threads - 1) / threads;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (size_t t = 0; t < threads; ++t) {
-    const size_t lo = t * chunk;
-    const size_t hi = std::min(sources.size(), lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([&run_chunk, lo, hi] { run_chunk(lo, hi); });
-  }
-  for (auto& w : workers) w.join();
-  return results;
+  for (const QueryCost& c : chunk_costs) result.cost.Accumulate(c);
+  std::sort(latencies.begin(), latencies.end());
+  result.cost.latency_p50_seconds = SortedQuantile(latencies, 0.50);
+  result.cost.latency_p95_seconds = SortedQuantile(latencies, 0.95);
+  result.cost.latency_p99_seconds = SortedQuantile(latencies, 0.99);
+  return result;
+}
+
+/// Scores-only convenience wrapper around BatchQueryWithStats.
+inline std::vector<ScoreList> BatchQuery(const SingleSourceSimRank& leader,
+                                         const std::vector<NodeId>& sources,
+                                         size_t threads = 0) {
+  return BatchQueryWithStats(leader, sources, threads).scores;
 }
 
 /// PRSim-specific overload keeping the original signature: `options` lets

@@ -1,8 +1,9 @@
 #include "core/engine_config.h"
 
-#include <cerrno>
 #include <cmath>
 #include <cstdlib>
+
+#include "util/parse.h"
 
 namespace prsim {
 
@@ -71,18 +72,11 @@ Status EngineConfig::GetDouble(const std::string& key, double* out) const {
 Status EngineConfig::GetUint64(const std::string& key, uint64_t* out) const {
   const std::string* raw = Find(key);
   if (raw == nullptr) return Status::OK();
-  // Strictly digits only: strtoull alone would skip leading whitespace and
-  // wrap negatives (" -1" -> 2^64 - 1), silently disabling budget guards.
-  if (raw->empty() ||
-      raw->find_first_not_of("0123456789") != std::string::npos) {
-    return Status::InvalidArgument("config key '" + key +
-                                   "': malformed unsigned integer '" + *raw +
-                                   "'");
-  }
-  char* end = nullptr;
-  errno = 0;
-  const uint64_t value = std::strtoull(raw->c_str(), &end, 10);
-  if (end == raw->c_str() || *end != '\0' || errno == ERANGE) {
+  // ParseUint64 is strictly digits only: strtoull alone would skip leading
+  // whitespace and wrap negatives (" -1" -> 2^64 - 1), silently disabling
+  // budget guards.
+  uint64_t value = 0;
+  if (!ParseUint64(*raw, &value)) {
     return Status::InvalidArgument("config key '" + key +
                                    "': malformed unsigned integer '" + *raw +
                                    "'");

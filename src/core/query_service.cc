@@ -1,0 +1,223 @@
+#include "core/query_service.h"
+
+#include <exception>
+#include <utility>
+
+#include "core/batch_query.h"
+#include "core/engine_registry.h"
+
+namespace prsim {
+
+QueryService::QueryService(const QueryServiceOptions& options)
+    : options_(options),
+      latencies_(options.latency_reservoir),
+      pool_(options.threads) {
+  PRSIM_CHECK(options_.max_queue > 0) << "max_queue must be positive";
+}
+
+QueryService::~QueryService() = default;
+
+Status QueryService::AddEngineImpl(
+    const std::string& algo, std::unique_ptr<SingleSourceSimRank> leader) {
+  if (algo.empty()) {
+    return Status::InvalidArgument("engine key must be non-empty");
+  }
+  if (leader == nullptr) {
+    return Status::InvalidArgument("null leader engine for '" + algo + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (submitted_ != 0) {
+    return Status::InvalidArgument(
+        "engines must be registered before the first Submit()");
+  }
+  for (const auto& engine : engines_) {
+    if (engine->algo == algo) {
+      return Status::AlreadyExists("engine '" + algo + "' already registered");
+    }
+  }
+  auto engine = std::make_unique<Engine>();
+  engine->algo = algo;
+  engine->leader = std::move(leader);
+  engine->clones.resize(pool_.size());
+  engines_.push_back(std::move(engine));
+  return Status::OK();
+}
+
+Status QueryService::AddEngine(const std::string& algo,
+                               std::unique_ptr<SingleSourceSimRank> leader) {
+  return AddEngineImpl(algo, std::move(leader));
+}
+
+Status QueryService::AddEngine(const std::string& algo, const Graph& graph,
+                               const EngineConfig& config) {
+  const EngineInfo* info = EngineRegistry::Global().Find(algo);
+  if (info == nullptr) return Status::NotFound("unknown engine: " + algo);
+  PRSIM_ASSIGN_OR_RETURN(auto leader,
+                         EngineRegistry::Global().Create(algo, graph, config));
+  PRSIM_RETURN_NOT_OK(leader->Preprocess());
+  return AddEngineImpl(info->name, std::move(leader));
+}
+
+Status QueryService::AddEngineFromIndex(const std::string& algo,
+                                        const Graph& graph,
+                                        const EngineConfig& config,
+                                        const std::string& index_path) {
+  const EngineInfo* info = EngineRegistry::Global().Find(algo);
+  if (info == nullptr) return Status::NotFound("unknown engine: " + algo);
+  PRSIM_ASSIGN_OR_RETURN(auto leader,
+                         EngineRegistry::Global().CreateFromIndex(
+                             algo, graph, config, index_path));
+  return AddEngineImpl(info->name, std::move(leader));
+}
+
+std::vector<std::string> QueryService::Algos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const auto& engine : engines_) names.push_back(engine->algo);
+  return names;
+}
+
+QueryService::Engine* QueryService::FindEngine(const std::string& algo) {
+  // Called with mu_ held; Engine storage is stable (unique_ptr), so the
+  // returned pointer outlives the lock.
+  if (engines_.empty()) return nullptr;
+  if (algo.empty()) return engines_.front().get();
+  for (const auto& engine : engines_) {
+    if (engine->algo == algo) return engine.get();
+  }
+  return nullptr;
+}
+
+std::future<QueryResult> QueryService::ReadyResult(QueryResult result) {
+  std::promise<QueryResult> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+std::future<QueryResult> QueryService::Submit(QueryRequest request) {
+  // Submitting from one of *this service's* workers could deadlock: the
+  // blocking backpressure path waits for capacity only those workers can
+  // free. Workers of other pools (e.g. a ParallelFor chunk on the shared
+  // pool) are fine — this service drains independently of them.
+  PRSIM_CHECK(!pool_.OwnsCurrentThread())
+      << "Submit() from this service's own worker would deadlock the "
+         "bounded queue";
+  uint64_t seq = 0;
+  Engine* engine = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Prechecks happen before a seq is consumed, so invalid requests never
+    // shift the positional seeds (or the `submitted` count) of the valid
+    // stream.
+    engine = FindEngine(request.algo);
+    Status precheck;
+    if (engine == nullptr) {
+      precheck = engines_.empty()
+                     ? Status::InvalidArgument("no engines registered")
+                     : Status::NotFound("unknown engine: '" + request.algo +
+                                        "'");
+    } else if (request.source >= engine->leader->node_count()) {
+      precheck = Status::InvalidArgument(
+          "source " + std::to_string(request.source) + " out of range (n = " +
+          std::to_string(engine->leader->node_count()) + ")");
+    }
+    if (!precheck.ok()) {
+      ++failed_;
+      return ReadyResult({std::move(precheck), {}, 0, {}});
+    }
+    if (inflight_ >= options_.max_queue) {
+      if (options_.backpressure ==
+          QueryServiceOptions::Backpressure::kReject) {
+        ++rejected_;
+        return ReadyResult({Status::ResourceExhausted(
+                                "query queue full (" +
+                                std::to_string(options_.max_queue) + ")"),
+                            {},
+                            0,
+                            {}});
+      }
+      queue_has_room_.wait(
+          lock, [this] { return inflight_ < options_.max_queue; });
+    }
+    // Accepting the first request freezes the engine set; from here on
+    // workers read Engine state without the lock.
+    seq = submitted_++;
+    ++inflight_;
+  }
+
+  WallTimer submit_timer;
+  return pool_.Submit([this, engine, request = std::move(request), seq,
+                       submit_timer] {
+    return RunQuery(*engine, request, seq, submit_timer);
+  });
+}
+
+QueryResult QueryService::RunQuery(Engine& engine,
+                                   const QueryRequest& request, uint64_t seq,
+                                   WallTimer submit_timer) {
+  const size_t worker = ThreadPool::WorkerIndex();
+  PRSIM_CHECK(worker != ThreadPool::kNotAWorker && worker < pool_.size());
+  std::unique_ptr<SingleSourceSimRank>& clone = engine.clones[worker];
+  QueryResult result;
+  try {
+    if (clone == nullptr) {
+      clone = engine.leader->CloneWithSeed(engine.leader->seed());
+      PRSIM_CHECK(clone != nullptr)
+          << engine.algo << " returned a null CloneWithSeed()";
+    }
+    // Positional reseed: a single-worker service answers the request
+    // stream exactly like BatchQuery over the same sources.
+    clone->Reseed(
+        internal::BatchQuerySeed(engine.leader->seed(), static_cast<size_t>(seq)));
+    result.scores = request.k > 0 ? clone->QueryTopK(request.source, request.k)
+                                  : clone->Query(request.source);
+    result.cost = clone->last_query_cost();
+  } catch (const std::exception& e) {
+    result.status = Status::Internal(engine.algo + " query threw: " + e.what());
+    // The clone may hold partially mutated scratch; drop it so the next
+    // query on this worker starts from a fresh clone.
+    clone.reset();
+  } catch (...) {
+    result.status = Status::Internal(engine.algo + " query threw");
+    clone.reset();
+  }
+  result.latency_seconds = submit_timer.Seconds();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (result.status.ok()) {
+    ++completed_;
+    aggregate_cost_.Accumulate(result.cost);
+    latencies_.Add(result.latency_seconds);
+  } else {
+    ++failed_;
+  }
+  --inflight_;
+  queue_has_room_.notify_one();
+  return result;
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats stats;
+  stats.submitted = submitted_;
+  stats.completed = completed_;
+  stats.failed = failed_;
+  stats.rejected = rejected_;
+  const std::vector<double> sorted = latencies_.SortedSamples();
+  stats.p50_seconds = SortedQuantile(sorted, 0.50);
+  stats.p95_seconds = SortedQuantile(sorted, 0.95);
+  stats.p99_seconds = SortedQuantile(sorted, 0.99);
+  stats.aggregate_cost = aggregate_cost_;
+  stats.aggregate_cost.latency_p50_seconds = stats.p50_seconds;
+  stats.aggregate_cost.latency_p95_seconds = stats.p95_seconds;
+  stats.aggregate_cost.latency_p99_seconds = stats.p99_seconds;
+  return stats;
+}
+
+size_t QueryService::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace prsim

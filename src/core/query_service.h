@@ -1,0 +1,167 @@
+// Async query service: the long-lived serving layer above BatchQuery.
+//
+// A QueryService owns one leader engine per registered algorithm (cold-
+// started from a SaveIndex() artifact via EngineRegistry::CreateFromIndex,
+// or handed a preprocessed engine) plus a dedicated ThreadPool. Clients call
+// Submit(QueryRequest) and get a future; requests flow through a bounded
+// queue with a configurable backpressure policy, are answered on pool
+// workers against per-worker engine clones (queries are stateful, so one
+// clone per worker, all sharing the leader's immutable index), and every
+// completion records its wall time into streaming latency percentiles
+// surfaced through ServiceStats / QueryCost.
+//
+// Determinism: request `seq` (the submission order) plays the role of the
+// batch position — each query is reseeded with the positional BatchQuery
+// seed, so a single-threaded service replays a BatchQuery bit for bit.
+
+#ifndef PRSIM_CORE_QUERY_SERVICE_H_
+#define PRSIM_CORE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine_config.h"
+#include "core/single_source.h"
+#include "graph/graph.h"
+#include "util/percentiles.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace prsim {
+
+struct QueryRequest {
+  /// Registered algorithm key; empty selects the first registered engine.
+  std::string algo;
+  NodeId source = 0;
+  /// 0 = full single-source result; otherwise top-k (source excluded).
+  uint32_t k = 0;
+};
+
+struct QueryResult {
+  /// kInvalidArgument for unknown algo / out-of-range source,
+  /// kResourceExhausted when rejected by backpressure, kInternal when the
+  /// engine threw; scores are only meaningful when ok().
+  Status status;
+  ScoreList scores;
+  /// Wall time from Submit() to completion (queue wait + execution); 0 for
+  /// requests rejected before entering the queue.
+  double latency_seconds = 0;
+  /// The answering engine's per-query cost counters.
+  QueryCost cost;
+};
+
+struct QueryServiceOptions {
+  /// Worker threads owned by the service (0 = DefaultThreadCount()).
+  size_t threads = 0;
+  /// Maximum in-flight (queued + executing) requests before backpressure.
+  size_t max_queue = 1024;
+  enum class Backpressure {
+    kBlock,   ///< Submit() blocks until a slot frees up
+    kReject,  ///< Submit() resolves immediately with kResourceExhausted
+  };
+  Backpressure backpressure = Backpressure::kBlock;
+  /// Retained latency samples for the percentile reservoir.
+  size_t latency_reservoir = 4096;
+};
+
+/// Snapshot of the service's lifetime counters and latency percentiles.
+struct ServiceStats {
+  uint64_t submitted = 0;  ///< requests accepted into the queue
+  uint64_t completed = 0;  ///< answered successfully
+  uint64_t failed = 0;     ///< invalid requests or engine failures
+  uint64_t rejected = 0;   ///< refused by the kReject backpressure policy
+  double p50_seconds = 0;
+  double p95_seconds = 0;
+  double p99_seconds = 0;
+  /// Summed QueryCost counters over completed queries, with the latency
+  /// percentiles mirrored into its latency_p* fields.
+  QueryCost aggregate_cost;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(const QueryServiceOptions& options = {});
+
+  /// Drains every accepted request, then joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers `leader` under `algo`. The leader must already answer
+  /// queries (preprocessed or index-loaded). Registration happens before
+  /// the first Submit(); duplicate keys are rejected.
+  Status AddEngine(const std::string& algo,
+                   std::unique_ptr<SingleSourceSimRank> leader);
+
+  /// Creates the engine through the registry and runs Preprocess().
+  Status AddEngine(const std::string& algo, const Graph& graph,
+                   const EngineConfig& config);
+
+  /// Cold start: creates the engine through the registry and installs the
+  /// index from a SaveIndex() artifact (EngineRegistry::CreateFromIndex).
+  Status AddEngineFromIndex(const std::string& algo, const Graph& graph,
+                            const EngineConfig& config,
+                            const std::string& index_path);
+
+  /// Registered algorithm keys, in registration order.
+  std::vector<std::string> Algos() const;
+
+  /// Enqueues one query. The future resolves with the scores (full or
+  /// top-k) or with the error status; engine exceptions surface as
+  /// kInternal results, never as broken futures or dead workers. Safe to
+  /// call from any thread except the service's own workers.
+  std::future<QueryResult> Submit(QueryRequest request);
+
+  /// Current lifetime counters and latency percentiles.
+  ServiceStats Stats() const;
+
+  /// Requests accepted but not yet completed (queued + executing).
+  size_t pending() const;
+
+  size_t threads() const { return pool_.size(); }
+
+ private:
+  struct Engine {
+    std::string algo;
+    std::unique_ptr<SingleSourceSimRank> leader;
+    /// One lazily minted clone per pool worker; slot w is touched only by
+    /// worker w, so no lock is needed after registration.
+    std::vector<std::unique_ptr<SingleSourceSimRank>> clones;
+  };
+
+  Status AddEngineImpl(const std::string& algo,
+                       std::unique_ptr<SingleSourceSimRank> leader);
+  Engine* FindEngine(const std::string& algo);
+  QueryResult RunQuery(Engine& engine, const QueryRequest& request,
+                       uint64_t seq, WallTimer submit_timer);
+  static std::future<QueryResult> ReadyResult(QueryResult result);
+
+  QueryServiceOptions options_;
+  /// Stable Engine storage: workers hold Engine* across AddEngine calls.
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_has_room_;
+  uint64_t submitted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t rejected_ = 0;
+  size_t inflight_ = 0;
+  QueryCost aggregate_cost_;
+  StreamingPercentiles latencies_;
+
+  /// Declared last: destroyed first, so the pool drains (tasks touch the
+  /// members above) before anything else dies.
+  ThreadPool pool_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_QUERY_SERVICE_H_

@@ -34,6 +34,23 @@ struct QueryCost {
   uint64_t backward_walks = 0;      ///< backward walk / probe invocations
   uint64_t backward_increments = 0; ///< estimator increments inside those
   uint64_t index_tuples_read = 0;   ///< tuples merged from a prebuilt index
+  /// Latency percentiles over a *batch* of queries, filled by the aggregate
+  /// paths (BatchQueryWithStats, QueryService::Stats); single Query() calls
+  /// leave them 0. Always monotone: p50 <= p95 <= p99.
+  double latency_p50_seconds = 0;
+  double latency_p95_seconds = 0;
+  double latency_p99_seconds = 0;
+
+  /// Adds another query's counters into this aggregate (latency percentiles
+  /// are not summable and stay untouched — the owner of the sample set
+  /// fills them).
+  void Accumulate(const QueryCost& other) {
+    walks += other.walks;
+    meeting_tests += other.meeting_tests;
+    backward_walks += other.backward_walks;
+    backward_increments += other.backward_increments;
+    index_tuples_read += other.index_tuples_read;
+  }
 };
 
 /// \brief Abstract single-source SimRank solver.

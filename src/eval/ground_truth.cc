@@ -69,7 +69,10 @@ std::vector<double> GroundTruth::SimRankBatch(NodeId u,
     }
     return out;
   }
-  // Resolve cache misses in parallel with per-pair deterministic seeds.
+  // Resolve cache misses in parallel with per-pair deterministic seeds;
+  // ParallelFor schedules the chunks on the shared ThreadPool, so pooled
+  // evaluation under sustained load reuses workers instead of spawning
+  // threads per batch.
   std::vector<size_t> misses;
   for (size_t i = 0; i < vs.size(); ++i) {
     if (u == vs[i]) {

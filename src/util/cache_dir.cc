@@ -1,0 +1,60 @@
+#include "util/cache_dir.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+namespace prsim {
+
+namespace fs = std::filesystem;
+
+CacheEvictionStats EvictLruFiles(const std::string& dir, uint64_t max_bytes) {
+  CacheEvictionStats stats;
+  std::error_code ec;
+  struct Entry {
+    fs::path path;
+    uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  uint64_t total = 0;
+  // Non-throwing iteration end to end: the range-for form would throw from
+  // operator++ if the directory vanishes mid-scan (concurrent benches share
+  // this cache), and "cannot trim" must degrade to "bigger cache".
+  fs::directory_iterator it(dir, ec);
+  for (const fs::directory_iterator end; !ec && it != end; it.increment(ec)) {
+    std::error_code entry_ec;
+    if (!it->is_regular_file(entry_ec) || entry_ec) continue;
+    Entry entry;
+    entry.path = it->path();
+    entry.size = it->file_size(entry_ec);
+    if (entry_ec) continue;
+    entry.mtime = it->last_write_time(entry_ec);
+    if (entry_ec) continue;
+    total += entry.size;
+    entries.push_back(std::move(entry));
+  }
+  stats.bytes_remaining = total;
+  if (total <= max_bytes) return stats;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& entry : entries) {
+    if (total <= max_bytes) break;
+    std::error_code remove_ec;
+    if (!fs::remove(entry.path, remove_ec) || remove_ec) continue;
+    total -= entry.size;
+    ++stats.files_removed;
+    stats.bytes_removed += entry.size;
+  }
+  stats.bytes_remaining = total;
+  return stats;
+}
+
+void TouchFile(const std::string& path) {
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+}
+
+}  // namespace prsim

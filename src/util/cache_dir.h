@@ -1,0 +1,37 @@
+// Size-capped LRU maintenance for on-disk artifact cache directories.
+//
+// The bench index cache keys artifacts by (graph, engine, params), so
+// parameter sweeps would grow it without bound. Recency is tracked through
+// file mtimes: readers bump the mtime on every reuse (TouchFile), and
+// EvictLruFiles removes oldest-mtime files until the directory fits the
+// byte cap again. Everything is best-effort — a cache that cannot be
+// trimmed (permissions, races with concurrent benches) degrades to a
+// bigger cache, never to an error.
+
+#ifndef PRSIM_UTIL_CACHE_DIR_H_
+#define PRSIM_UTIL_CACHE_DIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace prsim {
+
+struct CacheEvictionStats {
+  size_t files_removed = 0;
+  uint64_t bytes_removed = 0;
+  /// Directory size after eviction (sum of remaining regular files).
+  uint64_t bytes_remaining = 0;
+};
+
+/// Deletes oldest-mtime regular files directly inside `dir` (non-recursive)
+/// until the total size is at most `max_bytes`. Files that vanish or fail
+/// to delete mid-scan are skipped silently.
+CacheEvictionStats EvictLruFiles(const std::string& dir, uint64_t max_bytes);
+
+/// Bumps `path`'s mtime to now, marking it most-recently-used. Best-effort.
+void TouchFile(const std::string& path);
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_CACHE_DIR_H_

@@ -1,67 +1,73 @@
-// Deterministic chunked parallel-for built on std::thread.
+// Deterministic chunked parallel-for, scheduled on the shared ThreadPool.
 //
 // Used for embarrassingly parallel work: per-hub backward searches during
 // index construction and per-pair Monte Carlo ground-truth estimation. Chunk
 // assignment is static, so any per-item seeding keyed off the item index stays
-// deterministic regardless of thread count.
+// deterministic regardless of thread count — and regardless of which pool
+// worker executes which chunk.
 
 #ifndef PRSIM_UTIL_PARALLEL_H_
 #define PRSIM_UTIL_PARALLEL_H_
 
 #include <algorithm>
 #include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <future>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace prsim {
 
-/// Number of workers to use by default: hardware concurrency, at least 1.
-inline size_t DefaultThreadCount() {
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<size_t>(hw);
-}
-
-/// Runs fn(i) for i in [begin, end) across `threads` workers.
+/// Runs fn(i) for i in [begin, end) split into `threads` static chunks.
 ///
 /// fn must be safe to invoke concurrently for distinct i. Items are divided
-/// into contiguous chunks; worker t handles chunk t. If fn throws, the first
-/// exception (in capture order) is rethrown on the calling thread after all
-/// workers have joined; an exception escaping a std::thread would otherwise
-/// call std::terminate. Workers whose chunk started before the failure run
-/// their remaining items to completion.
+/// into contiguous chunks; chunk t covers the same index range it always
+/// has, whichever worker runs it. Chunks 1.. are submitted to the shared
+/// ThreadPool while the calling thread runs chunk 0, so a ParallelFor never
+/// idles waiting for a saturated pool. If fn throws, the lowest-chunk
+/// exception is rethrown on the calling thread after all chunks finish;
+/// chunks run their remaining items to completion regardless of failures
+/// elsewhere. Called from inside a pool worker (nested parallelism), it
+/// degrades to serial in-place execution — blocking a worker on tasks that
+/// need workers could deadlock, and static chunking makes the serial order
+/// produce identical results.
 template <typename Fn>
 void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t threads = 0) {
   if (end <= begin) return;
   const size_t items = end - begin;
   if (threads == 0) threads = DefaultThreadCount();
   threads = std::min(threads, items);
-  if (threads <= 1) {
+  if (threads <= 1 || ThreadPool::InWorker()) {
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  std::exception_ptr first_exception;
-  std::mutex exception_mu;
   const size_t chunk = (items + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
+  std::vector<std::future<void>> pending;
+  pending.reserve(threads - 1);
+  for (size_t t = 1; t < threads; ++t) {
     const size_t lo = begin + t * chunk;
     const size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    workers.emplace_back([lo, hi, &fn, &first_exception, &exception_mu] {
-      try {
-        for (size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(exception_mu);
-        if (first_exception == nullptr) {
-          first_exception = std::current_exception();
-        }
-      }
-    });
+    pending.push_back(ThreadPool::Shared().Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }));
   }
-  for (auto& w : workers) w.join();
+  std::exception_ptr first_exception;
+  try {
+    const size_t hi = std::min(end, begin + chunk);
+    for (size_t i = begin; i < hi; ++i) fn(i);
+  } catch (...) {
+    first_exception = std::current_exception();
+  }
+  for (auto& future : pending) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first_exception == nullptr) {
+        first_exception = std::current_exception();
+      }
+    }
+  }
   if (first_exception != nullptr) std::rethrow_exception(first_exception);
 }
 

@@ -1,0 +1,33 @@
+// Strict numeric parsing shared by every env-var and token reader.
+//
+// strtoull alone is too permissive for config surfaces: it accepts leading
+// whitespace and signs ("-1" wraps to 2^64-1), and callers re-implementing
+// the errno/end-pointer dance kept diverging. ParseUint64 is the one strict
+// spelling: all-digits, base 10, fits in uint64.
+
+#ifndef PRSIM_UTIL_PARSE_H_
+#define PRSIM_UTIL_PARSE_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace prsim {
+
+/// Parses `token` as a base-10 unsigned integer. The whole token must be
+/// digits — no sign, whitespace, or trailing junk — and the value must fit
+/// uint64 (ERANGE fails). Returns false without touching *value otherwise.
+inline bool ParseUint64(const std::string& token, uint64_t* value) {
+  if (token.empty() || token[0] < '0' || token[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) return false;
+  *value = parsed;
+  return true;
+}
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_PARSE_H_

@@ -1,0 +1,81 @@
+// Bounded-memory latency percentiles.
+//
+// The query service and batch layer record one wall-time sample per query
+// and report p50/p95/p99. StreamingPercentiles keeps a fixed-size uniform
+// reservoir (algorithm R with a deterministic internal generator), so memory
+// stays O(capacity) under sustained load and quantiles are computed by
+// nearest-rank over the retained sample — exact until the reservoir fills,
+// an unbiased estimate after. Nearest-rank on one sorted sample makes the
+// reported quantiles monotone by construction: p50 <= p95 <= p99 always.
+
+#ifndef PRSIM_UTIL_PERCENTILES_H_
+#define PRSIM_UTIL_PERCENTILES_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace prsim {
+
+/// Nearest-rank quantile of an ascending-sorted sample; 0 when empty.
+inline double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  PRSIM_DCHECK(q >= 0.0 && q <= 1.0);
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
+
+class StreamingPercentiles {
+ public:
+  explicit StreamingPercentiles(size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Records one sample. Not thread-safe; callers serialize externally.
+  void Add(double value) {
+    ++count_;
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(value);
+      return;
+    }
+    // Algorithm R: replace a uniformly random slot with probability
+    // capacity / count. SplitMix64 keeps the stream deterministic.
+    const uint64_t slot = NextRandom() % count_;
+    if (slot < capacity_) reservoir_[static_cast<size_t>(slot)] = value;
+  }
+
+  /// Total samples observed (not just retained).
+  uint64_t count() const { return count_; }
+
+  /// Ascending copy of the retained sample; callers needing several
+  /// quantiles sort once and feed SortedQuantile instead of paying one
+  /// copy+sort per Quantile() call.
+  std::vector<double> SortedSamples() const {
+    std::vector<double> sorted = reservoir_;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted;
+  }
+
+  /// Nearest-rank quantile over the retained sample, q in [0, 1].
+  double Quantile(double q) const { return SortedQuantile(SortedSamples(), q); }
+
+ private:
+  uint64_t NextRandom() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  size_t capacity_;
+  uint64_t count_ = 0;
+  uint64_t state_ = 0x5eed1e5500c0ffeeULL;
+  std::vector<double> reservoir_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_PERCENTILES_H_

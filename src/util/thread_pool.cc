@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/parse.h"
+
+namespace prsim {
+
+namespace {
+
+/// Worker identity of the calling thread (owning pool + index within it);
+/// null/kNotAWorker off-pool. One slot per thread is enough: a thread
+/// belongs to at most one pool.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
+
+}  // namespace
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("PRSIM_THREADS");
+      env != nullptr && env[0] != '\0') {
+    uint64_t value = 0;
+    if (ParseUint64(env, &value) && value >= 1) {
+      return static_cast<size_t>(value);
+    }
+    PRSIM_LOG(Warning) << "ignoring invalid PRSIM_THREADS='" << env << "'";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = DefaultThreadCount();
+  workers_.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PRSIM_CHECK(!stopping_) << "Submit() on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_pool = this;
+  tls_worker_index = worker_index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // A packaged_task never lets an exception escape — it lands in the
+    // future — so `task()` cannot terminate the worker.
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: outlive all users
+  return *pool;
+}
+
+bool ThreadPool::InWorker() { return tls_worker_pool != nullptr; }
+
+size_t ThreadPool::WorkerIndex() { return tls_worker_index; }
+
+bool ThreadPool::OwnsCurrentThread() const {
+  return tls_worker_pool == this;
+}
+
+}  // namespace prsim

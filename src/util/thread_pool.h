@@ -1,0 +1,107 @@
+// Process-wide fixed thread pool.
+//
+// Every concurrent path in the library — ParallelFor chunks, BatchQuery
+// fan-out, the async QueryService — schedules onto one long-lived worker set
+// instead of spawning std::threads per call, so sustained query load pays
+// queue-push cost instead of thread-churn. Determinism is preserved by the
+// callers: work is split into statically assigned chunks whose per-item
+// seeds depend only on the item position, never on which worker runs them.
+
+#ifndef PRSIM_UTIL_THREAD_POOL_H_
+#define PRSIM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace prsim {
+
+/// Number of workers to use by default: the PRSIM_THREADS environment
+/// variable when set to a positive integer (the reproducible-concurrency
+/// override used by tests and CI), otherwise hardware concurrency, and 1
+/// when hardware_concurrency() reports 0 (permitted by the standard on
+/// exotic platforms). Re-read on every call, so tests can setenv/unsetenv
+/// around it; the Shared() pool samples it once at first use.
+size_t DefaultThreadCount();
+
+/// \brief Fixed-size worker pool with a FIFO work queue.
+///
+/// Tasks submitted through Submit() return a std::future that carries the
+/// task's result or rethrows the exception it exited with — the same
+/// propagation contract ParallelFor had with raw threads. Destruction is
+/// graceful: already queued tasks run to completion, then workers join.
+/// Submitting from inside a worker is allowed (the task is queued, not run
+/// inline); *blocking* on such a task from a worker can deadlock a saturated
+/// pool, which is why ParallelFor and BatchQuery degrade to serial execution
+/// when called on a pool thread (see InWorker()).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 = DefaultThreadCount()).
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Runs every already queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns the future of its result. The future
+  /// rethrows any exception `fn` exits with.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// The process-wide pool, created on first use with DefaultThreadCount()
+  /// workers. ParallelFor and BatchQuery schedule here by default.
+  static ThreadPool& Shared();
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// ParallelFor/BatchQuery to fall back to serial in-place execution for
+  /// nested parallelism instead of risking a submit-and-wait deadlock
+  /// (results are unchanged: chunking is static and seeds positional).
+  static bool InWorker();
+
+  /// Index of the calling worker within its pool in [0, size()), or
+  /// `kNotAWorker` when called off-pool. Lets services keep one engine
+  /// clone per worker without locking.
+  static size_t WorkerIndex();
+
+  /// True when the calling thread is one of *this* pool's workers —
+  /// distinct from InWorker(), which matches workers of any pool. Lets a
+  /// pool owner forbid only the re-entrant calls that could actually
+  /// deadlock its own queue.
+  bool OwnsCurrentThread() const;
+
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop(size_t worker_index);
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_THREAD_POOL_H_

@@ -460,6 +460,150 @@ TEST_F(CliTest, PRSimKnobsAreReachable) {
             0);
 }
 
+// --------------------------------------------------------------------------
+// Batch query (--sources-file) and the stdin query loop (serve)
+// --------------------------------------------------------------------------
+
+TEST_F(CliTest, BatchQueryAnswersEverySourceAndReportsPercentiles) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::ofstream(Path("sources.txt")) << "# three queries\n1\n2\n17\n";
+  std::string output;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") +
+                    " --algo prsim --eps 0.4 --seed 5 --k 3 --sources-file " +
+                    Path("sources.txt"),
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("source 1:"), std::string::npos) << output;
+  EXPECT_NE(output.find("source 17:"), std::string::npos);
+  EXPECT_NE(output.find("batch: queries=3 invalid=0"), std::string::npos);
+  EXPECT_NE(output.find("p99_ms="), std::string::npos);
+}
+
+TEST_F(CliTest, BatchQueryTsvEmitsPercentileMetaAndPerSourceScores) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::ofstream(Path("sources.txt")) << "4\n17\n";
+  std::string output;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") +
+                    " --algo prsim --eps 0.4 --seed 5 --k 2 --format tsv "
+                    "--sources-file " +
+                    Path("sources.txt"),
+                &output),
+            0);
+  EXPECT_NE(output.find("meta\tqueries\t2"), std::string::npos) << output;
+  EXPECT_NE(output.find("meta\tp50_ms\t"), std::string::npos);
+  EXPECT_NE(output.find("meta\tp99_ms\t"), std::string::npos);
+  EXPECT_NE(output.find("score\t4\t"), std::string::npos);
+  EXPECT_NE(output.find("score\t17\t"), std::string::npos);
+}
+
+// An invalid node id must fail that line alone: every valid line is still
+// answered and the exit code (3) records the partial failure.
+TEST_F(CliTest, BatchQueryInvalidNodeIdFailsPerLineNotTheWholeBatch) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::ofstream(Path("sources.txt")) << "1\n999999\nbogus\n2\n";
+  std::string output;
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                    " --algo prsim --eps 0.4 --seed 5 --k 3 --sources-file " +
+                    Path("sources.txt"),
+                &output),
+            3);
+  EXPECT_NE(output.find("source 1:"), std::string::npos) << output;
+  EXPECT_NE(output.find("source 2:"), std::string::npos);
+  EXPECT_NE(output.find("batch: queries=2 invalid=2"), std::string::npos);
+}
+
+TEST_F(CliTest, BatchQueryConflictsWithSingleSourceFlag) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::ofstream(Path("sources.txt")) << "1\n";
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") +
+                " --source 1 --sources-file " + Path("sources.txt")),
+            2);
+}
+
+TEST_F(CliTest, ServeAnswersStdinQueriesAndPrintsPercentiles) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::ofstream(Path("in.txt")) << "1\n2 5\n# comment\n\n7\n";
+  std::string output;
+  ASSERT_EQ(Run("serve --graph " + Path("g.txt") +
+                    " --stdin --algo prsim --eps 0.4 --seed 5 --threads 2 < " +
+                    Path("in.txt"),
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("result 1 "), std::string::npos) << output;
+  EXPECT_NE(output.find("result 2 "), std::string::npos);
+  EXPECT_NE(output.find("result 7 "), std::string::npos);
+  EXPECT_NE(output.find("served queries=3 failed=0"), std::string::npos);
+  EXPECT_NE(output.find("p99_ms="), std::string::npos);
+}
+
+// Same per-line contract for serve: bad lines are reported individually
+// (exit 3), the loop keeps serving the rest.
+TEST_F(CliTest, ServeInvalidNodeIdFailsPerLineNotTheLoop) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::ofstream(Path("in.txt")) << "1\n999999\nnot-a-node\n2\n";
+  std::string output;
+  EXPECT_EQ(Run("serve --graph " + Path("g.txt") +
+                    " --stdin --algo prsim --eps 0.4 --seed 5 < " +
+                    Path("in.txt"),
+                &output),
+            3);
+  EXPECT_NE(output.find("result 1 "), std::string::npos) << output;
+  EXPECT_NE(output.find("result 2 "), std::string::npos);
+  EXPECT_NE(output.find("served queries=2"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeRequiresStdinFlag) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  EXPECT_EQ(Run("serve --graph " + Path("g.txt")), 2);
+}
+
+TEST_F(CliTest, ServeDeterministicUnderSeedAndThreads) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::ofstream(Path("in.txt")) << "1\n2\n3\n4\n";
+  const std::string serve_one = "serve --graph " + Path("g.txt") +
+                                " --stdin --algo prsim --eps 0.4 --seed 5 "
+                                "--threads 1 < " +
+                                Path("in.txt");
+  const std::string serve_two = "serve --graph " + Path("g.txt") +
+                                " --stdin --algo prsim --eps 0.4 --seed 5 "
+                                "--threads 3 < " +
+                                Path("in.txt");
+  std::string run1, run2;
+  ASSERT_EQ(Run(serve_one, &run1), 0);
+  ASSERT_EQ(Run(serve_two, &run2), 0);
+  // Submission order fixes the positional seeds, so worker count must not
+  // change any answer. Compare only the result lines (the summary line's
+  // latencies differ run to run).
+  std::vector<std::string> results1, results2;
+  for (auto* results : {&results1, &results2}) {
+    std::istringstream stream(results == &results1 ? run1 : run2);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (line.rfind("result ", 0) == 0) results->push_back(line);
+    }
+  }
+  EXPECT_EQ(results1.size(), 4u);
+  EXPECT_EQ(results1, results2);
+}
+
 // --params routes engine knobs and the dedicated flags still win; the same
 // (seed, params) setting must reproduce the same top-k.
 TEST_F(CliTest, AlgoQueryDeterministicUnderSeed) {

@@ -1,0 +1,407 @@
+// QueryService + pool-backed BatchQuery: deterministic batch results at any
+// thread count, bounded-queue backpressure, failure isolation, latency
+// percentile monotonicity, and cold start from index artifacts.
+
+#include "core/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_query.h"
+#include "core/engine_config.h"
+#include "core/engine_registry.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace prsim {
+namespace {
+
+using ::prsim::testing::MakeRandomDigraph;
+
+EngineConfig ParseConfig(const std::string& params) {
+  auto parsed = EngineConfig::Parse(params);
+  parsed.status().Abort();
+  return std::move(parsed).ValueOrDie();
+}
+
+std::unique_ptr<SingleSourceSimRank> MakeReadyEngine(
+    const Graph& graph, const std::string& algo, const std::string& params) {
+  auto engine = EngineRegistry::Global().Create(algo, graph, params);
+  engine.status().Abort();
+  auto ready = std::move(engine).ValueOrDie();
+  ready->Preprocess().Abort();
+  return ready;
+}
+
+std::vector<NodeId> CyclingSources(NodeId n, size_t count) {
+  std::vector<NodeId> sources(count);
+  for (size_t i = 0; i < count; ++i) {
+    sources[i] = static_cast<NodeId>((i * 7 + 3) % n);
+  }
+  return sources;
+}
+
+// ---------------------------------------------------------------------------
+// Pool-backed BatchQuery determinism (the PR's bit-identity contract).
+// ---------------------------------------------------------------------------
+
+TEST(BatchQueryPoolTest, PersistentEnginesAreThreadCountInvariant) {
+  const Graph g = MakeRandomDigraph(120, 500, /*seed=*/11);
+  const struct {
+    const char* algo;
+    const char* params;
+  } kConfigs[] = {
+      {"prsim", "eps=0.4,seed=7,threads=1"},
+      {"sling", "eps=0.4,seed=7,threads=1"},
+      {"reads", "r=10,t=3,seed=7"},
+      {"tsf", "rg=10,rq=3,seed=7"},
+  };
+  const auto sources = CyclingSources(g.n(), 40);
+  for (const auto& config : kConfigs) {
+    SCOPED_TRACE(config.algo);
+    const auto leader = MakeReadyEngine(g, config.algo, config.params);
+    const auto baseline = BatchQuery(*leader, sources, /*threads=*/1);
+    for (size_t threads : {2u, 7u, static_cast<unsigned>(DefaultThreadCount())}) {
+      const auto scores = BatchQuery(*leader, sources, threads);
+      ASSERT_EQ(scores.size(), baseline.size());
+      for (size_t i = 0; i < sources.size(); ++i) {
+        EXPECT_EQ(scores[i], baseline[i])
+            << config.algo << " diverged at position " << i << " with "
+            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(BatchQueryPoolTest, ThousandQueryBatchReportsLatencyPercentiles) {
+  const Graph g = MakeRandomDigraph(100, 400, /*seed=*/5);
+  const auto leader = MakeReadyEngine(g, "prsim", "eps=0.5,seed=3,threads=1");
+  const auto sources = CyclingSources(g.n(), 1000);
+  const auto serial = BatchQueryWithStats(*leader, sources, /*threads=*/1);
+  const auto pooled = BatchQueryWithStats(*leader, sources, /*threads=*/4);
+  ASSERT_EQ(serial.scores.size(), 1000u);
+  for (size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(pooled.scores[i], serial.scores[i]) << "position " << i;
+  }
+  for (const QueryCost& cost : {serial.cost, pooled.cost}) {
+    EXPECT_GT(cost.walks, 0u);
+    EXPECT_GT(cost.latency_p50_seconds, 0.0);
+    EXPECT_LE(cost.latency_p50_seconds, cost.latency_p95_seconds);
+    EXPECT_LE(cost.latency_p95_seconds, cost.latency_p99_seconds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QueryService behavior over real engines.
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceTest, SingleWorkerServiceReplaysBatchQueryBitForBit) {
+  const Graph g = MakeRandomDigraph(90, 350, /*seed=*/2);
+  const auto leader = MakeReadyEngine(g, "prsim", "eps=0.4,seed=9,threads=1");
+  const auto sources = CyclingSources(g.n(), 25);
+  const auto expected = BatchQuery(*leader, sources, /*threads=*/1);
+
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("prsim", leader->CloneWithSeed(leader->seed())).ok());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (i == 5) {
+      // An invalid request interleaved into the stream must not consume a
+      // positional seed — the valid queries after it still replay the
+      // batch bit for bit.
+      EXPECT_FALSE(service.Submit({"prsim", 100000, 0}).get().status.ok());
+    }
+    const QueryResult result =
+        service.Submit({"prsim", sources[i], /*k=*/0}).get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.scores, expected[i]) << "request " << i;
+    EXPECT_GT(result.latency_seconds, 0.0);
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, sources.size());  // prechecked failures excluded
+  EXPECT_EQ(stats.completed, sources.size());
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+// Submitting from a worker of a *different* pool (here: the shared pool,
+// as a ParallelFor callback would) is allowed — only the service's own
+// workers are forbidden, since only they can deadlock its queue.
+TEST(QueryServiceTest, SubmitFromForeignPoolWorkerIsAllowed) {
+  const Graph g = MakeRandomDigraph(60, 200, /*seed=*/8);
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddEngine("prsim", g, ParseConfig("eps=0.4")).ok());
+  auto outer = ThreadPool::Shared().Submit(
+      [&service] { return service.Submit({"prsim", 1, 5}).get(); });
+  EXPECT_TRUE(outer.get().status.ok());
+}
+
+TEST(QueryServiceTest, TopKRequestsReturnTopK) {
+  const Graph g = MakeRandomDigraph(80, 300, /*seed=*/4);
+  const auto leader = MakeReadyEngine(g, "prsim", "eps=0.4,seed=1,threads=1");
+  const auto expected = BatchQuery(*leader, {5}, /*threads=*/1);
+
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("prsim", leader->CloneWithSeed(leader->seed())).ok());
+  const QueryResult result = service.Submit({"prsim", 5, /*k=*/4}).get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.scores, TopK(expected[0], 4, 5));
+}
+
+TEST(QueryServiceTest, EmptyAlgoSelectsFirstRegisteredEngine) {
+  const Graph g = MakeRandomDigraph(60, 200, /*seed=*/8);
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddEngine("probesim", g, ParseConfig("eps=0.4")).ok());
+  EXPECT_EQ(service.Algos(), std::vector<std::string>{"probesim"});
+  const QueryResult result = service.Submit({"", 3, 5}).get();
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+}
+
+TEST(QueryServiceTest, InvalidRequestsFailWithoutPoisoningTheService) {
+  const Graph g = MakeRandomDigraph(60, 200, /*seed=*/8);
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddEngine("prsim", g, ParseConfig("eps=0.4")).ok());
+
+  const QueryResult unknown = service.Submit({"nonesuch", 0, 0}).get();
+  EXPECT_EQ(unknown.status.code(), StatusCode::kNotFound);
+  const QueryResult out_of_range = service.Submit({"prsim", 10000, 0}).get();
+  EXPECT_EQ(out_of_range.status.code(), StatusCode::kInvalidArgument);
+
+  const QueryResult good = service.Submit({"prsim", 1, 5}).get();
+  EXPECT_TRUE(good.status.ok()) << good.status.ToString();
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(service.pending(), 0u);
+}
+
+TEST(QueryServiceTest, RegistrationIsRejectedAfterFirstSubmit) {
+  const Graph g = MakeRandomDigraph(60, 200, /*seed=*/8);
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(service.AddEngine("prsim", g, ParseConfig("eps=0.4")).ok());
+  ASSERT_EQ(service.AddEngine("prsim", g, ParseConfig("eps=0.4")).code(),
+            StatusCode::kAlreadyExists);
+  service.Submit({"prsim", 1, 3}).get();
+  EXPECT_EQ(service.AddEngine("probesim", g, ParseConfig("eps=0.4")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, ColdStartFromIndexMatchesFreshEngine) {
+  const Graph g = MakeRandomDigraph(90, 350, /*seed=*/2);
+  const std::string params = "eps=0.4,seed=9,threads=1";
+  const auto leader = MakeReadyEngine(g, "prsim", params);
+  const auto artifact =
+      std::filesystem::temp_directory_path() /
+      ("query_service_test_" + std::to_string(::getpid()) + ".idx");
+  ASSERT_TRUE(leader->SaveIndex(artifact.string()).ok());
+
+  const auto sources = CyclingSources(g.n(), 10);
+  const auto expected = BatchQuery(*leader, sources, /*threads=*/1);
+  {
+    QueryServiceOptions options;
+    options.threads = 1;
+    QueryService service(options);
+    ASSERT_TRUE(service
+                    .AddEngineFromIndex("prsim", g, ParseConfig(params),
+                                        artifact.string())
+                    .ok());
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const QueryResult result = service.Submit({"prsim", sources[i], 0}).get();
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      EXPECT_EQ(result.scores, expected[i]) << "request " << i;
+    }
+  }
+  std::filesystem::remove(artifact);
+}
+
+// ---------------------------------------------------------------------------
+// Failure isolation and backpressure, driven by a controllable fake engine.
+// ---------------------------------------------------------------------------
+
+/// Deterministic engine with a configurable per-query delay and a poison
+/// source that throws, shared across all clones.
+class FakeEngine : public SingleSourceSimRank {
+ public:
+  struct Control {
+    std::atomic<int> queries{0};
+    NodeId poison_source = static_cast<NodeId>(-1);
+    std::chrono::milliseconds delay{0};
+  };
+
+  FakeEngine(NodeId n, uint64_t seed, std::shared_ptr<Control> control)
+      : n_(n), seed_(seed), control_(std::move(control)) {}
+
+  std::string name() const override { return "Fake"; }
+  NodeId node_count() const override { return n_; }
+
+  ScoreList Query(NodeId u) override {
+    if (control_->delay.count() > 0) {
+      std::this_thread::sleep_for(control_->delay);
+    }
+    control_->queries.fetch_add(1);
+    if (u == control_->poison_source) {
+      throw std::runtime_error("poisoned source");
+    }
+    cost_ = {};
+    cost_.walks = 1;
+    return {{u, 1.0},
+            {(u + 1) % n_, static_cast<double>(seed_ % 97) / 100.0}};
+  }
+
+  std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
+      uint64_t seed) const override {
+    return std::make_unique<FakeEngine>(n_, seed, control_);
+  }
+  uint64_t seed() const override { return seed_; }
+  void Reseed(uint64_t seed) override { seed_ = seed; }
+
+ private:
+  NodeId n_;
+  uint64_t seed_;
+  std::shared_ptr<Control> control_;
+};
+
+TEST(QueryServiceTest, EngineExceptionDoesNotPoisonThePool) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  control->poison_source = 3;
+  QueryServiceOptions options;
+  options.threads = 2;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  const QueryResult poisoned = service.Submit({"fake", 3, 0}).get();
+  EXPECT_EQ(poisoned.status.code(), StatusCode::kInternal);
+  EXPECT_NE(poisoned.status.message().find("poisoned source"),
+            std::string::npos);
+  for (NodeId u : {1u, 2u, 4u, 5u}) {
+    const QueryResult result = service.Submit({"fake", u, 0}).get();
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    ASSERT_EQ(result.scores.size(), 2u);
+    EXPECT_EQ(result.scores[0].first, u);
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST(QueryServiceTest, RejectPolicyShedsLoadWhenQueueIsFull) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  control->delay = std::chrono::milliseconds(25);
+  QueryServiceOptions options;
+  options.threads = 1;
+  options.max_queue = 2;
+  options.backpressure = QueryServiceOptions::Backpressure::kReject;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(service.Submit({"fake", 1, 0}));
+  }
+  size_t rejected = 0;
+  size_t completed = 0;
+  for (auto& future : futures) {
+    const QueryResult result = future.get();
+    if (result.status.code() == StatusCode::kResourceExhausted) {
+      ++rejected;
+    } else if (result.status.ok()) {
+      ++completed;
+    }
+  }
+  EXPECT_EQ(rejected + completed, 10u);
+  // One 25 ms query per worker slot: ten instant submits against a queue of
+  // two must shed at least one request and serve at least the first.
+  EXPECT_GE(rejected, 1u);
+  EXPECT_GE(completed, 1u);
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, completed);
+}
+
+TEST(QueryServiceTest, BlockPolicyCompletesEverythingWithTinyQueue) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  control->delay = std::chrono::milliseconds(2);
+  QueryServiceOptions options;
+  options.threads = 2;
+  options.max_queue = 1;
+  options.backpressure = QueryServiceOptions::Backpressure::kBlock;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(service.Submit({"fake", 2, 0}));
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(QueryServiceTest, LatencyPercentilesAreMonotoneAndSurfacedInQueryCost) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  control->delay = std::chrono::milliseconds(1);
+  QueryServiceOptions options;
+  options.threads = 2;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(service.Submit({"fake", static_cast<NodeId>(i % 50), 0}));
+  }
+  for (auto& future : futures) future.get();
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 40u);
+  EXPECT_GT(stats.p50_seconds, 0.0);
+  EXPECT_LE(stats.p50_seconds, stats.p95_seconds);
+  EXPECT_LE(stats.p95_seconds, stats.p99_seconds);
+  EXPECT_EQ(stats.aggregate_cost.latency_p50_seconds, stats.p50_seconds);
+  EXPECT_EQ(stats.aggregate_cost.latency_p95_seconds, stats.p95_seconds);
+  EXPECT_EQ(stats.aggregate_cost.latency_p99_seconds, stats.p99_seconds);
+  EXPECT_EQ(stats.aggregate_cost.walks, 40u);
+}
+
+TEST(QueryServiceTest, SubmitWithoutEnginesFails) {
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  const QueryResult result = service.Submit({"prsim", 0, 0}).get();
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace prsim

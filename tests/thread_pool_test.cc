@@ -1,0 +1,156 @@
+// ThreadPool: submission, futures, exception propagation, graceful
+// shutdown, worker identity, the PRSIM_THREADS override, and ParallelFor's
+// behavior when nested inside pool workers.
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace prsim {
+namespace {
+
+TEST(DefaultThreadCountTest, IsAtLeastOne) {
+  ::unsetenv("PRSIM_THREADS");
+  EXPECT_GE(DefaultThreadCount(), 1u);
+}
+
+TEST(DefaultThreadCountTest, HonorsPrsimThreadsOverride) {
+  ::setenv("PRSIM_THREADS", "5", 1);
+  EXPECT_EQ(DefaultThreadCount(), 5u);
+  ::setenv("PRSIM_THREADS", "1", 1);
+  EXPECT_EQ(DefaultThreadCount(), 1u);
+  ::unsetenv("PRSIM_THREADS");
+}
+
+TEST(DefaultThreadCountTest, IgnoresInvalidOverride) {
+  const size_t fallback = [] {
+    ::unsetenv("PRSIM_THREADS");
+    return DefaultThreadCount();
+  }();
+  for (const char* bad : {"0", "-3", "abc", "4x", ""}) {
+    ::setenv("PRSIM_THREADS", bad, 1);
+    EXPECT_EQ(DefaultThreadCount(), fallback) << "PRSIM_THREADS=" << bad;
+  }
+  ::unsetenv("PRSIM_THREADS");
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, FuturePropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task boom"); });
+  try {
+    future.get();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+}
+
+TEST(ThreadPoolTest, WorkerSurvivesThrowingTask) {
+  ThreadPool pool(1);
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The single worker must still be alive to answer this.
+  EXPECT_EQ(pool.Submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+  }  // graceful shutdown: every queued task runs before join
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIdentifiesWorkers) {
+  EXPECT_FALSE(ThreadPool::InWorker());
+  EXPECT_EQ(ThreadPool::WorkerIndex(), ThreadPool::kNotAWorker);
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<size_t> seen;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 48; ++i) {
+    futures.push_back(pool.Submit([&] {
+      EXPECT_TRUE(ThreadPool::InWorker());
+      const size_t index = ThreadPool::WorkerIndex();
+      EXPECT_LT(index, 3u);
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(index);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+TEST(ThreadPoolTest, SharedPoolIsProcessWide) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  EXPECT_EQ(a.Submit([] { return 7; }).get(), 7);
+}
+
+// ParallelFor is now a pool client; nesting it inside a pool task must not
+// deadlock and must produce the same coverage as top-level execution.
+TEST(ThreadPoolTest, NestedParallelForInsideWorkerCompletes) {
+  std::vector<int> hits(200, 0);
+  auto future = ThreadPool::Shared().Submit([&hits] {
+    ParallelFor(0, hits.size(), [&hits](size_t i) { hits[i]++; },
+                /*threads=*/4);
+  });
+  future.get();
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotDeadlock) {
+  constexpr size_t kCallers = 6;
+  constexpr size_t kItems = 500;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kItems, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&hits, c] {
+      ParallelFor(0, kItems, [&hits, c](size_t i) { hits[c][i]++; },
+                  /*threads=*/3);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(std::accumulate(hits[c].begin(), hits[c].end(), 0),
+              static_cast<int>(kItems));
+  }
+}
+
+}  // namespace
+}  // namespace prsim

@@ -2,8 +2,12 @@
 // ParallelFor.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -12,8 +16,10 @@
 #include <vector>
 
 #include "util/alias_table.h"
+#include "util/cache_dir.h"
 #include "util/flat_hash_map.h"
 #include "util/parallel.h"
+#include "util/percentiles.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -359,6 +365,120 @@ TEST(ParallelForTest, OtherItemsStillRunAfterException) {
   // items of a worker after its throw are skipped, but the loop never
   // deadlocks or terminates the process.
   EXPECT_GE(hits[0].load(), 1);
+}
+
+// --------------------------------------------------------------------------
+// Percentiles
+// --------------------------------------------------------------------------
+
+TEST(PercentilesTest, SortedQuantileNearestRank) {
+  const std::vector<double> sorted{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(SortedQuantile(sorted, 0.0), 1.0);
+  EXPECT_EQ(SortedQuantile(sorted, 0.5), 6.0);
+  EXPECT_EQ(SortedQuantile(sorted, 0.99), 10.0);
+  EXPECT_EQ(SortedQuantile(sorted, 1.0), 10.0);
+  EXPECT_EQ(SortedQuantile({}, 0.5), 0.0);
+}
+
+TEST(PercentilesTest, ExactUntilCapacityThenMonotone) {
+  StreamingPercentiles p(128);
+  for (int i = 100; i >= 1; --i) p.Add(i);  // reverse order, all retained
+  EXPECT_EQ(p.count(), 100u);
+  EXPECT_EQ(p.Quantile(0.5), 51.0);
+  EXPECT_EQ(p.Quantile(0.95), 96.0);
+  EXPECT_EQ(p.Quantile(0.99), 100.0);
+}
+
+TEST(PercentilesTest, ReservoirStaysBoundedAndMonotone) {
+  StreamingPercentiles p(64);
+  for (int i = 0; i < 10000; ++i) p.Add(static_cast<double>(i % 997));
+  EXPECT_EQ(p.count(), 10000u);
+  const double p50 = p.Quantile(0.50);
+  const double p95 = p.Quantile(0.95);
+  const double p99 = p.Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 996.0);
+}
+
+// --------------------------------------------------------------------------
+// Cache directory LRU eviction
+// --------------------------------------------------------------------------
+
+class CacheDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("prsim_cache_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes `bytes` bytes and backdates the mtime by `age_minutes`.
+  void WriteFile(const std::string& name, size_t bytes, int age_minutes) {
+    const auto path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    out << std::string(bytes, 'x');
+    out.close();
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now() -
+                  std::chrono::minutes(age_minutes));
+  }
+
+  bool Exists(const std::string& name) {
+    return std::filesystem::exists(dir_ / name);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CacheDirTest, NoEvictionUnderTheCap) {
+  WriteFile("a.idx", 100, 10);
+  WriteFile("b.idx", 100, 5);
+  const CacheEvictionStats stats = EvictLruFiles(dir_.string(), 1000);
+  EXPECT_EQ(stats.files_removed, 0u);
+  EXPECT_EQ(stats.bytes_remaining, 200u);
+  EXPECT_TRUE(Exists("a.idx"));
+  EXPECT_TRUE(Exists("b.idx"));
+}
+
+TEST_F(CacheDirTest, EvictsOldestMtimeFirst) {
+  WriteFile("old.idx", 400, 30);
+  WriteFile("mid.idx", 400, 20);
+  WriteFile("new.idx", 400, 1);
+  const CacheEvictionStats stats = EvictLruFiles(dir_.string(), 900);
+  EXPECT_EQ(stats.files_removed, 1u);
+  EXPECT_EQ(stats.bytes_removed, 400u);
+  EXPECT_EQ(stats.bytes_remaining, 800u);
+  EXPECT_FALSE(Exists("old.idx"));
+  EXPECT_TRUE(Exists("mid.idx"));
+  EXPECT_TRUE(Exists("new.idx"));
+}
+
+TEST_F(CacheDirTest, TouchProtectsRecentlyUsedFiles) {
+  WriteFile("reused.idx", 400, 30);
+  WriteFile("stale.idx", 400, 20);
+  TouchFile((dir_ / "reused.idx").string());  // reuse bumps it to newest
+  const CacheEvictionStats stats = EvictLruFiles(dir_.string(), 500);
+  EXPECT_EQ(stats.files_removed, 1u);
+  EXPECT_TRUE(Exists("reused.idx"));
+  EXPECT_FALSE(Exists("stale.idx"));
+}
+
+TEST_F(CacheDirTest, EvictsEverythingWithZeroCap) {
+  WriteFile("a.idx", 10, 2);
+  WriteFile("b.idx", 10, 1);
+  const CacheEvictionStats stats = EvictLruFiles(dir_.string(), 0);
+  EXPECT_EQ(stats.files_removed, 2u);
+  EXPECT_EQ(stats.bytes_remaining, 0u);
+}
+
+TEST_F(CacheDirTest, MissingDirectoryIsANoop) {
+  const CacheEvictionStats stats =
+      EvictLruFiles((dir_ / "nope").string(), 100);
+  EXPECT_EQ(stats.files_removed, 0u);
+  EXPECT_EQ(stats.bytes_remaining, 0u);
 }
 
 // --------------------------------------------------------------------------

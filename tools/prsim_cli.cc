@@ -15,14 +15,28 @@
 //                       [--params k=v,k=v] [--index g.idx] [--eps 0.1]
 //                       [--c 0.6] [--k 20] [--seed S] [--j0 N] [--alpha A]
 //                       [--rounds R] [--threads T] [--paper-constants]
-//                       [--format text|tsv|json]
+//                       [--format text|tsv|json] [--sources-file f.txt]
 //       Answers a single-source query with any registry engine (loading a
 //       saved index if given — the artifact must match the graph and the
 //       index-shaping options — otherwise preprocessing in-process) and
 //       prints the top-k. Engine-specific knobs go through --params; the
 //       dedicated flags override keys of the same name. --format tsv/json
 //       emit machine-readable scores, QueryCost counters, and timings on
-//       stdout (progress goes to stderr).
+//       stdout (progress goes to stderr). --sources-file switches to batch
+//       mode: one node id per line ('#' comments allowed), answered through
+//       the shared thread pool with p50/p95/p99 latency reported; invalid
+//       lines get a per-line error and exit code 3 without aborting the
+//       rest of the batch.
+//   prsim_cli serve     --graph g.txt --stdin [--algo prsim] [--index g.idx]
+//                       [--params k=v,k=v] [--k 20] [--threads T]
+//                       [--queue N] [--reject]
+//       Long-lived query loop over the async QueryService: reads
+//       newline-delimited requests "<source> [k]" from stdin, pipelines
+//       them through the service's bounded queue (--queue, --reject), and
+//       prints "result <source> <node>:<score>,..." lines in submission
+//       order on stdout. Per-line errors go to stderr without stopping the
+//       loop; served counts plus latency percentiles print on EOF (exit 3
+//       if any line failed).
 //   prsim_cli generate  --out g.txt [--model chunglu|er|ba] [--n N]
 //                       [--degree D] [--gamma G] [--seed S] [--undirected]
 //       Writes a synthetic edge list.
@@ -35,21 +49,28 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <fstream>
 #include <initializer_list>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/batch_query.h"
 #include "core/engine_config.h"
 #include "core/engine_registry.h"
 #include "core/prsim.h"
+#include "core/query_service.h"
 #include "eval/datasets.h"
 #include "gen/barabasi_albert.h"
 #include "gen/chung_lu.h"
 #include "gen/erdos_renyi.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "util/parse.h"
 #include "util/timer.h"
 
 namespace {
@@ -111,13 +132,8 @@ class Flags {
   uint64_t GetInt(const std::string& name, uint64_t fallback) const {
     const std::string* raw = Find(name);
     if (raw == nullptr) return fallback;
-    char* end = nullptr;
-    errno = 0;
-    const uint64_t value = std::strtoull(raw->c_str(), &end, 10);
-    if (raw->empty() || (*raw)[0] == '-' || end == raw->c_str() ||
-        *end != '\0' || errno == ERANGE) {
-      InvalidValue(name, *raw);
-    }
+    uint64_t value = 0;
+    if (!ParseUint64(*raw, &value)) InvalidValue(name, *raw);
     return value;
   }
   /// GetInt with a range check against the 32-bit node/count call sites so
@@ -358,6 +374,97 @@ void PrintQueryJson(const SingleSourceSimRank& engine, NodeId source,
   std::printf("]}\n");
 }
 
+/// Strips whitespace; returns "" for blank and '#'-comment lines.
+std::string TrimLine(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || line[first] == '#') return "";
+  const auto last = line.find_last_not_of(" \t\r\n");
+  return line.substr(first, last - first + 1);
+}
+
+/// Parses a node id token, requiring id < n. Returns false (with a message
+/// in *error) on malformed input or out-of-range ids.
+bool ParseNodeId(const std::string& token, NodeId n, NodeId* id,
+                 std::string* error) {
+  uint64_t value = 0;
+  if (!ParseUint64(token, &value) || value >= n) {
+    *error = "invalid node id '" + token + "' (n = " + std::to_string(n) + ")";
+    return false;
+  }
+  *id = static_cast<NodeId>(value);
+  return true;
+}
+
+/// Batch mode of `query`: answers every valid node id in `sources_path`
+/// through the shared thread pool and reports latency percentiles. Invalid
+/// lines are reported individually on stderr and skipped; any such line
+/// turns the exit code into 3 (0 = clean batch, 1 = I/O failure).
+int RunBatchQuery(SingleSourceSimRank& engine, const std::string& sources_path,
+                  QueryFormat format, uint32_t k, size_t threads) {
+  std::ifstream in(sources_path);
+  if (!in) {
+    std::fprintf(stderr, "query: cannot open --sources-file %s\n",
+                 sources_path.c_str());
+    return 1;
+  }
+  std::vector<NodeId> sources;
+  size_t invalid = 0;
+  size_t line_no = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string token = TrimLine(line);
+    if (token.empty()) continue;
+    NodeId id = 0;
+    std::string error;
+    if (!ParseNodeId(token, engine.node_count(), &id, &error)) {
+      std::fprintf(stderr, "%s:%zu: %s\n", sources_path.c_str(), line_no,
+                   error.c_str());
+      ++invalid;
+      continue;
+    }
+    sources.push_back(id);
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "query: no valid sources in %s\n",
+                 sources_path.c_str());
+    return invalid > 0 ? 3 : 1;
+  }
+
+  WallTimer timer;
+  const BatchQueryResult batch = BatchQueryWithStats(engine, sources, threads);
+  const double total_seconds = timer.Seconds();
+  const QueryCost& cost = batch.cost;
+  if (format == QueryFormat::kTsv) {
+    std::printf("meta\talgo\t%s\n", engine.name().c_str());
+    std::printf("meta\tqueries\t%zu\n", sources.size());
+    std::printf("meta\tinvalid\t%zu\n", invalid);
+    std::printf("meta\tbatch_s\t%.6f\n", total_seconds);
+    std::printf("meta\tp50_ms\t%.6f\n", cost.latency_p50_seconds * 1e3);
+    std::printf("meta\tp95_ms\t%.6f\n", cost.latency_p95_seconds * 1e3);
+    std::printf("meta\tp99_ms\t%.6f\n", cost.latency_p99_seconds * 1e3);
+    for (size_t i = 0; i < sources.size(); ++i) {
+      for (const auto& [v, s] : TopK(batch.scores[i], k, sources[i])) {
+        std::printf("score\t%u\t%u\t%.17g\n", sources[i], v, s);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      std::printf("source %u:\n", sources[i]);
+      for (const auto& [v, s] : TopK(batch.scores[i], k, sources[i])) {
+        std::printf("  %-10u %.6f\n", v, s);
+      }
+    }
+    std::printf(
+        "batch: queries=%zu invalid=%zu total_s=%.3f p50_ms=%.3f "
+        "p95_ms=%.3f p99_ms=%.3f\n",
+        sources.size(), invalid, total_seconds,
+        cost.latency_p50_seconds * 1e3, cost.latency_p95_seconds * 1e3,
+        cost.latency_p99_seconds * 1e3);
+  }
+  return invalid > 0 ? 3 : 0;
+}
+
 int CmdQuery(const Flags& flags) {
   const std::string graph_path = flags.Get("graph", "");
   if (graph_path.empty()) {
@@ -387,6 +494,18 @@ int CmdQuery(const Flags& flags) {
                  format_name.c_str());
     return 2;
   }
+  const std::string sources_path = flags.Get("sources-file", "");
+  if (!sources_path.empty() && flags.HasValue("source")) {
+    std::fprintf(stderr,
+                 "query: --source and --sources-file are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  if (!sources_path.empty() && format == QueryFormat::kJson) {
+    std::fprintf(stderr,
+                 "query: --sources-file supports --format text or tsv\n");
+    return 2;
+  }
   EngineConfig config;
   if (const int rc = BuildEngineConfig(flags, &config); rc != 0) return rc;
   if (Status st = EngineRegistry::Global().Validate(algo, config); !st.ok()) {
@@ -410,7 +529,7 @@ int CmdQuery(const Flags& flags) {
     return 1;
   }
   Graph graph = std::move(graph_result).ValueOrDie();
-  if (source >= graph.n()) {
+  if (sources_path.empty() && source >= graph.n()) {
     std::fprintf(stderr, "query: --source %u out of range (n = %u)\n", source,
                  graph.n());
     return 2;
@@ -444,6 +563,11 @@ int CmdQuery(const Flags& flags) {
   }
   const double preprocess_seconds = prep_timer.Seconds();
 
+  if (!sources_path.empty()) {
+    return RunBatchQuery(*engine, sources_path, format, k,
+                         static_cast<size_t>(flags.GetInt("threads", 0)));
+  }
+
   WallTimer query_timer;
   ScoreList scores = engine->Query(source);
   const double query_seconds = query_timer.Seconds();
@@ -469,6 +593,162 @@ int CmdQuery(const Flags& flags) {
     std::printf("%-10u %.6f\n", v, s);
   }
   return 0;
+}
+
+/// Long-lived stdin query loop over the async QueryService. One request per
+/// line: "<source> [k]". Invalid lines get a per-line error on stderr and
+/// the loop keeps serving; the exit code records whether any line failed.
+int CmdServe(const Flags& flags) {
+  const std::string graph_path = flags.Get("graph", "");
+  if (graph_path.empty()) {
+    std::fprintf(stderr, "serve: --graph is required\n");
+    return 2;
+  }
+  if (!flags.Has("stdin")) {
+    std::fprintf(stderr,
+                 "serve: --stdin is required (the only transport so far)\n");
+    return 2;
+  }
+  const std::string algo = flags.Get("algo", "prsim");
+  const EngineInfo* info = EngineRegistry::Global().Find(algo);
+  if (info == nullptr) {
+    std::fprintf(stderr,
+                 "serve: unknown --algo '%s' (run `prsim_cli algos`)\n",
+                 algo.c_str());
+    return 2;
+  }
+  const std::string index_path = flags.Get("index", "");
+  if (!index_path.empty() && !info->has_persistent_index) {
+    std::fprintf(stderr,
+                 "serve: --algo %s has no persistent index, so --index is "
+                 "not supported\n",
+                 info->name.c_str());
+    return 2;
+  }
+  EngineConfig config;
+  if (const int rc = BuildEngineConfig(flags, &config); rc != 0) return rc;
+  if (Status st = EngineRegistry::Global().Validate(algo, config); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  const uint32_t default_k = flags.GetUint32("k", 20);
+
+  auto graph_result = LoadAnyGraph(graph_path);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
+    return 1;
+  }
+  Graph graph = std::move(graph_result).ValueOrDie();
+
+  QueryServiceOptions options;
+  options.threads = static_cast<size_t>(flags.GetInt("threads", 0));
+  options.max_queue = static_cast<size_t>(flags.GetInt("queue", 1024));
+  if (options.max_queue == 0) {
+    std::fprintf(stderr, "serve: --queue must be positive\n");
+    return 2;
+  }
+  if (flags.Has("reject")) {
+    options.backpressure = QueryServiceOptions::Backpressure::kReject;
+  }
+  QueryService service(options);
+  WallTimer start_timer;
+  Status st = index_path.empty()
+                  ? service.AddEngine(info->name, graph, config)
+                  : service.AddEngineFromIndex(info->name, graph, config,
+                                               index_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serving %s on stdin: n=%u, %zu workers, ready in %.2fs; "
+               "lines are \"<source> [k]\"\n",
+               info->name.c_str(), graph.n(), service.threads(),
+               start_timer.Seconds());
+
+  // Requests are pipelined: each valid line is submitted immediately and
+  // results are collected (and printed) in submission order once the
+  // in-flight window fills, so the service's workers, bounded queue, and
+  // backpressure policy all see real concurrent load. Positional seeds are
+  // assigned at submission, so answers are independent of --threads.
+  struct Pending {
+    size_t line_no = 0;
+    NodeId source = 0;
+    std::future<QueryResult> future;
+  };
+  std::deque<Pending> pending;
+  size_t bad_lines = 0;
+  size_t line_no = 0;
+  // Never submit beyond the service's own queue bound: stdin is a single
+  // well-behaved client, so overrunning it would make --reject shed our
+  // own valid lines. (--reject still matters once multiple clients share
+  // a service; here it simply never fires.)
+  const size_t window = options.max_queue;
+
+  const auto drain_one = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    const QueryResult result = p.future.get();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "line %zu: %s\n", p.line_no,
+                   result.status.ToString().c_str());
+      ++bad_lines;
+      return;
+    }
+    std::printf("result %u", p.source);
+    for (size_t i = 0; i < result.scores.size(); ++i) {
+      std::printf("%c%u:%.6g", i == 0 ? ' ' : ',', result.scores[i].first,
+                  result.scores[i].second);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    const std::string trimmed = TrimLine(line);
+    if (trimmed.empty()) continue;
+    std::istringstream tokens(trimmed);
+    std::string source_token, k_token, extra;
+    tokens >> source_token >> k_token >> extra;
+    QueryRequest request;
+    request.k = default_k;
+    std::string error;
+    if (!extra.empty()) {
+      error = "expected \"<source> [k]\", got '" + trimmed + "'";
+    } else if (!ParseNodeId(source_token, graph.n(), &request.source,
+                            &error)) {
+      // error filled by ParseNodeId
+    } else if (!k_token.empty()) {
+      uint64_t k_value = 0;
+      if (!ParseUint64(k_token, &k_value) || k_value == 0 ||
+          k_value > UINT32_MAX) {
+        error = "invalid k '" + k_token + "'";
+      } else {
+        request.k = static_cast<uint32_t>(k_value);
+      }
+    }
+    if (!error.empty()) {
+      std::fprintf(stderr, "line %zu: %s\n", line_no, error.c_str());
+      ++bad_lines;
+      continue;
+    }
+    const NodeId source = request.source;
+    pending.push_back({line_no, source, service.Submit(std::move(request))});
+    while (pending.size() >= window) drain_one();
+  }
+  while (!pending.empty()) drain_one();
+
+  const ServiceStats stats = service.Stats();
+  std::printf(
+      "served queries=%llu failed=%llu rejected=%llu p50_ms=%.3f "
+      "p95_ms=%.3f p99_ms=%.3f\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected), stats.p50_seconds * 1e3,
+      stats.p95_seconds * 1e3, stats.p99_seconds * 1e3);
+  return bad_lines > 0 ? 3 : 0;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -521,7 +801,7 @@ int CmdGenerate(const Flags& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: prsim_cli <stats|algos|index|query|generate> "
+               "usage: prsim_cli <stats|algos|index|query|serve|generate> "
                "[--flags]\n"
                "  see the header comment of tools/prsim_cli.cc\n");
 }
@@ -562,10 +842,16 @@ int main(int argc, char** argv) {
   }
   if (command == "query") {
     return Dispatch(argc, argv,
-                    {"graph", "index", "source", "eps", "c", "k", "seed",
-                     "algo", "params", "j0", "alpha", "rounds", "threads",
-                     "format"},
+                    {"graph", "index", "source", "sources-file", "eps", "c",
+                     "k", "seed", "algo", "params", "j0", "alpha", "rounds",
+                     "threads", "format"},
                     {"paper-constants"}, CmdQuery);
+  }
+  if (command == "serve") {
+    return Dispatch(argc, argv,
+                    {"graph", "index", "eps", "c", "k", "seed", "algo",
+                     "params", "j0", "alpha", "rounds", "threads", "queue"},
+                    {"stdin", "reject", "paper-constants"}, CmdServe);
   }
   if (command == "generate") {
     return Dispatch(argc, argv,
