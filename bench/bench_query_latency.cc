@@ -1,0 +1,348 @@
+// Single-source query latency + sustained throughput across the persistent
+// engines — the seed point of the recorded perf trajectory.
+//
+// For every (graph, engine, threads in {1, hw}) cell this bench measures
+//   * single-query latency: `--queries` serial Query() calls after warmup,
+//     reported as mean/p50/p95/p99 (PRSim's intra-query sample-grid
+//     parallelism is what `threads` exercises here — scores are
+//     bit-identical at every setting, only the wall time moves);
+//   * sustained throughput: the same sources answered through
+//     BatchQueryWithStats on `threads` workers of the shared pool.
+// Results land in a machine-readable JSON file (default
+// BENCH_query_latency.json — committed at the repo root as the perf
+// baseline; CI regenerates a small-graph variant per commit and checks the
+// schema). Graphs are generated Chung-Lu (power-law, the paper's regime)
+// and Barabasi-Albert; the largest graph is the headline row.
+//
+// Usage: bench_query_latency [--n N] [--degree D] [--queries Q]
+//                            [--warmup W] [--eps E] [--max-threads T]
+//                            [--out PATH]
+// Defaults: n=10000, degree=10, queries=32, warmup=3, eps=0.05,
+//           max-threads=0 (hardware concurrency),
+//           out=BENCH_query_latency.json
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch_query.h"
+#include "core/engine_registry.h"
+#include "eval/pooling.h"
+#include "gen/barabasi_albert.h"
+#include "gen/chung_lu.h"
+#include "graph/graph.h"
+#include "util/percentiles.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace prsim;
+
+struct Args {
+  uint32_t n = 10000;
+  double degree = 10;
+  uint32_t queries = 32;
+  uint32_t warmup = 3;
+  double eps = 0.05;
+  /// Top of the thread sweep; 0 = hardware concurrency.
+  size_t max_threads = 0;
+  std::string out = "BENCH_query_latency.json";
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s expects a value\n", flag.c_str());
+      return false;
+    }
+    const char* value = argv[i + 1];
+    if (flag == "--n") {
+      args->n = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--degree") {
+      args->degree = std::strtod(value, nullptr);
+    } else if (flag == "--queries") {
+      args->queries = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--warmup") {
+      args->warmup = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--eps") {
+      args->eps = std::strtod(value, nullptr);
+    } else if (flag == "--max-threads") {
+      args->max_threads =
+          static_cast<size_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--out") {
+      args->out = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->n < 100 || args->queries == 0) {
+    std::fprintf(stderr, "--n must be >= 100 and --queries >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+struct BenchGraph {
+  std::string name;
+  Graph graph;
+};
+
+struct RunRow {
+  std::string graph;
+  std::string algo;
+  std::string params;
+  size_t threads = 0;
+  uint32_t queries = 0;
+  double preprocess_seconds = 0;
+  double index_mb = 0;
+  double mean_ms = 0, p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double batch_seconds = 0;
+  double throughput_qps = 0;
+  double speedup_vs_threads1 = 0;  ///< 0 when threads == 1 (not emitted)
+  /// True when the engine has no threads knob, so the single-query latency
+  /// figures are carried over from the threads=1 cell instead of being
+  /// re-measured noise (only the batch throughput differs).
+  bool latency_reused_from_threads1 = false;
+};
+
+std::string FormatParams(const std::string& base, bool accepts_threads,
+                         size_t threads) {
+  if (!accepts_threads) return base;
+  return base + ",threads=" + std::to_string(threads);
+}
+
+/// Measures one (graph, algo, threads) cell. `reuse_latency_from` (may be
+/// null) skips the serial latency sweep and carries the threads=1 figures
+/// over — used for engines whose queries cannot use threads, where a second
+/// sweep of the identical configuration would record only noise. For those
+/// engines `engine_slot` keeps the built engine alive across thread
+/// settings (the configuration is byte-identical), so the index is built
+/// once per (graph, algo) instead of once per cell.
+RunRow MeasureCell(const BenchGraph& bg, const std::string& algo,
+                   const std::string& params, size_t threads,
+                   const std::vector<NodeId>& sources, const Args& args,
+                   const RunRow* reuse_latency_from,
+                   std::unique_ptr<SingleSourceSimRank>* engine_slot) {
+  RunRow row;
+  row.graph = bg.name;
+  row.algo = algo;
+  row.params = params;
+  row.threads = threads;
+  row.queries = args.queries;
+
+  std::unique_ptr<SingleSourceSimRank> local;
+  std::unique_ptr<SingleSourceSimRank>& engine =
+      engine_slot != nullptr ? *engine_slot : local;
+  if (engine == nullptr) {
+    auto engine_result =
+        EngineRegistry::Global().Create(algo, bg.graph, params);
+    engine_result.status().Abort();
+    engine = std::move(engine_result).ValueOrDie();
+    WallTimer prep_timer;
+    engine->Preprocess().Abort();
+    row.preprocess_seconds = prep_timer.Seconds();
+    row.index_mb = engine->IndexBytes() / 1e6;
+  } else {
+    row.preprocess_seconds = reuse_latency_from->preprocess_seconds;
+    row.index_mb = reuse_latency_from->index_mb;
+  }
+
+  if (reuse_latency_from != nullptr) {
+    row.mean_ms = reuse_latency_from->mean_ms;
+    row.p50_ms = reuse_latency_from->p50_ms;
+    row.p95_ms = reuse_latency_from->p95_ms;
+    row.p99_ms = reuse_latency_from->p99_ms;
+    row.latency_reused_from_threads1 = true;
+  } else {
+    for (uint32_t i = 0; i < args.warmup; ++i) {
+      (void)engine->Query(sources[i % sources.size()]);
+    }
+    // Single-query latency: serial calls so each sample is one query's
+    // wall time, with the intra-query parallelism (where the engine
+    // supports it) as the only concurrency.
+    std::vector<double> latencies;
+    latencies.reserve(args.queries);
+    WallTimer timer;
+    for (uint32_t i = 0; i < args.queries; ++i) {
+      timer.Restart();
+      (void)engine->Query(sources[i % sources.size()]);
+      latencies.push_back(timer.Seconds());
+    }
+    double total = 0;
+    for (double s : latencies) total += s;
+    row.mean_ms = total / latencies.size() * 1e3;
+    std::sort(latencies.begin(), latencies.end());
+    row.p50_ms = SortedQuantile(latencies, 0.50) * 1e3;
+    row.p95_ms = SortedQuantile(latencies, 0.95) * 1e3;
+    row.p99_ms = SortedQuantile(latencies, 0.99) * 1e3;
+  }
+
+  // Sustained throughput: the whole source set through the batch layer on
+  // `threads` pool workers (cross-query parallelism for every engine).
+  WallTimer batch_timer;
+  const BatchQueryResult batch = BatchQueryWithStats(*engine, sources, threads);
+  row.batch_seconds = batch_timer.Seconds();
+  row.throughput_qps = sources.size() / row.batch_seconds;
+  return row;
+}
+
+void WriteJson(const Args& args, const std::vector<BenchGraph>& graphs,
+               const std::vector<RunRow>& rows) {
+  FILE* out = std::fopen(args.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"query_latency\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"default_thread_count\": %zu,\n",
+               DefaultThreadCount());
+  std::fprintf(out,
+               "  \"config\": {\"n\": %u, \"degree\": %g, \"queries\": %u, "
+               "\"warmup\": %u, \"eps\": %g},\n",
+               args.n, args.degree, args.queries, args.warmup, args.eps);
+  std::fprintf(out, "  \"graphs\": [");
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    std::fprintf(out, "%s\n    {\"name\": \"%s\", \"n\": %u, \"m\": %llu}",
+                 i == 0 ? "" : ",", graphs[i].name.c_str(), graphs[i].graph.n(),
+                 static_cast<unsigned long long>(graphs[i].graph.m()));
+  }
+  std::fprintf(out, "\n  ],\n");
+  std::fprintf(out, "  \"runs\": [");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& r = rows[i];
+    std::fprintf(out,
+                 "%s\n    {\"graph\": \"%s\", \"algo\": \"%s\", \"params\": "
+                 "\"%s\", \"threads\": %zu, \"queries\": %u,\n"
+                 "     \"preprocess_seconds\": %.6g, \"index_mb\": %.6g,\n"
+                 "     \"latency_ms\": {\"mean\": %.6g, \"p50\": %.6g, "
+                 "\"p95\": %.6g, \"p99\": %.6g},\n"
+                 "     \"batch_seconds\": %.6g, \"throughput_qps\": %.6g",
+                 i == 0 ? "" : ",", r.graph.c_str(), r.algo.c_str(),
+                 r.params.c_str(), r.threads, r.queries, r.preprocess_seconds,
+                 r.index_mb, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
+                 r.batch_seconds, r.throughput_qps);
+    if (r.speedup_vs_threads1 > 0) {
+      std::fprintf(out, ",\n     \"speedup_vs_threads1\": %.4g",
+                   r.speedup_vs_threads1);
+    }
+    if (r.latency_reused_from_threads1) {
+      std::fprintf(out, ",\n     \"latency_reused_from_threads1\": true");
+    }
+    std::fprintf(out, "}");
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  std::vector<BenchGraph> graphs;
+  {
+    ChungLuOptions small;
+    small.n = args.n / 4;
+    small.avg_degree = args.degree;
+    small.gamma_out = 2.0;
+    small.seed = 1;
+    graphs.push_back({"chunglu_n" + std::to_string(small.n),
+                      GenerateChungLu(small).ValueOrDie()});
+    ChungLuOptions large = small;
+    large.n = args.n;
+    graphs.push_back({"chunglu_n" + std::to_string(large.n),
+                      GenerateChungLu(large).ValueOrDie()});
+    BarabasiAlbertOptions ba;
+    ba.n = args.n;
+    ba.edges_per_node = static_cast<uint32_t>(args.degree / 2);
+    if (ba.edges_per_node == 0) ba.edges_per_node = 1;
+    ba.seed = 1;
+    graphs.push_back({"ba_n" + std::to_string(ba.n),
+                      GenerateBarabasiAlbert(ba).ValueOrDie()});
+  }
+
+  // threads = 1 and the machine's hardware concurrency. Deliberately NOT
+  // DefaultThreadCount(): a pinned PRSIM_THREADS (the reproducibility knob
+  // tests use) must not silently collapse the perf sweep — though note the
+  // shared pool itself is still PRSIM_THREADS-sized (recorded in the JSON
+  // as default_thread_count).
+  size_t hw = args.max_threads;
+  if (hw == 0) hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = DefaultThreadCount();
+  std::vector<size_t> thread_settings = {1};
+  if (hw > 1) thread_settings.push_back(hw);
+
+  // The persistent four. `accepts_threads` marks engines whose options take
+  // a thread count at all (PRSim: intra-query grid + index build; SLING:
+  // index build only); `query_uses_threads` marks the subset whose *query*
+  // is parallel — the only rows where a single-query latency re-sweep and a
+  // speedup figure mean anything. Every engine's batch throughput still
+  // scales with the pool.
+  struct AlgoSpec {
+    const char* algo;
+    std::string base_params;
+    bool accepts_threads;
+    bool query_uses_threads;
+  };
+  char eps_buf[32];
+  std::snprintf(eps_buf, sizeof(eps_buf), "eps=%g", args.eps);
+  const std::vector<AlgoSpec> specs = {
+      {"prsim", std::string(eps_buf) + ",seed=5", true, true},
+      {"sling", "eps=0.25,seed=5", true, false},
+      {"reads", "r=100,t=10,seed=5", false, false},
+      {"tsf", "rg=100,rq=10,seed=5", false, false},
+  };
+
+  std::vector<RunRow> rows;
+  for (const BenchGraph& bg : graphs) {
+    const std::vector<NodeId> sources =
+        SampleQueryNodes(bg.graph, args.queries, 88);
+    for (const AlgoSpec& spec : specs) {
+      RunRow threads1_row;
+      std::unique_ptr<SingleSourceSimRank> cached_engine;
+      for (size_t threads : thread_settings) {
+        const std::string params =
+            FormatParams(spec.base_params, spec.accepts_threads, threads);
+        const RunRow* reuse_latency =
+            (threads > 1 && !spec.query_uses_threads) ? &threads1_row
+                                                      : nullptr;
+        RunRow row = MeasureCell(
+            bg, spec.algo, params, threads, sources, args, reuse_latency,
+            spec.accepts_threads ? nullptr : &cached_engine);
+        if (threads == 1) {
+          threads1_row = row;
+        } else if (spec.query_uses_threads && threads1_row.mean_ms > 0) {
+          // Only meaningful where `threads` actually reaches the query.
+          row.speedup_vs_threads1 = threads1_row.mean_ms / row.mean_ms;
+        }
+        std::printf(
+            "[query_latency] graph=%s algo=%s threads=%zu p50_ms=%.3f "
+            "p95_ms=%.3f p99_ms=%.3f mean_ms=%.3f qps=%.1f%s%.2f\n",
+            row.graph.c_str(), row.algo.c_str(), row.threads, row.p50_ms,
+            row.p95_ms, row.p99_ms, row.mean_ms, row.throughput_qps,
+            row.speedup_vs_threads1 > 0 ? " speedup=" : " speedup_na=",
+            row.speedup_vs_threads1);
+        std::fflush(stdout);
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  WriteJson(args, graphs, rows);
+  std::printf("wrote %s (%zu runs)\n", args.out.c_str(), rows.size());
+  return 0;
+}

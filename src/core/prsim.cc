@@ -2,18 +2,72 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/index_io.h"
 #include "util/logging.h"
+#include "util/parallel.h"
+#include "util/sample_grid.h"
 
 namespace prsim {
 
+/// Pooled per-engine scratch for the chunked query path. Everything here is
+/// reused across queries: FlatHashMap::clear() and vector::clear() retain
+/// capacity, so steady-state queries allocate nothing per walk (and, once
+/// the touched-node set stabilizes, nothing at all).
+///
+/// Every accumulator map is paired with a vector of its keys in insertion
+/// order, and every pass that feeds ordered work — RNG draws, float sums
+/// into a shared cell, result emission — iterates the vector, never the
+/// map. Map slot layout depends on the capacity retained from earlier
+/// queries; insertion order is a pure function of the query, which is what
+/// keeps Query(u) bit-identical regardless of what the engine ran before.
+struct PRSim::QueryWorkspace {
+  /// One slot per static sample chunk; slot i is written only by the worker
+  /// running chunk i, then read by the merge pass after the join.
+  struct Chunk {
+    Chunk(const Graph& graph, double c) : backward(graph, c) {}
+    /// eta(w) * pi_l(u, w) sample counts keyed by PackNodeLevel(w, l).
+    /// Counts (not 1/nr masses): integer merges are exact in any order.
+    FlatHashMap<uint64_t> eta_pi{256};
+    std::vector<uint64_t> eta_keys;
+    /// This chunk's partial tail-sum per touched node. A chunk never spans
+    /// a round, so these are partials of exactly one round's column.
+    FlatHashMap<double> tail{256};
+    std::vector<NodeId> tail_keys;
+    BackwardWalker backward;
+    Rng rng{0};
+    QueryCost cost;
+
+    void Reset() {
+      eta_pi.clear();
+      eta_keys.clear();
+      tail.clear();
+      tail_keys.clear();
+      cost = QueryCost{};
+    }
+  };
+
+  QueryWorkspace(const Graph& graph, double c, uint32_t rounds,
+                 uint64_t samples_per_round)
+      : tasks(BuildSampleChunks(rounds, samples_per_round)) {
+    chunks.reserve(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i) chunks.emplace_back(graph, c);
+  }
+
+  std::vector<SampleChunk> tasks;
+  std::vector<Chunk> chunks;
+
+  // Merge-pass accumulators (main thread only).
+  FlatHashMap<uint64_t> eta_pi{1024};  ///< merged sample counts
+  std::vector<uint64_t> eta_keys;
+  RoundColumns tail;  ///< per-(node, round) tail sums + median reduce
+  FlatHashMap<double> scores{1024};
+  std::vector<NodeId> score_nodes;
+};
+
 PRSim::PRSim(const Graph& graph, const PRSimOptions& options)
-    : graph_(graph),
-      options_(options),
-      walker_(graph, options.c),
-      backward_(graph, options.c),
-      rng_(options.seed) {
+    : graph_(graph), options_(options), walker_(graph, options.c) {
   PRSIM_CHECK(options_.eps > 0) << "eps must be positive";
   PRSIM_CHECK(options_.delta > 0 && options_.delta < 1);
   sqrt_c_ = std::sqrt(options_.c);
@@ -33,6 +87,8 @@ PRSim::PRSim(const Graph& graph, const PRSimOptions& options)
   dr_ = std::max<uint64_t>(dr_, 1);
   fr_ |= 1;  // odd round count keeps the median unambiguous
 }
+
+PRSim::~PRSim() = default;
 
 PRSimIndexOptions PRSim::IndexOptions() const {
   PRSimIndexOptions index_options;
@@ -76,89 +132,126 @@ ScoreList PRSim::Query(NodeId u) {
   const double tail_scale =
       inv_term_sq_ / static_cast<double>(dr_);  // 1/((1-sqrt_c)^2 dr)
 
-  // eta_pi[(w, l)] accumulates the estimator of eta(w) * pi_l(u, w).
-  FlatHashMap<double> eta_pi(1024);
+  if (workspace_ == nullptr) {
+    workspace_ =
+        std::make_unique<QueryWorkspace>(graph_, options_.c, fr_, dr_);
+  }
+  QueryWorkspace& ws = *workspace_;
 
-  // Per-round tail estimates s_hat_B^i(u, v), stored as fr_ parallel columns
-  // per touched node so the median pass is cache-friendly.
-  FlatHashMap<uint32_t> tail_slot(1024);
-  std::vector<double> tail_columns;  // slot-major, fr_ doubles per slot
-  std::vector<NodeId> tail_nodes;
-
-  for (uint32_t round = 0; round < fr_; ++round) {
-    for (uint64_t j = 0; j < dr_; ++j) {
-      ++cost_.walks;
-      const WalkOutcome walk = walker_.SampleWalk(u, rng_);
+  // Phase 1: run the static chunks of the (round, j) grid. Each chunk draws
+  // from its own positional RNG substream and accumulates into its own slot,
+  // so any number of workers — including the serial fallback inside pool
+  // workers that ParallelFor applies — produces identical chunk partials.
+  const auto run_chunk = [&](size_t i) {
+    const SampleChunk& task = ws.tasks[i];
+    QueryWorkspace::Chunk& chunk = ws.chunks[i];
+    chunk.Reset();
+    chunk.rng.Reseed(SampleChunkSeed(options_.seed, u, task, dr_));
+    for (uint64_t j = task.j_lo; j < task.j_hi; ++j) {
+      ++chunk.cost.walks;
+      const WalkOutcome walk = walker_.SampleWalk(u, chunk.rng);
       if (!walk.terminated) continue;
       const NodeId w = walk.terminal;
       const uint32_t level = walk.steps;
 
-      ++cost_.meeting_tests;
-      if (walker_.SamplePairMeets(w, rng_)) continue;
+      ++chunk.cost.meeting_tests;
+      if (walker_.SamplePairMeets(w, chunk.rng)) continue;
       // Non-meeting sample: contributes to eta(w) * pi_l(u, w), and for
       // non-hub w also to the backward-walk tail estimate (the proof of
       // Lemma 3.7 samples (w, l) with probability pi_l(u, w) * eta(w)).
-      eta_pi[PackNodeLevel(w, level)] += inv_nr;
+      ++OrderedSlot(chunk.eta_pi, chunk.eta_keys, PackNodeLevel(w, level));
 
       if (index_->IsHub(w)) continue;
-      ++cost_.backward_walks;
-      const BackwardWalkResult bw =
-          backward_.RunVarianceBounded(w, level, rng_);
-      cost_.backward_increments += bw.increments;
-      for (const auto& [v, value] : bw.estimates) {
-        uint32_t& slot = tail_slot[v];
-        if (slot == 0) {  // 0 is the sentinel for "new"; slots start at 1
-          tail_nodes.push_back(v);
-          tail_columns.resize(tail_columns.size() + fr_, 0.0);
-          slot = static_cast<uint32_t>(tail_nodes.size());
-        }
-        tail_columns[static_cast<size_t>(slot - 1) * fr_ + round] +=
-            value * tail_scale;
-      }
+      ++chunk.cost.backward_walks;
+      chunk.cost.backward_increments += chunk.backward.RunVarianceBounded(
+          w, level, chunk.rng, [&](NodeId v, double value) {
+            OrderedSlot(chunk.tail, chunk.tail_keys, v) += value * tail_scale;
+          });
+    }
+  };
+  ParallelFor(0, ws.tasks.size(), run_chunk, options_.threads);
+
+  // Phase 2: merge chunk partials in grid order, iterating each chunk's
+  // insertion-order key lists. Tail partials of one (node, round) column
+  // arrive in ascending block order — the fixed-order float sums that make
+  // the result independent of the worker count — and the integer eta-pi
+  // counts and cost counters merge exactly regardless.
+  ws.eta_pi.clear();
+  ws.eta_keys.clear();
+  ws.tail.Reset(fr_);
+  for (size_t i = 0; i < ws.tasks.size(); ++i) {
+    const uint32_t round = ws.tasks[i].round;
+    QueryWorkspace::Chunk& chunk = ws.chunks[i];
+    cost_.Accumulate(chunk.cost);
+    for (const uint64_t key : chunk.eta_keys) {
+      OrderedSlot(ws.eta_pi, ws.eta_keys, key) += *chunk.eta_pi.Find(key);
+    }
+    for (const NodeId v : chunk.tail_keys) {
+      ws.tail.Add(v, round, *chunk.tail.Find(v));
     }
   }
 
+  // First-touch bookkeeping for the score accumulator (emission follows
+  // score_nodes, so result order is history-independent too).
+  ws.scores.clear();
+  ws.score_nodes.clear();
+  const auto score_slot = [&ws](NodeId v) -> double& {
+    return OrderedSlot(ws.scores, ws.score_nodes, v);
+  };
+
   // Median over rounds for the tail part (Lines 14-15).
-  FlatHashMap<double> scores(tail_nodes.size() * 2 + 64);
-  std::vector<double> buffer(fr_);
-  for (size_t slot = 0; slot < tail_nodes.size(); ++slot) {
-    const double* column = &tail_columns[slot * fr_];
-    std::copy(column, column + fr_, buffer.begin());
-    auto mid = buffer.begin() + fr_ / 2;
-    std::nth_element(buffer.begin(), mid, buffer.end());
-    if (*mid > 0) scores[tail_nodes[slot]] += *mid;
-  }
+  ws.tail.ForEachMedian([&](uint64_t key, double median) {
+    if (median > 0) score_slot(static_cast<NodeId>(key)) += median;
+  });
 
   // Index part (Lines 16-18): resolve heavy (w, l) pairs against the hub
-  // reserve lists.
+  // reserve lists. Reserve lists of distinct (w, l) can hit the same node,
+  // so this float-sum order must follow eta_keys, not the map layout.
   const double keep_threshold = options_.eps / c1_;
-  eta_pi.ForEach([&](uint64_t key, const double& mass) {
-    if (mass <= keep_threshold) return;
+  for (const uint64_t key : ws.eta_keys) {
+    const double mass = static_cast<double>(*ws.eta_pi.Find(key)) * inv_nr;
+    if (mass <= keep_threshold) continue;
     const NodeId w = UnpackNode(key);
     const uint32_t level = UnpackLevel(key);
     const auto* reserves = index_->Find(w, level);
-    if (reserves == nullptr) return;
+    if (reserves == nullptr) continue;
     cost_.index_tuples_read += reserves->size();
     const double scale = mass * inv_term_sq_;
     for (const auto& [v, psi] : *reserves) {
-      scores[v] += scale * static_cast<double>(psi);
+      score_slot(v) += scale * static_cast<double>(psi);
     }
-  });
+  }
 
   ScoreList result;
-  result.reserve(scores.size() + 1);
-  bool saw_source = false;
-  scores.ForEach([&](uint64_t key, const double& score) {
-    const auto v = static_cast<NodeId>(key);
-    if (v == u) {
-      saw_source = true;
-      return;  // replaced by the exact s(u, u) = 1 below
-    }
+  result.reserve(ws.score_nodes.size() + 1);
+  for (const NodeId v : ws.score_nodes) {
+    // Any mass accumulated on the source itself is discarded: s(u, u) is
+    // exactly 1 and is appended below.
+    if (v == u) continue;
+    const double score = *ws.scores.Find(v);
     if (score > 0) result.emplace_back(v, score);
-  });
-  (void)saw_source;
+  }
   result.emplace_back(u, 1.0);
   return result;
+}
+
+PRSim::WorkspaceSnapshot PRSim::SnapshotWorkspace() const {
+  WorkspaceSnapshot snapshot;
+  if (workspace_ == nullptr) return snapshot;
+  const QueryWorkspace& ws = *workspace_;
+  snapshot.chunk_count = ws.tasks.size();
+  for (const QueryWorkspace::Chunk& chunk : ws.chunks) {
+    snapshot.map_capacity += chunk.eta_pi.capacity() + chunk.tail.capacity() +
+                             chunk.backward.ScratchCapacity();
+    snapshot.buffer_capacity +=
+        chunk.eta_keys.capacity() + chunk.tail_keys.capacity();
+  }
+  snapshot.map_capacity +=
+      ws.eta_pi.capacity() + ws.tail.MapCapacity() + ws.scores.capacity();
+  snapshot.buffer_capacity += ws.tail.BufferCapacity() +
+                              ws.eta_keys.capacity() +
+                              ws.score_nodes.capacity();
+  return snapshot;
 }
 
 size_t PRSim::IndexBytes() const {

@@ -18,6 +18,17 @@
 // accuracy tests validate. The default practical mode uses dr = alpha/eps^2,
 // fr = 7, mirroring how released SimRank implementations drop the
 // union-bound constant; Figure 2/3 benches sweep eps in this mode.
+//
+// Execution model: the (round, j) sample grid is split into static chunks
+// (util/sample_grid.h) executed on the shared ThreadPool, each chunk drawing
+// from its own positionally seeded RNG substream and accumulating into a
+// pooled per-chunk workspace; chunk partials are merged in fixed grid order.
+// Scores are therefore a pure function of (seed, source) — bit-identical for
+// any thread count — and steady-state queries perform no per-walk allocation
+// (the workspace, including each chunk's BackwardWalker scratch, is reused
+// across queries with retained capacity). Note the chunked RNG discipline
+// means scores differ from the pre-chunking serial implementation for the
+// same seed; the statistical guarantees are unchanged.
 
 #ifndef PRSIM_CORE_PRSIM_H_
 #define PRSIM_CORE_PRSIM_H_
@@ -49,7 +60,9 @@ struct PRSimOptions {
   /// Practical-mode round count for the median trick (forced odd).
   uint32_t rounds = 7;
   uint32_t max_level = 64;
-  /// Threads for index construction (queries are single-threaded).
+  /// Worker threads for index construction AND for the intra-query sample
+  /// grid (0 = DefaultThreadCount(), which honors PRSIM_THREADS). Query
+  /// scores never depend on this value — see the header comment.
   size_t threads = 0;
   uint64_t seed = 42;
 };
@@ -57,6 +70,7 @@ struct PRSimOptions {
 class PRSim : public SingleSourceSimRank {
  public:
   PRSim(const Graph& graph, const PRSimOptions& options);
+  ~PRSim() override;
 
   std::string name() const override { return "PRSim"; }
   NodeId node_count() const override { return graph_.n(); }
@@ -75,8 +89,8 @@ class PRSim : public SingleSourceSimRank {
   Status LoadIndex(const std::string& path) override;
 
   /// Shares another engine's (immutable) index. Queries are stateful per
-  /// engine, so concurrent querying uses one PRSim per thread, all sharing
-  /// one index:
+  /// engine (each owns a pooled query workspace), so concurrent querying
+  /// uses one PRSim per thread, all sharing one index:
   ///   PRSim worker(graph, options_with_distinct_seed);
   ///   worker.ShareIndexFrom(leader);
   void ShareIndexFrom(const PRSim& other) {
@@ -85,10 +99,14 @@ class PRSim : public SingleSourceSimRank {
   }
 
   /// Algorithm 4. Returns sparse non-zero estimates including (u, 1).
+  /// Parallel over the sample grid (options.threads workers) unless called
+  /// from a pool worker, where it degrades to serial chunk execution with
+  /// bit-identical results. Pure function of (seed, u).
   ScoreList Query(NodeId u) override;
 
   /// Independently seeded engine sharing this engine's (immutable) index —
   /// the ShareIndexFrom fast path, packaged for the generic BatchQuery.
+  /// The clone starts with an empty workspace of its own.
   std::unique_ptr<SingleSourceSimRank> CloneWithSeed(
       uint64_t seed) const override {
     PRSimOptions options = options_;
@@ -98,10 +116,7 @@ class PRSim : public SingleSourceSimRank {
     return clone;
   }
   uint64_t seed() const override { return options_.seed; }
-  void Reseed(uint64_t seed) override {
-    options_.seed = seed;
-    rng_.Reseed(seed);
-  }
+  void Reseed(uint64_t seed) override { options_.seed = seed; }
 
   size_t IndexBytes() const override;
   bool IsIndexBased() const override { return true; }
@@ -113,7 +128,20 @@ class PRSim : public SingleSourceSimRank {
   uint64_t samples_per_round() const { return dr_; }
   uint32_t rounds() const { return fr_; }
 
+  /// Capacity snapshot of the pooled query workspace. The workspace-reuse
+  /// contract: repeating a query must leave the snapshot unchanged (no map
+  /// regrowth, no buffer reallocation). Zeros before the first Query().
+  struct WorkspaceSnapshot {
+    size_t chunk_count = 0;       ///< static sample-grid chunks
+    size_t map_capacity = 0;      ///< summed FlatHashMap slot capacities
+    size_t buffer_capacity = 0;   ///< summed vector capacities (elements)
+    bool operator==(const WorkspaceSnapshot&) const = default;
+  };
+  WorkspaceSnapshot SnapshotWorkspace() const;
+
  private:
+  struct QueryWorkspace;
+
   /// The PRSimIndexOptions this engine's options resolve to (the mapping
   /// Preprocess, SaveIndex, and LoadIndex all share).
   PRSimIndexOptions IndexOptions() const;
@@ -121,9 +149,10 @@ class PRSim : public SingleSourceSimRank {
   const Graph& graph_;
   PRSimOptions options_;
   Walker walker_;
-  BackwardWalker backward_;
   std::shared_ptr<const PRSimIndex> index_;
-  Rng rng_;
+  /// Pooled scratch for Query(), built lazily on first use (its shape
+  /// depends only on fr_/dr_) and reused across queries.
+  std::unique_ptr<QueryWorkspace> workspace_;
 
   double sqrt_c_ = 0;
   double inv_term_sq_ = 0;  // 1 / (1 - sqrt_c)^2

@@ -5,10 +5,14 @@
 // or handed a preprocessed engine) plus a dedicated ThreadPool. Clients call
 // Submit(QueryRequest) and get a future; requests flow through a bounded
 // queue with a configurable backpressure policy, are answered on pool
-// workers against per-worker engine clones (queries are stateful, so one
-// clone per worker, all sharing the leader's immutable index), and every
-// completion records its wall time into streaming latency percentiles
-// surfaced through ServiceStats / QueryCost.
+// workers against per-worker engine clones (queries are stateful — each
+// clone carries its own pooled query workspace, warmed by its first query —
+// so one clone per worker, all sharing the leader's immutable index), and
+// every completion records its wall time into streaming latency percentiles
+// surfaced through ServiceStats / QueryCost. Engines with intra-query
+// parallelism (PRSim's chunked sample grid) degrade to serial chunk
+// execution inside service workers (the nested-parallelism rule), with
+// bit-identical scores.
 //
 // Determinism: request `seq` (the submission order) plays the role of the
 // batch position — each query is reseeded with the positional BatchQuery

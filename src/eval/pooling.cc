@@ -1,9 +1,8 @@
 #include "eval/pooling.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "util/flat_hash_map.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -14,15 +13,15 @@ std::vector<NodeId> SampleQueryNodes(const Graph& graph, uint32_t count,
                                      uint64_t seed) {
   Rng rng(seed);
   std::vector<NodeId> nodes;
-  std::unordered_set<NodeId> seen;
+  FlatHashMap<uint8_t> seen(count);
   nodes.reserve(count);
   uint32_t attempts = 0;
   const uint32_t max_attempts = count * 200 + 1000;
   while (nodes.size() < count && attempts++ < max_attempts) {
     const NodeId v = rng.NextIndex(graph.n());
-    if (seen.count(v)) continue;
+    if (seen.Contains(v)) continue;
     if (graph.InDegree(v) == 0 && attempts < max_attempts / 2) continue;
-    seen.insert(v);
+    seen[v] = 1;
     nodes.push_back(v);
   }
   return nodes;
@@ -65,10 +64,14 @@ std::vector<EvalMetrics> RunPooledEvaluation(
     // Phase 2: pool the nominations and rank by ground truth.
     std::vector<NodeId> pool;
     {
-      std::unordered_set<NodeId> pooled;
+      FlatHashMap<uint8_t> pooled(options.k * algos);
       for (size_t a = 0; a < algos; ++a) {
         for (const auto& [v, score] : topk[a]) {
-          if (pooled.insert(v).second) pool.push_back(v);
+          uint8_t& nominated = pooled[v];
+          if (nominated == 0) {
+            nominated = 1;
+            pool.push_back(v);
+          }
         }
       }
     }
@@ -83,22 +86,23 @@ std::vector<EvalMetrics> RunPooledEvaluation(
       return pool[x] < pool[y];
     });
     const size_t k = std::min<size_t>(options.k, order.size());
-    std::unordered_map<NodeId, double> vk;  // best pooled nodes -> true score
+    FlatHashMap<double> vk(k);  // best pooled nodes -> true score
     for (size_t i = 0; i < k; ++i) {
-      vk.emplace(pool[order[i]], true_scores[order[i]]);
+      vk[pool[order[i]]] = true_scores[order[i]];
     }
 
     // Phase 3: per-algorithm metrics against V_k.
     for (size_t a = 0; a < algos; ++a) {
       if (!answered[a]) continue;
       double error = 0.0;
-      for (const auto& [v, true_score] : vk) {
-        error += std::abs(ScoreOf(answers[a], v) - true_score);
-      }
+      vk.ForEach([&](uint64_t v, const double& true_score) {
+        error += std::abs(ScoreOf(answers[a], static_cast<NodeId>(v)) -
+                          true_score);
+      });
       error_sum[a] += error / static_cast<double>(k);
       size_t hits = 0;
       for (const auto& [v, score] : topk[a]) {
-        if (vk.count(v)) ++hits;
+        if (vk.Contains(v)) ++hits;
       }
       precision_sum[a] +=
           static_cast<double>(hits) / static_cast<double>(k);

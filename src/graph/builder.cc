@@ -1,7 +1,8 @@
 #include "graph/builder.h"
 
 #include <algorithm>
-#include <unordered_map>
+
+#include "util/flat_hash_map.h"
 
 namespace prsim {
 
@@ -29,20 +30,20 @@ void Canonicalize(std::vector<Edge>& edges, const BuildOptions& options) {
 }
 
 NodeId CompactIds(std::vector<Edge>& edges) {
-  std::unordered_map<NodeId, NodeId> remap;
-  remap.reserve(edges.size() * 2);
+  // Stored ids are offset by one so 0 doubles as the "unseen" sentinel of
+  // the default-constructed slot.
+  FlatHashMap<NodeId> remap(edges.size());
+  NodeId next = 0;
   // First-appearance order keeps the renumbering deterministic.
   for (auto& [src, dst] : edges) {
-    auto [it_s, inserted_s] =
-        remap.emplace(src, static_cast<NodeId>(remap.size()));
-    src = it_s->second;
-    (void)inserted_s;
-    auto [it_d, inserted_d] =
-        remap.emplace(dst, static_cast<NodeId>(remap.size()));
-    dst = it_d->second;
-    (void)inserted_d;
+    NodeId& s = remap[src];
+    if (s == 0) s = ++next;
+    src = s - 1;
+    NodeId& d = remap[dst];
+    if (d == 0) d = ++next;
+    dst = d - 1;
   }
-  return static_cast<NodeId>(remap.size());
+  return next;
 }
 
 }  // namespace

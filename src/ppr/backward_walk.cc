@@ -14,77 +14,23 @@ BackwardWalker::BackwardWalker(const Graph& graph, double c) : graph_(graph) {
 
 BackwardWalkResult BackwardWalker::RunSimple(NodeId w, uint32_t target_level,
                                              Rng& rng) {
-  return Run<false>(w, target_level, rng);
+  BackwardWalkResult result;
+  result.increments =
+      RunSimple(w, target_level, rng, [&](NodeId v, double estimate) {
+        result.estimates.emplace_back(v, estimate);
+      });
+  return result;
 }
 
 BackwardWalkResult BackwardWalker::RunVarianceBounded(NodeId w,
                                                       uint32_t target_level,
                                                       Rng& rng) {
-  return Run<true>(w, target_level, rng);
-}
-
-template <bool kVarianceBounded>
-BackwardWalkResult BackwardWalker::Run(NodeId w, uint32_t target_level,
-                                       Rng& rng) {
   BackwardWalkResult result;
-  cur_.clear();
-  next_.clear();
-  cur_[w] = term_;  // pi_hat_0(w, w) = 1 - sqrt_c
-  result.increments = 1;
-
-  for (uint32_t level = 0; level < target_level; ++level) {
-    if (cur_.empty()) break;
-    cur_.ForEach([&](uint64_t key, const double& estimate) {
-      const auto x = static_cast<NodeId>(key);
-      const auto outs = graph_.OutNeighbors(x);
-      const auto degs = graph_.OutNeighborInDegrees(x);
-      if constexpr (kVarianceBounded) {
-        // Algorithm 3: continue with probability sqrt_c. Out-neighbors with
-        // in-degree <= estimate/(1-sqrt_c) receive the exact share
-        // estimate/d_in(y) (each such increment is >= 1-sqrt_c, which is what
-        // bounds the cost); higher-degree out-neighbors receive a fixed
-        // (1-sqrt_c) increment with probability estimate/(d_in(y)(1-sqrt_c)),
-        // realized by thresholding one uniform draw against the sorted
-        // in-degree prefix.
-        if (rng.NextDouble() >= sqrt_c_) return;
-        const double exact_threshold = estimate / term_;
-        size_t i = 0;
-        for (; i < outs.size() && degs[i] <= exact_threshold; ++i) {
-          next_[outs[i]] += estimate / degs[i];
-          ++result.increments;
-        }
-        if (i < outs.size()) {
-          const double r = rng.NextDouble();
-          const double sampled_threshold = exact_threshold / r;
-          for (; i < outs.size() && degs[i] <= sampled_threshold; ++i) {
-            next_[outs[i]] += term_;
-            ++result.increments;
-          }
-        }
-      } else {
-        // Algorithm 2: every out-neighbor y with d_in(y) <= sqrt_c / r gets
-        // the full current estimate, i.e. an increment of estimate with
-        // probability sqrt_c / d_in(y).
-        const double r = rng.NextDouble();
-        const double threshold = sqrt_c_ / r;
-        for (size_t i = 0; i < outs.size() && degs[i] <= threshold; ++i) {
-          next_[outs[i]] += estimate;
-          ++result.increments;
-        }
-      }
-    });
-    cur_.clear();
-    std::swap(cur_, next_);
-  }
-
-  result.estimates.reserve(cur_.size());
-  cur_.ForEach([&](uint64_t key, const double& estimate) {
-    result.estimates.emplace_back(static_cast<NodeId>(key), estimate);
-  });
+  result.increments =
+      RunVarianceBounded(w, target_level, rng, [&](NodeId v, double estimate) {
+        result.estimates.emplace_back(v, estimate);
+      });
   return result;
 }
-
-template BackwardWalkResult BackwardWalker::Run<false>(NodeId, uint32_t, Rng&);
-template BackwardWalkResult BackwardWalker::Run<true>(NodeId, uint32_t, Rng&);
 
 }  // namespace prsim

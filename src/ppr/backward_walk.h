@@ -12,6 +12,11 @@
 //  * VarianceBoundedBackwardWalk (Algorithm 3) additionally guarantees
 //    Var[pi_hat_l(v, w)] <= pi_l(v, w) (Lemma 3.5), which is what lets PRSim
 //    apply Chebyshev + the median trick.
+//
+// The primary API emits (node, estimate) pairs into a caller-provided sink,
+// so the per-walk hot path performs no allocation: query engines accumulate
+// straight into their pooled workspace maps. The vector-returning overloads
+// remain for tests and the ablation bench, which want materialized results.
 
 #ifndef PRSIM_PPR_BACKWARD_WALK_H_
 #define PRSIM_PPR_BACKWARD_WALK_H_
@@ -26,7 +31,8 @@
 
 namespace prsim {
 
-/// Sparse estimates at the target level plus cost accounting.
+/// Materialized walk output (the allocating convenience form): sparse
+/// estimates at the target level plus cost accounting.
 struct BackwardWalkResult {
   /// Non-zero pi_hat_target_level(v, w) entries.
   std::vector<std::pair<NodeId, double>> estimates;
@@ -42,25 +48,150 @@ class BackwardWalker {
   BackwardWalker(const Graph& graph, double c);
 
   /// Algorithm 2. Unbiased, unbounded variance; kept for the ablation bench
-  /// and as a correctness cross-check.
-  BackwardWalkResult RunSimple(NodeId w, uint32_t target_level, Rng& rng);
+  /// and as a correctness cross-check. Emits every non-zero
+  /// pi_hat_target_level(v, w) as sink(v, estimate); returns the increment
+  /// count. No allocation beyond growing the recycled scratch maps.
+  template <typename Sink>
+  uint64_t RunSimple(NodeId w, uint32_t target_level, Rng& rng, Sink&& sink) {
+    return Run<false>(w, target_level, rng, sink);
+  }
 
-  /// Algorithm 3. Unbiased with Var[pi_hat] <= pi_l(v, w).
+  /// Algorithm 3. Unbiased with Var[pi_hat] <= pi_l(v, w); same sink
+  /// contract as RunSimple.
+  template <typename Sink>
+  uint64_t RunVarianceBounded(NodeId w, uint32_t target_level, Rng& rng,
+                              Sink&& sink) {
+    return Run<true>(w, target_level, rng, sink);
+  }
+
+  /// Allocating conveniences for tests/benches; the query engines use the
+  /// sink overloads.
+  BackwardWalkResult RunSimple(NodeId w, uint32_t target_level, Rng& rng);
   BackwardWalkResult RunVarianceBounded(NodeId w, uint32_t target_level,
                                         Rng& rng);
 
   double sqrt_c() const { return sqrt_c_; }
 
+  /// Combined capacity of the recycled frontier scratch (maps + insertion-
+  /// order key vectors) — the workspace-reuse probe: steady-state walks must
+  /// not grow it.
+  size_t ScratchCapacity() const {
+    return cur_.capacity() + next_.capacity() + cur_keys_.capacity() +
+           next_keys_.capacity();
+  }
+
  private:
-  template <bool kVarianceBounded>
-  BackwardWalkResult Run(NodeId w, uint32_t target_level, Rng& rng);
+  template <bool kVarianceBounded, typename Sink>
+  uint64_t Run(NodeId w, uint32_t target_level, Rng& rng, Sink&& sink);
+
+  /// Accumulates `delta` for `y` in the next frontier in insertion order.
+  void AccumulateNext(NodeId y, double delta) {
+    OrderedSlot(next_, next_keys_, y) += delta;
+  }
+
+  /// Empties the scratch and equalizes the capacities of the two sides.
+  /// cur_/next_ are swapped a per-walk-varying number of times, so without
+  /// equalization a walk's growth decisions would depend on which side the
+  /// larger retained buffer happens to sit in — i.e. on engine history.
+  /// Symmetric capacities make reuse allocation-free: a repeated walk
+  /// sequence never regrows scratch that already fit it.
+  void ResetScratch() {
+    cur_.clear();
+    next_.clear();
+    cur_keys_.clear();
+    next_keys_.clear();
+    if (cur_.capacity() < next_.capacity()) {
+      cur_.Reserve(next_.capacity());
+    } else if (next_.capacity() < cur_.capacity()) {
+      next_.Reserve(cur_.capacity());
+    }
+    if (cur_keys_.capacity() < next_keys_.capacity()) {
+      cur_keys_.reserve(next_keys_.capacity());
+    } else if (next_keys_.capacity() < cur_keys_.capacity()) {
+      next_keys_.reserve(cur_keys_.capacity());
+    }
+  }
 
   const Graph& graph_;
   double sqrt_c_;
   double term_;  // 1 - sqrt_c
+  // Frontier maps plus their keys in insertion order. The walk consumes RNG
+  // draws while iterating the frontier, so iteration MUST NOT follow the
+  // maps' slot order: slot layout depends on the scratch capacity retained
+  // from earlier walks, and draw-to-node association would then depend on
+  // engine history. Insertion order is a pure function of the walk itself,
+  // which is what keeps queries pure functions of (seed, source).
   FlatHashMap<double> cur_{64};
   FlatHashMap<double> next_{64};
+  std::vector<NodeId> cur_keys_;
+  std::vector<NodeId> next_keys_;
 };
+
+template <bool kVarianceBounded, typename Sink>
+uint64_t BackwardWalker::Run(NodeId w, uint32_t target_level, Rng& rng,
+                             Sink&& sink) {
+  uint64_t increments = 1;
+  ResetScratch();
+  cur_[w] = term_;  // pi_hat_0(w, w) = 1 - sqrt_c
+  cur_keys_.push_back(w);
+
+  for (uint32_t level = 0; level < target_level; ++level) {
+    if (cur_keys_.empty()) break;
+    for (const NodeId x : cur_keys_) {
+      const double estimate = *cur_.Find(x);
+      const auto outs = graph_.OutNeighbors(x);
+      const auto degs = graph_.OutNeighborInDegrees(x);
+      if constexpr (kVarianceBounded) {
+        // Algorithm 3: continue with probability sqrt_c. Out-neighbors with
+        // in-degree <= estimate/(1-sqrt_c) receive the exact share
+        // estimate/d_in(y) (each such increment is >= 1-sqrt_c, which is what
+        // bounds the cost); higher-degree out-neighbors receive a fixed
+        // (1-sqrt_c) increment with probability estimate/(d_in(y)(1-sqrt_c)),
+        // realized by thresholding one uniform draw against the sorted
+        // in-degree prefix.
+        if (rng.NextDouble() >= sqrt_c_) continue;
+        const double exact_threshold = estimate / term_;
+        size_t i = 0;
+        for (; i < outs.size() && degs[i] <= exact_threshold; ++i) {
+          AccumulateNext(outs[i], estimate / degs[i]);
+          ++increments;
+        }
+        if (i < outs.size()) {
+          const double r = rng.NextDouble();
+          const double sampled_threshold = exact_threshold / r;
+          for (; i < outs.size() && degs[i] <= sampled_threshold; ++i) {
+            AccumulateNext(outs[i], term_);
+            ++increments;
+          }
+        }
+      } else {
+        // Algorithm 2: every out-neighbor y with d_in(y) <= sqrt_c / r gets
+        // the full current estimate, i.e. an increment of estimate with
+        // probability sqrt_c / d_in(y).
+        const double r = rng.NextDouble();
+        const double threshold = sqrt_c_ / r;
+        for (size_t i = 0; i < outs.size() && degs[i] <= threshold; ++i) {
+          AccumulateNext(outs[i], estimate);
+          ++increments;
+        }
+      }
+    }
+    cur_.clear();
+    cur_keys_.clear();
+    std::swap(cur_, next_);
+    std::swap(cur_keys_, next_keys_);
+  }
+
+  for (const NodeId v : cur_keys_) {
+    sink(v, *cur_.Find(v));
+  }
+  // Leave the scratch empty and equalized so the state BETWEEN walks is the
+  // deterministic one (the start-of-run reset is just a guard): a repeated
+  // walk sequence reaches its high-water capacity once and never changes it
+  // again, which is what the workspace-reuse probe asserts.
+  ResetScratch();
+  return increments;
+}
 
 }  // namespace prsim
 

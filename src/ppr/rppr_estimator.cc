@@ -6,13 +6,43 @@
 #include "ppr/walker.h"
 #include "util/flat_hash_map.h"
 #include "util/logging.h"
+#include "util/parallel.h"
+#include "util/sample_grid.h"
 
 namespace prsim {
 
+/// Pooled scratch, mirroring PRSim::QueryWorkspace: one slot per static
+/// sample chunk plus the merge-pass accumulators, all reused across calls.
+struct RpprEstimator::Workspace {
+  struct Chunk {
+    Chunk(const Graph& graph, double c) : backward(graph, c) {}
+    /// Partial per-node sums of this chunk's round (values / dr), with the
+    /// keys in insertion order — the merge iterates acc_keys, never the
+    /// map, so the output never depends on capacity retained from earlier
+    /// estimates (see PRSim::QueryWorkspace).
+    FlatHashMap<double> acc{256};
+    std::vector<NodeId> acc_keys;
+    BackwardWalker backward;
+    Rng rng{0};
+    uint64_t increments = 0;
+  };
+
+  Workspace(const Graph& graph, double c, uint32_t rounds,
+            uint64_t samples_per_round)
+      : tasks(BuildSampleChunks(rounds, samples_per_round)) {
+    chunks.reserve(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i) chunks.emplace_back(graph, c);
+  }
+
+  std::vector<SampleChunk> tasks;
+  std::vector<Chunk> chunks;
+
+  RoundColumns columns;  ///< per-(node, round) sums + median reduce
+};
+
 RpprEstimator::RpprEstimator(const Graph& graph,
                              const RpprEstimatorOptions& options)
-    : graph_(graph), options_(options), walker_(graph, options.c),
-      rng_(options.seed) {
+    : graph_(graph), options_(options) {
   PRSIM_CHECK(options_.eps > 0);
   PRSIM_CHECK(options_.delta > 0 && options_.delta < 1);
   dr_ = static_cast<uint64_t>(
@@ -31,69 +61,81 @@ RpprEstimator::RpprEstimator(const Graph& graph,
   max_level_ = std::min(max_level_, kMaxWalkLevel);
 }
 
-template <typename RunLevel>
-RpprEstimate RpprEstimator::MedianOfMeans(RunLevel&& run) {
-  RpprEstimate out;
-  FlatHashMap<uint32_t> slot_of(1024);
-  std::vector<NodeId> nodes;
-  std::vector<double> columns;  // fr_ doubles per slot
+RpprEstimator::~RpprEstimator() = default;
 
-  for (uint32_t round = 0; round < fr_; ++round) {
-    for (uint64_t j = 0; j < dr_; ++j) {
-      run([&](NodeId v, double value) {
-        uint32_t& slot = slot_of[v];
-        if (slot == 0) {
-          nodes.push_back(v);
-          columns.resize(columns.size() + fr_, 0.0);
-          slot = static_cast<uint32_t>(nodes.size());
-        }
-        columns[static_cast<size_t>(slot - 1) * fr_ + round] +=
-            value / static_cast<double>(dr_);
+template <typename Sample>
+RpprEstimate RpprEstimator::MedianOfMeans(uint64_t stream, Sample&& sample) {
+  if (workspace_ == nullptr) {
+    workspace_ = std::make_unique<Workspace>(graph_, options_.c, fr_, dr_);
+  }
+  Workspace& ws = *workspace_;
+  const double inv_dr = 1.0 / static_cast<double>(dr_);
+
+  // Phase 1: static chunks, one positional RNG substream each (the same
+  // discipline as PRSim::Query — see util/sample_grid.h).
+  const auto run_chunk = [&](size_t i) {
+    const SampleChunk& task = ws.tasks[i];
+    Workspace::Chunk& chunk = ws.chunks[i];
+    chunk.acc.clear();
+    chunk.acc_keys.clear();
+    chunk.increments = 0;
+    chunk.rng.Reseed(SampleChunkSeed(options_.seed, stream, task, dr_));
+    for (uint64_t j = task.j_lo; j < task.j_hi; ++j) {
+      sample(chunk, [&](NodeId v, double value) {
+        OrderedSlot(chunk.acc, chunk.acc_keys, v) += value * inv_dr;
       });
+    }
+  };
+  ParallelFor(0, ws.tasks.size(), run_chunk, options_.threads);
+
+  // Phase 2: fixed-order merge of chunk partials into per-round columns,
+  // then the median-of-rounds reduce (shared with PRSim's tail part).
+  RpprEstimate out;
+  ws.columns.Reset(fr_);
+  for (size_t i = 0; i < ws.tasks.size(); ++i) {
+    const uint32_t round = ws.tasks[i].round;
+    Workspace::Chunk& chunk = ws.chunks[i];
+    out.total_walk_increments += chunk.increments;
+    for (const NodeId v : chunk.acc_keys) {
+      ws.columns.Add(v, round, *chunk.acc.Find(v));
     }
   }
 
-  std::vector<double> buffer(fr_);
-  out.values.reserve(nodes.size());
-  for (size_t slot = 0; slot < nodes.size(); ++slot) {
-    const double* column = &columns[slot * fr_];
-    std::copy(column, column + fr_, buffer.begin());
-    auto mid = buffer.begin() + fr_ / 2;
-    std::nth_element(buffer.begin(), mid, buffer.end());
-    if (*mid > 0) out.values.emplace_back(nodes[slot], *mid);
-  }
+  out.values.reserve(ws.columns.key_count());
+  ws.columns.ForEachMedian([&](uint64_t key, double median) {
+    if (median > 0) out.values.emplace_back(static_cast<NodeId>(key), median);
+  });
   return out;
 }
 
 RpprEstimate RpprEstimator::EstimateLevel(NodeId w, uint32_t level) {
   PRSIM_CHECK(w < graph_.n());
-  uint64_t increments = 0;
-  RpprEstimate out = MedianOfMeans([&](auto&& emit) {
-    const BackwardWalkResult result =
-        walker_.RunVarianceBounded(w, level, rng_);
-    increments += result.increments;
-    for (const auto& [v, value] : result.estimates) emit(v, value);
-  });
-  out.total_walk_increments = increments;
-  return out;
+  // Guards the substream disjointness below: kMaxWalkLevel + 1 is reserved
+  // as the aggregate stream tag (and walks are capped there anyway).
+  PRSIM_CHECK(level <= kMaxWalkLevel) << "level exceeds kMaxWalkLevel";
+  return MedianOfMeans(
+      PackNodeLevel(w, level), [&](Workspace::Chunk& chunk, auto&& emit) {
+        chunk.increments +=
+            chunk.backward.RunVarianceBounded(w, level, chunk.rng, emit);
+      });
 }
 
 RpprEstimate RpprEstimator::EstimateAggregate(NodeId w) {
   PRSIM_CHECK(w < graph_.n());
-  uint64_t increments = 0;
-  RpprEstimate out = MedianOfMeans([&](auto&& emit) {
-    // One variance-bounded walk per level; the per-sample aggregate is the
-    // sum of unbiased level estimates, itself unbiased for pi(v, w) up to
-    // the truncated < eps/4 tail.
-    for (uint32_t level = 0; level <= max_level_; ++level) {
-      const BackwardWalkResult result =
-          walker_.RunVarianceBounded(w, level, rng_);
-      increments += result.increments;
-      for (const auto& [v, value] : result.estimates) emit(v, value);
-    }
-  });
-  out.total_walk_increments = increments;
-  return out;
+  // The aggregate stream uses a level tag no EstimateLevel call can produce
+  // (levels are capped at kMaxWalkLevel), keeping the two substream
+  // families disjoint for the same target.
+  return MedianOfMeans(
+      PackNodeLevel(w, kMaxWalkLevel + 1),
+      [&](Workspace::Chunk& chunk, auto&& emit) {
+        // One variance-bounded walk per level; the per-sample aggregate is
+        // the sum of unbiased level estimates, itself unbiased for pi(v, w)
+        // up to the truncated < eps/4 tail.
+        for (uint32_t level = 0; level <= max_level_; ++level) {
+          chunk.increments +=
+              chunk.backward.RunVarianceBounded(w, level, chunk.rng, emit);
+        }
+      });
 }
 
 }  // namespace prsim

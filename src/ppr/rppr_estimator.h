@@ -13,11 +13,18 @@
 // variance-bounded walks and returns per-node medians of the round means
 // (the same median-of-means argument as PRSim's Lemma 3.7, powered by
 // Var[pi_hat] <= pi from Lemma 3.5).
+//
+// Like PRSim::Query, the (round, j) sample grid runs as static chunks on the
+// shared ThreadPool with positional per-chunk RNG substreams and a
+// fixed-order merge (util/sample_grid.h), so every estimate is a pure
+// function of (seed, w[, level]) — bit-identical for any `threads` value —
+// and the walk scratch is pooled across calls.
 
 #ifndef PRSIM_PPR_RPPR_ESTIMATOR_H_
 #define PRSIM_PPR_RPPR_ESTIMATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -35,6 +42,9 @@ struct RpprEstimatorOptions {
   double alpha = 3.0;
   /// Practical-mode round count (forced odd); 0 derives 3 ln(n/delta).
   uint32_t rounds = 7;
+  /// Workers for the sample grid (0 = DefaultThreadCount()). Estimates
+  /// never depend on this value — see the header comment.
+  size_t threads = 0;
   uint64_t seed = 71;
 };
 
@@ -48,8 +58,11 @@ struct RpprEstimate {
 class RpprEstimator {
  public:
   RpprEstimator(const Graph& graph, const RpprEstimatorOptions& options);
+  ~RpprEstimator();
 
-  /// Estimates the level-l RPPR slice pi_l(v, w) for all v.
+  /// Estimates the level-l RPPR slice pi_l(v, w) for all v. `level` must
+  /// be <= kMaxWalkLevel (deeper slices are all-zero by the walk cap, and
+  /// the tag kMaxWalkLevel + 1 is reserved for the aggregate's substream).
   RpprEstimate EstimateLevel(NodeId w, uint32_t level);
 
   /// Estimates the aggregate pi(v, w) = sum_l pi_l(v, w) for all v, summing
@@ -60,13 +73,18 @@ class RpprEstimator {
   uint32_t rounds() const { return fr_; }
 
  private:
-  template <typename RunLevel>
-  RpprEstimate MedianOfMeans(RunLevel&& run);
+  struct Workspace;
+
+  /// Runs the chunked sample grid: `sample(chunk, emit)` draws one sample
+  /// into the chunk's workspace, then chunk partials are merged in grid
+  /// order and reduced to per-node medians of round means. `stream` keys
+  /// the RNG substreams (one decorrelated family per estimation target).
+  template <typename Sample>
+  RpprEstimate MedianOfMeans(uint64_t stream, Sample&& sample);
 
   const Graph& graph_;
   RpprEstimatorOptions options_;
-  BackwardWalker walker_;
-  Rng rng_;
+  std::unique_ptr<Workspace> workspace_;
   uint64_t dr_ = 0;
   uint32_t fr_ = 0;
   uint32_t max_level_ = 0;

@@ -38,7 +38,12 @@ class FlatHashMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Empties the map while KEEPING the slot array capacity — the pooled
+  /// query workspaces rely on this so steady-state reuse never reallocates
+  /// (capacity() is the probe the workspace-reuse tests watch). Free when
+  /// already empty, so clearing as a reuse guard costs nothing.
   void clear() {
+    if (size_ == 0) return;
     for (auto& slot : slots_) slot.key = kEmptyKey;
     size_ = 0;
   }
@@ -98,6 +103,28 @@ class FlatHashMap {
 
   size_t capacity() const { return slots_.size(); }
 
+  /// Ensures capacity() >= slot_count (rounded up to a power of two),
+  /// rehashing any current entries. Lets paired scratch maps equalize their
+  /// retained capacities so growth decisions stay deterministic across
+  /// reuse (see BackwardWalker).
+  void Reserve(size_t slot_count) {
+    size_t cap = slots_.size();
+    while (cap < slot_count) cap <<= 1;
+    if (cap == slots_.size()) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{kEmptyKey, V{}});
+    mask_ = cap - 1;
+    size_ = 0;
+    for (auto& slot : old) {
+      if (slot.key != kEmptyKey) {
+        size_t idx = Probe(slot.key);
+        slots_[idx].key = slot.key;
+        slots_[idx].value = std::move(slot.value);
+        ++size_;
+      }
+    }
+  }
+
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
 
@@ -124,25 +151,28 @@ class FlatHashMap {
     return idx;
   }
 
-  void Grow() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.size() * 2, Slot{kEmptyKey, V{}});
-    mask_ = slots_.size() - 1;
-    size_ = 0;
-    for (auto& slot : old) {
-      if (slot.key != kEmptyKey) {
-        size_t idx = Probe(slot.key);
-        slots_[idx].key = slot.key;
-        slots_[idx].value = std::move(slot.value);
-        ++size_;
-      }
-    }
-  }
+  void Grow() { Reserve(slots_.size() * 2); }
 
   std::vector<Slot> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
 };
+
+/// Returns the value slot for `key`, appending first-seen keys to `keys`.
+/// The insertion-order companion of operator[]: accumulators whose
+/// iteration order feeds RNG draws, float sums into a shared cell, or
+/// result emission must be walked via the keys vector, never the map —
+/// map slot order depends on the capacity retained from earlier reuse,
+/// insertion order is a pure function of the computation.
+template <typename V, typename KeyVector>
+V& OrderedSlot(FlatHashMap<V>& map, KeyVector& keys, uint64_t key) {
+  const size_t before = map.size();
+  V& slot = map[key];
+  if (map.size() != before) {
+    keys.push_back(static_cast<typename KeyVector::value_type>(key));
+  }
+  return slot;
+}
 
 /// Packs a (node, level) pair into one FlatHashMap key. Levels are capped at
 /// 2^24 (sqrt(c)-walk depths are geometric; level 64 already has probability

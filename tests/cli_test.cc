@@ -307,6 +307,35 @@ TEST_F(CliTest, OutOfRangeEpsAndCFail) {
   EXPECT_EQ(Run(index + " --c 0"), 2);
 }
 
+// --threads 0 is a typo'd request (the default is expressed by omitting the
+// flag), rejected with exit 2 on every subcommand that accepts --threads.
+TEST_F(CliTest, ZeroThreadsRejected) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 300 --degree 4"),
+            0);
+  EXPECT_EQ(Run("query --graph " + Path("g.txt") + " --source 0 --threads 0"),
+            2);
+  EXPECT_EQ(Run("index --graph " + Path("g.txt") + " --out " + Path("g.idx") +
+                " --threads 0"),
+            2);
+  EXPECT_EQ(Run("serve --graph " + Path("g.txt") + " --stdin --threads 0"),
+            2);
+}
+
+// `query --threads` now drives the intra-query sample grid; the chunked RNG
+// discipline makes the scores bit-identical for every thread count.
+TEST_F(CliTest, QueryScoresIndependentOfThreadCount) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --n 500 --degree 6 --seed 3"),
+            0);
+  const std::string query = "query --graph " + Path("g.txt") +
+                            " --source 1 --k 10 --seed 11 --eps 0.2 "
+                            "--format tsv --threads ";
+  std::string serial, parallel;
+  ASSERT_EQ(Run(query + "1", &serial), 0);
+  ASSERT_EQ(Run(query + "3", &parallel), 0);
+  EXPECT_EQ(ScoreTsvLines(serial), ScoreTsvLines(parallel));
+}
+
 TEST_F(CliTest, IndexFlagRejectedForNonPersistentAlgo) {
   ASSERT_EQ(Run("generate --out " + Path("g.txt") + " --n 300 --degree 4"),
             0);

@@ -1,0 +1,241 @@
+// The intra-query parallelism contract: PRSim::Query and the RpprEstimator
+// run their (round, j) sample grids as static chunks with positional RNG
+// substreams (util/sample_grid.h), so results are bit-identical for ANY
+// thread count — and their pooled workspaces make steady-state queries
+// allocation-free (no map rehash or buffer regrowth on reuse).
+//
+// Registered under the `concurrency` label so the TSan CI job exercises the
+// chunk fan-out / fixed-order merge for data races.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prsim.h"
+#include "ppr/rppr_estimator.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+
+namespace prsim {
+namespace {
+
+using testing::MakeRandomDigraph;
+
+/// Thread counts the bit-identity tests sweep: serial, small, odd (not a
+/// divisor of the chunk count), and whatever this machine/CI pins via
+/// PRSIM_THREADS or hardware concurrency.
+std::vector<size_t> ThreadCounts() {
+  return {1, 2, 7, DefaultThreadCount()};
+}
+
+ScoreList QueryWithThreads(const Graph& graph, const PRSim& leader,
+                           const PRSimOptions& base, size_t threads, NodeId u,
+                           QueryCost* cost) {
+  PRSimOptions options = base;
+  options.threads = threads;
+  PRSim engine(graph, options);
+  engine.ShareIndexFrom(leader);
+  ScoreList scores = engine.Query(u);
+  *cost = engine.last_query_cost();
+  return scores;
+}
+
+TEST(ParallelQueryTest, PRSimBitIdenticalAcrossThreadCounts) {
+  Graph g = MakeRandomDigraph(200, 1200, 21);
+  PRSimOptions options;
+  options.eps = 0.07;
+  options.alpha = 4;
+  options.seed = 17;
+  options.threads = 1;
+  PRSim leader(g, options);
+  ASSERT_TRUE(leader.Preprocess().ok());
+
+  for (NodeId u : {NodeId(0), NodeId(57), NodeId(199)}) {
+    QueryCost base_cost;
+    const ScoreList base =
+        QueryWithThreads(g, leader, options, 1, u, &base_cost);
+    for (size_t threads : ThreadCounts()) {
+      QueryCost cost;
+      const ScoreList other =
+          QueryWithThreads(g, leader, options, threads, u, &cost);
+      // Exact equality including entry order: the fixed-order merge makes
+      // even the result layout independent of the worker count.
+      EXPECT_EQ(base, other) << "u=" << u << " threads=" << threads;
+      EXPECT_EQ(base_cost.walks, cost.walks);
+      EXPECT_EQ(base_cost.meeting_tests, cost.meeting_tests);
+      EXPECT_EQ(base_cost.backward_walks, cost.backward_walks);
+      EXPECT_EQ(base_cost.backward_increments, cost.backward_increments);
+      EXPECT_EQ(base_cost.index_tuples_read, cost.index_tuples_read);
+    }
+  }
+}
+
+TEST(ParallelQueryTest, PRSimPaperConstantsAlsoThreadCountInvariant) {
+  // Paper-constants mode resolves to a different (fr, dr) grid shape; the
+  // chunking discipline must hold there too.
+  Graph g = MakeRandomDigraph(120, 700, 22);
+  PRSimOptions options;
+  options.eps = 0.2;
+  options.delta = 0.05;
+  options.paper_constants = true;
+  options.seed = 5;
+  options.threads = 1;
+  PRSim leader(g, options);
+  ASSERT_TRUE(leader.Preprocess().ok());
+
+  QueryCost cost;
+  const ScoreList base = QueryWithThreads(g, leader, options, 1, 3, &cost);
+  for (size_t threads : ThreadCounts()) {
+    EXPECT_EQ(base, QueryWithThreads(g, leader, options, threads, 3, &cost))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelQueryTest, RepeatedQueryIsPureAndReusesWorkspace) {
+  Graph g = MakeRandomDigraph(150, 900, 23);
+  PRSimOptions options;
+  options.eps = 0.08;
+  options.alpha = 5;
+  options.seed = 11;
+  PRSim engine(g, options);
+  ASSERT_TRUE(engine.Preprocess().ok());
+
+  // The workspace is built lazily by the first query.
+  EXPECT_EQ(engine.SnapshotWorkspace().chunk_count, 0u);
+  const ScoreList first = engine.Query(5);
+  const PRSim::WorkspaceSnapshot after_first = engine.SnapshotWorkspace();
+  EXPECT_GT(after_first.chunk_count, 0u);
+  EXPECT_GT(after_first.map_capacity, 0u);
+  EXPECT_GT(after_first.buffer_capacity, 0u);
+
+  // Queries are pure functions of (seed, source): repeating one returns the
+  // identical ScoreList...
+  const ScoreList second = engine.Query(5);
+  EXPECT_EQ(first, second);
+  // ...and performs no steady-state allocation: every pooled map keeps its
+  // slot array (FlatHashMap::clear() retains capacity) and every buffer its
+  // backing store, so the capacity snapshot is unchanged.
+  EXPECT_EQ(engine.SnapshotWorkspace(), after_first);
+
+  // Reseeding changes the scores but must not disturb the pooled workspace.
+  engine.Reseed(4711);
+  const ScoreList reseeded = engine.Query(5);
+  EXPECT_NE(first, reseeded);
+  EXPECT_EQ(engine.SnapshotWorkspace().chunk_count, after_first.chunk_count);
+}
+
+TEST(ParallelQueryTest, CloneWithSeedStartsWithOwnWorkspace) {
+  Graph g = MakeRandomDigraph(100, 500, 24);
+  PRSimOptions options;
+  options.eps = 0.1;
+  PRSim leader(g, options);
+  ASSERT_TRUE(leader.Preprocess().ok());
+  (void)leader.Query(1);
+
+  auto clone = leader.CloneWithSeed(99);
+  auto* prsim_clone = dynamic_cast<PRSim*>(clone.get());
+  ASSERT_NE(prsim_clone, nullptr);
+  EXPECT_EQ(prsim_clone->SnapshotWorkspace().chunk_count, 0u);
+  (void)prsim_clone->Query(1);
+  EXPECT_GT(prsim_clone->SnapshotWorkspace().chunk_count, 0u);
+}
+
+TEST(ParallelQueryTest, RpprEstimatesBitIdenticalAcrossThreadCounts) {
+  Graph g = MakeRandomDigraph(150, 900, 33);
+  const NodeId w = 3;
+
+  RpprEstimatorOptions base;
+  base.eps = 0.02;
+  base.seed = 9;
+  base.threads = 1;
+  RpprEstimator baseline(g, base);
+  const RpprEstimate level_base = baseline.EstimateLevel(w, 2);
+  const RpprEstimate agg_base = baseline.EstimateAggregate(w);
+  EXPECT_FALSE(level_base.values.empty());
+  EXPECT_FALSE(agg_base.values.empty());
+
+  for (size_t threads : ThreadCounts()) {
+    RpprEstimatorOptions options = base;
+    options.threads = threads;
+    RpprEstimator estimator(g, options);
+    const RpprEstimate level = estimator.EstimateLevel(w, 2);
+    const RpprEstimate agg = estimator.EstimateAggregate(w);
+    EXPECT_EQ(level_base.values, level.values) << "threads=" << threads;
+    EXPECT_EQ(level_base.total_walk_increments, level.total_walk_increments);
+    EXPECT_EQ(agg_base.values, agg.values) << "threads=" << threads;
+    EXPECT_EQ(agg_base.total_walk_increments, agg.total_walk_increments);
+  }
+}
+
+TEST(ParallelQueryTest, BackwardWalkIndependentOfScratchHistory) {
+  // The walk consumes RNG draws while iterating its recycled frontier, so
+  // iteration follows insertion order, never map slot order: a walker whose
+  // scratch grew on earlier (different) targets must replay a walk exactly
+  // like a factory-fresh one.
+  Graph g = MakeRandomDigraph(400, 8000, 44);
+  BackwardWalker fresh(g, 0.6);
+  BackwardWalker used(g, 0.6);
+  Rng warm(1);
+  for (int i = 0; i < 50; ++i) {
+    (void)used.RunVarianceBounded(warm.NextIndex(g.n()), 8, warm);
+  }
+  // Precondition: the warmup actually grew the recycled scratch, i.e. the
+  // two walkers genuinely differ in retained capacity.
+  ASSERT_GT(used.ScratchCapacity(), fresh.ScratchCapacity());
+
+  for (NodeId w : {NodeId(0), NodeId(7), NodeId(123)}) {
+    Rng rng_fresh(99);
+    Rng rng_used(99);
+    const BackwardWalkResult a = fresh.RunVarianceBounded(w, 6, rng_fresh);
+    const BackwardWalkResult b = used.RunVarianceBounded(w, 6, rng_used);
+    EXPECT_EQ(a.estimates, b.estimates) << "w=" << w;
+    EXPECT_EQ(a.increments, b.increments) << "w=" << w;
+  }
+}
+
+TEST(ParallelQueryTest, QueryIndependentOfWorkspaceHistory) {
+  // Query(u) must be a pure function of (seed, u) even after the pooled
+  // workspace grew on other sources — per-worker service clones answer
+  // scheduling-dependent request subsets, and their answers must not
+  // depend on that history.
+  Graph g = MakeRandomDigraph(300, 6000, 45);
+  PRSimOptions options;
+  options.eps = 0.04;
+  options.alpha = 6;
+  options.seed = 13;
+  PRSim fresh(g, options);
+  ASSERT_TRUE(fresh.Preprocess().ok());
+  PRSim used(g, options);
+  used.ShareIndexFrom(fresh);
+  (void)used.Query(1);
+  (void)used.Query(250);
+  const PRSim::WorkspaceSnapshot warmed = used.SnapshotWorkspace();
+
+  const ScoreList a = fresh.Query(7);
+  const ScoreList b = used.Query(7);
+  EXPECT_EQ(a, b);
+  // The precondition that makes this test bite: the warmup queries really
+  // left `used` with more retained capacity than `fresh` consumed.
+  EXPECT_NE(warmed, fresh.SnapshotWorkspace());
+}
+
+TEST(ParallelQueryTest, RpprRepeatedEstimateIsPure) {
+  Graph g = MakeRandomDigraph(80, 400, 34);
+  RpprEstimatorOptions options;
+  options.eps = 0.05;
+  options.seed = 2;
+  RpprEstimator estimator(g, options);
+  const RpprEstimate a = estimator.EstimateLevel(7, 1);
+  const RpprEstimate b = estimator.EstimateLevel(7, 1);
+  EXPECT_EQ(a.values, b.values);
+  // Level and aggregate estimates for the same target draw from disjoint
+  // substream families, not a shared advancing stream.
+  const RpprEstimate agg = estimator.EstimateAggregate(7);
+  const RpprEstimate c = estimator.EstimateLevel(7, 1);
+  EXPECT_EQ(a.values, c.values);
+  (void)agg;
+}
+
+}  // namespace
+}  // namespace prsim

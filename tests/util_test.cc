@@ -204,6 +204,25 @@ TEST(FlatHashMapTest, GrowPreservesEntries) {
   }
 }
 
+TEST(FlatHashMapTest, ReserveGrowsAndPreservesEntries) {
+  FlatHashMap<uint64_t> map(4);
+  for (uint64_t i = 0; i < 20; ++i) map[i * 7 + 2] = i;
+  const size_t before = map.capacity();
+  map.Reserve(before);  // no-op: already there
+  EXPECT_EQ(map.capacity(), before);
+  map.Reserve(before * 4);
+  EXPECT_GE(map.capacity(), before * 4);
+  EXPECT_EQ(map.size(), 20u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    const uint64_t* v = map.Find(i * 7 + 2);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  // clear() keeps the reserved capacity (the workspace-reuse contract).
+  map.clear();
+  EXPECT_GE(map.capacity(), before * 4);
+}
+
 TEST(FlatHashMapTest, ClearEmpties) {
   FlatHashMap<int> map;
   for (uint64_t i = 0; i < 100; ++i) map[i] = 1;

@@ -22,11 +22,16 @@
 //       prints the top-k. Engine-specific knobs go through --params; the
 //       dedicated flags override keys of the same name. --format tsv/json
 //       emit machine-readable scores, QueryCost counters, and timings on
-//       stdout (progress goes to stderr). --sources-file switches to batch
-//       mode: one node id per line ('#' comments allowed), answered through
-//       the shared thread pool with p50/p95/p99 latency reported; invalid
-//       lines get a per-line error and exit code 3 without aborting the
-//       rest of the batch.
+//       stdout (progress goes to stderr). --threads T parallelizes the
+//       single query itself (PRSim's sample grid runs as static chunks on
+//       the shared pool; scores are bit-identical for every T) as well as
+//       index construction; it must be >= 1 (exit 2 otherwise), and when
+//       omitted the default is PRSIM_THREADS if set, else hardware
+//       concurrency. --sources-file switches to batch mode: one node id
+//       per line ('#' comments allowed), answered through the shared
+//       thread pool with p50/p95/p99 latency reported; invalid lines get a
+//       per-line error and exit code 3 without aborting the rest of the
+//       batch.
 //   prsim_cli serve     --graph g.txt --stdin [--algo prsim] [--index g.idx]
 //                       [--params k=v,k=v] [--k 20] [--threads T]
 //                       [--queue N] [--reject]
@@ -34,7 +39,11 @@
 //       newline-delimited requests "<source> [k]" from stdin, pipelines
 //       them through the service's bounded queue (--queue, --reject), and
 //       prints "result <source> <node>:<score>,..." lines in submission
-//       order on stdout. Per-line errors go to stderr without stopping the
+//       order on stdout. --threads sizes the service's worker pool (>= 1,
+//       exit 2 on 0; default PRSIM_THREADS, else hardware concurrency);
+//       each worker answers with its own engine clone, and the intra-query
+//       sample grid runs serially inside those workers, so results never
+//       depend on the thread count. Per-line errors go to stderr without stopping the
 //       loop; served counts plus latency percentiles print on EOF (exit 3
 //       if any line failed).
 //   prsim_cli generate  --out g.txt [--model chunglu|er|ba] [--n N]
@@ -216,8 +225,17 @@ int CmdStats(const Flags& flags) {
 
 /// Builds an EngineConfig from --params plus the dedicated engine flags
 /// (which override keys of the same name). Returns exit code 0 on success,
-/// 2 on a malformed --params string.
+/// 2 on a malformed --params string or an explicit --threads 0.
 int BuildEngineConfig(const Flags& flags, EngineConfig* out) {
+  // "0 threads" has no meaning on any path (engines treat an *absent*
+  // thread count as "use the default"); an explicit --threads 0 is a typo'd
+  // request and is rejected like every other out-of-range flag value.
+  if (flags.HasValue("threads") && flags.GetInt("threads", 1) == 0) {
+    std::fprintf(stderr,
+                 "--threads must be >= 1 (omit the flag for the default: "
+                 "PRSIM_THREADS when set, else hardware concurrency)\n");
+    return 2;
+  }
   auto parsed = EngineConfig::Parse(flags.Get("params", ""));
   if (!parsed.ok()) {
     std::fprintf(stderr, "--params: %s\n",
