@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "core/artifact.h"
 #include "core/engine_registry.h"
 #include "eval/datasets.h"
 #include "util/cache_dir.h"
@@ -40,14 +41,17 @@ std::string BenchCacheDir() {
   return dir.string();
 }
 
-/// Cache file for one (graph, engine, params) triple. The engine's own
-/// fingerprint check re-validates on load, so a hash collision degrades to
-/// a rebuild, never to a wrong index.
+/// Cache file for one (graph, engine, params) triple. The artifact format
+/// version is part of the name so a cache directory shared across builds
+/// never hands a v1 artifact to a v2 expectation (or vice versa); the
+/// engine's own fingerprint check re-validates on load, so a hash
+/// collision degrades to a rebuild, never to a wrong index.
 std::string CachePath(const std::string& dir, uint64_t graph_checksum,
                       const SweepConfig& config) {
-  char suffix[40];
-  std::snprintf(suffix, sizeof(suffix), "-%016" PRIx64 ".idx",
-                HashString(config.cache_key) ^ graph_checksum);
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), "-%016" PRIx64 ".v%u.idx",
+                HashString(config.cache_key) ^ graph_checksum,
+                kArtifactVersion);
   return dir + "/" + config.engine + suffix;
 }
 

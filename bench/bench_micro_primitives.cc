@@ -1,13 +1,18 @@
 // Google-benchmark micro suite for the library's hot primitives: walk
 // sampling, meeting tests, backward search/walks, reverse PageRank, CSR
-// construction, and the FlatHashMap accumulator vs std::unordered_map.
+// construction, the FlatHashMap accumulator vs std::unordered_map, and
+// cold graph artifact loads (v1 sequential parse vs v2 mmap).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
 #include <unordered_map>
 
 #include "gen/chung_lu.h"
 #include "graph/graph.h"
+#include "graph/io.h"
 #include "ppr/backward_search.h"
 #include "ppr/backward_walk.h"
 #include "ppr/reverse_pagerank.h"
@@ -103,6 +108,42 @@ void BM_GraphConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphConstruction)->Unit(benchmark::kMillisecond);
+
+/// Cold-load comparison of the two artifact container formats over the
+/// same 100k-node graph. Arg 0 = v1 (sequential parse onto the heap),
+/// 1 = v2 with mmap-backed zero-copy views, 2 = v2 with the read()
+/// fallback. Validation is off for all three so the rows isolate pure
+/// deserialization (checksums still verify on every load).
+void BM_GraphColdLoad(benchmark::State& state) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("prsim_bench_coldload_" + std::to_string(state.range(0)) + ".bin"))
+          .string();
+  const bool v1 = state.range(0) == 0;
+  Status saved = v1 ? GraphIO::SaveBinaryV1(BenchGraph(), path)
+                    : GraphIO::SaveBinary(BenchGraph(), path);
+  if (!saved.ok()) {
+    state.SkipWithError(saved.ToString().c_str());
+    return;
+  }
+  GraphIO::LoadOptions options;
+  options.allow_mmap = state.range(0) == 1;
+  options.validate = false;
+  for (auto _ : state) {
+    auto graph = GraphIO::LoadBinary(path, options);
+    if (!graph.ok()) {
+      state.SkipWithError(graph.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(graph.ValueOrDie().OutDegree(0));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_GraphColdLoad)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FlatHashMapAccumulate(benchmark::State& state) {
   Rng rng(6);

@@ -131,8 +131,10 @@ Status Reads::SaveIndex(const std::string& path) const {
         "READS: no index built; call Preprocess() before SaveIndex()");
   }
   const StoredWalks& walks = *index_;
-  BinaryWriter writer(path, kReadsKind, kArtifactVersion);
-  WriteFingerprint(writer, MakeFingerprint(graph_, OptionsHash()));
+  ArtifactWriter artifact(path, kReadsKind);
+  WriteFingerprint(artifact.AddSection("fingerprint"),
+                   MakeFingerprint(graph_, OptionsHash()));
+  ByteSink& writer = artifact.AddSection("index");
   writer.WriteVector(walks.traj_off);
   writer.WriteVector(walks.traj_pos);
 
@@ -151,17 +153,22 @@ Status Reads::SaveIndex(const std::string& path) const {
   for (const auto& bucket : walks.buckets) {
     writer.WriteElements(bucket.data(), bucket.size());
   }
-  return writer.Finish();
+  return artifact.Finish();
 }
 
 Status Reads::LoadIndex(const std::string& path) {
   const NodeId n = graph_.n();
   const size_t bucket_count =
       static_cast<size_t>(options_.r) * options_.t;
-  BinaryReader reader(path, kReadsKind, kArtifactVersion);
-  PRSIM_RETURN_NOT_OK(reader.status());
-  PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
-      reader, MakeFingerprint(graph_, OptionsHash()), path));
+  PRSIM_ASSIGN_OR_RETURN(ArtifactReader artifact,
+                         ArtifactReader::Open(path, kReadsKind));
+  {
+    PRSIM_ASSIGN_OR_RETURN(SectionReader fingerprint,
+                           artifact.Section("fingerprint"));
+    PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
+        fingerprint, MakeFingerprint(graph_, OptionsHash()), path));
+  }
+  PRSIM_ASSIGN_OR_RETURN(SectionReader reader, artifact.Section("index"));
 
   StoredWalks walks;
   PRSIM_RETURN_NOT_OK(reader.ReadVector(&walks.traj_off));

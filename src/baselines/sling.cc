@@ -163,8 +163,10 @@ Status Sling::SaveIndex(const std::string& path) const {
   }
   const Index& index = *index_;
   const NodeId n = graph_.n();
-  BinaryWriter writer(path, kSlingKind, kArtifactVersion);
-  WriteFingerprint(writer, MakeFingerprint(graph_, OptionsHash()));
+  ArtifactWriter artifact(path, kSlingKind);
+  WriteFingerprint(artifact.AddSection("fingerprint"),
+                   MakeFingerprint(graph_, OptionsHash()));
+  ByteSink& writer = artifact.AddSection("index");
   writer.WriteVector(index.eta);
   writer.WriteVector(index.target_payload);
 
@@ -197,15 +199,20 @@ Status Sling::SaveIndex(const std::string& path) const {
     writer.WriteElements(index.source_index[v].data(),
                          index.source_index[v].size());
   }
-  return writer.Finish();
+  return artifact.Finish();
 }
 
 Status Sling::LoadIndex(const std::string& path) {
   const NodeId n = graph_.n();
-  BinaryReader reader(path, kSlingKind, kArtifactVersion);
-  PRSIM_RETURN_NOT_OK(reader.status());
-  PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
-      reader, MakeFingerprint(graph_, OptionsHash()), path));
+  PRSIM_ASSIGN_OR_RETURN(ArtifactReader artifact,
+                         ArtifactReader::Open(path, kSlingKind));
+  {
+    PRSIM_ASSIGN_OR_RETURN(SectionReader fingerprint,
+                           artifact.Section("fingerprint"));
+    PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
+        fingerprint, MakeFingerprint(graph_, OptionsHash()), path));
+  }
+  PRSIM_ASSIGN_OR_RETURN(SectionReader reader, artifact.Section("index"));
 
   Index index;
   PRSIM_RETURN_NOT_OK(reader.ReadVector(&index.eta));

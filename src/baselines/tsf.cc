@@ -65,18 +65,24 @@ Status Tsf::SaveIndex(const std::string& path) const {
     return Status::InvalidArgument(
         "TSF: no index built; call Preprocess() before SaveIndex()");
   }
-  BinaryWriter writer(path, kTsfKind, kArtifactVersion);
-  WriteFingerprint(writer, MakeFingerprint(graph_, OptionsHash()));
-  writer.WriteVector(*parents_);
-  return writer.Finish();
+  ArtifactWriter artifact(path, kTsfKind);
+  WriteFingerprint(artifact.AddSection("fingerprint"),
+                   MakeFingerprint(graph_, OptionsHash()));
+  artifact.AddSection("index").WriteVector(*parents_);
+  return artifact.Finish();
 }
 
 Status Tsf::LoadIndex(const std::string& path) {
   const NodeId n = graph_.n();
-  BinaryReader reader(path, kTsfKind, kArtifactVersion);
-  PRSIM_RETURN_NOT_OK(reader.status());
-  PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
-      reader, MakeFingerprint(graph_, OptionsHash()), path));
+  PRSIM_ASSIGN_OR_RETURN(ArtifactReader artifact,
+                         ArtifactReader::Open(path, kTsfKind));
+  {
+    PRSIM_ASSIGN_OR_RETURN(SectionReader fingerprint,
+                           artifact.Section("fingerprint"));
+    PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
+        fingerprint, MakeFingerprint(graph_, OptionsHash()), path));
+  }
+  PRSIM_ASSIGN_OR_RETURN(SectionReader reader, artifact.Section("index"));
   std::vector<NodeId> parents;
   PRSIM_RETURN_NOT_OK(reader.ReadVector(&parents));
   if (parents.size() !=

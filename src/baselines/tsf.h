@@ -62,9 +62,13 @@ class Tsf : public SingleSourceSimRank {
     return clone;
   }
   uint64_t seed() const override { return options_.seed; }
+  /// Honors the interface contract exactly: the query stream restarts as a
+  /// fresh engine's would (Preprocess() and LoadIndex() both end in
+  /// StartQueryStream()), so Reseed(seed()) replays the first query of a
+  /// freshly constructed instance.
   void Reseed(uint64_t seed) override {
     options_.seed = seed;
-    rng_.Reseed(seed);
+    StartQueryStream();
   }
 
   size_t IndexBytes() const override;

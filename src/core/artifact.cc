@@ -36,14 +36,14 @@ ArtifactFingerprint MakeFingerprint(const Graph& graph,
   return fp;
 }
 
-void WriteFingerprint(BinaryWriter& writer, const ArtifactFingerprint& fp) {
-  writer.WritePod(fp.n);
-  writer.WritePod(fp.m);
-  writer.WritePod(fp.graph_checksum);
-  writer.WritePod(fp.options_hash);
+void WriteFingerprint(ByteSink& sink, const ArtifactFingerprint& fp) {
+  sink.WritePod(fp.n);
+  sink.WritePod(fp.m);
+  sink.WritePod(fp.graph_checksum);
+  sink.WritePod(fp.options_hash);
 }
 
-Status ReadAndCheckFingerprint(BinaryReader& reader,
+Status ReadAndCheckFingerprint(SectionReader& reader,
                                const ArtifactFingerprint& expected,
                                const std::string& path) {
   ArtifactFingerprint stored;

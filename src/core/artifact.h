@@ -29,8 +29,10 @@
 
 namespace prsim {
 
-/// Format version shared by all engine index artifacts.
-inline constexpr uint32_t kArtifactVersion = 1;
+/// Format version shared by all engine index artifacts. Version 2 is the
+/// sectioned, mmap-ready serde container (ArtifactWriter/ArtifactReader);
+/// version-1 artifacts remain loadable through the reader's compat shim.
+inline constexpr uint32_t kArtifactVersion = 2;
 
 struct ArtifactFingerprint {
   uint32_t n = 0;
@@ -61,12 +63,14 @@ class OptionsHasher {
 /// Fingerprint of `graph` under an engine's options hash.
 ArtifactFingerprint MakeFingerprint(const Graph& graph, uint64_t options_hash);
 
-void WriteFingerprint(BinaryWriter& writer, const ArtifactFingerprint& fp);
+/// Writes the fingerprint block (conventionally its own "fingerprint"
+/// section, always the first one an engine adds).
+void WriteFingerprint(ByteSink& sink, const ArtifactFingerprint& fp);
 
 /// Reads the fingerprint block and validates it against `expected`
 /// (computed from the caller's live graph and options). Returns
 /// kInvalidArgument naming the mismatching field, or the reader's error.
-Status ReadAndCheckFingerprint(BinaryReader& reader,
+Status ReadAndCheckFingerprint(SectionReader& reader,
                                const ArtifactFingerprint& expected,
                                const std::string& path);
 

@@ -27,8 +27,10 @@ uint64_t PRSimIndexIO::OptionsHash(const PRSimIndexOptions& options) {
 Status PRSimIndexIO::Save(const PRSimIndex& index, const Graph& graph,
                           const PRSimIndexOptions& options,
                           const std::string& path) {
-  BinaryWriter writer(path, kKind, kArtifactVersion);
-  WriteFingerprint(writer, MakeFingerprint(graph, OptionsHash(options)));
+  ArtifactWriter artifact(path, kKind);
+  WriteFingerprint(artifact.AddSection("fingerprint"),
+                   MakeFingerprint(graph, OptionsHash(options)));
+  ByteSink& writer = artifact.AddSection("index");
   writer.WritePod(index.rmax());
   writer.WritePod(index.hub_count());
   writer.WriteVector(index.reverse_pagerank());
@@ -46,16 +48,21 @@ Status PRSimIndexIO::Save(const PRSimIndex& index, const Graph& graph,
       writer.WriteVector(*list);
     }
   }
-  return writer.Finish();
+  return artifact.Finish();
 }
 
 Result<PRSimIndex> PRSimIndexIO::Load(const Graph& graph,
                                       const PRSimIndexOptions& options,
                                       const std::string& path) {
-  BinaryReader reader(path, kKind, kArtifactVersion);
-  PRSIM_RETURN_NOT_OK(reader.status());
-  PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
-      reader, MakeFingerprint(graph, OptionsHash(options)), path));
+  PRSIM_ASSIGN_OR_RETURN(ArtifactReader artifact,
+                         ArtifactReader::Open(path, kKind));
+  {
+    PRSIM_ASSIGN_OR_RETURN(SectionReader fingerprint,
+                           artifact.Section("fingerprint"));
+    PRSIM_RETURN_NOT_OK(ReadAndCheckFingerprint(
+        fingerprint, MakeFingerprint(graph, OptionsHash(options)), path));
+  }
+  PRSIM_ASSIGN_OR_RETURN(SectionReader reader, artifact.Section("index"));
   const NodeId n = graph.n();
 
   PRSimIndex index;

@@ -167,9 +167,19 @@ QueryResult QueryService::RunQuery(Engine& engine,
           << engine.algo << " returned a null CloneWithSeed()";
     }
     // Positional reseed: a single-worker service answers the request
-    // stream exactly like BatchQuery over the same sources.
-    clone->Reseed(
-        internal::BatchQuerySeed(engine.leader->seed(), static_cast<size_t>(seq)));
+    // stream exactly like BatchQuery over the same sources. Callers can
+    // override the position (shard routing passes the global stream order)
+    // or ask for fresh-engine semantics (the one-shot query path).
+    if (request.fresh_seed) {
+      clone->Reseed(engine.leader->seed());
+    } else {
+      const uint64_t position = request.seed_position ==
+                                        QueryRequest::kServiceOrder
+                                    ? seq
+                                    : request.seed_position;
+      clone->Reseed(internal::BatchQuerySeed(engine.leader->seed(),
+                                             static_cast<size_t>(position)));
+    }
     result.scores = request.k > 0 ? clone->QueryTopK(request.source, request.k)
                                   : clone->Query(request.source);
     result.cost = clone->last_query_cost();
@@ -213,6 +223,11 @@ ServiceStats QueryService::Stats() const {
   stats.aggregate_cost.latency_p95_seconds = stats.p95_seconds;
   stats.aggregate_cost.latency_p99_seconds = stats.p99_seconds;
   return stats;
+}
+
+std::vector<double> QueryService::LatencySamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latencies_.SortedSamples();
 }
 
 size_t QueryService::pending() const {

@@ -40,11 +40,24 @@
 namespace prsim {
 
 struct QueryRequest {
+  /// Sentinel for `seed_position`: use the service-local submission order.
+  static constexpr uint64_t kServiceOrder = ~uint64_t{0};
+
   /// Registered algorithm key; empty selects the first registered engine.
   std::string algo;
   NodeId source = 0;
   /// 0 = full single-source result; otherwise top-k (source excluded).
   uint32_t k = 0;
+  /// Positional seed control. By default every accepted request is answered
+  /// under BatchQuerySeed(leader seed, service submission seq). A caller
+  /// that multiplexes one logical request stream over several services —
+  /// the shard router — passes the global position here so the sharded
+  /// stream replays the unsharded one bit for bit at any shard count.
+  uint64_t seed_position = kServiceOrder;
+  /// When true the query is answered as a freshly constructed engine with
+  /// the leader's seed would answer it (one-shot `query` CLI semantics),
+  /// ignoring seed_position.
+  bool fresh_seed = false;
 };
 
 struct QueryResult {
@@ -125,6 +138,12 @@ class QueryService {
 
   /// Current lifetime counters and latency percentiles.
   ServiceStats Stats() const;
+
+  /// Snapshot of the retained latency reservoir (unsorted). Aggregators
+  /// merging several services (the shard router) pool raw samples so the
+  /// merged percentiles are computed over one combined distribution
+  /// instead of averaging per-service quantiles.
+  std::vector<double> LatencySamples() const;
 
   /// Requests accepted but not yet completed (queued + executing).
   size_t pending() const;

@@ -1,0 +1,171 @@
+#include "core/shard_router.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "graph/io.h"
+#include "util/percentiles.h"
+
+namespace prsim {
+
+namespace {
+
+std::future<QueryResult> ReadyError(Status status) {
+  std::promise<QueryResult> promise;
+  QueryResult result;
+  result.status = std::move(status);
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+Status SourceOutOfRange(NodeId source, NodeId n) {
+  return Status::InvalidArgument("source " + std::to_string(source) +
+                                 " out of range (n = " + std::to_string(n) +
+                                 ")");
+}
+
+}  // namespace
+
+ScoreList MergeTopK(const std::vector<ScoreList>& per_shard, size_t k) {
+  ScoreList merged;
+  for (const ScoreList& part : per_shard) {
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ScoreEntry& a, const ScoreEntry& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
+    const std::string& manifest_path, const ShardRouterOptions& options) {
+  PRSIM_ASSIGN_OR_RETURN(ShardManifest manifest,
+                         ShardManifest::Load(manifest_path));
+  PRSIM_ASSIGN_OR_RETURN(EngineConfig config, manifest.Config());
+
+  std::unique_ptr<ShardRouter> router(new ShardRouter());
+  router->manifest_ = std::move(manifest);
+  const ShardManifest& m = router->manifest_;
+
+  // Shard entries routinely alias one graph artifact; load each distinct
+  // path once and hand every service a reference to the shared instance.
+  std::map<std::string, const Graph*> loaded;
+  for (uint32_t s = 0; s < m.partition.shards; ++s) {
+    const ShardArtifacts& shard = m.shards[s];
+    const std::string graph_path =
+        ResolveManifestPath(manifest_path, shard.graph_path);
+    const Graph*& graph = loaded[graph_path];
+    if (graph == nullptr) {
+      GraphIO::LoadOptions load;
+      load.allow_mmap = options.allow_mmap;
+      PRSIM_ASSIGN_OR_RETURN(Graph g, GraphIO::LoadBinary(graph_path, load));
+      if (g.n() != m.n || g.m() != m.m ||
+          g.Checksum() != m.graph_checksum) {
+        return Status::InvalidArgument(
+            "graph artifact '" + graph_path +
+            "' does not match the manifest's graph fingerprint");
+      }
+      router->graphs_.push_back(std::make_unique<Graph>(std::move(g)));
+      graph = router->graphs_.back().get();
+    }
+
+    QueryServiceOptions service_options;
+    service_options.threads = options.threads_per_shard;
+    service_options.max_queue = options.max_queue;
+    service_options.backpressure = options.backpressure;
+    auto service = std::make_unique<QueryService>(service_options);
+    if (!shard.index_path.empty()) {
+      PRSIM_RETURN_NOT_OK(service->AddEngineFromIndex(
+          m.algo, *graph, config,
+          ResolveManifestPath(manifest_path, shard.index_path)));
+    } else {
+      PRSIM_RETURN_NOT_OK(service->AddEngine(m.algo, *graph, config));
+    }
+    router->services_.push_back(std::move(service));
+  }
+  return router;
+}
+
+std::future<QueryResult> ShardRouter::Submit(NodeId source, uint32_t k) {
+  // Validate before consuming a stream position, so invalid requests never
+  // shift the positional seeds of the valid stream (mirrors QueryService).
+  if (source >= manifest_.n) {
+    return ReadyError(SourceOutOfRange(source, manifest_.n));
+  }
+  QueryRequest request;
+  request.source = source;
+  request.k = k;
+  request.seed_position =
+      next_position_.fetch_add(1, std::memory_order_relaxed);
+  return services_[ShardOf(source)]->Submit(std::move(request));
+}
+
+QueryResult ShardRouter::QueryFresh(NodeId source, uint32_t k) {
+  if (source >= manifest_.n) {
+    QueryResult result;
+    result.status = SourceOutOfRange(source, manifest_.n);
+    return result;
+  }
+  QueryRequest request;
+  request.source = source;
+  request.k = k;
+  request.fresh_seed = true;
+  return services_[ShardOf(source)]->Submit(std::move(request)).get();
+}
+
+Result<ScoreList> ShardRouter::BroadcastTopK(NodeId source, size_t k) {
+  if (source >= manifest_.n) {
+    return SourceOutOfRange(source, manifest_.n);
+  }
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(services_.size());
+  for (auto& service : services_) {
+    QueryRequest request;
+    request.source = source;
+    request.fresh_seed = true;
+    futures.push_back(service->Submit(std::move(request)));
+  }
+  std::vector<ScoreList> local(services_.size());
+  for (size_t s = 0; s < services_.size(); ++s) {
+    QueryResult result = futures[s].get();
+    PRSIM_RETURN_NOT_OK(result.status);
+    ScoreList owned;
+    for (const ScoreEntry& entry : result.scores) {
+      if (entry.first != source &&
+          ShardOfNode(entry.first, manifest_.n, manifest_.partition) == s) {
+        owned.push_back(entry);
+      }
+    }
+    local[s] = TopK(owned, k, source);
+  }
+  return MergeTopK(local, k);
+}
+
+ServiceStats ShardRouter::Stats() const {
+  ServiceStats total;
+  std::vector<double> samples;
+  for (const auto& service : services_) {
+    const ServiceStats stats = service->Stats();
+    total.submitted += stats.submitted;
+    total.completed += stats.completed;
+    total.failed += stats.failed;
+    total.rejected += stats.rejected;
+    total.aggregate_cost.Accumulate(stats.aggregate_cost);
+    const std::vector<double> part = service->LatencySamples();
+    samples.insert(samples.end(), part.begin(), part.end());
+  }
+  std::sort(samples.begin(), samples.end());
+  total.p50_seconds = SortedQuantile(samples, 0.50);
+  total.p95_seconds = SortedQuantile(samples, 0.95);
+  total.p99_seconds = SortedQuantile(samples, 0.99);
+  total.aggregate_cost.latency_p50_seconds = total.p50_seconds;
+  total.aggregate_cost.latency_p95_seconds = total.p95_seconds;
+  total.aggregate_cost.latency_p99_seconds = total.p99_seconds;
+  return total;
+}
+
+}  // namespace prsim

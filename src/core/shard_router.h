@@ -1,0 +1,117 @@
+// Shard router: one-process serving frontend over a shard bundle.
+//
+// Open() reconstructs the serving topology a `shard-build` bundle
+// describes: per shard, the graph and index artifacts are loaded (aliased
+// artifacts are opened once and shared — with mmap, shards share page-cache
+// pages too) and wrapped in a dedicated QueryService. Queries route by
+// source-node ownership under the manifest's partition spec, so the same
+// request stream always lands on the same shards in any process serving
+// the bundle.
+//
+// Determinism contract (the point of the whole layer): a sharded router
+// answers every request stream bit-identically to an unsharded service.
+// Two mechanisms deliver it:
+//   - ownership routing + global positions: the router stamps each
+//     submission with a process-global stream position and passes it as
+//     QueryRequest::seed_position, so the positional reseed matches what a
+//     single service would have used at any shard count;
+//   - fresh-seed one-shots: QueryFresh() answers exactly like a freshly
+//     loaded engine (the `query` CLI path), again shard-count-invariant.
+//
+// BroadcastTopK() exercises the distributed reduction instead: every shard
+// answers the full single-source query, keeps only the nodes it owns,
+// reduces to a local top-k, and the router merges with the deterministic
+// (score desc, node id asc) order — bit-identical to single-engine
+// QueryTopK by construction.
+
+#ifndef PRSIM_CORE_SHARD_ROUTER_H_
+#define PRSIM_CORE_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_service.h"
+#include "core/shard_manifest.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "util/status.h"
+
+namespace prsim {
+
+struct ShardRouterOptions {
+  /// Worker threads per shard service (0 = DefaultThreadCount()).
+  size_t threads_per_shard = 0;
+  /// Per-shard bounded queue depth (QueryServiceOptions::max_queue).
+  size_t max_queue = 1024;
+  /// Per-shard backpressure policy under a full queue.
+  QueryServiceOptions::Backpressure backpressure =
+      QueryServiceOptions::Backpressure::kBlock;
+  /// Forwarded to the artifact readers; read()-fallback when false.
+  bool allow_mmap = true;
+};
+
+/// Deterministic cross-shard merge of per-shard top-k lists: concatenates
+/// and re-ranks by (score desc, node id asc), keeping the best k. Exposed
+/// for tests; the inputs must already exclude the source node.
+ScoreList MergeTopK(const std::vector<ScoreList>& per_shard, size_t k);
+
+class ShardRouter {
+ public:
+  /// Loads the manifest, validates its graph fingerprint against the
+  /// artifacts on disk, and spins up one QueryService per shard. Manifest
+  /// and artifact corruption surface as kInvalidArgument, missing files as
+  /// kIOError, unknown engines as kNotFound.
+  static Result<std::unique_ptr<ShardRouter>> Open(
+      const std::string& manifest_path, const ShardRouterOptions& options = {});
+
+  ~ShardRouter() = default;
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  const ShardManifest& manifest() const { return manifest_; }
+  uint32_t shard_count() const { return manifest_.partition.shards; }
+  NodeId node_count() const { return manifest_.n; }
+
+  /// The shard owning `source` (requires source < node_count()).
+  uint32_t ShardOf(NodeId source) const {
+    return ShardOfNode(source, manifest_.n, manifest_.partition);
+  }
+
+  /// Enqueues one query on the owner shard, stamped with the next global
+  /// stream position (k = 0 means the full single-source result). Invalid
+  /// sources resolve immediately with kInvalidArgument and consume no
+  /// position, mirroring QueryService's precheck semantics.
+  std::future<QueryResult> Submit(NodeId source, uint32_t k = 0);
+
+  /// Blocking one-shot with fresh-engine seeding — the `query --manifest`
+  /// path. Bit-identical to querying a freshly loaded unsharded engine.
+  QueryResult QueryFresh(NodeId source, uint32_t k = 0);
+
+  /// Distributed top-k: full query on every shard, ownership-filtered
+  /// local top-k, deterministic merge. Fails if any shard fails.
+  Result<ScoreList> BroadcastTopK(NodeId source, size_t k);
+
+  /// Aggregated view over all shard services: counters summed, cost
+  /// counters accumulated, and percentiles recomputed over the pooled
+  /// latency reservoirs (not averaged per-shard quantiles).
+  ServiceStats Stats() const;
+
+ private:
+  ShardRouter() = default;
+
+  ShardManifest manifest_;
+  /// Loaded graphs, deduplicated by resolved artifact path. Declared
+  /// before services_: engines hold const Graph&, so the graphs must be
+  /// destroyed after every service has drained.
+  std::vector<std::unique_ptr<Graph>> graphs_;
+  std::vector<std::unique_ptr<QueryService>> services_;  ///< one per shard
+  std::atomic<uint64_t> next_position_{0};
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_CORE_SHARD_ROUTER_H_

@@ -2,18 +2,18 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "util/serde.h"
 
 namespace prsim {
 
 Result<Graph> Graph::FromEdges(NodeId n, const std::vector<Edge>& edges) {
-  Graph g;
-  g.n_ = n;
   const uint64_t m = edges.size();
 
-  // Degree pass; also validates endpoints.
-  g.in_degree_.assign(n, 0);
+  // Degree pass; also validates endpoints. Arrays are built in mutable
+  // locals and moved into the (owned-state) PodArray members at the end.
+  std::vector<uint32_t> in_degree(n, 0);
   std::vector<uint32_t> out_degree(n, 0);
   for (const auto& [src, dst] : edges) {
     if (src >= n || dst >= n) {
@@ -23,19 +23,19 @@ Result<Graph> Graph::FromEdges(NodeId n, const std::vector<Edge>& edges) {
                                      std::to_string(n));
     }
     ++out_degree[src];
-    ++g.in_degree_[dst];
+    ++in_degree[dst];
   }
 
   // In-adjacency CSR.
-  g.in_off_.assign(n + 1, 0);
+  std::vector<uint64_t> in_off(static_cast<size_t>(n) + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
-    g.in_off_[v + 1] = g.in_off_[v] + g.in_degree_[v];
+    in_off[v + 1] = in_off[v] + in_degree[v];
   }
-  g.in_adj_.resize(m);
+  std::vector<NodeId> in_adj(m);
   {
-    std::vector<uint64_t> cursor(g.in_off_.begin(), g.in_off_.end() - 1);
+    std::vector<uint64_t> cursor(in_off.begin(), in_off.end() - 1);
     for (const auto& [src, dst] : edges) {
-      g.in_adj_[cursor[dst]++] = src;
+      in_adj[cursor[dst]++] = src;
     }
   }
 
@@ -43,17 +43,17 @@ Result<Graph> Graph::FromEdges(NodeId n, const std::vector<Edge>& edges) {
   // in-degree. Per Algorithm 1 (lines 1-4): counting-sort all edges by
   // in_degree(target), then append targets to their source's list in sorted
   // order. Total cost O(n + m).
-  g.out_off_.assign(n + 1, 0);
+  std::vector<uint64_t> out_off(static_cast<size_t>(n) + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
-    g.out_off_[v + 1] = g.out_off_[v] + out_degree[v];
+    out_off[v + 1] = out_off[v] + out_degree[v];
   }
-  g.out_adj_.resize(m);
-  g.out_tgt_in_degree_.resize(m);
+  std::vector<NodeId> out_adj(m);
+  std::vector<uint32_t> out_tgt_in_degree(m);
   {
     // Bucket edge indices by target in-degree (values in [0, n]).
-    std::vector<uint64_t> bucket_off(n + 2, 0);
+    std::vector<uint64_t> bucket_off(static_cast<size_t>(n) + 2, 0);
     for (const auto& e : edges) {
-      ++bucket_off[g.in_degree_[e.second] + 1];
+      ++bucket_off[in_degree[e.second] + 1];
     }
     std::partial_sum(bucket_off.begin(), bucket_off.end(), bucket_off.begin());
     std::vector<uint32_t> sorted_src(m);
@@ -61,21 +61,29 @@ Result<Graph> Graph::FromEdges(NodeId n, const std::vector<Edge>& edges) {
     {
       std::vector<uint64_t> cursor(bucket_off.begin(), bucket_off.end() - 1);
       for (const auto& [src, dst] : edges) {
-        const uint64_t pos = cursor[g.in_degree_[dst]]++;
+        const uint64_t pos = cursor[in_degree[dst]]++;
         sorted_src[pos] = src;
         sorted_dst[pos] = dst;
       }
     }
-    std::vector<uint64_t> cursor(g.out_off_.begin(), g.out_off_.end() - 1);
+    std::vector<uint64_t> cursor(out_off.begin(), out_off.end() - 1);
     for (uint64_t i = 0; i < m; ++i) {
       const NodeId src = sorted_src[i];
       const NodeId dst = sorted_dst[i];
       const uint64_t pos = cursor[src]++;
-      g.out_adj_[pos] = dst;
-      g.out_tgt_in_degree_[pos] = g.in_degree_[dst];
+      out_adj[pos] = dst;
+      out_tgt_in_degree[pos] = in_degree[dst];
     }
   }
 
+  Graph g;
+  g.n_ = n;
+  g.out_off_ = std::move(out_off);
+  g.out_adj_ = std::move(out_adj);
+  g.out_tgt_in_degree_ = std::move(out_tgt_in_degree);
+  g.in_off_ = std::move(in_off);
+  g.in_adj_ = std::move(in_adj);
+  g.in_degree_ = std::move(in_degree);
   return g;
 }
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/pod_array.h"
 #include "util/status.h"
 
 namespace prsim {
@@ -102,13 +103,15 @@ class Graph {
  private:
   friend class GraphIO;
 
+  // CSR arrays are PodArrays: owned vectors when built in memory, zero-copy
+  // views into an mmap'd format-v2 snapshot when loaded by GraphIO.
   NodeId n_ = 0;
-  std::vector<uint64_t> out_off_;            // size n+1
-  std::vector<NodeId> out_adj_;              // size m, sorted by target in-deg
-  std::vector<uint32_t> out_tgt_in_degree_;  // size m, parallel to out_adj_
-  std::vector<uint64_t> in_off_;             // size n+1
-  std::vector<NodeId> in_adj_;               // size m
-  std::vector<uint32_t> in_degree_;          // size n
+  PodArray<uint64_t> out_off_;            // size n+1
+  PodArray<NodeId> out_adj_;              // size m, sorted by target in-deg
+  PodArray<uint32_t> out_tgt_in_degree_;  // size m, parallel to out_adj_
+  PodArray<uint64_t> in_off_;             // size n+1
+  PodArray<NodeId> in_adj_;               // size m
+  PodArray<uint32_t> in_degree_;          // size n
 };
 
 }  // namespace prsim

@@ -80,29 +80,77 @@ Result<Graph> LoadGraphText(const std::string& path,
 }
 
 Status GraphIO::SaveBinary(const Graph& graph, const std::string& path) {
-  BinaryWriter writer(path, kGraphKind, kGraphVersion);
-  writer.WritePod(graph.n_);
-  writer.WriteVector(graph.out_off_);
-  writer.WriteVector(graph.out_adj_);
-  writer.WriteVector(graph.out_tgt_in_degree_);
-  writer.WriteVector(graph.in_off_);
-  writer.WriteVector(graph.in_adj_);
-  writer.WriteVector(graph.in_degree_);
+  // Format v2: one aligned section per CSR array, so LoadBinary can hand
+  // out zero-copy views over the mapped file. The "meta" section mirrors
+  // the v1 field order minus the arrays, which lets the v1 shim feed the
+  // same load path.
+  ArtifactWriter writer(path, kGraphKind);
+  writer.AddSection("meta").WritePod(graph.n_);
+  writer.AddSection("out_off").WriteVector(graph.out_off_.span());
+  writer.AddSection("out_adj").WriteVector(graph.out_adj_.span());
+  writer.AddSection("out_deg").WriteVector(graph.out_tgt_in_degree_.span());
+  writer.AddSection("in_off").WriteVector(graph.in_off_.span());
+  writer.AddSection("in_adj").WriteVector(graph.in_adj_.span());
+  writer.AddSection("in_degree").WriteVector(graph.in_degree_.span());
   return writer.Finish();
 }
 
-Result<Graph> GraphIO::LoadBinary(const std::string& path) {
-  BinaryReader reader(path, kGraphKind, kGraphVersion);
+Status GraphIO::SaveBinaryV1(const Graph& graph, const std::string& path) {
+  BinaryWriter writer(path, kGraphKind, kGraphVersion);
+  writer.WritePod(graph.n_);
+  writer.WriteVector(graph.out_off_.span());
+  writer.WriteVector(graph.out_adj_.span());
+  writer.WriteVector(graph.out_tgt_in_degree_.span());
+  writer.WriteVector(graph.in_off_.span());
+  writer.WriteVector(graph.in_adj_.span());
+  writer.WriteVector(graph.in_degree_.span());
+  return writer.Finish();
+}
+
+Result<Graph> GraphIO::LoadBinary(const std::string& path,
+                                  const LoadOptions& options) {
+  ArtifactReader::Options reader_options;
+  reader_options.allow_mmap = options.allow_mmap;
+  PRSIM_ASSIGN_OR_RETURN(
+      ArtifactReader artifact,
+      ArtifactReader::Open(path, kGraphKind, reader_options));
+  // The section sequence matches the v1 field order exactly, so the shared
+  // cursor of the v1 shim replays the legacy payload through this same
+  // code. Intermediate Finish() calls only apply to real (v2) sections.
+  const bool v2 = artifact.version() == kSerdeFormatV2;
   Graph g;
-  PRSIM_RETURN_NOT_OK(reader.ReadPod(&g.n_));
-  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.out_off_));
-  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.out_adj_));
-  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.out_tgt_in_degree_));
-  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.in_off_));
-  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.in_adj_));
-  PRSIM_RETURN_NOT_OK(reader.ReadVector(&g.in_degree_));
-  PRSIM_RETURN_NOT_OK(reader.Finish());
-  PRSIM_RETURN_NOT_OK(g.Validate());
+  const auto load_array = [&](const char* name, auto* member,
+                              bool last) -> Status {
+    PRSIM_ASSIGN_OR_RETURN(SectionReader section, artifact.Section(name));
+    PRSIM_RETURN_NOT_OK(section.ReadPodArray(member));
+    if (v2 || last) PRSIM_RETURN_NOT_OK(section.Finish());
+    return Status::OK();
+  };
+  {
+    PRSIM_ASSIGN_OR_RETURN(SectionReader meta, artifact.Section("meta"));
+    PRSIM_RETURN_NOT_OK(meta.ReadPod(&g.n_));
+    if (v2) PRSIM_RETURN_NOT_OK(meta.Finish());
+  }
+  PRSIM_RETURN_NOT_OK(load_array("out_off", &g.out_off_, false));
+  PRSIM_RETURN_NOT_OK(load_array("out_adj", &g.out_adj_, false));
+  PRSIM_RETURN_NOT_OK(load_array("out_deg", &g.out_tgt_in_degree_, false));
+  PRSIM_RETURN_NOT_OK(load_array("in_off", &g.in_off_, false));
+  PRSIM_RETURN_NOT_OK(load_array("in_adj", &g.in_adj_, false));
+  PRSIM_RETURN_NOT_OK(load_array("in_degree", &g.in_degree_, true));
+
+  // Structural size checks are O(1) and always on; the full O(m) invariant
+  // sweep is opt-out for trusted cold-start paths.
+  const auto n = static_cast<size_t>(g.n_);
+  if (g.out_off_.size() != n + 1 || g.in_off_.size() != n + 1 ||
+      g.in_degree_.size() != n ||
+      g.out_adj_.size() != g.out_tgt_in_degree_.size() ||
+      g.out_adj_.size() != g.in_adj_.size() ||
+      g.out_off_.front() != 0 || g.out_off_.back() != g.out_adj_.size() ||
+      g.in_off_.front() != 0 || g.in_off_.back() != g.in_adj_.size()) {
+    return Status::InvalidArgument("corrupt artifact '" + path +
+                                   "': CSR array sizes are inconsistent");
+  }
+  if (options.validate) PRSIM_RETURN_NOT_OK(g.Validate());
   return g;
 }
 

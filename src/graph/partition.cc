@@ -1,0 +1,75 @@
+#include "graph/partition.h"
+
+#include "util/logging.h"
+
+namespace prsim {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche stateless mix, so consecutive
+/// node ids land on unrelated shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+const char* PartitionStrategyName(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kHash:
+      return "hash";
+    case PartitionStrategy::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
+Result<PartitionStrategy> ParsePartitionStrategy(const std::string& name) {
+  if (name == "hash") return PartitionStrategy::kHash;
+  if (name == "range") return PartitionStrategy::kRange;
+  return Status::InvalidArgument("unknown partition strategy '" + name +
+                                 "' (expected hash or range)");
+}
+
+Status ValidatePartitionSpec(const PartitionSpec& spec) {
+  if (spec.shards == 0) {
+    return Status::InvalidArgument("shard count must be at least 1");
+  }
+  if (spec.strategy != PartitionStrategy::kHash &&
+      spec.strategy != PartitionStrategy::kRange) {
+    return Status::InvalidArgument(
+        "unknown partition strategy " +
+        std::to_string(static_cast<uint32_t>(spec.strategy)));
+  }
+  return Status::OK();
+}
+
+uint32_t ShardOfNode(NodeId v, NodeId n, const PartitionSpec& spec) {
+  PRSIM_CHECK(v < n) << "node " << v << " out of range (n = " << n << ")";
+  PRSIM_CHECK(spec.shards > 0);
+  if (spec.shards == 1) return 0;
+  if (spec.strategy == PartitionStrategy::kRange) {
+    // Ceil-divided block size: shard s owns ids [s*block, (s+1)*block).
+    const uint64_t block = (static_cast<uint64_t>(n) + spec.shards - 1) /
+                           spec.shards;
+    return static_cast<uint32_t>(v / block);
+  }
+  return static_cast<uint32_t>(Mix64(v) % spec.shards);
+}
+
+std::vector<std::vector<NodeId>> PartitionNodes(NodeId n,
+                                                const PartitionSpec& spec) {
+  std::vector<std::vector<NodeId>> shards(spec.shards);
+  for (NodeId v = 0; v < n; ++v) {
+    shards[ShardOfNode(v, n, spec)].push_back(v);
+  }
+  return shards;
+}
+
+}  // namespace prsim

@@ -1,0 +1,57 @@
+// Deterministic node partitioning for sharded serving.
+//
+// A partition assigns every node of a graph to exactly one shard; the shard
+// router uses it to pick the QueryService that owns a query's source node,
+// and the shard-build pipeline records it in the bundle manifest so every
+// process serving the bundle routes identically. Assignment is a pure
+// function of (node, n, spec) — no RNG, no state — following Calvin's rule
+// that deterministic placement is what keeps partitioned execution
+// reproducible.
+//
+// Two strategies cover the common shapes: kHash spreads nodes via a
+// splitmix64-style mix (balanced regardless of id locality), kRange keeps
+// contiguous id blocks together (cache- and mmap-friendly when node ids
+// correlate with storage order).
+
+#ifndef PRSIM_GRAPH_PARTITION_H_
+#define PRSIM_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace prsim {
+
+enum class PartitionStrategy : uint32_t {
+  kHash = 0,
+  kRange = 1,
+};
+
+/// "hash" / "range".
+const char* PartitionStrategyName(PartitionStrategy strategy);
+Result<PartitionStrategy> ParsePartitionStrategy(const std::string& name);
+
+struct PartitionSpec {
+  uint32_t shards = 1;
+  PartitionStrategy strategy = PartitionStrategy::kHash;
+};
+
+/// Rejects zero shard counts and unknown strategies. Shard counts above n
+/// are legal (the extra shards own no nodes).
+Status ValidatePartitionSpec(const PartitionSpec& spec);
+
+/// The shard owning node `v` of a graph with `n` nodes. Requires v < n and
+/// a valid spec.
+uint32_t ShardOfNode(NodeId v, NodeId n, const PartitionSpec& spec);
+
+/// Materializes the full assignment: result[s] lists the nodes of shard s
+/// in ascending id order.
+std::vector<std::vector<NodeId>> PartitionNodes(NodeId n,
+                                                const PartitionSpec& spec);
+
+}  // namespace prsim
+
+#endif  // PRSIM_GRAPH_PARTITION_H_

@@ -1,0 +1,97 @@
+#include "util/mmap_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PRSIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PRSIM_HAVE_MMAP 0
+#endif
+
+namespace prsim {
+
+namespace {
+
+/// Reads the whole file into `out` with plain stdio; the portable path.
+Status ReadWholeFile(const std::string& path, std::vector<std::byte>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot size '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  const size_t got = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size()) {
+    return Status::IOError("short read on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const MmapFile>> MmapFile::Open(const std::string& path,
+                                                       bool allow_mmap) {
+  // make_shared needs a public constructor; this local subclass keeps the
+  // real one private.
+  struct Openable : MmapFile {};
+  auto file = std::make_shared<Openable>();
+  file->path_ = path;
+
+#if PRSIM_HAVE_MMAP
+  if (allow_mmap) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError("cannot open '" + path + "' for reading");
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return Status::IOError("cannot stat '" + path + "'");
+    }
+    const auto size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      // mmap of length 0 is unspecified; an empty file needs no region.
+      ::close(fd);
+      return std::shared_ptr<const MmapFile>(std::move(file));
+    }
+    void* region = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping holds its own reference to the file
+    if (region != MAP_FAILED) {
+      file->data_ = static_cast<const std::byte*>(region);
+      file->size_ = size;
+      file->mapped_ = true;
+      return std::shared_ptr<const MmapFile>(std::move(file));
+    }
+    // Fall through to the heap path (e.g. a filesystem without mmap).
+  }
+#else
+  (void)allow_mmap;
+#endif
+
+  PRSIM_RETURN_NOT_OK(ReadWholeFile(path, &file->heap_));
+  file->data_ = file->heap_.data();
+  file->size_ = file->heap_.size();
+  return std::shared_ptr<const MmapFile>(std::move(file));
+}
+
+MmapFile::~MmapFile() {
+#if PRSIM_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace prsim

@@ -1,0 +1,62 @@
+// Read-only whole-file mapping with a portable heap fallback.
+//
+// MmapFile backs the zero-copy artifact path: format-v2 artifacts keep their
+// POD sections 64-byte aligned so a loaded index can point straight into the
+// mapping instead of parsing every byte onto the heap. On POSIX systems the
+// file is mmap'd MAP_PRIVATE | PROT_READ (page-cache backed, shared across
+// processes serving the same artifact); everywhere else — or when mapping is
+// disabled or fails — the file is read() into one heap buffer with identical
+// observable behavior, so callers never branch on the platform.
+//
+// The mapping is immutable and released by the destructor (RAII). Readers
+// that hand out views into the region keep the MmapFile alive through a
+// shared_ptr, so a view can outlive the reader that produced it but never
+// the mapping itself.
+
+#ifndef PRSIM_UTIL_MMAP_FILE_H_
+#define PRSIM_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prsim {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only (or reads it into a heap buffer when
+  /// `allow_mmap` is false or mapping is unavailable). Fails with kIOError
+  /// when the file is missing or unreadable.
+  static Result<std::shared_ptr<const MmapFile>> Open(const std::string& path,
+                                                      bool allow_mmap = true);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// True when the bytes live in a real mmap'd region (false for the heap
+  /// fallback). Observable behavior is identical either way.
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  MmapFile() = default;
+
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<std::byte> heap_;  ///< fallback storage when !mapped_
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_MMAP_FILE_H_

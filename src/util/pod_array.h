@@ -1,0 +1,90 @@
+// Owned-or-viewed immutable POD array.
+//
+// PodArray<T> is the currency of the zero-copy artifact path: it either owns
+// a std::vector<T> (the parse path, and every in-memory builder) or views a
+// span of T inside a mapped artifact, holding the mapping alive through a
+// type-erased keepalive. Readers stay oblivious — data()/size()/operator[]
+// behave identically in both states — so CSR arrays built by FromEdges and
+// CSR arrays mapped from a format-v2 snapshot flow through the same code.
+
+#ifndef PRSIM_UTIL_POD_ARRAY_H_
+#define PRSIM_UTIL_POD_ARRAY_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace prsim {
+
+template <typename T>
+class PodArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PodArray requires a byte-copyable element type");
+
+ public:
+  PodArray() = default;
+
+  /// Takes ownership of `v` (the parse / in-memory build path).
+  PodArray(std::vector<T> v)  // NOLINT: implicit by design, mirrors vector
+      : vec_(std::move(v)), view_(vec_) {}
+
+  /// Views `s`, keeping `keepalive` (typically the MmapFile backing an
+  /// artifact) alive for the lifetime of this array.
+  static PodArray View(std::span<const T> s,
+                       std::shared_ptr<const void> keepalive) {
+    PodArray a;
+    a.keepalive_ = std::move(keepalive);
+    a.view_ = s;
+    return a;
+  }
+
+  // Copies materialize (a copy must not share the source's storage without
+  // its keepalive); moves carry the view because vector moves keep the heap
+  // buffer's address.
+  PodArray(const PodArray& other)
+      : vec_(other.begin(), other.end()), view_(vec_) {}
+  PodArray& operator=(const PodArray& other) {
+    if (this != &other) *this = PodArray(other);
+    return *this;
+  }
+  PodArray(PodArray&& other) noexcept
+      : vec_(std::move(other.vec_)),
+        keepalive_(std::move(other.keepalive_)),
+        view_(other.view_) {
+    other.view_ = {};
+  }
+  PodArray& operator=(PodArray&& other) noexcept {
+    if (this != &other) {
+      vec_ = std::move(other.vec_);
+      keepalive_ = std::move(other.keepalive_);
+      view_ = other.view_;
+      other.view_ = {};
+    }
+    return *this;
+  }
+
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+  const T& front() const { return view_.front(); }
+  const T& back() const { return view_.back(); }
+  const T* begin() const { return view_.data(); }
+  const T* end() const { return view_.data() + view_.size(); }
+  std::span<const T> span() const { return view_; }
+
+  /// True when this array views external storage instead of owning a copy.
+  bool zero_copy() const { return keepalive_ != nullptr; }
+
+ private:
+  std::vector<T> vec_;
+  std::shared_ptr<const void> keepalive_;
+  std::span<const T> view_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_POD_ARRAY_H_

@@ -633,6 +633,110 @@ TEST_F(CliTest, ServeDeterministicUnderSeedAndThreads) {
   EXPECT_EQ(results1, results2);
 }
 
+// ---------------------------------------------------------------------------
+// Sharded serving: shard-build bundles + --manifest query/serve.
+// ---------------------------------------------------------------------------
+
+// The whole point of the shard layer: a 3-shard bundle answers exactly
+// like the unsharded index-backed query path.
+TEST_F(CliTest, ShardBuildThenQueryManifestMatchesUnsharded) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  const std::string params = " --algo prsim --eps 0.4 --seed 5";
+  ASSERT_EQ(Run("index --graph " + Path("g.txt") + " --out " + Path("g.idx") +
+                params),
+            0);
+  std::string unsharded;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") + " --index " +
+                    Path("g.idx") + " --source 11 --k 5" + params,
+                &unsharded),
+            0)
+      << unsharded;
+
+  std::string build;
+  ASSERT_EQ(Run("shard-build --graph " + Path("g.txt") + " --out-dir " +
+                    Path("bundle") + " --shards 3" + params,
+                &build),
+            0)
+      << build;
+  EXPECT_NE(build.find("shards=3"), std::string::npos) << build;
+  std::string sharded;
+  ASSERT_EQ(Run("query --manifest " + Path("bundle/manifest.bin") +
+                    " --source 11 --k 5",
+                &sharded),
+            0)
+      << sharded;
+  ASSERT_FALSE(ScoreLines(unsharded).empty()) << unsharded;
+  EXPECT_EQ(ScoreLines(sharded), ScoreLines(unsharded));
+}
+
+TEST_F(CliTest, ManifestIsMutuallyExclusiveWithGraphFlags) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  ASSERT_EQ(Run("shard-build --graph " + Path("g.txt") + " --out-dir " +
+                Path("bundle") + " --shards 2 --algo prsim --eps 0.4"),
+            0);
+  const std::string manifest = Path("bundle/manifest.bin");
+  EXPECT_EQ(Run("query --manifest " + manifest + " --graph " + Path("g.txt") +
+                " --source 1"),
+            2);
+  EXPECT_EQ(Run("query --manifest " + manifest + " --algo prsim --source 1"),
+            2);
+  EXPECT_EQ(Run("serve --manifest " + manifest + " --graph " + Path("g.txt") +
+                " --stdin"),
+            2);
+  EXPECT_EQ(Run("query --source 1"), 2);  // neither --graph nor --manifest
+}
+
+// serve --manifest must answer the same request stream identically to the
+// unsharded serve loop — including a final line with no trailing newline.
+TEST_F(CliTest, ServeManifestMatchesUnshardedServe) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  const std::string params = " --algo prsim --eps 0.4 --seed 5";
+  ASSERT_EQ(Run("shard-build --graph " + Path("g.txt") + " --out-dir " +
+                Path("bundle") + " --shards 3" + params),
+            0);
+  // Deliberately no trailing newline after the last request.
+  std::ofstream(Path("in.txt")) << "1\n2 5\n7";
+  std::string unsharded, sharded;
+  ASSERT_EQ(Run("serve --graph " + Path("g.txt") + " --stdin" + params +
+                    " < " + Path("in.txt"),
+                &unsharded),
+            0)
+      << unsharded;
+  ASSERT_EQ(Run("serve --manifest " + Path("bundle/manifest.bin") +
+                    " --stdin --threads 2 < " + Path("in.txt"),
+                &sharded),
+            0)
+      << sharded;
+  std::vector<std::string> results_unsharded, results_sharded;
+  for (auto [results, output] :
+       {std::pair{&results_unsharded, &unsharded},
+        std::pair{&results_sharded, &sharded}}) {
+    std::istringstream stream(*output);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (line.rfind("result ", 0) == 0) results->push_back(line);
+    }
+  }
+  ASSERT_EQ(results_unsharded.size(), 3u) << unsharded;  // "7" was answered
+  EXPECT_EQ(results_sharded, results_unsharded);
+  EXPECT_NE(sharded.find("served queries=3 failed=0"), std::string::npos)
+      << sharded;
+}
+
+TEST_F(CliTest, ShardBuildRequiresGraphAndOutDir) {
+  EXPECT_EQ(Run("shard-build --out-dir " + Path("bundle")), 2);
+  EXPECT_EQ(Run("shard-build --graph " + Path("g.txt")), 2);
+  EXPECT_EQ(Run("shard-build --graph " + Path("g.txt") + " --out-dir " +
+                Path("bundle") + " --shards 0"),
+            2);
+}
+
 // --params routes engine knobs and the dedicated flags still win; the same
 // (seed, params) setting must reproduce the same top-k.
 TEST_F(CliTest, AlgoQueryDeterministicUnderSeed) {

@@ -500,6 +500,45 @@ TEST_F(CacheDirTest, MissingDirectoryIsANoop) {
   EXPECT_EQ(stats.bytes_remaining, 0u);
 }
 
+TEST_F(CacheDirTest, TouchReordersTheWholeEvictionQueue) {
+  // Touching the oldest file demotes what was second-oldest to the front
+  // of the eviction queue: recency, not creation order, decides.
+  WriteFile("oldest.idx", 400, 40);
+  WriteFile("middle.idx", 400, 30);
+  WriteFile("newest.idx", 400, 1);
+  TouchFile((dir_ / "oldest.idx").string());
+  CacheEvictionStats stats = EvictLruFiles(dir_.string(), 900);
+  EXPECT_EQ(stats.files_removed, 1u);
+  EXPECT_FALSE(Exists("middle.idx"));
+  EXPECT_TRUE(Exists("oldest.idx"));
+  EXPECT_TRUE(Exists("newest.idx"));
+  // A second trim round continues in the same recency order.
+  stats = EvictLruFiles(dir_.string(), 500);
+  EXPECT_EQ(stats.files_removed, 1u);
+  EXPECT_FALSE(Exists("newest.idx"));
+  EXPECT_TRUE(Exists("oldest.idx"));
+}
+
+TEST_F(CacheDirTest, CapSmallerThanOneEntryStillConverges) {
+  // A nonzero cap below the smallest file must drain the directory rather
+  // than loop or stop early: no subset of files fits the budget.
+  WriteFile("a.idx", 300, 3);
+  WriteFile("b.idx", 300, 2);
+  WriteFile("c.idx", 300, 1);
+  const CacheEvictionStats stats = EvictLruFiles(dir_.string(), 100);
+  EXPECT_EQ(stats.files_removed, 3u);
+  EXPECT_EQ(stats.bytes_removed, 900u);
+  EXPECT_EQ(stats.bytes_remaining, 0u);
+}
+
+TEST_F(CacheDirTest, EmptyDirectoryEvictionIsANoop) {
+  const CacheEvictionStats stats = EvictLruFiles(dir_.string(), 0);
+  EXPECT_EQ(stats.files_removed, 0u);
+  EXPECT_EQ(stats.bytes_removed, 0u);
+  EXPECT_EQ(stats.bytes_remaining, 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir_));
+}
+
 // --------------------------------------------------------------------------
 // Timers
 // --------------------------------------------------------------------------

@@ -11,11 +11,27 @@
 //                       [--seed S] [--threads T]
 //       Builds the index of any persistent engine (prsim, sling, reads,
 //       tsf) and serializes it as a fingerprinted artifact.
+//   prsim_cli shard-build --graph g.txt --out-dir DIR [--shards N]
+//                       [--strategy hash|range] [--algo prsim]
+//                       [--params k=v,k=v] [--eps 0.1] [--c 0.6] [--j0 N]
+//                       [--seed S] [--threads T]
+//       Builds a self-contained shard bundle: graph artifact, engine index
+//       (for persistent engines), and a manifest recording the engine,
+//       its params, and the deterministic partition spec. `query
+//       --manifest` and `serve --manifest` reconstruct the whole serving
+//       topology from the manifest alone.
 //   prsim_cli query     --graph g.txt --source U [--algo prsim]
 //                       [--params k=v,k=v] [--index g.idx] [--eps 0.1]
 //                       [--c 0.6] [--k 20] [--seed S] [--j0 N] [--alpha A]
 //                       [--rounds R] [--threads T] [--paper-constants]
 //                       [--format text|tsv|json] [--sources-file f.txt]
+//       Alternatively: prsim_cli query --manifest DIR/manifest.bin
+//                       --source U [--k 20] [--threads T] [--format ...]
+//                       [--sources-file f.txt]
+//       routes the query through the shard bundle's router; --manifest is
+//       mutually exclusive with --graph/--index/--algo/--params (the
+//       manifest already records all of them) and answers bit-identically
+//       to the unsharded command at any shard count.
 //       Answers a single-source query with any registry engine (loading a
 //       saved index if given — the artifact must match the graph and the
 //       index-shaping options — otherwise preprocessing in-process) and
@@ -35,6 +51,11 @@
 //   prsim_cli serve     --graph g.txt --stdin [--algo prsim] [--index g.idx]
 //                       [--params k=v,k=v] [--k 20] [--threads T]
 //                       [--queue N] [--reject]
+//       Alternatively: prsim_cli serve --manifest DIR/manifest.bin --stdin
+//       serves the shard bundle: one QueryService per shard, requests
+//       routed by source ownership, global positional seeds — the sharded
+//       loop answers every request stream bit-identically to the unsharded
+//       one. Same mutual exclusion as `query --manifest`.
 //       Long-lived query loop over the async QueryService: reads
 //       newline-delimited requests "<source> [k]" from stdin, pipelines
 //       them through the service's bounded queue (--queue, --reject), and
@@ -54,12 +75,14 @@
 // produced by this tool when the path ends in ".bin".
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <initializer_list>
 #include <iostream>
 #include <memory>
@@ -73,6 +96,9 @@
 #include "core/engine_registry.h"
 #include "core/prsim.h"
 #include "core/query_service.h"
+#include "core/shard_manifest.h"
+#include "core/shard_router.h"
+#include "graph/partition.h"
 #include "eval/datasets.h"
 #include "gen/barabasi_albert.h"
 #include "gen/chung_lu.h"
@@ -335,6 +361,60 @@ int CmdIndex(const Flags& flags) {
   return 0;
 }
 
+int CmdShardBuild(const Flags& flags) {
+  const std::string graph_path = flags.Get("graph", "");
+  const std::string out_dir = flags.Get("out-dir", "");
+  if (graph_path.empty() || out_dir.empty()) {
+    std::fprintf(stderr, "shard-build: --graph and --out-dir are required\n");
+    return 2;
+  }
+  const std::string algo = flags.Get("algo", "prsim");
+  const EngineInfo* info = EngineRegistry::Global().Find(algo);
+  if (info == nullptr) {
+    std::fprintf(stderr,
+                 "shard-build: unknown --algo '%s' (run `prsim_cli algos`)\n",
+                 algo.c_str());
+    return 2;
+  }
+  PartitionSpec spec;
+  spec.shards = flags.GetUint32("shards", 1);
+  auto strategy = ParsePartitionStrategy(flags.Get("strategy", "hash"));
+  if (!strategy.ok()) {
+    std::fprintf(stderr, "shard-build: %s\n",
+                 strategy.status().ToString().c_str());
+    return 2;
+  }
+  spec.strategy = strategy.ValueOrDie();
+  if (Status st = ValidatePartitionSpec(spec); !st.ok()) {
+    std::fprintf(stderr, "shard-build: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  EngineConfig config;
+  if (const int rc = BuildEngineConfig(flags, &config); rc != 0) return rc;
+  if (Status st = EngineRegistry::Global().Validate(info->name, config);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  auto graph = LoadAnyGraph(graph_path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  WallTimer timer;
+  auto manifest = BuildShardBundle(graph.ValueOrDie(), info->name, config,
+                                   spec, out_dir);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "%s\n", manifest.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "built shard bundle: algo=%s shards=%u strategy=%s in %.2fs -> %s\n",
+      info->name.c_str(), spec.shards, PartitionStrategyName(spec.strategy),
+      timer.Seconds(), manifest.ValueOrDie().c_str());
+  return 0;
+}
+
 /// Output format of `query`: human text (default) or machine-readable
 /// tsv/json carrying the scores, QueryCost counters, and timings.
 enum class QueryFormat { kText, kTsv, kJson };
@@ -351,17 +431,17 @@ std::vector<std::pair<const char*, unsigned long long>> CostFields(
           {"index_tuples_read", cost.index_tuples_read}};
 }
 
-void PrintQueryTsv(const SingleSourceSimRank& engine, NodeId source,
-                   uint32_t k, double preprocess_seconds,
+void PrintQueryTsv(const std::string& algo, const QueryCost& cost,
+                   NodeId source, uint32_t k, double preprocess_seconds,
                    double query_seconds, size_t nonzero,
                    const ScoreList& topk) {
-  std::printf("meta\talgo\t%s\n", engine.name().c_str());
+  std::printf("meta\talgo\t%s\n", algo.c_str());
   std::printf("meta\tsource\t%u\n", source);
   std::printf("meta\tk\t%u\n", k);
   std::printf("meta\tpreprocess_s\t%.6f\n", preprocess_seconds);
   std::printf("meta\tquery_s\t%.6f\n", query_seconds);
   std::printf("meta\tnonzero_scores\t%zu\n", nonzero);
-  for (const auto& [name, value] : CostFields(engine.last_query_cost())) {
+  for (const auto& [name, value] : CostFields(cost)) {
     std::printf("meta\t%s\t%llu\n", name, value);
   }
   for (const auto& [v, s] : topk) {
@@ -369,18 +449,18 @@ void PrintQueryTsv(const SingleSourceSimRank& engine, NodeId source,
   }
 }
 
-void PrintQueryJson(const SingleSourceSimRank& engine, NodeId source,
-                    uint32_t k, double preprocess_seconds,
+void PrintQueryJson(const std::string& algo, const QueryCost& cost,
+                    NodeId source, uint32_t k, double preprocess_seconds,
                     double query_seconds, size_t nonzero,
                     const ScoreList& topk) {
-  std::printf("{\"algo\":\"%s\",\"source\":%u,\"k\":%u,",
-              engine.name().c_str(), source, k);
+  std::printf("{\"algo\":\"%s\",\"source\":%u,\"k\":%u,", algo.c_str(),
+              source, k);
   std::printf("\"preprocess_seconds\":%.6f,\"query_seconds\":%.6f,",
               preprocess_seconds, query_seconds);
   std::printf("\"nonzero_scores\":%zu,", nonzero);
   std::printf("\"cost\":{");
   bool first = true;
-  for (const auto& [name, value] : CostFields(engine.last_query_cost())) {
+  for (const auto& [name, value] : CostFields(cost)) {
     std::printf("%s\"%s\":%llu", first ? "" : ",", name, value);
     first = false;
   }
@@ -413,20 +493,18 @@ bool ParseNodeId(const std::string& token, NodeId n, NodeId* id,
   return true;
 }
 
-/// Batch mode of `query`: answers every valid node id in `sources_path`
-/// through the shared thread pool and reports latency percentiles. Invalid
-/// lines are reported individually on stderr and skipped; any such line
-/// turns the exit code into 3 (0 = clean batch, 1 = I/O failure).
-int RunBatchQuery(SingleSourceSimRank& engine, const std::string& sources_path,
-                  QueryFormat format, uint32_t k, size_t threads) {
+/// Reads a sources file (one node id per line, '#' comments) into
+/// *sources, counting malformed/out-of-range lines in *invalid (each
+/// reported on stderr). Returns the batch-mode exit code: 0 to proceed, 1
+/// on unreadable file or no valid sources (3 if invalid lines were seen).
+int ReadSourcesFile(const std::string& sources_path, NodeId n,
+                    std::vector<NodeId>* sources, size_t* invalid) {
   std::ifstream in(sources_path);
   if (!in) {
     std::fprintf(stderr, "query: cannot open --sources-file %s\n",
                  sources_path.c_str());
     return 1;
   }
-  std::vector<NodeId> sources;
-  size_t invalid = 0;
   size_t line_no = 0;
   std::string line;
   while (std::getline(in, line)) {
@@ -435,26 +513,30 @@ int RunBatchQuery(SingleSourceSimRank& engine, const std::string& sources_path,
     if (token.empty()) continue;
     NodeId id = 0;
     std::string error;
-    if (!ParseNodeId(token, engine.node_count(), &id, &error)) {
+    if (!ParseNodeId(token, n, &id, &error)) {
       std::fprintf(stderr, "%s:%zu: %s\n", sources_path.c_str(), line_no,
                    error.c_str());
-      ++invalid;
+      ++*invalid;
       continue;
     }
-    sources.push_back(id);
+    sources->push_back(id);
   }
-  if (sources.empty()) {
+  if (sources->empty()) {
     std::fprintf(stderr, "query: no valid sources in %s\n",
                  sources_path.c_str());
-    return invalid > 0 ? 3 : 1;
+    return *invalid > 0 ? 3 : 1;
   }
+  return 0;
+}
 
-  WallTimer timer;
-  const BatchQueryResult batch = BatchQueryWithStats(engine, sources, threads);
-  const double total_seconds = timer.Seconds();
-  const QueryCost& cost = batch.cost;
+/// Renders a finished batch in the same shape for the unsharded and
+/// sharded paths, so their score lines diff clean.
+void PrintBatch(const std::string& algo, QueryFormat format,
+                const std::vector<NodeId>& sources,
+                const std::vector<ScoreList>& topk, size_t invalid,
+                double total_seconds, const QueryCost& cost) {
   if (format == QueryFormat::kTsv) {
-    std::printf("meta\talgo\t%s\n", engine.name().c_str());
+    std::printf("meta\talgo\t%s\n", algo.c_str());
     std::printf("meta\tqueries\t%zu\n", sources.size());
     std::printf("meta\tinvalid\t%zu\n", invalid);
     std::printf("meta\tbatch_s\t%.6f\n", total_seconds);
@@ -462,14 +544,14 @@ int RunBatchQuery(SingleSourceSimRank& engine, const std::string& sources_path,
     std::printf("meta\tp95_ms\t%.6f\n", cost.latency_p95_seconds * 1e3);
     std::printf("meta\tp99_ms\t%.6f\n", cost.latency_p99_seconds * 1e3);
     for (size_t i = 0; i < sources.size(); ++i) {
-      for (const auto& [v, s] : TopK(batch.scores[i], k, sources[i])) {
+      for (const auto& [v, s] : topk[i]) {
         std::printf("score\t%u\t%u\t%.17g\n", sources[i], v, s);
       }
     }
   } else {
     for (size_t i = 0; i < sources.size(); ++i) {
       std::printf("source %u:\n", sources[i]);
-      for (const auto& [v, s] : TopK(batch.scores[i], k, sources[i])) {
+      for (const auto& [v, s] : topk[i]) {
         std::printf("  %-10u %.6f\n", v, s);
       }
     }
@@ -480,13 +562,84 @@ int RunBatchQuery(SingleSourceSimRank& engine, const std::string& sources_path,
         cost.latency_p50_seconds * 1e3, cost.latency_p95_seconds * 1e3,
         cost.latency_p99_seconds * 1e3);
   }
+}
+
+/// Batch mode of `query`: answers every valid node id in `sources_path`
+/// through the shared thread pool and reports latency percentiles. Invalid
+/// lines are reported individually on stderr and skipped; any such line
+/// turns the exit code into 3 (0 = clean batch, 1 = I/O failure).
+int RunBatchQuery(SingleSourceSimRank& engine, const std::string& sources_path,
+                  QueryFormat format, uint32_t k, size_t threads) {
+  std::vector<NodeId> sources;
+  size_t invalid = 0;
+  if (const int rc = ReadSourcesFile(sources_path, engine.node_count(),
+                                     &sources, &invalid);
+      rc != 0) {
+    return rc;
+  }
+
+  WallTimer timer;
+  const BatchQueryResult batch = BatchQueryWithStats(engine, sources, threads);
+  const double total_seconds = timer.Seconds();
+  std::vector<ScoreList> topk(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    topk[i] = TopK(batch.scores[i], k, sources[i]);
+  }
+  PrintBatch(engine.name(), format, sources, topk, invalid, total_seconds,
+             batch.cost);
+  return invalid > 0 ? 3 : 0;
+}
+
+/// Batch mode of `query --manifest`: the same request stream pushed through
+/// the shard router. Global positional seeds make the scores bit-identical
+/// to RunBatchQuery over the same sources at any shard count.
+int RunBatchQueryManifest(ShardRouter& router, const std::string& algo,
+                          const std::string& sources_path, QueryFormat format,
+                          uint32_t k) {
+  std::vector<NodeId> sources;
+  size_t invalid = 0;
+  if (const int rc =
+          ReadSourcesFile(sources_path, router.node_count(), &sources,
+                          &invalid);
+      rc != 0) {
+    return rc;
+  }
+
+  WallTimer timer;
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(sources.size());
+  for (const NodeId source : sources) futures.push_back(router.Submit(source));
+  std::vector<ScoreList> topk(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    QueryResult result = futures[i].get();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "%s\n", result.status.ToString().c_str());
+      return 1;
+    }
+    topk[i] = TopK(result.scores, k, sources[i]);
+  }
+  const double total_seconds = timer.Seconds();
+  PrintBatch(algo, format, sources, topk, invalid, total_seconds,
+             router.Stats().aggregate_cost);
   return invalid > 0 ? 3 : 0;
 }
 
 int CmdQuery(const Flags& flags) {
+  const std::string manifest_path = flags.Get("manifest", "");
   const std::string graph_path = flags.Get("graph", "");
-  if (graph_path.empty()) {
-    std::fprintf(stderr, "query: --graph is required\n");
+  if (!manifest_path.empty()) {
+    // The manifest already records the graph, index, engine, and params; a
+    // conflicting flag is a confused invocation, not an override request.
+    for (const char* conflicting : {"graph", "index", "algo", "params"}) {
+      if (flags.HasValue(conflicting)) {
+        std::fprintf(stderr,
+                     "query: --manifest is mutually exclusive with --%s\n",
+                     conflicting);
+        return 2;
+      }
+    }
+  } else if (graph_path.empty()) {
+    std::fprintf(stderr, "query: --graph or --manifest is required\n");
     return 2;
   }
   // Validate the cheap inputs — the algo name, its config, --source, --k,
@@ -524,6 +677,78 @@ int CmdQuery(const Flags& flags) {
                  "query: --sources-file supports --format text or tsv\n");
     return 2;
   }
+
+  if (!manifest_path.empty()) {
+    if (flags.HasValue("threads") && flags.GetInt("threads", 1) == 0) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return 2;
+    }
+    const auto source = static_cast<NodeId>(flags.GetUint32("source", 0));
+    const uint32_t k = flags.GetUint32("k", 20);
+    FILE* progress = format == QueryFormat::kText ? stdout : stderr;
+
+    ShardRouterOptions router_options;
+    router_options.threads_per_shard =
+        static_cast<size_t>(flags.GetInt("threads", 0));
+    WallTimer open_timer;
+    auto router_result = ShardRouter::Open(manifest_path, router_options);
+    if (!router_result.ok()) {
+      std::fprintf(stderr, "%s\n", router_result.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<ShardRouter> router =
+        std::move(router_result).ValueOrDie();
+    const double open_seconds = open_timer.Seconds();
+    // The engine's display name ("PRSim"), so sharded output lines diff
+    // clean against the unsharded command's.
+    const EngineInfo* served =
+        EngineRegistry::Global().Find(router->manifest().algo);
+    const std::string algo_name =
+        served != nullptr ? served->display_name : router->manifest().algo;
+    std::fprintf(progress, "opened %u shard(s) of %s from %s in %.2fs\n",
+                 router->shard_count(), algo_name.c_str(),
+                 manifest_path.c_str(), open_seconds);
+
+    if (!sources_path.empty()) {
+      return RunBatchQueryManifest(*router, algo_name, sources_path, format,
+                                   k);
+    }
+    if (source >= router->node_count()) {
+      std::fprintf(stderr, "query: --source %u out of range (n = %u)\n",
+                   source, router->node_count());
+      return 2;
+    }
+    WallTimer query_timer;
+    const QueryResult result = router->QueryFresh(source);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "%s\n", result.status.ToString().c_str());
+      return 1;
+    }
+    const double query_seconds = query_timer.Seconds();
+    const ScoreList topk = TopK(result.scores, k, source);
+    if (format == QueryFormat::kTsv) {
+      PrintQueryTsv(algo_name, result.cost, source, k, open_seconds,
+                    query_seconds, result.scores.size(), topk);
+      return 0;
+    }
+    if (format == QueryFormat::kJson) {
+      PrintQueryJson(algo_name, result.cost, source, k, open_seconds,
+                     query_seconds, result.scores.size(), topk);
+      return 0;
+    }
+    std::printf("query answered in %.4fs (%zu non-zero scores)\n",
+                query_seconds, result.scores.size());
+    std::printf("cost: algo=%s", algo_name.c_str());
+    for (const auto& [name, value] : CostFields(result.cost)) {
+      std::printf(" %s=%llu", name, value);
+    }
+    std::printf("\n");
+    for (const auto& [v, s] : topk) {
+      std::printf("%-10u %.6f\n", v, s);
+    }
+    return 0;
+  }
+
   EngineConfig config;
   if (const int rc = BuildEngineConfig(flags, &config); rc != 0) return rc;
   if (Status st = EngineRegistry::Global().Validate(algo, config); !st.ok()) {
@@ -591,13 +816,13 @@ int CmdQuery(const Flags& flags) {
   const double query_seconds = query_timer.Seconds();
   const ScoreList topk = TopK(scores, k, source);
   if (format == QueryFormat::kTsv) {
-    PrintQueryTsv(*engine, source, k, preprocess_seconds, query_seconds,
-                  scores.size(), topk);
+    PrintQueryTsv(engine->name(), engine->last_query_cost(), source, k,
+                  preprocess_seconds, query_seconds, scores.size(), topk);
     return 0;
   }
   if (format == QueryFormat::kJson) {
-    PrintQueryJson(*engine, source, k, preprocess_seconds, query_seconds,
-                   scores.size(), topk);
+    PrintQueryJson(engine->name(), engine->last_query_cost(), source, k,
+                   preprocess_seconds, query_seconds, scores.size(), topk);
     return 0;
   }
   std::printf("query answered in %.4fs (%zu non-zero scores)\n",
@@ -613,19 +838,158 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
+/// The stdin read/submit/drain loop shared by the unsharded and sharded
+/// `serve` paths. Requests are pipelined: each valid line is submitted
+/// immediately; answers print in submission order, each flushed before the
+/// next read so interactive clients see responses without waiting for the
+/// in-flight window to fill or for EOF (ready futures are drained eagerly
+/// after every submit). std::getline delivers a final line even without a
+/// trailing newline, so piped clients that omit it still get an answer.
+/// Returns the number of failed lines.
+size_t ServeStdinLoop(
+    NodeId n, uint32_t default_k, size_t window,
+    const std::function<std::future<QueryResult>(NodeId, uint32_t)>& submit) {
+  struct Pending {
+    size_t line_no = 0;
+    NodeId source = 0;
+    std::future<QueryResult> future;
+  };
+  std::deque<Pending> pending;
+  size_t bad_lines = 0;
+  size_t line_no = 0;
+
+  const auto drain_one = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    const QueryResult result = p.future.get();
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "line %zu: %s\n", p.line_no,
+                   result.status.ToString().c_str());
+      ++bad_lines;
+      return;
+    }
+    std::printf("result %u", p.source);
+    for (size_t i = 0; i < result.scores.size(); ++i) {
+      std::printf("%c%u:%.6g", i == 0 ? ' ' : ',', result.scores[i].first,
+                  result.scores[i].second);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    ++line_no;
+    const std::string trimmed = TrimLine(line);
+    if (trimmed.empty()) continue;
+    std::istringstream tokens(trimmed);
+    std::string source_token, k_token, extra;
+    tokens >> source_token >> k_token >> extra;
+    NodeId source = 0;
+    uint32_t k = default_k;
+    std::string error;
+    if (!extra.empty()) {
+      error = "expected \"<source> [k]\", got '" + trimmed + "'";
+    } else if (!ParseNodeId(source_token, n, &source, &error)) {
+      // error filled by ParseNodeId
+    } else if (!k_token.empty()) {
+      uint64_t k_value = 0;
+      if (!ParseUint64(k_token, &k_value) || k_value == 0 ||
+          k_value > UINT32_MAX) {
+        error = "invalid k '" + k_token + "'";
+      } else {
+        k = static_cast<uint32_t>(k_value);
+      }
+    }
+    if (!error.empty()) {
+      std::fprintf(stderr, "line %zu: %s\n", line_no, error.c_str());
+      ++bad_lines;
+      continue;
+    }
+    pending.push_back({line_no, source, submit(source, k)});
+    while (pending.size() >= window) drain_one();
+    // Eager drain: everything already answered streams out now, so light
+    // interactive load gets its responses immediately instead of at EOF.
+    while (!pending.empty() &&
+           pending.front().future.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready) {
+      drain_one();
+    }
+  }
+  while (!pending.empty()) drain_one();
+  return bad_lines;
+}
+
+void PrintServedStats(const ServiceStats& stats) {
+  std::printf(
+      "served queries=%llu failed=%llu rejected=%llu p50_ms=%.3f "
+      "p95_ms=%.3f p99_ms=%.3f\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected), stats.p50_seconds * 1e3,
+      stats.p95_seconds * 1e3, stats.p99_seconds * 1e3);
+}
+
 /// Long-lived stdin query loop over the async QueryService. One request per
 /// line: "<source> [k]". Invalid lines get a per-line error on stderr and
 /// the loop keeps serving; the exit code records whether any line failed.
 int CmdServe(const Flags& flags) {
+  const std::string manifest_path = flags.Get("manifest", "");
   const std::string graph_path = flags.Get("graph", "");
-  if (graph_path.empty()) {
-    std::fprintf(stderr, "serve: --graph is required\n");
+  if (!manifest_path.empty()) {
+    for (const char* conflicting : {"graph", "index", "algo", "params"}) {
+      if (flags.HasValue(conflicting)) {
+        std::fprintf(stderr,
+                     "serve: --manifest is mutually exclusive with --%s\n",
+                     conflicting);
+        return 2;
+      }
+    }
+  } else if (graph_path.empty()) {
+    std::fprintf(stderr, "serve: --graph or --manifest is required\n");
     return 2;
   }
   if (!flags.Has("stdin")) {
     std::fprintf(stderr,
                  "serve: --stdin is required (the only transport so far)\n");
     return 2;
+  }
+
+  if (!manifest_path.empty()) {
+    if (flags.HasValue("threads") && flags.GetInt("threads", 1) == 0) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return 2;
+    }
+    const uint32_t default_k = flags.GetUint32("k", 20);
+    ShardRouterOptions options;
+    options.threads_per_shard =
+        static_cast<size_t>(flags.GetInt("threads", 0));
+    options.max_queue = static_cast<size_t>(flags.GetInt("queue", 1024));
+    if (options.max_queue == 0) {
+      std::fprintf(stderr, "serve: --queue must be positive\n");
+      return 2;
+    }
+    if (flags.Has("reject")) {
+      options.backpressure = QueryServiceOptions::Backpressure::kReject;
+    }
+    WallTimer start_timer;
+    auto router_result = ShardRouter::Open(manifest_path, options);
+    if (!router_result.ok()) {
+      std::fprintf(stderr, "%s\n", router_result.status().ToString().c_str());
+      return 1;
+    }
+    std::unique_ptr<ShardRouter> router =
+        std::move(router_result).ValueOrDie();
+    std::fprintf(stderr,
+                 "serving %s on stdin: %u shard(s), n=%u, ready in %.2fs; "
+                 "lines are \"<source> [k]\"\n",
+                 router->manifest().algo.c_str(), router->shard_count(),
+                 router->node_count(), start_timer.Seconds());
+    const size_t bad_lines = ServeStdinLoop(
+        router->node_count(), default_k, options.max_queue,
+        [&](NodeId source, uint32_t k) { return router->Submit(source, k); });
+    PrintServedStats(router->Stats());
+    return bad_lines > 0 ? 3 : 0;
   }
   const std::string algo = flags.Get("algo", "prsim");
   const EngineInfo* info = EngineRegistry::Global().Find(algo);
@@ -684,88 +1048,20 @@ int CmdServe(const Flags& flags) {
                info->name.c_str(), graph.n(), service.threads(),
                start_timer.Seconds());
 
-  // Requests are pipelined: each valid line is submitted immediately and
-  // results are collected (and printed) in submission order once the
-  // in-flight window fills, so the service's workers, bounded queue, and
-  // backpressure policy all see real concurrent load. Positional seeds are
-  // assigned at submission, so answers are independent of --threads.
-  struct Pending {
-    size_t line_no = 0;
-    NodeId source = 0;
-    std::future<QueryResult> future;
-  };
-  std::deque<Pending> pending;
-  size_t bad_lines = 0;
-  size_t line_no = 0;
   // Never submit beyond the service's own queue bound: stdin is a single
   // well-behaved client, so overrunning it would make --reject shed our
   // own valid lines. (--reject still matters once multiple clients share
-  // a service; here it simply never fires.)
-  const size_t window = options.max_queue;
-
-  const auto drain_one = [&] {
-    Pending p = std::move(pending.front());
-    pending.pop_front();
-    const QueryResult result = p.future.get();
-    if (!result.status.ok()) {
-      std::fprintf(stderr, "line %zu: %s\n", p.line_no,
-                   result.status.ToString().c_str());
-      ++bad_lines;
-      return;
-    }
-    std::printf("result %u", p.source);
-    for (size_t i = 0; i < result.scores.size(); ++i) {
-      std::printf("%c%u:%.6g", i == 0 ? ' ' : ',', result.scores[i].first,
-                  result.scores[i].second);
-    }
-    std::printf("\n");
-    std::fflush(stdout);
-  };
-
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    ++line_no;
-    const std::string trimmed = TrimLine(line);
-    if (trimmed.empty()) continue;
-    std::istringstream tokens(trimmed);
-    std::string source_token, k_token, extra;
-    tokens >> source_token >> k_token >> extra;
-    QueryRequest request;
-    request.k = default_k;
-    std::string error;
-    if (!extra.empty()) {
-      error = "expected \"<source> [k]\", got '" + trimmed + "'";
-    } else if (!ParseNodeId(source_token, graph.n(), &request.source,
-                            &error)) {
-      // error filled by ParseNodeId
-    } else if (!k_token.empty()) {
-      uint64_t k_value = 0;
-      if (!ParseUint64(k_token, &k_value) || k_value == 0 ||
-          k_value > UINT32_MAX) {
-        error = "invalid k '" + k_token + "'";
-      } else {
-        request.k = static_cast<uint32_t>(k_value);
-      }
-    }
-    if (!error.empty()) {
-      std::fprintf(stderr, "line %zu: %s\n", line_no, error.c_str());
-      ++bad_lines;
-      continue;
-    }
-    const NodeId source = request.source;
-    pending.push_back({line_no, source, service.Submit(std::move(request))});
-    while (pending.size() >= window) drain_one();
-  }
-  while (!pending.empty()) drain_one();
-
-  const ServiceStats stats = service.Stats();
-  std::printf(
-      "served queries=%llu failed=%llu rejected=%llu p50_ms=%.3f "
-      "p95_ms=%.3f p99_ms=%.3f\n",
-      static_cast<unsigned long long>(stats.completed),
-      static_cast<unsigned long long>(stats.failed),
-      static_cast<unsigned long long>(stats.rejected), stats.p50_seconds * 1e3,
-      stats.p95_seconds * 1e3, stats.p99_seconds * 1e3);
+  // a service; here it simply never fires.) Positional seeds are assigned
+  // at submission, so answers are independent of --threads.
+  const size_t bad_lines = ServeStdinLoop(
+      graph.n(), default_k, options.max_queue,
+      [&](NodeId source, uint32_t k) {
+        QueryRequest request;
+        request.source = source;
+        request.k = k;
+        return service.Submit(std::move(request));
+      });
+  PrintServedStats(service.Stats());
   return bad_lines > 0 ? 3 : 0;
 }
 
@@ -818,10 +1114,11 @@ int CmdGenerate(const Flags& flags) {
 }
 
 void Usage() {
-  std::fprintf(stderr,
-               "usage: prsim_cli <stats|algos|index|query|serve|generate> "
-               "[--flags]\n"
-               "  see the header comment of tools/prsim_cli.cc\n");
+  std::fprintf(
+      stderr,
+      "usage: prsim_cli "
+      "<stats|algos|index|shard-build|query|serve|generate> [--flags]\n"
+      "  see the header comment of tools/prsim_cli.cc\n");
 }
 
 /// Parses the flags a subcommand accepts and runs it, or reports the parse
@@ -858,17 +1155,24 @@ int main(int argc, char** argv) {
                      "seed", "threads"},
                     {}, CmdIndex);
   }
+  if (command == "shard-build") {
+    return Dispatch(argc, argv,
+                    {"graph", "out-dir", "shards", "strategy", "algo",
+                     "params", "eps", "c", "j0", "seed", "threads"},
+                    {}, CmdShardBuild);
+  }
   if (command == "query") {
     return Dispatch(argc, argv,
-                    {"graph", "index", "source", "sources-file", "eps", "c",
-                     "k", "seed", "algo", "params", "j0", "alpha", "rounds",
-                     "threads", "format"},
+                    {"graph", "index", "manifest", "source", "sources-file",
+                     "eps", "c", "k", "seed", "algo", "params", "j0", "alpha",
+                     "rounds", "threads", "format"},
                     {"paper-constants"}, CmdQuery);
   }
   if (command == "serve") {
     return Dispatch(argc, argv,
-                    {"graph", "index", "eps", "c", "k", "seed", "algo",
-                     "params", "j0", "alpha", "rounds", "threads", "queue"},
+                    {"graph", "index", "manifest", "eps", "c", "k", "seed",
+                     "algo", "params", "j0", "alpha", "rounds", "threads",
+                     "queue"},
                     {"stdin", "reject", "paper-constants"}, CmdServe);
   }
   if (command == "generate") {
