@@ -1,0 +1,405 @@
+// Open-loop TCP serving throughput: the service-level companion to
+// bench_query_latency's engine-level numbers.
+//
+// The bench stands up the real network stack — TcpServer over a
+// QueryService (unsharded) and over a ShardRouter on a freshly built
+// 3-shard bundle — and drives it with an open-loop load generator:
+// requests fire on a fixed arrival schedule t_i = i / target_qps across
+// `--connections` persistent binary-framing connections, regardless of how
+// fast responses come back, so a saturated server shows up as queueing
+// latency instead of a silently slowed request rate (the classic
+// closed-loop coordinated-omission trap). Sources are drawn from a
+// deterministic Zipf(s) distribution (util/zipf.h) — skewed traffic, like
+// real workloads on power-law graphs — and latency is measured from each
+// request's *scheduled* send time, on the wire, through the full
+// frame-encode / dispatch / positional-reseed / frame-decode path.
+//
+// For every (backend, target_qps) cell the JSON records the sustained
+// completion rate, the achieved fraction of the target, and scheduled-time
+// p50/p95/p99. Results land in BENCH_serve_throughput.json (committed at
+// the repo root; CI regenerates a small variant per commit and checks the
+// schema).
+//
+// Usage: bench_serve_throughput
+//   [--n N] [--degree D] [--eps E] [--k K] [--zipf-s S]
+//   [--connections C] [--seconds SEC] [--qps-list 50,100,200]
+//   [--workdir DIR] [--out PATH] [--port P]
+// Defaults: n=4000, degree=8, eps=0.2, k=10, zipf-s=1.0, connections=4,
+//           seconds=5, qps-list=50,100,200, workdir=bench_serve_work,
+//           out=BENCH_serve_throughput.json.
+// With --port the generator drives an already-running `serve --listen`
+// process on 127.0.0.1:P instead of the self-contained backends (one row,
+// backend "external"; --n then only sizes the Zipf source domain).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query_service.h"
+#include "core/shard_manifest.h"
+#include "core/shard_router.h"
+#include "gen/chung_lu.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "net/frame.h"
+#include "net/tcp_server.h"
+#include "util/percentiles.h"
+#include "util/rng.h"
+#include "util/socket.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace prsim;
+
+struct Args {
+  uint32_t n = 4000;
+  double degree = 8;
+  double eps = 0.2;
+  uint32_t k = 10;
+  double zipf_s = 1.0;
+  uint32_t connections = 4;
+  double seconds = 5;
+  std::vector<double> qps_list = {50, 100, 200};
+  std::string workdir = "bench_serve_work";
+  std::string out = "BENCH_serve_throughput.json";
+  /// When set, drive an external server instead of the in-process ones.
+  uint32_t port = 0;
+};
+
+bool ParseQpsList(const std::string& value, std::vector<double>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const double qps = std::strtod(value.substr(pos, comma - pos).c_str(),
+                                   nullptr);
+    if (qps <= 0) return false;
+    out->push_back(qps);
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s expects a value\n", flag.c_str());
+      return false;
+    }
+    const char* value = argv[i + 1];
+    if (flag == "--n") {
+      args->n = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--degree") {
+      args->degree = std::strtod(value, nullptr);
+    } else if (flag == "--eps") {
+      args->eps = std::strtod(value, nullptr);
+    } else if (flag == "--k") {
+      args->k = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--zipf-s") {
+      args->zipf_s = std::strtod(value, nullptr);
+    } else if (flag == "--connections") {
+      args->connections =
+          static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--seconds") {
+      args->seconds = std::strtod(value, nullptr);
+    } else if (flag == "--qps-list") {
+      if (!ParseQpsList(value, &args->qps_list)) {
+        std::fprintf(stderr, "--qps-list wants comma-separated positives\n");
+        return false;
+      }
+    } else if (flag == "--workdir") {
+      args->workdir = value;
+    } else if (flag == "--out") {
+      args->out = value;
+    } else if (flag == "--port") {
+      args->port = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->n < 100 || args->connections == 0 || args->seconds <= 0) {
+    std::fprintf(stderr,
+                 "--n must be >= 100, --connections >= 1, --seconds > 0\n");
+    return false;
+  }
+  return true;
+}
+
+struct LoadRow {
+  std::string backend;  ///< "unsharded", "sharded", or "external"
+  uint32_t shards = 1;
+  double target_qps = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double sustained_qps = 0;
+  double achieved_of_target = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+};
+
+/// One open-loop run against 127.0.0.1:port. Request i is scheduled at
+/// start + i/target_qps and routed round-robin to one of `connections`
+/// persistent binary-framing connections; a per-connection writer paces
+/// the sends while a reader matches responses (in submission order — the
+/// protocol's guarantee) against scheduled times. Deterministic request
+/// stream: sources come from ZipfSampler(n, s) under a fixed seed.
+LoadRow RunLoad(uint16_t port, const Args& args, double target_qps) {
+  LoadRow row;
+  row.target_qps = target_qps;
+  const auto total =
+      static_cast<uint64_t>(std::max(1.0, target_qps * args.seconds));
+  row.requests = total;
+
+  // Pre-draw the whole request stream so the hot loop only paces + writes.
+  ZipfSampler zipf(args.n, args.zipf_s);
+  Rng rng(20250808);
+  std::vector<NodeId> sources(total);
+  for (auto& source : sources) source = zipf.Sample(rng);
+
+  const uint32_t connections =
+      static_cast<uint32_t>(std::min<uint64_t>(args.connections, total));
+  struct Connection {
+    UniqueFd fd;
+    std::vector<uint64_t> request_indices;
+    std::vector<double> latencies;
+    uint64_t errors = 0;
+    bool transport_failed = false;
+    std::thread writer, reader;
+  };
+  std::vector<Connection> conns(connections);
+  for (uint64_t i = 0; i < total; ++i) {
+    conns[i % connections].request_indices.push_back(i);
+  }
+  for (auto& conn : conns) {
+    auto fd = ConnectTcp(port);
+    fd.status().Abort();
+    conn.fd = std::move(fd).ValueOrDie();
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const auto scheduled_at = [&](uint64_t i) {
+    return start + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(i / target_qps));
+  };
+
+  for (auto& conn : conns) {
+    conn.writer = std::thread([&conn, &args, &sources, &scheduled_at] {
+      std::vector<char> payload;
+      if (!WriteAll(conn.fd.get(), net::kBinaryMagic,
+                    sizeof(net::kBinaryMagic))
+               .ok()) {
+        conn.transport_failed = true;
+        return;
+      }
+      for (const uint64_t i : conn.request_indices) {
+        std::this_thread::sleep_until(scheduled_at(i));
+        net::WireRequest request;
+        request.source = sources[i];
+        request.k = args.k;
+        net::EncodeRequest(request, &payload);
+        if (!net::WriteFrame(conn.fd.get(), payload).ok()) {
+          conn.transport_failed = true;
+          return;
+        }
+      }
+    });
+    conn.reader = std::thread([&conn, &scheduled_at] {
+      std::vector<char> payload;
+      conn.latencies.reserve(conn.request_indices.size());
+      for (const uint64_t i : conn.request_indices) {
+        bool eof = false;
+        if (!net::ReadFrame(conn.fd.get(), &payload, &eof).ok() || eof) {
+          conn.transport_failed = true;
+          return;
+        }
+        auto response = net::DecodeResponse(payload);
+        if (!response.ok()) {
+          conn.transport_failed = true;
+          return;
+        }
+        if (response.ValueOrDie().status_code != 0) ++conn.errors;
+        // Open-loop latency: from the request's *scheduled* send time, so
+        // server-side queueing under overload is charged to the latency
+        // distribution instead of silently stretching the run.
+        const std::chrono::duration<double> waited =
+            Clock::now() - scheduled_at(i);
+        conn.latencies.push_back(waited.count());
+      }
+    });
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(total);
+  for (auto& conn : conns) {
+    conn.writer.join();
+    conn.reader.join();
+    row.errors += conn.errors;
+    if (conn.transport_failed) {
+      std::fprintf(stderr, "load connection failed mid-run\n");
+      std::exit(1);
+    }
+    latencies.insert(latencies.end(), conn.latencies.begin(),
+                     conn.latencies.end());
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  row.sustained_qps = static_cast<double>(total) / elapsed.count();
+  row.achieved_of_target = row.sustained_qps / target_qps;
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_ms = SortedQuantile(latencies, 0.50) * 1e3;
+  row.p95_ms = SortedQuantile(latencies, 0.95) * 1e3;
+  row.p99_ms = SortedQuantile(latencies, 0.99) * 1e3;
+  return row;
+}
+
+net::TcpServerOptions ServerOptions(const Args& args, NodeId n) {
+  net::TcpServerOptions options;
+  options.port = 0;  // ephemeral
+  options.node_count = n;
+  options.default_k = args.k;
+  options.max_connections = args.connections + 4;
+  return options;
+}
+
+void WriteJson(const Args& args, const Graph* graph,
+               const std::vector<LoadRow>& rows) {
+  FILE* out = std::fopen(args.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"serve_throughput\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"config\": {\"n\": %u, \"degree\": %g, \"eps\": %g, "
+               "\"k\": %u, \"zipf_s\": %g, \"connections\": %u, "
+               "\"seconds\": %g},\n",
+               args.n, args.degree, args.eps, args.k, args.zipf_s,
+               args.connections, args.seconds);
+  if (graph != nullptr) {
+    std::fprintf(out, "  \"graph\": {\"n\": %u, \"m\": %llu},\n", graph->n(),
+                 static_cast<unsigned long long>(graph->m()));
+  }
+  std::fprintf(out, "  \"runs\": [");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LoadRow& r = rows[i];
+    std::fprintf(out,
+                 "%s\n    {\"backend\": \"%s\", \"shards\": %u, "
+                 "\"target_qps\": %g, \"requests\": %llu, "
+                 "\"errors\": %llu,\n"
+                 "     \"sustained_qps\": %.6g, "
+                 "\"achieved_of_target\": %.4g,\n"
+                 "     \"latency_ms\": {\"p50\": %.6g, \"p95\": %.6g, "
+                 "\"p99\": %.6g}}",
+                 i == 0 ? "" : ",", r.backend.c_str(), r.shards,
+                 r.target_qps, static_cast<unsigned long long>(r.requests),
+                 static_cast<unsigned long long>(r.errors), r.sustained_qps,
+                 r.achieved_of_target, r.p50_ms, r.p95_ms, r.p99_ms);
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  std::vector<LoadRow> rows;
+
+  if (args.port != 0) {
+    // External mode: the server under test is someone else's process.
+    for (const double qps : args.qps_list) {
+      LoadRow row = RunLoad(static_cast<uint16_t>(args.port), args, qps);
+      row.backend = "external";
+      row.shards = 0;
+      std::fprintf(stderr,
+                   "external target=%g qps: sustained=%.1f p99=%.2fms\n",
+                   qps, row.sustained_qps, row.p99_ms);
+      rows.push_back(row);
+    }
+    WriteJson(args, nullptr, rows);
+    std::printf("wrote %s (%zu rows)\n", args.out.c_str(), rows.size());
+    return 0;
+  }
+
+  ChungLuOptions gen;
+  gen.n = args.n;
+  gen.avg_degree = args.degree;
+  gen.gamma_out = 2.0;
+  gen.seed = 1;
+  auto graph_result = GenerateChungLu(gen);
+  graph_result.status().Abort();
+  const Graph graph = std::move(graph_result).ValueOrDie();
+
+  char params[64];
+  std::snprintf(params, sizeof(params), "eps=%g,seed=5", args.eps);
+  auto config_result = EngineConfig::Parse(params);
+  config_result.status().Abort();
+  const EngineConfig config = std::move(config_result).ValueOrDie();
+
+  {
+    QueryService service;
+    service.AddEngine("prsim", graph, config).Abort();
+    auto server = net::TcpServer::Start(
+        ServerOptions(args, graph.n()),
+        [&](QueryRequest request) {
+          return service.Submit(std::move(request));
+        });
+    server.status().Abort();
+    for (const double qps : args.qps_list) {
+      LoadRow row = RunLoad(server.ValueOrDie()->port(), args, qps);
+      row.backend = "unsharded";
+      row.shards = 1;
+      std::fprintf(stderr,
+                   "unsharded target=%g qps: sustained=%.1f p99=%.2fms\n",
+                   qps, row.sustained_qps, row.p99_ms);
+      rows.push_back(row);
+    }
+  }
+
+  {
+    // 3-shard backend: real bundle on disk, real router — the cost of the
+    // global-position stamp and cross-shard routing is part of the number.
+    std::filesystem::create_directories(args.workdir);
+    PartitionSpec spec;
+    spec.shards = 3;
+    auto manifest_path =
+        BuildShardBundle(graph, "prsim", config, spec, args.workdir);
+    manifest_path.status().Abort();
+    auto router = ShardRouter::Open(manifest_path.ValueOrDie());
+    router.status().Abort();
+    auto server = net::TcpServer::Start(
+        ServerOptions(args, graph.n()),
+        [&](QueryRequest request) {
+          return router.ValueOrDie()->SubmitRequest(std::move(request));
+        });
+    server.status().Abort();
+    for (const double qps : args.qps_list) {
+      LoadRow row = RunLoad(server.ValueOrDie()->port(), args, qps);
+      row.backend = "sharded";
+      row.shards = spec.shards;
+      std::fprintf(stderr,
+                   "sharded(3) target=%g qps: sustained=%.1f p99=%.2fms\n",
+                   qps, row.sustained_qps, row.p99_ms);
+      rows.push_back(row);
+    }
+  }
+
+  WriteJson(args, &graph, rows);
+  std::printf("wrote %s (%zu rows)\n", args.out.c_str(), rows.size());
+  return 0;
+}

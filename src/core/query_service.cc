@@ -1,5 +1,6 @@
 #include "core/query_service.h"
 
+#include <cstdio>
 #include <exception>
 #include <utility>
 
@@ -7,6 +8,25 @@
 #include "core/engine_registry.h"
 
 namespace prsim {
+
+std::string ServiceStatsJson(const ServiceStats& stats,
+                             const std::string& transport) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"event\":\"serve_stats\",\"transport\":\"%s\","
+      "\"accepted\":%llu,\"completed\":%llu,\"failed\":%llu,"
+      "\"rejected\":%llu,\"queue_high_water\":%llu,"
+      "\"p50_ms\":%.6g,\"p95_ms\":%.6g,\"p99_ms\":%.6g}",
+      transport.c_str(), static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.queue_high_water),
+      stats.p50_seconds * 1e3, stats.p95_seconds * 1e3,
+      stats.p99_seconds * 1e3);
+  return buffer;
+}
 
 QueryService::QueryService(const QueryServiceOptions& options)
     : options_(options),
@@ -144,6 +164,7 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
     // workers read Engine state without the lock.
     seq = submitted_++;
     ++inflight_;
+    if (inflight_ > inflight_high_water_) inflight_high_water_ = inflight_;
   }
 
   WallTimer submit_timer;
@@ -214,6 +235,7 @@ ServiceStats QueryService::Stats() const {
   stats.completed = completed_;
   stats.failed = failed_;
   stats.rejected = rejected_;
+  stats.queue_high_water = inflight_high_water_;
   const std::vector<double> sorted = latencies_.SortedSamples();
   stats.p50_seconds = SortedQuantile(sorted, 0.50);
   stats.p95_seconds = SortedQuantile(sorted, 0.95);

@@ -93,6 +93,9 @@ struct ServiceStats {
   uint64_t completed = 0;  ///< answered successfully
   uint64_t failed = 0;     ///< invalid requests or engine failures
   uint64_t rejected = 0;   ///< refused by the kReject backpressure policy
+  /// Peak in-flight (queued + executing) requests — how close the bounded
+  /// queue came to its cap. Shard aggregations take the per-shard max.
+  uint64_t queue_high_water = 0;
   double p50_seconds = 0;
   double p95_seconds = 0;
   double p99_seconds = 0;
@@ -100,6 +103,12 @@ struct ServiceStats {
   /// percentiles mirrored into its latency_p* fields.
   QueryCost aggregate_cost;
 };
+
+/// Renders the stats as one self-describing JSON line (no trailing
+/// newline): {"event":"serve_stats","transport":"...",...}. Every serve
+/// transport emits this on stderr at exit so load runs explain themselves.
+std::string ServiceStatsJson(const ServiceStats& stats,
+                             const std::string& transport);
 
 class QueryService {
  public:
@@ -177,6 +186,7 @@ class QueryService {
   uint64_t failed_ = 0;
   uint64_t rejected_ = 0;
   size_t inflight_ = 0;
+  size_t inflight_high_water_ = 0;
   QueryCost aggregate_cost_;
   StreamingPercentiles latencies_;
 

@@ -90,31 +90,42 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
   return router;
 }
 
-std::future<QueryResult> ShardRouter::Submit(NodeId source, uint32_t k) {
+std::future<QueryResult> ShardRouter::SubmitRequest(QueryRequest request) {
   // Validate before consuming a stream position, so invalid requests never
   // shift the positional seeds of the valid stream (mirrors QueryService).
-  if (source >= manifest_.n) {
-    return ReadyError(SourceOutOfRange(source, manifest_.n));
+  if (!request.algo.empty() && request.algo != manifest_.algo) {
+    return ReadyError(Status::NotFound("this bundle serves '" +
+                                       manifest_.algo + "', not '" +
+                                       request.algo + "'"));
   }
+  if (request.source >= manifest_.n) {
+    return ReadyError(SourceOutOfRange(request.source, manifest_.n));
+  }
+  // Each shard service has exactly one engine; the empty key selects it
+  // regardless of how the manifest spells the registry name.
+  request.algo.clear();
+  if (!request.fresh_seed &&
+      request.seed_position == QueryRequest::kServiceOrder) {
+    request.seed_position =
+        next_position_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint32_t shard = ShardOf(request.source);
+  return services_[shard]->Submit(std::move(request));
+}
+
+std::future<QueryResult> ShardRouter::Submit(NodeId source, uint32_t k) {
   QueryRequest request;
   request.source = source;
   request.k = k;
-  request.seed_position =
-      next_position_.fetch_add(1, std::memory_order_relaxed);
-  return services_[ShardOf(source)]->Submit(std::move(request));
+  return SubmitRequest(std::move(request));
 }
 
 QueryResult ShardRouter::QueryFresh(NodeId source, uint32_t k) {
-  if (source >= manifest_.n) {
-    QueryResult result;
-    result.status = SourceOutOfRange(source, manifest_.n);
-    return result;
-  }
   QueryRequest request;
   request.source = source;
   request.k = k;
   request.fresh_seed = true;
-  return services_[ShardOf(source)]->Submit(std::move(request)).get();
+  return SubmitRequest(std::move(request)).get();
 }
 
 Result<ScoreList> ShardRouter::BroadcastTopK(NodeId source, size_t k) {
@@ -154,6 +165,8 @@ ServiceStats ShardRouter::Stats() const {
     total.completed += stats.completed;
     total.failed += stats.failed;
     total.rejected += stats.rejected;
+    total.queue_high_water =
+        std::max(total.queue_high_water, stats.queue_high_water);
     total.aggregate_cost.Accumulate(stats.aggregate_cost);
     const std::vector<double> part = service->LatencySamples();
     samples.insert(samples.end(), part.begin(), part.end());

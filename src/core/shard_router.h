@@ -87,6 +87,13 @@ class ShardRouter {
   /// position, mirroring QueryService's precheck semantics.
   std::future<QueryResult> Submit(NodeId source, uint32_t k = 0);
 
+  /// Full-request form of Submit — the hook the network front end binds.
+  /// `algo` must be empty or the manifest's engine (anything else resolves
+  /// with kNotFound). fresh_seed requests route like QueryFresh and consume
+  /// no stream position; others are stamped with the next global position
+  /// unless the caller already set an explicit one.
+  std::future<QueryResult> SubmitRequest(QueryRequest request);
+
   /// Blocking one-shot with fresh-engine seeding — the `query --manifest`
   /// path. Bit-identical to querying a freshly loaded unsharded engine.
   QueryResult QueryFresh(NodeId source, uint32_t k = 0);

@@ -1,0 +1,168 @@
+#include "net/serve_loop.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "util/parse.h"
+
+namespace prsim {
+namespace net {
+
+std::string TrimRequestLine(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || line[first] == '#') return "";
+  const auto last = line.find_last_not_of(" \t\r\n");
+  return line.substr(first, last - first + 1);
+}
+
+Status ParseServeLine(const std::string& trimmed, NodeId n,
+                      uint32_t default_k, NodeId* source, uint32_t* k) {
+  // Split on whitespace without an istringstream: this runs once per
+  // request on the serving hot path.
+  const auto split = trimmed.find_first_of(" \t");
+  const std::string source_token = trimmed.substr(0, split);
+  std::string k_token;
+  if (split != std::string::npos) {
+    const auto k_start = trimmed.find_first_not_of(" \t", split);
+    if (k_start != std::string::npos) {
+      const auto k_end = trimmed.find_first_of(" \t", k_start);
+      k_token = trimmed.substr(k_start, k_end - k_start);
+      if (k_end != std::string::npos &&
+          trimmed.find_first_not_of(" \t", k_end) != std::string::npos) {
+        return Status::InvalidArgument("expected \"<source> [k]\", got '" +
+                                       trimmed + "'");
+      }
+    }
+  }
+  uint64_t source_value = 0;
+  if (!ParseUint64(source_token, &source_value) || source_value >= n) {
+    return Status::InvalidArgument("invalid node id '" + source_token +
+                                   "' (n = " + std::to_string(n) + ")");
+  }
+  *source = static_cast<NodeId>(source_value);
+  *k = default_k;
+  if (!k_token.empty()) {
+    uint64_t k_value = 0;
+    if (!ParseUint64(k_token, &k_value) || k_value == 0 ||
+        k_value > UINT32_MAX) {
+      return Status::InvalidArgument("invalid k '" + k_token + "'");
+    }
+    *k = static_cast<uint32_t>(k_value);
+  }
+  return Status::OK();
+}
+
+std::string FormatResultLine(NodeId source, const ScoreList& scores) {
+  std::string line = "result " + std::to_string(source);
+  char buffer[64];
+  for (size_t i = 0; i < scores.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%c%u:%.6g", i == 0 ? ' ' : ',',
+                  scores[i].first, scores[i].second);
+    line += buffer;
+  }
+  return line;
+}
+
+PipelinedDispatcher::PipelinedDispatcher(size_t window, SubmitFn submit,
+                                         RespondFn respond)
+    : window_(window == 0 ? 1 : window),
+      submit_(std::move(submit)),
+      respond_(std::move(respond)),
+      responder_(&PipelinedDispatcher::ResponderLoop, this) {}
+
+PipelinedDispatcher::~PipelinedDispatcher() { DrainAll(); }
+
+void PipelinedDispatcher::ResponderLoop() {
+  while (true) {
+    Pending p;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !pending_.empty() || stopping_; });
+      if (pending_.empty()) return;  // stopping_ and fully drained
+      p = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    // get() outside the lock: the dispatching thread must stay free to
+    // submit (and the window check counts this response as already gone —
+    // close enough for a flow-control bound).
+    const QueryResult result = p.future.get();
+    if (!result.status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++failed_;
+    }
+    respond_(p.id, p.source, result);
+    cv_.notify_all();
+  }
+}
+
+void PipelinedDispatcher::Dispatch(uint64_t id, QueryRequest request) {
+  const NodeId source = request.source;
+  {
+    // Window gate before submitting, so the bound also covers the service
+    // queue slot the submit itself will take.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_.size() < window_; });
+  }
+  std::future<QueryResult> future = submit_(std::move(request));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back({id, source, std::move(future)});
+  }
+  cv_.notify_all();
+}
+
+void PipelinedDispatcher::DrainAll() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (responder_.joinable()) responder_.join();
+}
+
+size_t PipelinedDispatcher::failed_responses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+size_t ServeLineLoop(NodeId n, uint32_t default_k, size_t window,
+                     const SubmitFn& submit, const LineTransport& transport) {
+  size_t bad_lines = 0;
+  size_t line_no = 0;
+  // Failed queries are reported against the line that submitted them; the
+  // dispatcher's id is the 1-based line number.
+  PipelinedDispatcher dispatcher(
+      window, submit,
+      [&](uint64_t id, NodeId source, const QueryResult& result) {
+        if (!result.status.ok()) {
+          transport.report_error(static_cast<size_t>(id),
+                                 result.status.ToString());
+          return;
+        }
+        transport.write_line(FormatResultLine(source, result.scores));
+      });
+
+  std::string line;
+  while (transport.read_line(&line)) {
+    ++line_no;
+    const std::string trimmed = TrimRequestLine(line);
+    if (trimmed.empty()) continue;
+    QueryRequest request;
+    if (Status st = ParseServeLine(trimmed, n, default_k, &request.source,
+                                   &request.k);
+        !st.ok()) {
+      // Parse errors report the bare message (matching the historical stdin
+      // loop); failed queries report the full "<Code>: <message>" status.
+      transport.report_error(line_no, st.message());
+      ++bad_lines;
+      continue;
+    }
+    dispatcher.Dispatch(line_no, std::move(request));
+  }
+  dispatcher.DrainAll();
+  return bad_lines + dispatcher.failed_responses();
+}
+
+}  // namespace net
+}  // namespace prsim

@@ -1,0 +1,139 @@
+// Transport-agnostic serving session plumbing.
+//
+// Every serve transport — `serve --stdin`, a TCP text connection, a TCP
+// binary connection — is the same loop: parse a request, submit it to a
+// QueryService or ShardRouter, and stream the answers back in submission
+// order without stalling the reader. This header owns the three shared
+// pieces so the transports are only framings:
+//   - ParseServeLine / FormatResultLine: the text protocol's request
+//     parsing and response formatting (one implementation for stdin and
+//     TCP, so the wire text diffs clean against the stdin loop);
+//   - PipelinedDispatcher: the bounded in-flight window with a dedicated
+//     responder thread (answers stream out the moment they complete, even
+//     while the reader is blocked waiting for the next request — the shape
+//     a request/response client needs; the window blocks the reader only
+//     when the service is genuinely behind);
+//   - ServeLineLoop: the full text session over caller-provided read/write
+//     hooks (stdin binds them to std::cin/stdout, the TCP server to a
+//     connection fd).
+
+#ifndef PRSIM_NET_SERVE_LOOP_H_
+#define PRSIM_NET_SERVE_LOOP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/query_service.h"
+#include "core/single_source.h"
+
+namespace prsim {
+namespace net {
+
+/// Submission hook: enqueue one request, get the future. Bound to
+/// QueryService::Submit or ShardRouter::SubmitRequest by the caller.
+using SubmitFn = std::function<std::future<QueryResult>(QueryRequest)>;
+
+/// Strips whitespace; returns "" for blank and '#'-comment lines.
+std::string TrimRequestLine(const std::string& line);
+
+/// Parses one already-trimmed, non-empty text request "<source> [k]".
+/// On success fills *source / *k (default_k when omitted) and returns OK;
+/// malformed tokens and out-of-range sources are kInvalidArgument with the
+/// same messages the stdin loop has always printed.
+Status ParseServeLine(const std::string& trimmed, NodeId n,
+                      uint32_t default_k, NodeId* source, uint32_t* k);
+
+/// Formats the text protocol's response line (no trailing newline):
+/// "result <source> <node>:<score>,...".
+std::string FormatResultLine(NodeId source, const ScoreList& scores);
+
+/// The bounded-window pipelining core. Dispatch() (one caller thread — the
+/// transport's reader) submits with at most `window` requests in flight,
+/// blocking when full; a dedicated responder thread delivers answers
+/// through `respond` strictly in submission order as each future resolves.
+/// The split matters: a blocking read-dispatch loop alone would sit on a
+/// completed answer until the *next* request arrived, deadlocking any
+/// client that waits for its response before sending more.
+class PipelinedDispatcher {
+ public:
+  /// `respond` receives the per-session request id passed to Dispatch()
+  /// plus the source and the (possibly failed) result. It is invoked from
+  /// the responder thread — transports writing to an fd or FILE* are safe
+  /// (the reader thread only reads), but `respond` must synchronize any
+  /// state it shares with the dispatching thread.
+  using RespondFn =
+      std::function<void(uint64_t id, NodeId source, const QueryResult&)>;
+
+  PipelinedDispatcher(size_t window, SubmitFn submit, RespondFn respond);
+
+  /// Drains (DrainAll) and joins the responder.
+  ~PipelinedDispatcher();
+
+  PipelinedDispatcher(const PipelinedDispatcher&) = delete;
+  PipelinedDispatcher& operator=(const PipelinedDispatcher&) = delete;
+
+  /// Submits one request, first blocking until the in-flight window has
+  /// room.
+  void Dispatch(uint64_t id, QueryRequest request);
+
+  /// Blocks until every in-flight response has been delivered, then stops
+  /// the responder. Terminal: Dispatch() must not be called afterwards.
+  void DrainAll();
+
+  /// Responses delivered so far whose status was not OK. Call after
+  /// DrainAll() for the session total.
+  size_t failed_responses() const;
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    NodeId source = 0;
+    std::future<QueryResult> future;
+  };
+
+  void ResponderLoop();
+
+  const size_t window_;
+  SubmitFn submit_;
+  RespondFn respond_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  bool stopping_ = false;
+  size_t failed_ = 0;
+
+  /// Declared last so it never outlives the state above.
+  std::thread responder_;
+};
+
+/// Hooks binding ServeLineLoop to a transport.
+struct LineTransport {
+  /// Blocking line read; false on EOF (or shutdown-induced read failure).
+  std::function<bool(std::string*)> read_line;
+  /// Writes one response line (the transport appends the newline and
+  /// flushes, so interactive clients see answers immediately).
+  std::function<void(const std::string&)> write_line;
+  /// Reports one failed request line (parse error or failed query).
+  /// line_no is 1-based.
+  std::function<void(size_t line_no, const std::string& message)> report_error;
+};
+
+/// Runs a full text-protocol session: reads request lines until EOF,
+/// pipelines them through `submit` with an in-flight cap of `window`, and
+/// writes responses in submission order. Returns the number of failed
+/// lines (parse errors + failed queries) — the stdin loop's exit-code
+/// contract.
+size_t ServeLineLoop(NodeId n, uint32_t default_k, size_t window,
+                     const SubmitFn& submit, const LineTransport& transport);
+
+}  // namespace net
+}  // namespace prsim
+
+#endif  // PRSIM_NET_SERVE_LOOP_H_

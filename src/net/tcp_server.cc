@@ -1,0 +1,352 @@
+#include "net/tcp_server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/frame.h"
+#include "util/logging.h"
+
+namespace prsim {
+namespace net {
+
+namespace {
+
+/// Buffered reads over a connection fd, seeded with the bytes consumed by
+/// the framing sniff. Both framings pull from here so no byte is lost
+/// between the sniff and the first request.
+class BufferedFd {
+ public:
+  BufferedFd(int fd, std::string initial)
+      : fd_(fd), buffer_(std::move(initial)) {}
+
+  /// Reads exactly `len` bytes. Clean EOF before the first byte sets *eof;
+  /// EOF mid-object is a kIOError.
+  Status ReadFull(void* out, size_t len, bool* eof) {
+    *eof = false;
+    char* p = static_cast<char*>(out);
+    size_t got = 0;
+    while (got < len) {
+      if (pos_ < buffer_.size()) {
+        const size_t take = std::min(len - got, buffer_.size() - pos_);
+        std::memcpy(p + got, buffer_.data() + pos_, take);
+        pos_ += take;
+        got += take;
+        continue;
+      }
+      if (!Refill()) {
+        if (got == 0) {
+          *eof = true;
+          return Status::OK();
+        }
+        return Status::IOError("connection closed mid-frame");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Reads one '\n'-terminated line (terminator stripped). A final
+  /// unterminated line is still delivered, matching std::getline. Read
+  /// errors surface as EOF — for a serving session both mean "this client
+  /// is done".
+  bool ReadLine(std::string* line) {
+    line->clear();
+    while (true) {
+      const size_t nl = buffer_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        line->append(buffer_, pos_, nl - pos_);
+        pos_ = nl + 1;
+        return true;
+      }
+      line->append(buffer_, pos_, buffer_.size() - pos_);
+      pos_ = buffer_.size();
+      if (!Refill()) return !line->empty();
+    }
+  }
+
+ private:
+  bool Refill() {
+    if (pos_ == buffer_.size()) {
+      buffer_.clear();
+      pos_ = 0;
+    }
+    char chunk[4096];
+    auto n = ReadSome(fd_, chunk, sizeof(chunk));
+    if (!n.ok() || n.ValueOrDie() == 0) return false;
+    buffer_.append(chunk, n.ValueOrDie());
+    return true;
+  }
+
+  int fd_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(
+    const TcpServerOptions& options, SubmitFn submit) {
+  PRSIM_CHECK(submit != nullptr) << "TcpServer needs a submit hook";
+  std::unique_ptr<TcpServer> server(new TcpServer());
+  server->options_ = options;
+  server->submit_ = std::move(submit);
+  PRSIM_ASSIGN_OR_RETURN(server->listener_, ListenTcp(options.port));
+  PRSIM_ASSIGN_OR_RETURN(server->port_, LocalPort(server->listener_.get()));
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  server->wake_read_ = UniqueFd(pipe_fds[0]);
+  server->wake_write_ = UniqueFd(pipe_fds[1]);
+  server->accept_thread_ = std::thread(&TcpServer::AcceptLoop, server.get());
+  return server;
+}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+void TcpServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // Closing the wake pipe's write end makes the accept poll() see EOF; the
+  // accept thread closes the listener on its way out, so no connection is
+  // accepted past this point.
+  wake_write_.Reset();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Half-close every live connection: its session sees EOF, drains the
+    // in-flight window, flushes the responses, and exits.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& session : sessions_) {
+      if (session->fd.valid()) ShutdownRead(session->fd.get());
+    }
+  }
+  ReapSessions(/*all=*/true);
+}
+
+TcpServerStats TcpServer::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TcpServer::ReapSessions(bool all) {
+  // Joining with mu_ held would deadlock against sessions taking mu_ on
+  // their way out; move the candidates out of the registry first.
+  std::vector<std::unique_ptr<Session>> joinable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (all) {
+      joinable.swap(sessions_);
+    } else {
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if ((*it)->done) {
+          joinable.push_back(std::move(*it));
+          it = sessions_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  for (const auto& session : joinable) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (true) {
+    ReapSessions(/*all=*/false);
+    size_t live = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      live = sessions_.size();
+    }
+    if (live >= options_.max_connections) {
+      // At the connection cap: only watch for shutdown, re-checking for a
+      // freed slot every 50ms.
+      pollfd wake = {wake_read_.get(), POLLIN, 0};
+      if (::poll(&wake, 1, 50) > 0 && wake.revents != 0) break;
+      continue;
+    }
+    pollfd fds[2] = {{listener_.get(), POLLIN, 0},
+                     {wake_read_.get(), POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // wake pipe closed: shutting down
+    if (fds[0].revents == 0) continue;
+    const int raw = ::accept(listener_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    UniqueFd client(raw);
+    const int one = 1;
+    ::setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Session* session = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.connections;
+      sessions_.push_back(std::make_unique<Session>());
+      session = sessions_.back().get();
+      session->fd = std::move(client);
+    }
+    session->thread = std::thread(&TcpServer::RunSession, this, session);
+  }
+  listener_.Reset();
+}
+
+void TcpServer::RunSession(Session* session) {
+  const int fd = session->fd.get();
+  // Framing sniff: accumulate the client's first bytes until the binary
+  // magic can be ruled in or out. Text requests start with a digit (or
+  // whitespace/'#'), so "PRSB" is unambiguous; a client that closes after
+  // fewer than 4 bytes is a (possibly empty) text session.
+  std::string first_bytes;
+  while (first_bytes.size() < sizeof(kBinaryMagic)) {
+    char chunk[256];
+    auto n = ReadSome(fd, chunk, sizeof(chunk));
+    if (!n.ok() || n.ValueOrDie() == 0) break;
+    first_bytes.append(chunk, n.ValueOrDie());
+  }
+  if (first_bytes.size() >= sizeof(kBinaryMagic) &&
+      std::memcmp(first_bytes.data(), kBinaryMagic,
+                  sizeof(kBinaryMagic)) == 0) {
+    ServeBinarySession(fd, first_bytes.substr(sizeof(kBinaryMagic)));
+  } else {
+    ServeTextSession(fd, first_bytes);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Close now, not at reap time: the next reap may be far away (it runs on
+  // the accept thread), and a well-behaved client that half-closed is
+  // blocked waiting for our FIN.
+  session->fd.Reset();
+  session->done = true;
+}
+
+void TcpServer::ServeTextSession(int fd, const std::string& first_bytes) {
+  BufferedFd reader(fd, first_bytes);
+  // A failed write means the client hung up; stop reading instead of
+  // computing answers nobody will receive. Results come off the
+  // dispatcher's responder thread while parse errors come off this (the
+  // reading) thread, so writes are serialized by write_mu — without it two
+  // half-written lines could interleave on the wire.
+  std::atomic<bool> broken{false};
+  std::mutex write_mu;
+  const auto write = [&](const std::string& framed) {
+    if (broken.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (!WriteAll(fd, framed.data(), framed.size()).ok()) {
+      broken.store(true, std::memory_order_release);
+    }
+  };
+  LineTransport transport;
+  transport.read_line = [&](std::string* line) {
+    return !broken.load(std::memory_order_acquire) && reader.ReadLine(line);
+  };
+  transport.write_line = [&](const std::string& line) { write(line + "\n"); };
+  transport.report_error = [&](size_t line_no, const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+    }
+    write("error line " + std::to_string(line_no) + ": " + message + "\n");
+  };
+  const SubmitFn counted = [this](QueryRequest request) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests;
+    }
+    return submit_(std::move(request));
+  };
+  ServeLineLoop(options_.node_count, options_.default_k, options_.window,
+                counted, transport);
+}
+
+void TcpServer::ServeBinarySession(int fd, const std::string& first_bytes) {
+  BufferedFd reader(fd, first_bytes);
+  // Responses are written only by the dispatcher's responder thread while
+  // the session runs; this thread writes only the terminal protocol-error
+  // frame, after DrainAll() has joined the responder. So the stream stays
+  // one writer at a time and responses arrive strictly in request order —
+  // the invariant binary clients use to match responses to requests.
+  std::atomic<bool> broken{false};
+  const auto write_response = [&](const WireResponse& response) {
+    if (broken.load(std::memory_order_acquire)) return;
+    std::vector<char> payload;
+    EncodeResponse(response, &payload);
+    if (!WriteFrame(fd, payload).ok()) {
+      broken.store(true, std::memory_order_release);
+    }
+  };
+  PipelinedDispatcher dispatcher(
+      options_.window,
+      [this](QueryRequest request) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.requests;
+        }
+        return submit_(std::move(request));
+      },
+      [&](uint64_t, NodeId source, const QueryResult& result) {
+        WireResponse response;
+        response.status_code = static_cast<uint8_t>(result.status.code());
+        response.error = result.status.message();
+        response.source = source;
+        if (result.status.ok()) response.scores = result.scores;
+        write_response(response);
+      });
+
+  Status protocol_error;
+  while (!broken.load(std::memory_order_acquire)) {
+    uint32_t length = 0;
+    bool eof = false;
+    if (!reader.ReadFull(&length, sizeof(length), &eof).ok() || eof) break;
+    std::vector<char> payload;
+    if (length > kMaxFramePayload) {
+      protocol_error = Status::InvalidArgument(
+          "frame length " + std::to_string(length) + " exceeds the " +
+          std::to_string(kMaxFramePayload) + "-byte cap");
+      break;
+    }
+    payload.resize(length);
+    if (!reader.ReadFull(payload.data(), length, &eof).ok() || eof) break;
+    auto request = DecodeRequest(payload);
+    if (!request.ok()) {
+      // A malformed payload ends the session: answering it mid-stream
+      // would break the responses-in-request-order matching, and a client
+      // that framed one request wrong will frame the next wrong too.
+      protocol_error = request.status();
+      break;
+    }
+    dispatcher.Dispatch(0, request.ValueOrDie().ToQueryRequest());
+  }
+  // Everything accepted is answered in order first; the error frame (if
+  // any) terminates the stream.
+  dispatcher.DrainAll();
+  if (!protocol_error.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+    }
+    WireResponse response;
+    response.status_code = static_cast<uint8_t>(protocol_error.code());
+    response.error = protocol_error.message();
+    write_response(response);
+  }
+}
+
+}  // namespace net
+}  // namespace prsim

@@ -1,0 +1,116 @@
+// TCP serving front end over a QueryService or ShardRouter.
+//
+// Start() binds 127.0.0.1:<port> (0 = ephemeral; read the chosen one with
+// port()) and spawns an accept thread. Each connection gets a session
+// thread that sniffs the framing from the client's first bytes — the
+// "PRSB" magic selects length-prefixed binary frames, anything else the
+// `serve --stdin` text line protocol (net/serve_loop) — then runs the
+// shared pipelined dispatch loop against the submit hook, writing
+// responses in submission order. Both framings and both backends
+// (QueryService, ShardRouter) therefore answer bit-identically to their
+// offline counterparts: the server adds transport, not semantics.
+//
+// Graceful shutdown (Shutdown(), also triggered by the CLI's
+// SIGINT/SIGTERM handler): the listener closes first so no new connection
+// is accepted, then every live connection's read side is shut down; each
+// session sees EOF, drains its in-flight window through the bounded queue,
+// flushes the remaining responses to its client, and exits. Shutdown()
+// returns only after every session thread has joined, so callers can
+// snapshot final ServiceStats knowing nothing is still in flight.
+
+#ifndef PRSIM_NET_TCP_SERVER_H_
+#define PRSIM_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/serve_loop.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace prsim {
+namespace net {
+
+struct TcpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
+  uint16_t port = 0;
+  /// Node count of the served graph (text-protocol source validation).
+  NodeId node_count = 0;
+  /// k applied to text requests that omit it.
+  uint32_t default_k = 20;
+  /// Per-connection in-flight window (mirrors the stdin loop's bound).
+  size_t window = 1024;
+  /// Concurrent connection cap; further accepts wait for a slot.
+  size_t max_connections = 64;
+};
+
+/// Lifetime transport counters (independent of the backend's ServiceStats).
+struct TcpServerStats {
+  uint64_t connections = 0;       ///< accepted connections
+  uint64_t requests = 0;          ///< well-formed requests dispatched
+  uint64_t protocol_errors = 0;   ///< malformed lines/frames answered with
+                                  ///< an error response
+};
+
+class TcpServer {
+ public:
+  /// Binds, listens, and starts accepting. The submit hook must stay valid
+  /// until Shutdown() returns.
+  static Result<std::unique_ptr<TcpServer>> Start(
+      const TcpServerOptions& options, SubmitFn submit);
+
+  /// Graceful stop: stop accepting, drain every session, join all threads.
+  /// Idempotent; also runs from the destructor if never called.
+  void Shutdown();
+
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (resolves port 0 to the ephemeral choice).
+  uint16_t port() const { return port_; }
+
+  TcpServerStats Stats() const;
+
+ private:
+  struct Session {
+    UniqueFd fd;
+    std::thread thread;
+    bool done = false;
+  };
+
+  TcpServer() = default;
+  void AcceptLoop();
+  void RunSession(Session* session);
+  void ServeTextSession(int fd, const std::string& first_bytes);
+  void ServeBinarySession(int fd, const std::string& first_bytes);
+  /// Joins finished sessions; with `all`, waits for every session.
+  void ReapSessions(bool all);
+
+  TcpServerOptions options_;
+  SubmitFn submit_;
+  UniqueFd listener_;
+  /// Written by the accept thread when shutdown begins, so sessions stop
+  /// treating read failures as protocol errors.
+  std::atomic<bool> stopping_{false};
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  /// Wake-pipe write end; closing it unblocks the accept poll().
+  UniqueFd wake_write_;
+  UniqueFd wake_read_;
+
+  mutable std::mutex mu_;  ///< guards sessions_ and stats_
+  std::vector<std::unique_ptr<Session>> sessions_;
+  TcpServerStats stats_;
+  bool shutdown_done_ = false;
+};
+
+}  // namespace net
+}  // namespace prsim
+
+#endif  // PRSIM_NET_TCP_SERVER_H_

@@ -1,0 +1,79 @@
+// Thin POSIX TCP helpers shared by the network serving layer, the load
+// generator, and the tests.
+//
+// Everything here is blocking and Status-based: helpers retry EINTR
+// internally, report real failures as kIOError, and hand descriptors out
+// through an RAII wrapper so early returns cannot leak fds. Listeners bind
+// 127.0.0.1 only — the serving subsystem is a localhost front end (CI,
+// benches, same-host routers), not an exposed-to-the-internet daemon.
+
+#ifndef PRSIM_UTIL_SOCKET_H_
+#define PRSIM_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace prsim {
+
+/// Owning file descriptor: closes on destruction, move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listener on 127.0.0.1:port (port 0 picks an ephemeral
+/// port — read it back with LocalPort). SO_REUSEADDR is set so restarted
+/// servers rebind without waiting out TIME_WAIT.
+Result<UniqueFd> ListenTcp(uint16_t port, int backlog = 64);
+
+/// The locally bound port of a socket (the answer for port-0 listeners).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking connect to 127.0.0.1:port with TCP_NODELAY set (the protocols
+/// here are small request/response frames; Nagle only adds latency).
+Result<UniqueFd> ConnectTcp(uint16_t port);
+
+/// Writes exactly `len` bytes, looping over partial writes and EINTR.
+Status WriteAll(int fd, const void* data, size_t len);
+
+/// Reads exactly `len` bytes. EOF before the first byte is reported as
+/// `*eof = true` with OK status; EOF mid-object is a kIOError (a peer that
+/// hangs up inside a frame is a protocol violation, not a clean close).
+Status ReadFull(int fd, void* data, size_t len, bool* eof);
+
+/// Reads up to `len` bytes (at least 1 unless EOF). Returns the byte count,
+/// 0 on EOF.
+Result<size_t> ReadSome(int fd, void* data, size_t len);
+
+/// Half-closes the read side, unblocking a peer's or our own pending
+/// reads with EOF; the write side stays open for draining responses.
+void ShutdownRead(int fd);
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_SOCKET_H_

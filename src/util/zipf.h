@@ -1,0 +1,71 @@
+// Deterministic Zipfian sampler for skewed workload generation.
+//
+// Real query traffic on a power-law graph is itself power-law: a few hot
+// sources absorb most of the load. The open-loop serve bench models that
+// with a Zipf(s) distribution over ranks 0..n-1 — rank r is drawn with
+// probability proportional to 1/(r+1)^s. Sampling inverts the precomputed
+// cumulative distribution with a binary search, so a draw is O(log n), the
+// table is 8 bytes per rank, and the sampled sequence is a pure function of
+// (n, s, the caller's Rng state): the same seed replays the same request
+// stream bit for bit on every machine (the cumulative table is built with
+// one fixed left-to-right summation order).
+
+#ifndef PRSIM_UTIL_ZIPF_H_
+#define PRSIM_UTIL_ZIPF_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+class ZipfSampler {
+ public:
+  /// Distribution over ranks [0, n) with exponent s >= 0. s = 0 degenerates
+  /// to uniform; s = 1 is the classic Zipf law. Requires n >= 1.
+  ZipfSampler(uint32_t n, double s) : n_(n), s_(s) {
+    PRSIM_CHECK(n >= 1) << "ZipfSampler needs at least one rank";
+    PRSIM_CHECK(s >= 0) << "Zipf exponent must be non-negative";
+    cumulative_.reserve(n);
+    double total = 0;
+    for (uint32_t r = 0; r < n; ++r) {
+      total += std::pow(static_cast<double>(r) + 1.0, -s);
+      cumulative_.push_back(total);
+    }
+  }
+
+  uint32_t n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Probability mass of rank r (requires r < n).
+  double Probability(uint32_t rank) const {
+    PRSIM_DCHECK(rank < n_);
+    const double total = cumulative_.back();
+    const double below = rank == 0 ? 0.0 : cumulative_[rank - 1];
+    return (cumulative_[rank] - below) / total;
+  }
+
+  /// Draws one rank in [0, n). Consumes exactly one rng.NextDouble(), so
+  /// interleaved consumers of the same Rng stay reproducible.
+  uint32_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble() * cumulative_.back();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    const auto rank = static_cast<uint32_t>(it - cumulative_.begin());
+    return rank < n_ ? rank : n_ - 1;
+  }
+
+ private:
+  uint32_t n_;
+  double s_;
+  /// cumulative_[r] = sum_{i<=r} (i+1)^-s, unnormalized.
+  std::vector<double> cumulative_;
+};
+
+}  // namespace prsim
+
+#endif  // PRSIM_UTIL_ZIPF_H_

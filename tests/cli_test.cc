@@ -1,16 +1,23 @@
 // End-to-end tests for the prsim_cli tool: generate -> stats -> index ->
 // query pipelines through the real binary.
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -80,7 +87,91 @@ class CliTest : public ::testing::Test {
     return lines;
   }
 
+  /// A background CLI process (the serve transports) with stdin held open
+  /// on a pipe and stdout/stderr captured to files, so tests can deliver
+  /// signals and then assert on the shutdown banners.
+  struct Spawned {
+    pid_t pid = -1;
+    int stdin_fd = -1;  // write end of the child's stdin; close for EOF
+    std::string stdout_path;
+    std::string stderr_path;
+  };
+
+  Spawned Spawn(const std::string& args) {
+    Spawned proc;
+    proc.stdout_path = Path("spawn_" + std::to_string(spawn_count_) + ".out");
+    proc.stderr_path = Path("spawn_" + std::to_string(spawn_count_) + ".err");
+    ++spawn_count_;
+    int stdin_pipe[2] = {-1, -1};
+    if (::pipe(stdin_pipe) != 0) return proc;
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::dup2(stdin_pipe[0], STDIN_FILENO);
+      ::close(stdin_pipe[0]);
+      ::close(stdin_pipe[1]);
+      const int out = ::open(proc.stdout_path.c_str(),
+                             O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      const int err = ::open(proc.stderr_path.c_str(),
+                             O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (out >= 0) ::dup2(out, STDOUT_FILENO);
+      if (err >= 0) ::dup2(err, STDERR_FILENO);
+      const std::string command = std::string(PRSIM_CLI_PATH) + " " + args;
+      ::execl("/bin/sh", "sh", "-c", ("exec " + command).c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    ::close(stdin_pipe[0]);
+    proc.pid = pid;
+    proc.stdin_fd = stdin_pipe[1];
+    return proc;
+  }
+
+  /// Polls the spawned server's stderr for the ready banner and returns the
+  /// ephemeral port, or 0 on timeout (~10s).
+  uint32_t WaitForListenPort(const Spawned& proc) {
+    static constexpr char kBanner[] = "listening on 127.0.0.1:";
+    for (int i = 0; i < 200; ++i) {
+      const std::string text = ReadFile(proc.stderr_path);
+      const auto pos = text.find(kBanner);
+      if (pos != std::string::npos &&
+          text.find('\n', pos) != std::string::npos) {
+        return static_cast<uint32_t>(
+            std::stoul(text.substr(pos + std::strlen(kBanner))));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return 0;
+  }
+
+  /// Polls the spawned process's captured output file until `needle` shows
+  /// up (~10s); returns whether it did.
+  bool WaitForOutput(const std::string& path, const std::string& needle) {
+    for (int i = 0; i < 200; ++i) {
+      if (ReadFile(path).find(needle) != std::string::npos) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  }
+
+  /// Delivers `sig`, reaps the process, and returns its exit code
+  /// (128 + signal if it died on the signal instead of handling it).
+  int SignalAndWait(Spawned* proc, int sig) {
+    if (proc->pid < 0) return -1;
+    ::kill(proc->pid, sig);
+    int status = 0;
+    ::waitpid(proc->pid, &status, 0);
+    proc->pid = -1;
+    if (proc->stdin_fd >= 0) {
+      ::close(proc->stdin_fd);
+      proc->stdin_fd = -1;
+    }
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return -1;
+  }
+
   std::filesystem::path dir_;
+  int spawn_count_ = 0;
 };
 
 TEST_F(CliTest, NoArgsShowsUsage) { EXPECT_EQ(Run(""), 2); }
@@ -727,6 +818,109 @@ TEST_F(CliTest, ServeManifestMatchesUnshardedServe) {
   EXPECT_EQ(results_sharded, results_unsharded);
   EXPECT_NE(sharded.find("served queries=3 failed=0"), std::string::npos)
       << sharded;
+}
+
+// ---------------------------------------------------------------------------
+// TCP serving: serve --listen + the binary `client` command, including
+// graceful signal shutdown of both serve transports.
+// ---------------------------------------------------------------------------
+
+TEST_F(CliTest, ServeDemandsExactlyOneTransport) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  EXPECT_EQ(Run("serve --graph " + Path("g.txt") + " --stdin --listen 0"), 2);
+  EXPECT_EQ(Run("client --source 1"), 2);  // client requires --port
+}
+
+TEST_F(CliTest, ServeListenClientMatchesOfflineQueryBitForBit) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  const std::string params = " --algo prsim --eps 0.4 --seed 5";
+  std::string offline;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") +
+                    " --source 11 --k 6 --format tsv" + params,
+                &offline),
+            0)
+      << offline;
+  ASSERT_FALSE(ScoreTsvLines(offline).empty()) << offline;
+
+  Spawned server = Spawn("serve --graph " + Path("g.txt") +
+                         " --listen 0 --threads 2" + params);
+  ASSERT_GT(server.pid, 0);
+  const uint32_t port = WaitForListenPort(server);
+  ASSERT_NE(port, 0u) << ReadFile(server.stderr_path);
+
+  // --fresh reseeds from the configured seed exactly like a cold offline
+  // query, so the %.17g score rows must agree to the last digit — and keep
+  // agreeing on a second connection.
+  const std::string request = "client --port " + std::to_string(port) +
+                              " --source 11 --k 6 --fresh --format tsv";
+  for (int round = 0; round < 2; ++round) {
+    std::string online;
+    ASSERT_EQ(Run(request, &online), 0) << online;
+    EXPECT_EQ(ScoreTsvLines(online), ScoreTsvLines(offline)) << online;
+  }
+
+  EXPECT_EQ(SignalAndWait(&server, SIGTERM), 0) << ReadFile(server.stderr_path);
+  const std::string err = ReadFile(server.stderr_path);
+  EXPECT_NE(err.find("\"event\":\"serve_stats\""), std::string::npos) << err;
+  EXPECT_NE(err.find("\"transport\":\"tcp\""), std::string::npos);
+  EXPECT_NE(err.find("connections=2 requests=2"), std::string::npos) << err;
+  const std::string out = ReadFile(server.stdout_path);
+  EXPECT_NE(out.find("served queries=2 failed=0"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, ServeListenManifestServesShardedAnswers) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  const std::string params = " --algo prsim --eps 0.4 --seed 5";
+  ASSERT_EQ(Run("shard-build --graph " + Path("g.txt") + " --out-dir " +
+                Path("bundle") + " --shards 3" + params),
+            0);
+  std::string offline;
+  ASSERT_EQ(Run("query --manifest " + Path("bundle/manifest.bin") +
+                    " --source 11 --k 6 --format tsv",
+                &offline),
+            0)
+      << offline;
+  ASSERT_FALSE(ScoreTsvLines(offline).empty()) << offline;
+
+  Spawned server =
+      Spawn("serve --manifest " + Path("bundle/manifest.bin") + " --listen 0");
+  ASSERT_GT(server.pid, 0);
+  const uint32_t port = WaitForListenPort(server);
+  ASSERT_NE(port, 0u) << ReadFile(server.stderr_path);
+  std::string online;
+  ASSERT_EQ(Run("client --port " + std::to_string(port) +
+                    " --source 11 --k 6 --fresh --format tsv",
+                &online),
+            0)
+      << online;
+  EXPECT_EQ(ScoreTsvLines(online), ScoreTsvLines(offline)) << online;
+  EXPECT_EQ(SignalAndWait(&server, SIGTERM), 0) << ReadFile(server.stderr_path);
+}
+
+TEST_F(CliTest, ServeStdinExitsCleanlyOnSigint) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  Spawned server = Spawn("serve --graph " + Path("g.txt") +
+                         " --stdin --algo prsim --eps 0.4 --seed 5");
+  ASSERT_GT(server.pid, 0);
+  // Serve one request first so the shutdown path has stats to report; the
+  // pipe stays open, so without the signal the loop would block forever.
+  ASSERT_EQ(::write(server.stdin_fd, "1\n", 2), 2);
+  ASSERT_TRUE(WaitForOutput(server.stdout_path, "result 1 "))
+      << ReadFile(server.stdout_path) << ReadFile(server.stderr_path);
+  EXPECT_EQ(SignalAndWait(&server, SIGINT), 0) << ReadFile(server.stderr_path);
+  const std::string out = ReadFile(server.stdout_path);
+  EXPECT_NE(out.find("served queries=1 failed=0"), std::string::npos) << out;
+  const std::string err = ReadFile(server.stderr_path);
+  EXPECT_NE(err.find("\"event\":\"serve_stats\""), std::string::npos) << err;
+  EXPECT_NE(err.find("\"transport\":\"stdin\""), std::string::npos);
 }
 
 TEST_F(CliTest, ShardBuildRequiresGraphAndOutDir) {

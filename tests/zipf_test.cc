@@ -1,0 +1,112 @@
+// Unit tests for util/zipf.h: determinism, bounds, and distribution shape
+// of the Zipfian workload sampler.
+
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace prsim {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  for (const uint32_t n : {1u, 2u, 7u, 1000u}) {
+    ZipfSampler zipf(n, 1.0);
+    Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+      const uint32_t rank = zipf.Sample(rng);
+      ASSERT_LT(rank, n);
+    }
+  }
+}
+
+TEST(ZipfTest, SingleRankAlwaysSamplesZero) {
+  ZipfSampler zipf(1, 1.2);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Probability(0), 1.0);
+}
+
+TEST(ZipfTest, FixedSeedReplaysBitIdentically) {
+  ZipfSampler zipf(5000, 1.0);
+  const auto draw = [&](uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint32_t> sequence(4096);
+    for (auto& rank : sequence) rank = zipf.Sample(rng);
+    return sequence;
+  };
+  EXPECT_EQ(draw(123), draw(123));
+  EXPECT_NE(draw(123), draw(124));
+
+  // A second sampler with identical parameters replays the same stream —
+  // the table construction itself is deterministic.
+  ZipfSampler again(5000, 1.0);
+  Rng rng(123);
+  std::vector<uint32_t> sequence(4096);
+  for (auto& rank : sequence) rank = again.Sample(rng);
+  EXPECT_EQ(sequence, draw(123));
+}
+
+TEST(ZipfTest, ProbabilitiesAreNormalizedAndDecreasing) {
+  for (const double s : {0.8, 1.0, 1.2}) {
+    ZipfSampler zipf(200, s);
+    double total = 0;
+    for (uint32_t r = 0; r < 200; ++r) {
+      const double p = zipf.Probability(r);
+      EXPECT_GT(p, 0.0);
+      if (r > 0) EXPECT_LE(p, zipf.Probability(r - 1));
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    // The analytic mass of rank r is (r+1)^-s over the generalized
+    // harmonic number.
+    double harmonic = 0;
+    for (uint32_t r = 0; r < 200; ++r) harmonic += std::pow(r + 1.0, -s);
+    EXPECT_NEAR(zipf.Probability(0), 1.0 / harmonic, 1e-12);
+    EXPECT_NEAR(zipf.Probability(9), std::pow(10.0, -s) / harmonic, 1e-12);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchTheMass) {
+  // 200k draws over 50 ranks: every rank's relative error is small for the
+  // head and the aggregate tail mass matches too.
+  for (const double s : {0.8, 1.0, 1.2}) {
+    const uint32_t n = 50;
+    ZipfSampler zipf(n, s);
+    Rng rng(99);
+    const int draws = 200000;
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(rng)];
+    for (uint32_t r = 0; r < 5; ++r) {
+      const double expected = zipf.Probability(r) * draws;
+      EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected))
+          << "s=" << s << " rank=" << r;
+    }
+    double tail_mass = 0;
+    int tail_count = 0;
+    for (uint32_t r = 25; r < n; ++r) {
+      tail_mass += zipf.Probability(r);
+      tail_count += counts[r];
+    }
+    EXPECT_NEAR(tail_count, tail_mass * draws,
+                5 * std::sqrt(tail_mass * draws));
+  }
+}
+
+TEST(ZipfTest, HigherExponentIsMoreSkewed) {
+  ZipfSampler flat(100, 0.8), steep(100, 1.2);
+  EXPECT_GT(steep.Probability(0), flat.Probability(0));
+  EXPECT_LT(steep.Probability(99), flat.Probability(99));
+  // s = 0 degenerates to uniform.
+  ZipfSampler uniform(100, 0.0);
+  EXPECT_NEAR(uniform.Probability(0), 0.01, 1e-12);
+  EXPECT_NEAR(uniform.Probability(99), 0.01, 1e-12);
+}
+
+}  // namespace
+}  // namespace prsim

@@ -48,25 +48,45 @@
 //       thread pool with p50/p95/p99 latency reported; invalid lines get a
 //       per-line error and exit code 3 without aborting the rest of the
 //       batch.
-//   prsim_cli serve     --graph g.txt --stdin [--algo prsim] [--index g.idx]
-//                       [--params k=v,k=v] [--k 20] [--threads T]
-//                       [--queue N] [--reject]
-//       Alternatively: prsim_cli serve --manifest DIR/manifest.bin --stdin
+//   prsim_cli serve     --graph g.txt (--stdin | --listen PORT)
+//                       [--algo prsim] [--index g.idx] [--params k=v,k=v]
+//                       [--k 20] [--threads T] [--queue N] [--reject]
+//                       [--max-connections N]
+//       Alternatively: prsim_cli serve --manifest DIR/manifest.bin ...
 //       serves the shard bundle: one QueryService per shard, requests
 //       routed by source ownership, global positional seeds — the sharded
-//       loop answers every request stream bit-identically to the unsharded
-//       one. Same mutual exclusion as `query --manifest`.
-//       Long-lived query loop over the async QueryService: reads
-//       newline-delimited requests "<source> [k]" from stdin, pipelines
-//       them through the service's bounded queue (--queue, --reject), and
-//       prints "result <source> <node>:<score>,..." lines in submission
-//       order on stdout. --threads sizes the service's worker pool (>= 1,
-//       exit 2 on 0; default PRSIM_THREADS, else hardware concurrency);
-//       each worker answers with its own engine clone, and the intra-query
-//       sample grid runs serially inside those workers, so results never
-//       depend on the thread count. Per-line errors go to stderr without stopping the
-//       loop; served counts plus latency percentiles print on EOF (exit 3
-//       if any line failed).
+//       topology answers every request stream bit-identically to the
+//       unsharded one. Same mutual exclusion as `query --manifest`.
+//       Long-lived query service behind one of two transports (exactly one
+//       must be given):
+//         --stdin: reads newline-delimited requests "<source> [k]",
+//           pipelines them through the service's bounded queue (--queue,
+//           --reject), and prints "result <source> <node>:<score>,..."
+//           lines in submission order on stdout. Per-line errors go to
+//           stderr without stopping the loop; exit 3 if any line failed.
+//         --listen PORT: TCP front end on 127.0.0.1:PORT (0 picks an
+//           ephemeral port; the chosen one is announced on stderr as
+//           "listening on 127.0.0.1:<port>"). Each connection speaks either
+//           the same text line protocol or the length-prefixed binary
+//           framing (net/frame.h; opened by the "PRSB" magic) and gets its
+//           responses in submission order. --max-connections caps
+//           concurrent connections.
+//       --threads sizes the service's worker pool (>= 1, exit 2 on 0;
+//       default PRSIM_THREADS, else hardware concurrency); each worker
+//       answers with its own engine clone, and the intra-query sample grid
+//       runs serially inside those workers, so results never depend on the
+//       thread count. SIGINT/SIGTERM trigger a graceful shutdown on both
+//       transports: stop accepting, drain in-flight requests, flush
+//       responses, exit 0. Every serve exit prints final ServiceStats as
+//       one JSON line on stderr ({"event":"serve_stats",...}).
+//   prsim_cli client    --port P [--source U] [--k 20] [--fresh]
+//                       [--algo NAME] [--format text|tsv]
+//       One-shot TCP client for the binary framing: sends a single query
+//       to a `serve --listen` process on 127.0.0.1:P and prints the
+//       response; --format tsv prints the same "score\t<node>\t<%.17g>"
+//       rows as `query --format tsv`, and --fresh asks for fresh-engine
+//       seeding, so the output diffs bit-for-bit against the offline query
+//       path (the CI end-to-end smoke).
 //   prsim_cli generate  --out g.txt [--model chunglu|er|ba] [--n N]
 //                       [--degree D] [--gamma G] [--seed S] [--undirected]
 //       Writes a synthetic edge list.
@@ -74,19 +94,20 @@
 // Graphs are SNAP-style edge-list text ('#' comments) or the binary format
 // produced by this tool when the path ends in ".bin".
 
+#include <poll.h>
+#include <unistd.h>
+
 #include <cerrno>
-#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <fstream>
 #include <functional>
 #include <initializer_list>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -105,7 +126,11 @@
 #include "gen/erdos_renyi.h"
 #include "graph/io.h"
 #include "graph/stats.h"
+#include "net/frame.h"
+#include "net/serve_loop.h"
+#include "net/tcp_server.h"
 #include "util/parse.h"
+#include "util/socket.h"
 #include "util/timer.h"
 
 namespace {
@@ -472,14 +497,6 @@ void PrintQueryJson(const std::string& algo, const QueryCost& cost,
   std::printf("]}\n");
 }
 
-/// Strips whitespace; returns "" for blank and '#'-comment lines.
-std::string TrimLine(const std::string& line) {
-  const auto first = line.find_first_not_of(" \t\r\n");
-  if (first == std::string::npos || line[first] == '#') return "";
-  const auto last = line.find_last_not_of(" \t\r\n");
-  return line.substr(first, last - first + 1);
-}
-
 /// Parses a node id token, requiring id < n. Returns false (with a message
 /// in *error) on malformed input or out-of-range ids.
 bool ParseNodeId(const std::string& token, NodeId n, NodeId* id,
@@ -509,7 +526,7 @@ int ReadSourcesFile(const std::string& sources_path, NodeId n,
   std::string line;
   while (std::getline(in, line)) {
     ++line_no;
-    const std::string token = TrimLine(line);
+    const std::string token = net::TrimRequestLine(line);
     if (token.empty()) continue;
     NodeId id = 0;
     std::string error;
@@ -838,88 +855,6 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
-/// The stdin read/submit/drain loop shared by the unsharded and sharded
-/// `serve` paths. Requests are pipelined: each valid line is submitted
-/// immediately; answers print in submission order, each flushed before the
-/// next read so interactive clients see responses without waiting for the
-/// in-flight window to fill or for EOF (ready futures are drained eagerly
-/// after every submit). std::getline delivers a final line even without a
-/// trailing newline, so piped clients that omit it still get an answer.
-/// Returns the number of failed lines.
-size_t ServeStdinLoop(
-    NodeId n, uint32_t default_k, size_t window,
-    const std::function<std::future<QueryResult>(NodeId, uint32_t)>& submit) {
-  struct Pending {
-    size_t line_no = 0;
-    NodeId source = 0;
-    std::future<QueryResult> future;
-  };
-  std::deque<Pending> pending;
-  size_t bad_lines = 0;
-  size_t line_no = 0;
-
-  const auto drain_one = [&] {
-    Pending p = std::move(pending.front());
-    pending.pop_front();
-    const QueryResult result = p.future.get();
-    if (!result.status.ok()) {
-      std::fprintf(stderr, "line %zu: %s\n", p.line_no,
-                   result.status.ToString().c_str());
-      ++bad_lines;
-      return;
-    }
-    std::printf("result %u", p.source);
-    for (size_t i = 0; i < result.scores.size(); ++i) {
-      std::printf("%c%u:%.6g", i == 0 ? ' ' : ',', result.scores[i].first,
-                  result.scores[i].second);
-    }
-    std::printf("\n");
-    std::fflush(stdout);
-  };
-
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    ++line_no;
-    const std::string trimmed = TrimLine(line);
-    if (trimmed.empty()) continue;
-    std::istringstream tokens(trimmed);
-    std::string source_token, k_token, extra;
-    tokens >> source_token >> k_token >> extra;
-    NodeId source = 0;
-    uint32_t k = default_k;
-    std::string error;
-    if (!extra.empty()) {
-      error = "expected \"<source> [k]\", got '" + trimmed + "'";
-    } else if (!ParseNodeId(source_token, n, &source, &error)) {
-      // error filled by ParseNodeId
-    } else if (!k_token.empty()) {
-      uint64_t k_value = 0;
-      if (!ParseUint64(k_token, &k_value) || k_value == 0 ||
-          k_value > UINT32_MAX) {
-        error = "invalid k '" + k_token + "'";
-      } else {
-        k = static_cast<uint32_t>(k_value);
-      }
-    }
-    if (!error.empty()) {
-      std::fprintf(stderr, "line %zu: %s\n", line_no, error.c_str());
-      ++bad_lines;
-      continue;
-    }
-    pending.push_back({line_no, source, submit(source, k)});
-    while (pending.size() >= window) drain_one();
-    // Eager drain: everything already answered streams out now, so light
-    // interactive load gets its responses immediately instead of at EOF.
-    while (!pending.empty() &&
-           pending.front().future.wait_for(std::chrono::seconds(0)) ==
-               std::future_status::ready) {
-      drain_one();
-    }
-  }
-  while (!pending.empty()) drain_one();
-  return bad_lines;
-}
-
 void PrintServedStats(const ServiceStats& stats) {
   std::printf(
       "served queries=%llu failed=%llu rejected=%llu p50_ms=%.3f "
@@ -930,45 +865,89 @@ void PrintServedStats(const ServiceStats& stats) {
       stats.p95_seconds * 1e3, stats.p99_seconds * 1e3);
 }
 
-/// Long-lived stdin query loop over the async QueryService. One request per
-/// line: "<source> [k]". Invalid lines get a per-line error on stderr and
-/// the loop keeps serving; the exit code records whether any line failed.
-int CmdServe(const Flags& flags) {
-  const std::string manifest_path = flags.Get("manifest", "");
-  const std::string graph_path = flags.Get("graph", "");
-  if (!manifest_path.empty()) {
-    for (const char* conflicting : {"graph", "index", "algo", "params"}) {
-      if (flags.HasValue(conflicting)) {
-        std::fprintf(stderr,
-                     "serve: --manifest is mutually exclusive with --%s\n",
-                     conflicting);
-        return 2;
-      }
-    }
-  } else if (graph_path.empty()) {
-    std::fprintf(stderr, "serve: --graph or --manifest is required\n");
+/// Graceful-shutdown signal plumbing for `serve`. The handler only sets a
+/// flag and pokes a pipe: the stdin loop notices because the blocked read
+/// returns EINTR (no SA_RESTART), the TCP path because its wait poll()s
+/// the pipe.
+volatile std::sig_atomic_t g_serve_stop = 0;
+int g_serve_signal_pipe = -1;
+
+void HandleServeSignal(int) {
+  g_serve_stop = 1;
+  if (g_serve_signal_pipe >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = write(g_serve_signal_pipe, &byte, 1);
+  }
+}
+
+void InstallServeSignalHandlers() {
+  struct sigaction action {};
+  action.sa_handler = HandleServeSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked stdin reads must EINTR out
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // Dead clients must surface as write errors on their own connection, not
+  // kill the whole server.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+/// The stdin framing of the shared serve loop (net/serve_loop): pipelined
+/// submission with answers printed in submission order, each flushed before
+/// the next read. std::getline delivers a final line even without a
+/// trailing newline, so piped clients that omit it still get an answer.
+/// Returns the number of failed lines.
+size_t ServeStdinLoop(NodeId n, uint32_t default_k, size_t window,
+                      const net::SubmitFn& submit) {
+  net::LineTransport transport;
+  transport.read_line = [](std::string* line) {
+    return g_serve_stop == 0 &&
+           static_cast<bool>(std::getline(std::cin, *line));
+  };
+  transport.write_line = [](const std::string& line) {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  };
+  transport.report_error = [](size_t line_no, const std::string& message) {
+    std::fprintf(stderr, "line %zu: %s\n", line_no, message.c_str());
+  };
+  return net::ServeLineLoop(n, default_k, window, submit, transport);
+}
+
+/// Everything `serve` needs behind a transport: the submit hook, the node
+/// count for request validation, and the stats snapshot for the exit
+/// report. Members are declared owner-last so the graph outlives the
+/// service holding a reference to it.
+struct ServeBackend {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<ShardRouter> router;
+  NodeId n = 0;
+  net::SubmitFn submit;
+  std::function<ServiceStats()> stats;
+};
+
+/// Builds the unsharded or sharded backend from the serve flags. Returns 0
+/// and fills *backend on success, else the exit code (the ready banner has
+/// already been printed to stderr).
+int OpenServeBackend(const Flags& flags, const std::string& manifest_path,
+                     const std::string& graph_path, ServeBackend* backend) {
+  const size_t max_queue = static_cast<size_t>(flags.GetInt("queue", 1024));
+  if (max_queue == 0) {
+    std::fprintf(stderr, "serve: --queue must be positive\n");
     return 2;
   }
-  if (!flags.Has("stdin")) {
-    std::fprintf(stderr,
-                 "serve: --stdin is required (the only transport so far)\n");
+  if (flags.HasValue("threads") && flags.GetInt("threads", 1) == 0) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
     return 2;
   }
 
   if (!manifest_path.empty()) {
-    if (flags.HasValue("threads") && flags.GetInt("threads", 1) == 0) {
-      std::fprintf(stderr, "--threads must be >= 1\n");
-      return 2;
-    }
-    const uint32_t default_k = flags.GetUint32("k", 20);
     ShardRouterOptions options;
     options.threads_per_shard =
         static_cast<size_t>(flags.GetInt("threads", 0));
-    options.max_queue = static_cast<size_t>(flags.GetInt("queue", 1024));
-    if (options.max_queue == 0) {
-      std::fprintf(stderr, "serve: --queue must be positive\n");
-      return 2;
-    }
+    options.max_queue = max_queue;
     if (flags.Has("reject")) {
       options.backpressure = QueryServiceOptions::Backpressure::kReject;
     }
@@ -978,19 +957,21 @@ int CmdServe(const Flags& flags) {
       std::fprintf(stderr, "%s\n", router_result.status().ToString().c_str());
       return 1;
     }
-    std::unique_ptr<ShardRouter> router =
-        std::move(router_result).ValueOrDie();
+    backend->router = std::move(router_result).ValueOrDie();
+    ShardRouter* router = backend->router.get();
+    backend->n = router->node_count();
+    backend->submit = [router](QueryRequest request) {
+      return router->SubmitRequest(std::move(request));
+    };
+    backend->stats = [router] { return router->Stats(); };
     std::fprintf(stderr,
-                 "serving %s on stdin: %u shard(s), n=%u, ready in %.2fs; "
-                 "lines are \"<source> [k]\"\n",
+                 "serving %s: %u shard(s), n=%u, ready in %.2fs; requests "
+                 "are \"<source> [k]\"\n",
                  router->manifest().algo.c_str(), router->shard_count(),
                  router->node_count(), start_timer.Seconds());
-    const size_t bad_lines = ServeStdinLoop(
-        router->node_count(), default_k, options.max_queue,
-        [&](NodeId source, uint32_t k) { return router->Submit(source, k); });
-    PrintServedStats(router->Stats());
-    return bad_lines > 0 ? 3 : 0;
+    return 0;
   }
+
   const std::string algo = flags.Get("algo", "prsim");
   const EngineInfo* info = EngineRegistry::Global().Find(algo);
   if (info == nullptr) {
@@ -1013,56 +994,236 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 2;
   }
-  const uint32_t default_k = flags.GetUint32("k", 20);
 
   auto graph_result = LoadAnyGraph(graph_path);
   if (!graph_result.ok()) {
     std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
     return 1;
   }
-  Graph graph = std::move(graph_result).ValueOrDie();
+  backend->graph =
+      std::make_unique<Graph>(std::move(graph_result).ValueOrDie());
 
   QueryServiceOptions options;
   options.threads = static_cast<size_t>(flags.GetInt("threads", 0));
-  options.max_queue = static_cast<size_t>(flags.GetInt("queue", 1024));
-  if (options.max_queue == 0) {
-    std::fprintf(stderr, "serve: --queue must be positive\n");
-    return 2;
-  }
+  options.max_queue = max_queue;
   if (flags.Has("reject")) {
     options.backpressure = QueryServiceOptions::Backpressure::kReject;
   }
-  QueryService service(options);
+  backend->service = std::make_unique<QueryService>(options);
   WallTimer start_timer;
   Status st = index_path.empty()
-                  ? service.AddEngine(info->name, graph, config)
-                  : service.AddEngineFromIndex(info->name, graph, config,
-                                               index_path);
+                  ? backend->service->AddEngine(info->name, *backend->graph,
+                                                config)
+                  : backend->service->AddEngineFromIndex(
+                        info->name, *backend->graph, config, index_path);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
+  backend->n = backend->graph->n();
+  QueryService* service = backend->service.get();
+  backend->submit = [service](QueryRequest request) {
+    return service->Submit(std::move(request));
+  };
+  backend->stats = [service] { return service->Stats(); };
   std::fprintf(stderr,
-               "serving %s on stdin: n=%u, %zu workers, ready in %.2fs; "
-               "lines are \"<source> [k]\"\n",
-               info->name.c_str(), graph.n(), service.threads(),
+               "serving %s: n=%u, %zu workers, ready in %.2fs; requests "
+               "are \"<source> [k]\"\n",
+               info->name.c_str(), backend->n, service->threads(),
                start_timer.Seconds());
+  return 0;
+}
 
-  // Never submit beyond the service's own queue bound: stdin is a single
-  // well-behaved client, so overrunning it would make --reject shed our
-  // own valid lines. (--reject still matters once multiple clients share
-  // a service; here it simply never fires.) Positional seeds are assigned
-  // at submission, so answers are independent of --threads.
-  const size_t bad_lines = ServeStdinLoop(
-      graph.n(), default_k, options.max_queue,
-      [&](NodeId source, uint32_t k) {
-        QueryRequest request;
-        request.source = source;
-        request.k = k;
-        return service.Submit(std::move(request));
-      });
-  PrintServedStats(service.Stats());
-  return bad_lines > 0 ? 3 : 0;
+/// Long-lived query service behind the stdin or TCP transport. One request
+/// per line / frame; invalid requests get per-request errors and the
+/// service keeps serving. SIGINT/SIGTERM drain and exit 0; a clean EOF
+/// exits 3 if any line failed, 0 otherwise.
+int CmdServe(const Flags& flags) {
+  const std::string manifest_path = flags.Get("manifest", "");
+  const std::string graph_path = flags.Get("graph", "");
+  if (!manifest_path.empty()) {
+    for (const char* conflicting : {"graph", "index", "algo", "params"}) {
+      if (flags.HasValue(conflicting)) {
+        std::fprintf(stderr,
+                     "serve: --manifest is mutually exclusive with --%s\n",
+                     conflicting);
+        return 2;
+      }
+    }
+  } else if (graph_path.empty()) {
+    std::fprintf(stderr, "serve: --graph or --manifest is required\n");
+    return 2;
+  }
+  const bool use_stdin = flags.Has("stdin");
+  const bool use_listen = flags.HasValue("listen");
+  if (use_stdin == use_listen) {
+    std::fprintf(stderr,
+                 "serve: exactly one transport is required: --stdin or "
+                 "--listen PORT\n");
+    return 2;
+  }
+  const uint64_t listen_port = flags.GetInt("listen", 0);
+  if (use_listen && listen_port > 65535) {
+    std::fprintf(stderr, "serve: --listen port must be <= 65535\n");
+    return 2;
+  }
+  const uint32_t default_k = flags.GetUint32("k", 20);
+  const size_t max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections", 64));
+  if (use_listen && max_connections == 0) {
+    std::fprintf(stderr, "serve: --max-connections must be positive\n");
+    return 2;
+  }
+
+  ServeBackend backend;
+  if (const int rc =
+          OpenServeBackend(flags, manifest_path, graph_path, &backend);
+      rc != 0) {
+    return rc;
+  }
+  const size_t window = static_cast<size_t>(flags.GetInt("queue", 1024));
+
+  if (use_stdin) {
+    InstallServeSignalHandlers();
+    // Never submit beyond the service's own queue bound: stdin is a single
+    // well-behaved client, so overrunning it would make --reject shed our
+    // own valid lines. (--reject still matters once multiple clients share
+    // a service; here it simply never fires.) Positional seeds are
+    // assigned at submission, so answers are independent of --threads.
+    const size_t bad_lines =
+        ServeStdinLoop(backend.n, default_k, window, backend.submit);
+    const ServiceStats stats = backend.stats();
+    PrintServedStats(stats);
+    std::fprintf(stderr, "%s\n", ServiceStatsJson(stats, "stdin").c_str());
+    if (g_serve_stop != 0) return 0;  // graceful signal shutdown
+    return bad_lines > 0 ? 3 : 0;
+  }
+
+  // TCP transport. The signal pipe must exist before the handlers that
+  // poke it are installed.
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    std::fprintf(stderr, "serve: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  UniqueFd signal_read(pipe_fds[0]);
+  UniqueFd signal_write(pipe_fds[1]);
+  g_serve_signal_pipe = signal_write.get();
+  InstallServeSignalHandlers();
+
+  net::TcpServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(listen_port);
+  server_options.node_count = backend.n;
+  server_options.default_k = default_k;
+  server_options.window = window;
+  server_options.max_connections = max_connections;
+  auto server_result =
+      net::TcpServer::Start(server_options, backend.submit);
+  if (!server_result.ok()) {
+    std::fprintf(stderr, "%s\n", server_result.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::TcpServer> server =
+      std::move(server_result).ValueOrDie();
+  std::fprintf(stderr, "listening on 127.0.0.1:%u\n", server->port());
+  std::fflush(stderr);
+
+  // Park until SIGINT/SIGTERM; the sessions do all the work.
+  while (g_serve_stop == 0) {
+    pollfd wake = {signal_read.get(), POLLIN, 0};
+    if (::poll(&wake, 1, -1) < 0 && errno != EINTR) break;
+  }
+  server->Shutdown();
+  const net::TcpServerStats transport_stats = server->Stats();
+  std::fprintf(stderr,
+               "connections=%llu requests=%llu protocol_errors=%llu\n",
+               static_cast<unsigned long long>(transport_stats.connections),
+               static_cast<unsigned long long>(transport_stats.requests),
+               static_cast<unsigned long long>(
+                   transport_stats.protocol_errors));
+  const ServiceStats stats = backend.stats();
+  PrintServedStats(stats);
+  std::fprintf(stderr, "%s\n", ServiceStatsJson(stats, "tcp").c_str());
+  return 0;
+}
+
+/// One-shot binary-framing TCP client: one request, one response, printed
+/// in the offline query formats so wire answers diff against `query`.
+int CmdClient(const Flags& flags) {
+  if (!flags.HasValue("port")) {
+    std::fprintf(stderr, "client: --port is required\n");
+    return 2;
+  }
+  const uint64_t port = flags.GetInt("port", 0);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "client: --port must be in [1, 65535]\n");
+    return 2;
+  }
+  const std::string format_name = flags.Get("format", "tsv");
+  if (format_name != "tsv" && format_name != "text") {
+    std::fprintf(stderr, "client: unknown --format '%s' (text or tsv)\n",
+                 format_name.c_str());
+    return 2;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+
+  net::WireRequest request;
+  request.algo = flags.Get("algo", "");
+  request.source = static_cast<NodeId>(flags.GetUint32("source", 0));
+  request.k = flags.GetUint32("k", 20);
+  request.fresh_seed = flags.Has("fresh");
+
+  auto fd_result = ConnectTcp(static_cast<uint16_t>(port));
+  if (!fd_result.ok()) {
+    std::fprintf(stderr, "%s\n", fd_result.status().ToString().c_str());
+    return 1;
+  }
+  UniqueFd fd = std::move(fd_result).ValueOrDie();
+  WallTimer timer;
+  std::vector<char> payload;
+  net::EncodeRequest(request, &payload);
+  Status st = WriteAll(fd.get(), net::kBinaryMagic,
+                       sizeof(net::kBinaryMagic));
+  if (st.ok()) st = net::WriteFrame(fd.get(), payload);
+  bool eof = false;
+  if (st.ok()) st = net::ReadFrame(fd.get(), &payload, &eof);
+  if (st.ok() && eof) {
+    st = Status::IOError("server closed the connection before answering");
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto response_result = net::DecodeResponse(payload);
+  if (!response_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 response_result.status().ToString().c_str());
+    return 1;
+  }
+  const net::WireResponse response = std::move(response_result).ValueOrDie();
+  const double roundtrip_seconds = timer.Seconds();
+  if (response.status_code != 0) {
+    std::fprintf(stderr, "server error (%s): %s\n",
+                 StatusCodeToString(
+                     static_cast<StatusCode>(response.status_code)),
+                 response.error.c_str());
+    return 1;
+  }
+  if (format_name == "tsv") {
+    std::printf("meta\tsource\t%u\n", response.source);
+    std::printf("meta\tk\t%u\n", request.k);
+    std::printf("meta\troundtrip_s\t%.6f\n", roundtrip_seconds);
+    for (const auto& [node, score] : response.scores) {
+      std::printf("score\t%u\t%.17g\n", node, score);
+    }
+  } else {
+    std::printf("query answered in %.4fs (%zu scores)\n", roundtrip_seconds,
+                response.scores.size());
+    for (const auto& [node, score] : response.scores) {
+      std::printf("%-10u %.6f\n", node, score);
+    }
+  }
+  return 0;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -1117,7 +1278,8 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: prsim_cli "
-      "<stats|algos|index|shard-build|query|serve|generate> [--flags]\n"
+      "<stats|algos|index|shard-build|query|serve|client|generate> "
+      "[--flags]\n"
       "  see the header comment of tools/prsim_cli.cc\n");
 }
 
@@ -1172,8 +1334,12 @@ int main(int argc, char** argv) {
     return Dispatch(argc, argv,
                     {"graph", "index", "manifest", "eps", "c", "k", "seed",
                      "algo", "params", "j0", "alpha", "rounds", "threads",
-                     "queue"},
+                     "queue", "listen", "max-connections"},
                     {"stdin", "reject", "paper-constants"}, CmdServe);
+  }
+  if (command == "client") {
+    return Dispatch(argc, argv, {"port", "source", "k", "algo", "format"},
+                    {"fresh"}, CmdClient);
   }
   if (command == "generate") {
     return Dispatch(argc, argv,
