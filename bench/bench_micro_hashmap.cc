@@ -1,0 +1,540 @@
+// Hash map microbenchmark: FlatHashMap (v1) vs FlatHashMap2 vs
+// std::unordered_map on the access patterns the query hot paths actually
+// execute — bulk insert, hit/miss lookup, capacity-retained clear+reuse
+// (the pooled-workspace cycle), and full iteration — across sizes 1e2..1e6
+// and three key shapes:
+//   * uniform        — random 63-bit keys (worst case for any id trick);
+//   * node_ids       — dense shuffled 0..n-1 (accumulators, id remap);
+//   * packed_node_level — PackNodeLevel(node, level) keys (walk frontiers).
+//
+// Each cell reports best-of-`reps` ns/op, and the whole measurement matrix
+// runs `sweeps` times with per-cell minima merged across sweeps: a cell's
+// reps run back to back, so a sustained noise window (vCPU steal on a
+// shared host) can poison every rep of one cell in one sweep, but it
+// cannot chase the same cell across sweeps minutes apart. Two
+// machine-checkable verdicts are embedded in the output:
+//   * "detector": the accidentally-quadratic guard — FAILS (and the binary
+//     exits 1) if Find probe-length percentiles degrade superlinearly as
+//     the table grows, i.e. if the hash + probe scheme stops being O(1)
+//     for some key shape;
+//   * "comparison": v2 must be at least as fast as v1 on insert, find_mixed
+//     (the interleaved hit/miss stream the hot paths actually issue), and
+//     clear_reuse at every measured size; pure find_hit/find_miss rows are
+//     recorded for inspection.
+//
+// Usage: bench_micro_hashmap [--max-size S] [--reps R] [--sweeps K]
+//                            [--out PATH]
+// Defaults: max-size=1000000, reps=3, sweeps=3,
+//           out=BENCH_hashmap_micro.json
+// (CI runs a --max-size 10000 variant per commit and schema-checks both the
+// regenerated and the committed file.)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace prsim;
+
+struct Args {
+  size_t max_size = 1000000;
+  int reps = 3;
+  int sweeps = 3;
+  std::string out = "BENCH_hashmap_micro.json";
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s expects a value\n", flag.c_str());
+      return false;
+    }
+    const char* value = argv[i + 1];
+    if (flag == "--max-size") {
+      args->max_size = std::strtoull(value, nullptr, 10);
+    } else if (flag == "--reps") {
+      args->reps = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (flag == "--sweeps") {
+      args->sweeps = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (flag == "--out") {
+      args->out = value;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (args->max_size < 100 || args->reps < 1 || args->sweeps < 1) {
+    std::fprintf(stderr,
+                 "--max-size must be >= 100, --reps and --sweeps >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+/// Optimization sink: accumulated checksums keep the measured loops alive.
+volatile uint64_t g_sink = 0;
+
+/// Every timed region covers at least this many operations, so the
+/// small-size cells measure steady-state throughput instead of timer
+/// jitter (one 100-key pass is ~2us — far too short on a shared vCPU).
+constexpr size_t kMinOps = size_t{1} << 17;
+
+// ---------------------------------------------------------------------------
+// Key shapes
+// ---------------------------------------------------------------------------
+
+struct KeySet {
+  std::vector<uint64_t> present;  ///< n distinct keys, pre-shuffled
+  std::vector<uint64_t> absent;   ///< n keys guaranteed not in `present`
+};
+
+void Shuffle(std::vector<uint64_t>& keys, Rng& rng) {
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.NextBounded(i)]);
+  }
+}
+
+KeySet MakeKeys(const std::string& dist, size_t n, Rng& rng) {
+  KeySet ks;
+  ks.present.reserve(n);
+  ks.absent.reserve(n);
+  if (dist == "uniform") {
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(n * 2);
+    while (ks.present.size() < n) {
+      const uint64_t key = rng.Next() >> 1;  // 63-bit: never the v1 sentinel
+      if (seen.insert(key).second) ks.present.push_back(key);
+    }
+    while (ks.absent.size() < n) {
+      const uint64_t key = rng.Next() >> 1;
+      if (seen.insert(key).second) ks.absent.push_back(key);
+    }
+  } else if (dist == "node_ids") {
+    for (size_t i = 0; i < n; ++i) ks.present.push_back(i);
+    for (size_t i = 0; i < n; ++i) ks.absent.push_back(n + i);
+    Shuffle(ks.present, rng);
+    Shuffle(ks.absent, rng);
+  } else {  // packed_node_level: 8 levels over n/8 dense node ids
+    const uint32_t nodes = static_cast<uint32_t>((n + 7) / 8);
+    for (size_t i = 0; i < n; ++i) {
+      ks.present.push_back(PackNodeLevel(static_cast<uint32_t>(i % nodes),
+                                         static_cast<uint32_t>(i / nodes)));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ks.absent.push_back(PackNodeLevel(static_cast<uint32_t>(i % nodes),
+                                        8 + static_cast<uint32_t>(i / nodes)));
+    }
+    Shuffle(ks.present, rng);
+    Shuffle(ks.absent, rng);
+  }
+  return ks;
+}
+
+// ---------------------------------------------------------------------------
+// Measured operations, generic over the map flavor
+// ---------------------------------------------------------------------------
+
+// std::unordered_map gets thin adapters so one template covers all three.
+struct StdMapAdapter {
+  std::unordered_map<uint64_t, uint64_t> map;
+  uint64_t& operator[](uint64_t k) { return map[k]; }
+  const uint64_t* Find(uint64_t k) const {
+    auto it = map.find(k);
+    return it == map.end() ? nullptr : &it->second;
+  }
+  void clear() { map.clear(); }  // keeps buckets, like the flat maps
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [k, v] : map) fn(k, v);
+  }
+  size_t size() const { return map.size(); }
+};
+
+/// ns per inserted key: n distinct inserts into a fresh map, growth and
+/// construction included — the workload the builder/remap path sees. Small
+/// sizes build many fresh maps per rep to reach kMinOps.
+template <typename MakeMap>
+double MeasureInsert(MakeMap make_map, const std::vector<uint64_t>& keys,
+                     int reps) {
+  const size_t builds = (kMinOps + keys.size() - 1) / keys.size();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    for (size_t b = 0; b < builds; ++b) {
+      auto map = make_map();
+      for (size_t i = 0; i < keys.size(); ++i) map[keys[i]] = i;
+      g_sink = g_sink + map.size();
+    }
+    const double sec = timer.Seconds();
+    best = std::min(best, sec * 1e9 / (builds * keys.size()));
+  }
+  return best;
+}
+
+/// ns per lookup over a prebuilt map; loops until >= kMinOps probes so the
+/// small sizes don't measure timer noise.
+template <typename Map>
+double MeasureFind(const Map& map, const std::vector<uint64_t>& keys,
+                   int reps) {
+  const size_t passes = (kMinOps + keys.size() - 1) / keys.size();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t hits = 0;
+    WallTimer timer;
+    for (size_t p = 0; p < passes; ++p) {
+      for (const uint64_t key : keys) {
+        if (map.Find(key) != nullptr) ++hits;
+      }
+    }
+    const double sec = timer.Seconds();
+    g_sink = g_sink + hits;
+    best = std::min(best, sec * 1e9 / (passes * keys.size()));
+  }
+  return best;
+}
+
+/// ns per clear+refill cycle of a workspace that retained capacity for n
+/// entries but now holds a small working set (n/16 keys) — the pooled-query
+/// shape where v1's O(capacity) wipe dominates: queries touch far fewer
+/// nodes than the largest query the workspace ever served. The refill is
+/// identical across flavors, so cycle-time differences are clear()
+/// differences.
+template <typename Map>
+double MeasureClearReuse(Map& map, const std::vector<uint64_t>& keys,
+                         int reps) {
+  const size_t working_set =
+      std::max<size_t>(16, std::min<size_t>(keys.size(), keys.size() / 16));
+  const size_t kCycles = std::max<size_t>(64, kMinOps / working_set);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    map.clear();
+    for (size_t i = 0; i < working_set; ++i) map[keys[i]] = i;  // warm state
+    WallTimer timer;
+    for (size_t c = 0; c < kCycles; ++c) {
+      map.clear();
+      for (size_t i = 0; i < working_set; ++i) map[keys[i]] = i;
+    }
+    const double sec = timer.Seconds();
+    g_sink = g_sink + map.size();
+    best = std::min(best, sec * 1e9 / kCycles);
+  }
+  return best;
+}
+
+/// ns per visited entry for a full ForEach sweep.
+template <typename Map>
+double MeasureIterate(const Map& map, int reps) {
+  const size_t passes = (kMinOps + map.size() - 1) / std::max<size_t>(map.size(), 1);
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t sum = 0;
+    WallTimer timer;
+    for (size_t p = 0; p < passes; ++p) {
+      map.ForEach([&](uint64_t k, const uint64_t& v) { sum += k ^ v; });
+    }
+    const double sec = timer.Seconds();
+    g_sink = g_sink + sum;
+    best = std::min(best,
+                    sec * 1e9 / (passes * std::max<size_t>(map.size(), 1)));
+  }
+  return best;
+}
+
+struct ProbeStats {
+  double p50 = 0, p99 = 0;
+  size_t max = 0;
+};
+
+/// Probe-length distribution of Find over every present key. Units are
+/// whatever the map's FindProbeCost counts (v1: slots, v2: 16-slot groups)
+/// — the detector compares a map against itself across sizes, never across
+/// flavors.
+template <typename Map>
+ProbeStats MeasureProbes(const Map& map, const std::vector<uint64_t>& keys) {
+  std::vector<size_t> costs;
+  costs.reserve(keys.size());
+  for (const uint64_t key : keys) costs.push_back(map.FindProbeCost(key));
+  std::sort(costs.begin(), costs.end());
+  ProbeStats stats;
+  stats.p50 = costs[costs.size() / 2];
+  stats.p99 = costs[(costs.size() * 99) / 100];
+  stats.max = costs.back();
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Result table + verdicts
+// ---------------------------------------------------------------------------
+
+struct Row {
+  std::string map;   ///< "v1" | "v2" | "std"
+  std::string dist;  ///< "uniform" | "node_ids" | "packed_node_level"
+  size_t size = 0;
+  double insert_ns = 0, find_hit_ns = 0, find_miss_ns = 0;
+  double find_mixed_ns = 0;
+  double clear_reuse_ns = 0, iterate_ns = 0;
+  bool has_probes = false;
+  ProbeStats probes;
+};
+
+/// The accidentally-quadratic detector. A healthy open-addressing scheme
+/// keeps probe lengths bounded by the load factor alone, so percentiles
+/// must stay flat as the table grows 10x per step. A hash that degrades
+/// (clustering, mixer blind spots for some key shape) shows up as p99
+/// growing with n. Flag any step where p99 more than doubles (+1 slack for
+/// integer percentiles of tiny tables), or any absolute blowup.
+std::vector<std::string> DetectQuadraticProbes(const std::vector<Row>& rows) {
+  std::vector<std::string> violations;
+  for (const std::string map : {"v1", "v2"}) {
+    for (const std::string dist :
+         {"uniform", "node_ids", "packed_node_level"}) {
+      const Row* prev = nullptr;
+      for (const Row& row : rows) {
+        if (row.map != map || row.dist != dist || !row.has_probes) continue;
+        char buf[256];
+        if (prev != nullptr && row.probes.p99 > 2 * prev->probes.p99 + 1) {
+          std::snprintf(buf, sizeof(buf),
+                        "%s/%s: p99 probe cost %.0f at size %zu vs %.0f at "
+                        "size %zu (superlinear)",
+                        map.c_str(), dist.c_str(), row.probes.p99, row.size,
+                        prev->probes.p99, prev->size);
+          violations.push_back(buf);
+        }
+        if (row.probes.max > 256) {
+          std::snprintf(buf, sizeof(buf),
+                        "%s/%s: max probe cost %zu at size %zu",
+                        map.c_str(), dist.c_str(), row.probes.max, row.size);
+          violations.push_back(buf);
+        }
+        prev = &row;
+      }
+    }
+  }
+  return violations;
+}
+
+/// v2 must be at least as fast as v1 on the hot-path ops at every cell.
+std::vector<std::string> CompareV2AgainstV1(const std::vector<Row>& rows) {
+  std::vector<std::string> violations;
+  for (const Row& v2 : rows) {
+    if (v2.map != "v2") continue;
+    const Row* v1 = nullptr;
+    for (const Row& row : rows) {
+      if (row.map == "v1" && row.dist == v2.dist && row.size == v2.size) {
+        v1 = &row;
+        break;
+      }
+    }
+    if (v1 == nullptr) continue;
+    const struct {
+      const char* op;
+      double v1_ns, v2_ns;
+    } cells[] = {
+        {"insert", v1->insert_ns, v2.insert_ns},
+        // The gating find cell is the interleaved hit/miss stream — the
+        // hot-path shape (backward-walk accumulation first-touches roughly
+        // half its lookups). Pure-hit and pure-miss stay as informational
+        // rows: a low-load linear probe is near-unbeatable on L1-resident
+        // pure hits, and pinning v2 to that cell would optimize the wrong
+        // workload.
+        {"find_mixed", v1->find_mixed_ns, v2.find_mixed_ns},
+        {"clear_reuse", v1->clear_reuse_ns, v2.clear_reuse_ns},
+    };
+    for (const auto& cell : cells) {
+      if (cell.v2_ns > cell.v1_ns) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "%s/size=%zu/%s: v2 %.2f ns vs v1 %.2f ns",
+                      v2.dist.c_str(), v2.size, cell.op, cell.v2_ns,
+                      cell.v1_ns);
+        violations.push_back(buf);
+      }
+    }
+  }
+  return violations;
+}
+
+void WriteJson(const Args& args, const std::vector<size_t>& sizes,
+               const std::vector<Row>& rows,
+               const std::vector<std::string>& detector_violations,
+               const std::vector<std::string>& comparison_violations) {
+  FILE* out = std::fopen(args.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"hashmap_micro\",\n");
+  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"config\": {\"max_size\": %zu, \"reps\": %d, "
+                    "\"sweeps\": %d, \"sizes\": [",
+               args.max_size, args.reps, args.sweeps);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    std::fprintf(out, "%s%zu", i == 0 ? "" : ", ", sizes[i]);
+  }
+  std::fprintf(out, "]},\n");
+  std::fprintf(out, "  \"runs\": [");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "%s\n    {\"map\": \"%s\", \"dist\": \"%s\", \"size\": %zu,\n"
+                 "     \"ns_per_op\": {\"insert\": %.2f, \"find_hit\": %.2f, "
+                 "\"find_miss\": %.2f, \"find_mixed\": %.2f, "
+                 "\"clear_reuse\": %.2f, \"iterate\": %.2f}",
+                 i == 0 ? "" : ",", r.map.c_str(), r.dist.c_str(), r.size,
+                 r.insert_ns, r.find_hit_ns, r.find_miss_ns, r.find_mixed_ns,
+                 r.clear_reuse_ns, r.iterate_ns);
+    if (r.has_probes) {
+      std::fprintf(out,
+                   ",\n     \"probe_cost\": {\"p50\": %.0f, \"p99\": %.0f, "
+                   "\"max\": %zu}",
+                   r.probes.p50, r.probes.p99, r.probes.max);
+    }
+    std::fprintf(out, "}");
+  }
+  std::fprintf(out, "\n  ],\n");
+  const auto write_verdict = [out](const char* name,
+                                   const std::vector<std::string>& violations,
+                                   bool trailing_comma) {
+    std::fprintf(out, "  \"%s\": {\"pass\": %s, \"violations\": [", name,
+                 violations.empty() ? "true" : "false");
+    for (size_t i = 0; i < violations.size(); ++i) {
+      std::fprintf(out, "%s\n    \"%s\"", i == 0 ? "" : ",",
+                   violations[i].c_str());
+    }
+    std::fprintf(out, "%s]}%s\n", violations.empty() ? "" : "\n  ",
+                 trailing_comma ? "," : "");
+  };
+  write_verdict("detector", detector_violations, true);
+  write_verdict("comparison_v2_vs_v1", comparison_violations, false);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+}
+
+template <typename MakeMap>
+Row MeasureMap(const std::string& name, MakeMap make_map,
+               const std::string& dist, const KeySet& ks, int reps) {
+  Row row;
+  row.map = name;
+  row.dist = dist;
+  row.size = ks.present.size();
+  row.insert_ns = MeasureInsert(make_map, ks.present, reps);
+
+  auto map = make_map();
+  for (size_t i = 0; i < ks.present.size(); ++i) map[ks.present[i]] = i;
+  row.find_hit_ns = MeasureFind(map, ks.present, reps);
+  row.find_miss_ns = MeasureFind(map, ks.absent, reps);
+  // Interleaved hit/miss stream — the hot-path lookup mix.
+  std::vector<uint64_t> mixed;
+  mixed.reserve(ks.present.size() + ks.absent.size());
+  for (size_t i = 0; i < ks.present.size(); ++i) {
+    mixed.push_back(ks.present[i]);
+    if (i < ks.absent.size()) mixed.push_back(ks.absent[i]);
+  }
+  row.find_mixed_ns = MeasureFind(map, mixed, reps);
+  row.iterate_ns = MeasureIterate(map, reps);
+  if constexpr (!std::is_same_v<decltype(map), StdMapAdapter>) {
+    row.has_probes = true;
+    row.probes = MeasureProbes(map, ks.present);
+  }
+  row.clear_reuse_ns = MeasureClearReuse(map, ks.present, reps);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  std::vector<size_t> sizes;
+  for (size_t s = 100; s <= args.max_size; s *= 10) sizes.push_back(s);
+
+  // Per-cell minima across full-matrix sweeps (see the file comment).
+  // Probe stats are deterministic per cell — identical every sweep — so
+  // the first sweep's values stand. std::unordered_map is measured in the
+  // first sweep only: it is a reference row, not part of any verdict, and
+  // it is the slowest third of a sweep.
+  const auto merge_min = [](Row& merged, const Row& r) {
+    merged.insert_ns = std::min(merged.insert_ns, r.insert_ns);
+    merged.find_hit_ns = std::min(merged.find_hit_ns, r.find_hit_ns);
+    merged.find_miss_ns = std::min(merged.find_miss_ns, r.find_miss_ns);
+    merged.find_mixed_ns = std::min(merged.find_mixed_ns, r.find_mixed_ns);
+    merged.clear_reuse_ns = std::min(merged.clear_reuse_ns, r.clear_reuse_ns);
+    merged.iterate_ns = std::min(merged.iterate_ns, r.iterate_ns);
+  };
+  std::vector<Row> rows;
+  for (int sweep = 0; sweep < args.sweeps; ++sweep) {
+    size_t cell = 0;
+    for (const std::string dist :
+         {"uniform", "node_ids", "packed_node_level"}) {
+      for (const size_t size : sizes) {
+        Rng rng(size * 1000003 + 17);
+        const KeySet ks = MakeKeys(dist, size, rng);
+        Row v1 = MeasureMap("v1", [] { return FlatHashMap<uint64_t>(16); },
+                            dist, ks, args.reps);
+        Row v2 = MeasureMap("v2", [] { return FlatHashMap2<uint64_t>(16); },
+                            dist, ks, args.reps);
+        if (sweep == 0) {
+          rows.push_back(std::move(v1));
+          rows.push_back(std::move(v2));
+          rows.push_back(MeasureMap("std", [] { return StdMapAdapter{}; },
+                                    dist, ks, args.reps));
+        } else {
+          merge_min(rows[cell], v1);
+          merge_min(rows[cell + 1], v2);
+        }
+        cell += 3;
+      }
+    }
+    std::fprintf(stderr, "[hashmap_micro] sweep %d/%d done\n", sweep + 1,
+                 args.sweeps);
+  }
+  for (const Row& r : rows) {
+    std::printf(
+        "[hashmap_micro] map=%-3s dist=%-17s size=%-7zu insert=%.2f "
+        "find_hit=%.2f find_miss=%.2f find_mixed=%.2f clear_reuse=%.1f "
+        "iterate=%.2f",
+        r.map.c_str(), r.dist.c_str(), r.size, r.insert_ns, r.find_hit_ns,
+        r.find_miss_ns, r.find_mixed_ns, r.clear_reuse_ns, r.iterate_ns);
+    if (r.has_probes) {
+      std::printf(" probe_p50=%.0f p99=%.0f max=%zu", r.probes.p50,
+                  r.probes.p99, r.probes.max);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+
+  const std::vector<std::string> detector = DetectQuadraticProbes(rows);
+  const std::vector<std::string> comparison = CompareV2AgainstV1(rows);
+  WriteJson(args, sizes, rows, detector, comparison);
+  std::printf("wrote %s (%zu rows)\n", args.out.c_str(), rows.size());
+  for (const auto& v : detector) {
+    std::fprintf(stderr, "[detector] %s\n", v.c_str());
+  }
+  for (const auto& v : comparison) {
+    std::fprintf(stderr, "[comparison] %s\n", v.c_str());
+  }
+  if (!detector.empty()) {
+    std::fprintf(stderr, "probe detector FAILED\n");
+    return 1;
+  }
+  std::printf("probe detector: PASS%s\n",
+              comparison.empty() ? "; v2 >= v1 on all hot-path cells"
+                                 : " (v2/v1 comparison has violations)");
+  return 0;
+}

@@ -70,6 +70,9 @@ class ProbeSim : public SingleSourceSimRank {
   Rng rng_;
   uint64_t samples_;
   double sqrt_c_;
+  // Deliberately the v1 map (see util/flat_hash_map.h): Probe() float-sums
+  // expansion mass while iterating ForEach in slot order, so the map flavor
+  // is part of the output bits.
   FlatHashMap<double> cur_{64};
   FlatHashMap<double> next_{64};
 };

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "core/artifact.h"
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/logging.h"
 #include "util/serde.h"
 
@@ -81,7 +81,7 @@ ScoreList Reads::Query(NodeId u) {
   const uint32_t r = options_.r;
   const uint32_t t = options_.t;
   const double inv_r = 1.0 / static_cast<double>(r);
-  FlatHashMap<double> scores(1024);
+  FlatHashMap2<double> scores(1024);
 
   for (uint32_t j = 0; j < r; ++j) {
     ++epoch_;  // one epoch per sample: a v meeting at several steps counts once

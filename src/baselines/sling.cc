@@ -119,7 +119,7 @@ ScoreList Sling::Query(NodeId u) {
   PRSIM_CHECK(u < graph_.n());
   cost_ = QueryCost{};
   const Index& index = *index_;
-  FlatHashMap<double> scores(1024);
+  FlatHashMap2<double> scores(1024);
   for (const SourceEntry& entry : index.source_index[u]) {
     const uint64_t key = PackNodeLevel(entry.w, entry.level);
     const TargetList* list = index.target_lists.Find(key);

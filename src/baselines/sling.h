@@ -24,7 +24,7 @@
 #include "core/single_source.h"
 #include "graph/graph.h"
 #include "ppr/walker.h"
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/rng.h"
 
 namespace prsim {
@@ -97,7 +97,7 @@ class Sling : public SingleSourceSimRank {
   struct Index {
     std::vector<double> eta;
     std::vector<std::vector<SourceEntry>> source_index;
-    FlatHashMap<TargetList> target_lists{1024};
+    FlatHashMap2<TargetList> target_lists{1024};
     std::vector<std::pair<NodeId, float>> target_payload;
   };
 

@@ -59,7 +59,10 @@ class TopSim : public SingleSourceSimRank {
   }
 
  private:
-  /// Keeps the `width` heaviest entries of a frontier map, dropping the rest.
+  /// Keeps the `width` heaviest entries of a frontier map, dropping the
+  /// rest. Deliberately on the v1 map (see util/flat_hash_map.h): the
+  /// nth_element width cut breaks mass ties by ForEach slot order, so the
+  /// map flavor is part of TopSim's output bits.
   std::vector<std::pair<NodeId, double>> TrimFrontier(
       const FlatHashMap<double>& frontier) const;
 

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "core/artifact.h"
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/logging.h"
 #include "util/serde.h"
 
@@ -110,7 +110,7 @@ ScoreList Tsf::Query(NodeId u) {
   cost_ = QueryCost{};
   cost_.walks =
       static_cast<uint64_t>(options_.rg) * static_cast<uint64_t>(options_.rq);
-  FlatHashMap<double> scores(1024);
+  FlatHashMap2<double> scores(1024);
 
   child_off_.assign(n + 1, 0);
   child_adj_.resize(n);

@@ -29,11 +29,11 @@ struct PRSim::QueryWorkspace {
     Chunk(const Graph& graph, double c) : backward(graph, c) {}
     /// eta(w) * pi_l(u, w) sample counts keyed by PackNodeLevel(w, l).
     /// Counts (not 1/nr masses): integer merges are exact in any order.
-    FlatHashMap<uint64_t> eta_pi{256};
+    FlatHashMap2<uint64_t> eta_pi{256};
     std::vector<uint64_t> eta_keys;
     /// This chunk's partial tail-sum per touched node. A chunk never spans
     /// a round, so these are partials of exactly one round's column.
-    FlatHashMap<double> tail{256};
+    FlatHashMap2<double> tail{256};
     std::vector<NodeId> tail_keys;
     BackwardWalker backward;
     Rng rng{0};
@@ -59,10 +59,10 @@ struct PRSim::QueryWorkspace {
   std::vector<Chunk> chunks;
 
   // Merge-pass accumulators (main thread only).
-  FlatHashMap<uint64_t> eta_pi{1024};  ///< merged sample counts
+  FlatHashMap2<uint64_t> eta_pi{1024};  ///< merged sample counts
   std::vector<uint64_t> eta_keys;
   RoundColumns tail;  ///< per-(node, round) tail sums + median reduce
-  FlatHashMap<double> scores{1024};
+  FlatHashMap2<double> scores{1024};
   std::vector<NodeId> score_nodes;
 };
 

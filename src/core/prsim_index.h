@@ -17,7 +17,7 @@
 
 #include "graph/graph.h"
 #include "ppr/backward_search.h"
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/status.h"
 
 namespace prsim {
@@ -79,7 +79,7 @@ class PRSimIndex {
     std::vector<std::vector<std::pair<NodeId, float>>> levels;
   };
 
-  FlatHashMap<uint32_t> hub_slot_{64};  // node -> slot in hub_levels_
+  FlatHashMap2<uint32_t> hub_slot_{64};  // node -> slot in hub_levels_
   std::vector<HubLevels> hub_levels_;
   std::vector<NodeId> hub_nodes_;
   std::vector<double> rpr_;

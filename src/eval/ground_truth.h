@@ -15,7 +15,7 @@
 #include "core/single_source.h"
 #include "graph/graph.h"
 #include "ppr/walker.h"
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -57,7 +57,7 @@ class GroundTruth {
   /// Exact oracle built through the engine registry ("powermethod"); pair
   /// lookups go through the uniform QueryPair surface.
   std::unique_ptr<SingleSourceSimRank> exact_;
-  FlatHashMap<double> cache_{1024};
+  FlatHashMap2<double> cache_{1024};
   uint64_t mc_samples_ = 0;
   Rng rng_;
 };

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
@@ -13,7 +13,7 @@ std::vector<NodeId> SampleQueryNodes(const Graph& graph, uint32_t count,
                                      uint64_t seed) {
   Rng rng(seed);
   std::vector<NodeId> nodes;
-  FlatHashMap<uint8_t> seen(count);
+  FlatHashMap2<uint8_t> seen(count);
   nodes.reserve(count);
   uint32_t attempts = 0;
   const uint32_t max_attempts = count * 200 + 1000;
@@ -64,7 +64,7 @@ std::vector<EvalMetrics> RunPooledEvaluation(
     // Phase 2: pool the nominations and rank by ground truth.
     std::vector<NodeId> pool;
     {
-      FlatHashMap<uint8_t> pooled(options.k * algos);
+      FlatHashMap2<uint8_t> pooled(options.k * algos);
       for (size_t a = 0; a < algos; ++a) {
         for (const auto& [v, score] : topk[a]) {
           uint8_t& nominated = pooled[v];
@@ -86,12 +86,20 @@ std::vector<EvalMetrics> RunPooledEvaluation(
       return pool[x] < pool[y];
     });
     const size_t k = std::min<size_t>(options.k, order.size());
-    FlatHashMap<double> vk(k);  // best pooled nodes -> true score
+    FlatHashMap2<double> vk(k);  // best pooled nodes -> true score
     for (size_t i = 0; i < k; ++i) {
       vk[pool[order[i]]] = true_scores[order[i]];
     }
 
     // Phase 3: per-algorithm metrics against V_k.
+    //
+    // The error sum accumulates in vk's ForEach order, which for
+    // FlatHashMap2 is insertion order (here: descending true score) —
+    // deterministic, but a different float-summation order than the v1
+    // slot order pre-migration runs used, so avg_error_at_k can differ
+    // from old recorded values at ULP scale. Eval metrics are
+    // tolerance-checked, never bit-compared; query-path bit-identity is
+    // unaffected (hot paths iterate via OrderedSlot key vectors).
     for (size_t a = 0; a < algos; ++a) {
       if (!answered[a]) continue;
       double error = 0.0;

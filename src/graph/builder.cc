@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 
 namespace prsim {
 
@@ -32,7 +32,7 @@ void Canonicalize(std::vector<Edge>& edges, const BuildOptions& options) {
 NodeId CompactIds(std::vector<Edge>& edges) {
   // Stored ids are offset by one so 0 doubles as the "unseen" sentinel of
   // the default-constructed slot.
-  FlatHashMap<NodeId> remap(edges.size());
+  FlatHashMap2<NodeId> remap(edges.size());
   NodeId next = 0;
   // First-appearance order keeps the renumbering deterministic.
   for (auto& [src, dst] : edges) {

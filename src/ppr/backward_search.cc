@@ -17,6 +17,10 @@ BackwardSearchResult BackwardSearch(const Graph& graph, NodeId w,
                                                   : options.rmax;
 
   BackwardSearchResult result;
+  // Deliberately the v1 map: the ForEach below accumulates float residues
+  // and emits reserve-list entries in SLOT order, and those bits/orders are
+  // baked into every PRSim index artifact. Migrating to FlatHashMap2 would
+  // change the iteration order and silently shift psi values at ULP scale.
   FlatHashMap<double> residue(16), residue_next(16);
   residue[w] = 1.0;
 

@@ -26,7 +26,7 @@
 #include <vector>
 
 #include "graph/graph.h"
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/rng.h"
 
 namespace prsim {
@@ -121,8 +121,8 @@ class BackwardWalker {
   // from earlier walks, and draw-to-node association would then depend on
   // engine history. Insertion order is a pure function of the walk itself,
   // which is what keeps queries pure functions of (seed, source).
-  FlatHashMap<double> cur_{64};
-  FlatHashMap<double> next_{64};
+  FlatHashMap2<double> cur_{64};
+  FlatHashMap2<double> next_{64};
   std::vector<NodeId> cur_keys_;
   std::vector<NodeId> next_keys_;
 };

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "ppr/walker.h"
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/sample_grid.h"
@@ -20,7 +20,7 @@ struct RpprEstimator::Workspace {
     /// keys in insertion order — the merge iterates acc_keys, never the
     /// map, so the output never depends on capacity retained from earlier
     /// estimates (see PRSim::QueryWorkspace).
-    FlatHashMap<double> acc{256};
+    FlatHashMap2<double> acc{256};
     std::vector<NodeId> acc_keys;
     BackwardWalker backward;
     Rng rng{0};

@@ -1,10 +1,15 @@
-// Open-addressing hash map keyed by 64-bit integers.
+// Open-addressing hash map keyed by 64-bit integers (v1).
 //
-// This is the accumulator map used on every hot path of the library: sparse
-// SimRank estimates (node -> score), eta*pi estimators ((node, level) ->
-// mass), and backward-walk frontiers. Compared to std::unordered_map it is
-// ~4-6x faster for this access pattern because probing is linear over a flat
-// array and there is no per-node allocation.
+// The query hot paths (accumulators, eta*pi estimators, backward-walk
+// frontiers, builder remap, pooling) have moved to util/flat_hash_map2.h,
+// which adds SwissTable-style metadata probing, a wyhash mixer, and an
+// O(size) clear. v1 remains for the consumers whose OUTPUT BITS depend on
+// its slot iteration order — BackwardSearch (reserve-list float sums feed
+// the PRSim index artifact), ProbeSim, and TopSim all accumulate floats or
+// break ties while iterating ForEach in slot order, so changing their hash
+// would silently change answers. Compared to std::unordered_map this is
+// still ~4-6x faster for the accumulate pattern: linear probing over a
+// flat array, no per-node allocation.
 //
 // Restrictions (by design, checked):
 //  * keys are uint64_t; the sentinel kEmptyKey (u64 max) cannot be inserted;
@@ -23,12 +28,22 @@
 
 namespace prsim {
 
+/// Hard ceiling on the slot count of either flat map (v1 here,
+/// util/flat_hash_map2.h): 2^31 slots. Far above any reachable workspace
+/// size, low enough that the power-of-two doubling loops can never wrap or
+/// spin on a huge (or corrupted) requested capacity, and it keeps v2's
+/// 32-bit occupied-slot journal indices exact.
+inline constexpr size_t kMaxMapCapacity = size_t{1} << 31;
+
 template <typename V>
 class FlatHashMap {
  public:
   static constexpr uint64_t kEmptyKey = ~0ULL;
 
   explicit FlatHashMap(size_t initial_capacity = 16) {
+    PRSIM_CHECK(initial_capacity <= kMaxMapCapacity / 2)
+        << "FlatHashMap: requested capacity " << initial_capacity
+        << " exceeds the " << kMaxMapCapacity << "-slot limit";
     size_t cap = 16;
     while (cap < initial_capacity * 2) cap <<= 1;
     slots_.assign(cap, Slot{kEmptyKey, V{}});
@@ -49,12 +64,18 @@ class FlatHashMap {
   }
 
   /// Returns a reference to the value for `key`, inserting a
-  /// default-constructed value if absent.
+  /// default-constructed value if absent. Probes BEFORE any growth
+  /// decision: a lookup of a present key at the load-factor boundary must
+  /// not rehash, so retained capacity stays a pure function of the insert
+  /// count (the workspace-reuse determinism contract).
   V& operator[](uint64_t key) {
     PRSIM_DCHECK(key != kEmptyKey);
-    if ((size_ + 1) * 4 >= slots_.size() * 3) Grow();
     size_t idx = Probe(key);
     if (slots_[idx].key == kEmptyKey) {
+      if ((size_ + 1) * 4 >= slots_.size() * 3) {
+        Grow();
+        idx = Probe(key);
+      }
       slots_[idx].key = key;
       // clear() only resets keys, so a reused slot may hold a stale value.
       slots_[idx].value = V{};
@@ -108,6 +129,9 @@ class FlatHashMap {
   /// retained capacities so growth decisions stay deterministic across
   /// reuse (see BackwardWalker).
   void Reserve(size_t slot_count) {
+    PRSIM_CHECK(slot_count <= kMaxMapCapacity)
+        << "FlatHashMap::Reserve: requested capacity " << slot_count
+        << " exceeds the " << kMaxMapCapacity << "-slot limit";
     size_t cap = slots_.size();
     while (cap < slot_count) cap <<= 1;
     if (cap == slots_.size()) return;
@@ -127,6 +151,18 @@ class FlatHashMap {
 
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
+
+  /// Number of slots a Find(key) inspects — instrumentation for the
+  /// microbench's accidentally-quadratic probe detector.
+  size_t FindProbeCost(uint64_t key) const {
+    size_t idx = Hash(key) & mask_;
+    size_t touched = 1;
+    while (slots_[idx].key != kEmptyKey && slots_[idx].key != key) {
+      idx = (idx + 1) & mask_;
+      ++touched;
+    }
+    return touched;
+  }
 
  private:
   struct Slot {
@@ -159,25 +195,34 @@ class FlatHashMap {
 };
 
 /// Returns the value slot for `key`, appending first-seen keys to `keys`.
-/// The insertion-order companion of operator[]: accumulators whose
-/// iteration order feeds RNG draws, float sums into a shared cell, or
-/// result emission must be walked via the keys vector, never the map —
-/// map slot order depends on the capacity retained from earlier reuse,
-/// insertion order is a pure function of the computation.
-template <typename V, typename KeyVector>
-V& OrderedSlot(FlatHashMap<V>& map, KeyVector& keys, uint64_t key) {
+/// The insertion-order companion of operator[], generic over the map
+/// flavor (FlatHashMap or FlatHashMap2): accumulators whose iteration
+/// order feeds RNG draws, float sums into a shared cell, or result
+/// emission must be walked via the keys vector, never the map — v1 slot
+/// order depends on the capacity retained from earlier reuse, and the
+/// caller-held key vector keeps the discipline uniform across both
+/// flavors (v2's own ForEach already iterates in insertion order).
+template <typename Map, typename KeyVector>
+auto& OrderedSlot(Map& map, KeyVector& keys, uint64_t key) {
   const size_t before = map.size();
-  V& slot = map[key];
+  auto& slot = map[key];
   if (map.size() != before) {
     keys.push_back(static_cast<typename KeyVector::value_type>(key));
   }
   return slot;
 }
 
-/// Packs a (node, level) pair into one FlatHashMap key. Levels are capped at
-/// 2^24 (sqrt(c)-walk depths are geometric; level 64 already has probability
-/// < 1e-7 for c = 0.8).
+/// Maximum packable level (exclusive): levels occupy bits 32..55 only, so a
+/// packed key always has its top byte clear and can never collide with
+/// FlatHashMap::kEmptyKey.
+inline constexpr uint32_t kPackNodeLevelCap = 1u << 24;
+
+/// Packs a (node, level) pair into one flat-map key. Levels are capped at
+/// 2^24, enforced below (sqrt(c)-walk depths are geometric; level 64
+/// already has probability < 1e-7 for c = 0.8, so real levels sit far
+/// under the cap).
 inline uint64_t PackNodeLevel(uint32_t node, uint32_t level) {
+  PRSIM_DCHECK_LT(level, kPackNodeLevelCap);
   return (static_cast<uint64_t>(level) << 32) | node;
 }
 inline uint32_t UnpackNode(uint64_t key) {

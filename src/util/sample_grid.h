@@ -24,7 +24,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "util/flat_hash_map.h"
+#include "util/flat_hash_map2.h"
 #include "util/rng.h"
 
 namespace prsim {
@@ -134,7 +134,7 @@ class RoundColumns {
 
  private:
   uint32_t rounds_ = 0;
-  FlatHashMap<uint32_t> slot_of_{1024};
+  FlatHashMap2<uint32_t> slot_of_{1024};
   std::vector<uint64_t> keys_;
   std::vector<double> columns_;  // slot-major, rounds_ doubles per slot
   std::vector<double> buffer_;

@@ -1,0 +1,367 @@
+// FlatHashMap2 (SwissTable-style metadata probing, journal-driven clear,
+// insertion-order iteration) plus the v1 regressions this PR fixed:
+// operator[] growing on lookups, doubling-loop overflow, and the
+// PackNodeLevel level cap. Also pins the OrderedSlot invariant that makes
+// the v2 hot-path migration bit-identity-safe: the caller-held keys vector
+// is a pure function of the insertion sequence, never of the capacity a
+// reused map retained from earlier queries.
+
+#include "util/flat_hash_map2.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flat_hash_map.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace prsim {
+namespace {
+
+TEST(FlatHashMap2Test, InsertAndFind) {
+  FlatHashMap2<double> map;
+  map[3] = 1.5;
+  map[7] += 2.0;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(3), nullptr);
+  EXPECT_DOUBLE_EQ(*map.Find(3), 1.5);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_DOUBLE_EQ(*map.Find(7), 2.0);
+  EXPECT_EQ(map.Find(4), nullptr);
+  EXPECT_TRUE(map.Contains(3));
+  EXPECT_FALSE(map.Contains(4));
+}
+
+TEST(FlatHashMap2Test, OperatorBracketDefaultConstructs) {
+  FlatHashMap2<double> map;
+  EXPECT_DOUBLE_EQ(map[42], 0.0);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap2Test, NoReservedKeys) {
+  // Unlike v1 (kEmptyKey is a sentinel), every uint64 is insertable:
+  // presence lives in the control byte.
+  FlatHashMap2<int> map;
+  map[~0ULL] = 7;
+  map[0] = 9;
+  ASSERT_NE(map.Find(~0ULL), nullptr);
+  EXPECT_EQ(*map.Find(~0ULL), 7);
+  ASSERT_NE(map.Find(0), nullptr);
+  EXPECT_EQ(*map.Find(0), 9);
+}
+
+TEST(FlatHashMap2Test, GrowPreservesEntries) {
+  FlatHashMap2<uint64_t> map(4);
+  for (uint64_t i = 0; i < 5000; ++i) map[i * 3 + 1] = i;
+  EXPECT_EQ(map.size(), 5000u);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    const uint64_t* v = map.Find(i * 3 + 1);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(map.Find(2), nullptr);
+}
+
+TEST(FlatHashMap2Test, ReserveGrowsAndPreservesEntries) {
+  FlatHashMap2<uint64_t> map(4);
+  for (uint64_t i = 0; i < 20; ++i) map[i * 7 + 2] = i;
+  const size_t before = map.capacity();
+  map.Reserve(before);  // no-op: already there
+  EXPECT_EQ(map.capacity(), before);
+  map.Reserve(before * 4);
+  EXPECT_GE(map.capacity(), before * 4);
+  EXPECT_EQ(map.size(), 20u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    const uint64_t* v = map.Find(i * 7 + 2);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+  map.clear();
+  EXPECT_GE(map.capacity(), before * 4);  // the workspace-reuse contract
+}
+
+TEST(FlatHashMap2Test, ClearEmptiesAndDoesNotResurrectStaleValues) {
+  FlatHashMap2<int> map;
+  for (uint64_t i = 0; i < 100; ++i) map[i] = 1 + static_cast<int>(i);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(5), nullptr);
+  // clear() resets only control bytes; the payload of a reused slot must
+  // still come back default-constructed.
+  EXPECT_EQ(map[5], 0);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMap2Test, SparseAndDenseClearPathsAgree) {
+  // Journal walk (sparse) and control memset (dense) must be
+  // indistinguishable. Cycle both regimes through one retained-capacity
+  // map against a reference.
+  FlatHashMap2<uint64_t> map;
+  map.Reserve(4096);
+  Rng rng(7);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    // Odd cycles stay tiny (journal path); even cycles go dense (memset).
+    const uint64_t count = (cycle % 2 == 1) ? 17 : 3000;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t key = rng.NextBounded(1u << 20);
+      map[key] += cycle + 1;
+      ref[key] += cycle + 1;
+    }
+    ASSERT_EQ(map.size(), ref.size()) << cycle;
+    for (const auto& [k, v] : ref) {
+      const uint64_t* found = map.Find(k);
+      ASSERT_NE(found, nullptr) << cycle << " key " << k;
+      ASSERT_EQ(*found, v) << cycle << " key " << k;
+    }
+    EXPECT_EQ(map.capacity(), 4096u) << cycle;
+    map.clear();
+    ASSERT_TRUE(map.empty());
+  }
+}
+
+TEST(FlatHashMap2Test, ForEachIsInsertionOrderAndSurvivesRehash) {
+  FlatHashMap2<uint64_t> map(4);
+  std::vector<uint64_t> inserted;
+  Rng rng(13);
+  std::set<uint64_t> used;
+  for (int i = 0; i < 1500; ++i) {  // several rehashes from capacity 16
+    const uint64_t key = rng.Next();
+    if (!used.insert(key).second) continue;
+    map[key] = static_cast<uint64_t>(i);
+    inserted.push_back(key);
+  }
+  std::vector<uint64_t> seen;
+  map.ForEach([&](uint64_t k, const uint64_t&) { seen.push_back(k); });
+  EXPECT_EQ(seen, inserted);
+
+  // Reserve-triggered rehash preserves the order too.
+  map.Reserve(map.capacity() * 4);
+  seen.clear();
+  map.ForEach([&](uint64_t k, const uint64_t&) { seen.push_back(k); });
+  EXPECT_EQ(seen, inserted);
+
+  // ToVector inherits the order.
+  const auto pairs = map.ToVector();
+  ASSERT_EQ(pairs.size(), inserted.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs[i].first, inserted[i]);
+  }
+}
+
+TEST(FlatHashMap2Test, ForEachMutableWrites) {
+  FlatHashMap2<uint64_t> map;
+  for (uint64_t i = 0; i < 64; ++i) map[i] = i;
+  map.ForEachMutable([](uint64_t, uint64_t& v) { v *= 2; });
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_NE(map.Find(i), nullptr);
+    EXPECT_EQ(*map.Find(i), i * 2);
+  }
+}
+
+TEST(FlatHashMap2Test, AgreesWithStdUnorderedMapUnderRandomOps) {
+  Rng rng(99);
+  FlatHashMap2<double> mine;
+  std::unordered_map<uint64_t, double> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(3000);
+    const double val = rng.NextDouble();
+    mine[key] += val;
+    ref[key] += val;
+  }
+  EXPECT_EQ(mine.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    const double* found = mine.Find(k);
+    ASSERT_NE(found, nullptr) << k;
+    EXPECT_DOUBLE_EQ(*found, v);
+  }
+}
+
+TEST(FlatHashMap2Test, LookupNeverGrows) {
+  // Small-regime v2 grows at 1/2 load, and the minimum table is 64 slots
+  // (one cache line of control bytes): it accepts 32 entries. Lookups of
+  // present keys at the boundary must not rehash (capacity is a pure
+  // function of the insert count).
+  FlatHashMap2<int> map(4);
+  ASSERT_EQ(map.capacity(), 64u);
+  for (uint64_t i = 0; i < 32; ++i) map[i] = 1;
+  ASSERT_EQ(map.capacity(), 64u);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (uint64_t i = 0; i < 32; ++i) map[i] += 1;
+  }
+  EXPECT_EQ(map.capacity(), 64u);  // lookup-heavy traffic: no growth
+  map[99] = 1;  // a real insert crosses 1/2 load; small regime grows 4x
+  EXPECT_EQ(map.capacity(), 256u);
+  EXPECT_EQ(map.size(), 33u);
+}
+
+// --------------------------------------------------------------------------
+// v1 regressions fixed in this PR
+// --------------------------------------------------------------------------
+
+TEST(FlatHashMapV1RegressionTest, LookupAtLoadFactorBoundaryDoesNotGrow) {
+  // v1 grows when (size + 1) * 4 >= capacity * 3: a 16-slot map holding 11
+  // entries sits exactly at the boundary. The old operator[] rehashed on
+  // ANY access there — including a lookup of a present key — so capacity
+  // retention diverged from the true insert count.
+  FlatHashMap<int> map(4);
+  ASSERT_EQ(map.capacity(), 16u);
+  for (uint64_t i = 0; i < 11; ++i) map[i] = 1;
+  ASSERT_EQ(map.capacity(), 16u);
+  map[3] += 1;  // lookup of a present key at the boundary
+  EXPECT_EQ(map.capacity(), 16u) << "lookup must not grow the map";
+  map[77] = 1;  // a real insert at the boundary does grow
+  EXPECT_EQ(map.capacity(), 32u);
+  EXPECT_EQ(map.size(), 12u);
+}
+
+TEST(FlatHashMapOverflowGuardTest, HugeRequestsAreRejected) {
+  // The power-of-two doubling loops used to spin or wrap on huge requests;
+  // now they fail loudly before allocating anything.
+  EXPECT_DEATH(FlatHashMap<int> m(~size_t{0} / 2), "exceeds");
+  EXPECT_DEATH(FlatHashMap2<int> m(~size_t{0} / 2), "exceeds");
+  FlatHashMap<int> v1;
+  EXPECT_DEATH(v1.Reserve(~size_t{0} - 1), "exceeds");
+  FlatHashMap2<int> v2;
+  EXPECT_DEATH(v2.Reserve(~size_t{0} - 1), "exceeds");
+  // In-range requests still work.
+  v1.Reserve(1 << 12);
+  v2.Reserve(1 << 12);
+  EXPECT_GE(v1.capacity(), size_t{1} << 12);
+  EXPECT_GE(v2.capacity(), size_t{1} << 12);
+}
+
+// --------------------------------------------------------------------------
+// PackNodeLevel
+// --------------------------------------------------------------------------
+
+TEST(PackNodeLevelTest, RoundTripsAtBoundaries) {
+  const uint32_t max_node = ~0u;
+  const uint32_t max_level = kPackNodeLevelCap - 1;
+  const std::pair<uint32_t, uint32_t> cases[] = {
+      {0u, 0u}, {1u, 0u}, {0u, 1u},          {max_node, 0u},
+      {0u, max_level}, {max_node, max_level}, {12345u, 64u},
+  };
+  for (const auto& [node, level] : cases) {
+    const uint64_t key = PackNodeLevel(node, level);
+    EXPECT_EQ(UnpackNode(key), node) << node << "," << level;
+    EXPECT_EQ(UnpackLevel(key), level) << node << "," << level;
+  }
+}
+
+TEST(PackNodeLevelTest, NeverCollidesWithEmptyKeySentinel) {
+  // Levels occupy bits 32..55, so the top byte of a packed key is always
+  // zero — strictly below v1's kEmptyKey sentinel.
+  const uint64_t max_packed = PackNodeLevel(~0u, kPackNodeLevelCap - 1);
+  EXPECT_LT(max_packed, FlatHashMap<int>::kEmptyKey);
+  EXPECT_EQ(max_packed >> 56, 0u);
+}
+
+#ifndef NDEBUG
+TEST(PackNodeLevelTest, LevelCapIsEnforcedInDebugBuilds) {
+  EXPECT_DEATH(PackNodeLevel(0, kPackNodeLevelCap), "Check failed");
+}
+#endif
+
+// --------------------------------------------------------------------------
+// OrderedSlot under capacity-retained reuse — the invariant that makes the
+// v2 hot-path migration bit-identity-safe.
+// --------------------------------------------------------------------------
+
+/// Runs one accumulation sequence through OrderedSlot and returns
+/// (insertion-order keys, ForEach-order keys).
+template <typename Map>
+std::pair<std::vector<uint64_t>, std::vector<uint64_t>> RunSequence(
+    Map& map, const std::vector<uint64_t>& sequence) {
+  std::vector<uint64_t> keys;
+  for (const uint64_t k : sequence) OrderedSlot(map, keys, k) += 1.0;
+  std::vector<uint64_t> foreach_order;
+  map.ForEach([&](uint64_t k, const double&) { foreach_order.push_back(k); });
+  return {keys, foreach_order};
+}
+
+std::vector<uint64_t> TestSequence() {
+  Rng rng(21);
+  std::vector<uint64_t> sequence;
+  for (int i = 0; i < 400; ++i) sequence.push_back(rng.NextBounded(200));
+  return sequence;
+}
+
+TEST(OrderedSlotTest, V1KeysAreAPureFunctionOfInsertionOrder) {
+  const auto sequence = TestSequence();
+
+  FlatHashMap<double> fresh(16);
+  const auto [fresh_keys, fresh_slots] = RunSequence(fresh, sequence);
+
+  // Same sequence into a map that retained a large capacity from earlier
+  // use — the pooled-workspace situation.
+  FlatHashMap<double> retained(16);
+  retained.Reserve(8192);
+  retained.clear();
+  const auto [retained_keys, retained_slots] = RunSequence(retained, sequence);
+
+  // The insertion-order keys vector is identical across retained
+  // capacities...
+  EXPECT_EQ(fresh_keys, retained_keys);
+  // ...while v1's raw slot order is not (this is exactly why every
+  // order-sensitive pass iterates the keys vector, never the map).
+  EXPECT_NE(fresh_slots, retained_slots);
+  EXPECT_NE(retained_slots, retained_keys);
+
+  // Same multiset either way.
+  auto sorted_a = fresh_slots, sorted_b = retained_slots;
+  std::sort(sorted_a.begin(), sorted_a.end());
+  std::sort(sorted_b.begin(), sorted_b.end());
+  EXPECT_EQ(sorted_a, sorted_b);
+}
+
+TEST(OrderedSlotTest, V2ForEachMatchesKeysVectorAtAnyRetainedCapacity) {
+  const auto sequence = TestSequence();
+
+  FlatHashMap2<double> fresh(16);
+  const auto [fresh_keys, fresh_order] = RunSequence(fresh, sequence);
+
+  FlatHashMap2<double> retained(16);
+  retained.Reserve(8192);
+  retained.clear();
+  const auto [retained_keys, retained_order] = RunSequence(retained, sequence);
+
+  // v2 upgrades the discipline to a container property: ForEach IS the
+  // insertion order, whatever capacity the map retained.
+  EXPECT_EQ(fresh_keys, retained_keys);
+  EXPECT_EQ(fresh_order, fresh_keys);
+  EXPECT_EQ(retained_order, retained_keys);
+}
+
+// --------------------------------------------------------------------------
+// Shared read-only use across pool workers (run under TSan in CI).
+// --------------------------------------------------------------------------
+
+TEST(FlatHashMap2ConcurrencyTest, ConcurrentReadersOnSharedMap) {
+  // The shared-index pattern: one immutable map (PRSimIndex::hub_slot_),
+  // many pool workers calling Find concurrently.
+  FlatHashMap2<uint32_t> map;
+  constexpr uint64_t kKeys = 20000;
+  for (uint64_t i = 0; i < kKeys; ++i) map[i * 11] = static_cast<uint32_t>(i);
+  const FlatHashMap2<uint32_t>& shared = map;
+
+  std::vector<uint64_t> hit_counts(8, 0);
+  ParallelFor(0, 8, [&](size_t worker) {
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      const uint32_t* v = shared.Find(i * 11);
+      if (v != nullptr && *v == i) ++hits;
+      if (shared.Contains(i * 11 + 1)) ++hits;  // misses by construction
+    }
+    hit_counts[worker] = hits;
+  }, 8);
+  for (const uint64_t hits : hit_counts) EXPECT_EQ(hits, kKeys);
+}
+
+}  // namespace
+}  // namespace prsim
