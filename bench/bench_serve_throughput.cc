@@ -14,22 +14,35 @@
 // request's *scheduled* send time, on the wire, through the full
 // frame-encode / dispatch / positional-reseed / frame-decode path.
 //
-// For every (backend, target_qps) cell the JSON records the sustained
-// completion rate, the achieved fraction of the target, and scheduled-time
-// p50/p95/p99. Results land in BENCH_serve_throughput.json (committed at
-// the repo root; CI regenerates a small variant per commit and checks the
-// schema).
+// For every (backend, zipf_s, cache_mb, target_qps) cell the JSON records
+// the sustained completion rate, the achieved fraction of the target,
+// scheduled-time p50/p95/p99, and the result-cache hit/miss/coalesced
+// deltas for the run. Results land in BENCH_serve_throughput.json
+// (committed at the repo root; CI regenerates a small variant per commit
+// and checks the schema).
+//
+// Cache rows: with --cache-mb M > 0, every (backend, zipf_s) combination
+// runs twice — once with the result cache off and once with an M-MB
+// budget — producing paired rows that isolate the hot-source-cache win
+// under each skew. Cache rows require --fresh (fresh_seed requests are
+// the only cacheable shape; see core/result_cache.h). Within one
+// (backend, zipf_s, cache) pass the qps list shares a server, so the
+// cache warms across the qps sequence — the first cell shows cold-start
+// hit rates, later cells steady state.
 //
 // Usage: bench_serve_throughput
 //   [--n N] [--degree D] [--eps E] [--k K] [--zipf-s S]
+//   [--zipf-s-list 0.8,1.0,1.2] [--cache-mb M] [--fresh]
 //   [--connections C] [--seconds SEC] [--qps-list 50,100,200]
 //   [--workdir DIR] [--out PATH] [--port P]
-// Defaults: n=4000, degree=8, eps=0.2, k=10, zipf-s=1.0, connections=4,
-//           seconds=5, qps-list=50,100,200, workdir=bench_serve_work,
+// Defaults: n=4000, degree=8, eps=0.2, k=10, zipf-s=1.0, cache-mb=0,
+//           positional seeding (no --fresh), connections=4, seconds=5,
+//           qps-list=50,100,200, workdir=bench_serve_work,
 //           out=BENCH_serve_throughput.json.
 // With --port the generator drives an already-running `serve --listen`
-// process on 127.0.0.1:P instead of the self-contained backends (one row,
-// backend "external"; --n then only sizes the Zipf source domain).
+// process on 127.0.0.1:P instead of the self-contained backends (backend
+// "external"; --n then only sizes the Zipf source domain, and the cache
+// columns read zero — the server's stats are not reachable from here).
 
 #include <algorithm>
 #include <chrono>
@@ -38,10 +51,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/engine_registry.h"
 #include "core/query_service.h"
 #include "core/shard_manifest.h"
 #include "core/shard_router.h"
@@ -64,7 +79,11 @@ struct Args {
   double degree = 8;
   double eps = 0.2;
   uint32_t k = 10;
-  double zipf_s = 1.0;
+  std::vector<double> zipf_s_list = {1.0};
+  /// Result-cache budget for the cache-on pass; 0 = cache-off rows only.
+  uint64_t cache_mb = 0;
+  /// Send fresh_seed requests (the cacheable shape) instead of positional.
+  bool fresh = false;
   uint32_t connections = 4;
   double seconds = 5;
   std::vector<double> qps_list = {50, 100, 200};
@@ -92,6 +111,11 @@ bool ParseQpsList(const std::string& value, std::vector<double>* out) {
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; i += 2) {
     const std::string flag = argv[i];
+    if (flag == "--fresh") {  // value-less flag
+      args->fresh = true;
+      --i;
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "%s expects a value\n", flag.c_str());
       return false;
@@ -106,7 +130,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (flag == "--k") {
       args->k = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (flag == "--zipf-s") {
-      args->zipf_s = std::strtod(value, nullptr);
+      args->zipf_s_list = {std::strtod(value, nullptr)};
+    } else if (flag == "--zipf-s-list") {
+      if (!ParseQpsList(value, &args->zipf_s_list)) {
+        std::fprintf(stderr,
+                     "--zipf-s-list wants comma-separated positives\n");
+        return false;
+      }
+    } else if (flag == "--cache-mb") {
+      args->cache_mb = std::strtoull(value, nullptr, 10);
     } else if (flag == "--connections") {
       args->connections =
           static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
@@ -133,18 +165,33 @@ bool ParseArgs(int argc, char** argv, Args* args) {
                  "--n must be >= 100, --connections >= 1, --seconds > 0\n");
     return false;
   }
+  if (args->cache_mb > 0 && !args->fresh) {
+    // Positional requests bypass the cache by design; a cache pass without
+    // --fresh would measure nothing but the budget allocation.
+    std::fprintf(stderr, "--cache-mb requires --fresh\n");
+    return false;
+  }
   return true;
 }
 
 struct LoadRow {
   std::string backend;  ///< "unsharded", "sharded", or "external"
   uint32_t shards = 1;
+  double zipf_s = 1.0;
+  uint64_t cache_mb = 0;  ///< result-cache budget for this row (0 = off)
+  bool fresh = false;
   double target_qps = 0;
   uint64_t requests = 0;
   uint64_t errors = 0;
   double sustained_qps = 0;
   double achieved_of_target = 0;
   double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  /// Result-cache deltas over this run (zero for cache-off and external
+  /// rows). hit_rate = hits / (hits + misses + coalesced).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_coalesced = 0;
+  double hit_rate = 0;
 };
 
 /// One open-loop run against 127.0.0.1:port. Request i is scheduled at
@@ -153,15 +200,18 @@ struct LoadRow {
 /// the sends while a reader matches responses (in submission order — the
 /// protocol's guarantee) against scheduled times. Deterministic request
 /// stream: sources come from ZipfSampler(n, s) under a fixed seed.
-LoadRow RunLoad(uint16_t port, const Args& args, double target_qps) {
+LoadRow RunLoad(uint16_t port, const Args& args, double zipf_s,
+                double target_qps) {
   LoadRow row;
+  row.zipf_s = zipf_s;
+  row.fresh = args.fresh;
   row.target_qps = target_qps;
   const auto total =
       static_cast<uint64_t>(std::max(1.0, target_qps * args.seconds));
   row.requests = total;
 
   // Pre-draw the whole request stream so the hot loop only paces + writes.
-  ZipfSampler zipf(args.n, args.zipf_s);
+  ZipfSampler zipf(args.n, zipf_s);
   Rng rng(20250808);
   std::vector<NodeId> sources(total);
   for (auto& source : sources) source = zipf.Sample(rng);
@@ -207,6 +257,7 @@ LoadRow RunLoad(uint16_t port, const Args& args, double target_qps) {
         net::WireRequest request;
         request.source = sources[i];
         request.k = args.k;
+        request.fresh_seed = args.fresh;
         net::EncodeRequest(request, &payload);
         if (!net::WriteFrame(conn.fd.get(), payload).ok()) {
           conn.transport_failed = true;
@@ -280,15 +331,22 @@ void WriteJson(const Args& args, const Graph* graph,
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"serve_throughput\",\n");
-  std::fprintf(out, "  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"schema_version\": 2,\n");
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(out,
                "  \"config\": {\"n\": %u, \"degree\": %g, \"eps\": %g, "
-               "\"k\": %u, \"zipf_s\": %g, \"connections\": %u, "
-               "\"seconds\": %g},\n",
-               args.n, args.degree, args.eps, args.k, args.zipf_s,
-               args.connections, args.seconds);
+               "\"k\": %u, \"zipf_s_list\": [",
+               args.n, args.degree, args.eps, args.k);
+  for (size_t i = 0; i < args.zipf_s_list.size(); ++i) {
+    std::fprintf(out, "%s%g", i == 0 ? "" : ", ", args.zipf_s_list[i]);
+  }
+  std::fprintf(out,
+               "], \"cache_mb\": %llu, \"fresh\": %s, "
+               "\"connections\": %u, \"seconds\": %g},\n",
+               static_cast<unsigned long long>(args.cache_mb),
+               args.fresh ? "true" : "false", args.connections,
+               args.seconds);
   if (graph != nullptr) {
     std::fprintf(out, "  \"graph\": {\"n\": %u, \"m\": %llu},\n", graph->n(),
                  static_cast<unsigned long long>(graph->m()));
@@ -298,19 +356,57 @@ void WriteJson(const Args& args, const Graph* graph,
     const LoadRow& r = rows[i];
     std::fprintf(out,
                  "%s\n    {\"backend\": \"%s\", \"shards\": %u, "
-                 "\"target_qps\": %g, \"requests\": %llu, "
+                 "\"zipf_s\": %g, \"cache_mb\": %llu, \"fresh\": %s,\n"
+                 "     \"target_qps\": %g, \"requests\": %llu, "
                  "\"errors\": %llu,\n"
                  "     \"sustained_qps\": %.6g, "
                  "\"achieved_of_target\": %.4g,\n"
                  "     \"latency_ms\": {\"p50\": %.6g, \"p95\": %.6g, "
-                 "\"p99\": %.6g}}",
-                 i == 0 ? "" : ",", r.backend.c_str(), r.shards,
-                 r.target_qps, static_cast<unsigned long long>(r.requests),
+                 "\"p99\": %.6g},\n"
+                 "     \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"coalesced\": %llu, \"hit_rate\": %.4g}}",
+                 i == 0 ? "" : ",", r.backend.c_str(), r.shards, r.zipf_s,
+                 static_cast<unsigned long long>(r.cache_mb),
+                 r.fresh ? "true" : "false", r.target_qps,
+                 static_cast<unsigned long long>(r.requests),
                  static_cast<unsigned long long>(r.errors), r.sustained_qps,
-                 r.achieved_of_target, r.p50_ms, r.p95_ms, r.p99_ms);
+                 r.achieved_of_target, r.p50_ms, r.p95_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.cache_hits),
+                 static_cast<unsigned long long>(r.cache_misses),
+                 static_cast<unsigned long long>(r.cache_coalesced),
+                 r.hit_rate);
   }
   std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);
+}
+
+/// Runs the qps list against one standing server, attaching per-run
+/// result-cache deltas read through `stats` (null for external servers).
+void RunQpsSweep(uint16_t port, const Args& args, double zipf_s,
+                 uint64_t cache_mb, const char* backend, uint32_t shards,
+                 const std::function<ServiceStats()>& stats,
+                 std::vector<LoadRow>* rows) {
+  for (const double qps : args.qps_list) {
+    const ServiceStats before = stats ? stats() : ServiceStats{};
+    LoadRow row = RunLoad(port, args, zipf_s, qps);
+    const ServiceStats after = stats ? stats() : ServiceStats{};
+    row.backend = backend;
+    row.shards = shards;
+    row.cache_mb = cache_mb;
+    row.cache_hits = after.cache_hits - before.cache_hits;
+    row.cache_misses = after.cache_misses - before.cache_misses;
+    row.cache_coalesced = after.cache_coalesced - before.cache_coalesced;
+    const uint64_t lookups =
+        row.cache_hits + row.cache_misses + row.cache_coalesced;
+    row.hit_rate =
+        lookups > 0 ? static_cast<double>(row.cache_hits) / lookups : 0;
+    std::fprintf(stderr,
+                 "%s zipf=%g cache=%lluMB target=%g qps: sustained=%.1f "
+                 "p99=%.2fms hit_rate=%.2f\n",
+                 backend, zipf_s, static_cast<unsigned long long>(cache_mb),
+                 qps, row.sustained_qps, row.p99_ms, row.hit_rate);
+    rows->push_back(row);
+  }
 }
 
 }  // namespace
@@ -321,15 +417,11 @@ int main(int argc, char** argv) {
   std::vector<LoadRow> rows;
 
   if (args.port != 0) {
-    // External mode: the server under test is someone else's process.
-    for (const double qps : args.qps_list) {
-      LoadRow row = RunLoad(static_cast<uint16_t>(args.port), args, qps);
-      row.backend = "external";
-      row.shards = 0;
-      std::fprintf(stderr,
-                   "external target=%g qps: sustained=%.1f p99=%.2fms\n",
-                   qps, row.sustained_qps, row.p99_ms);
-      rows.push_back(row);
+    // External mode: the server under test is someone else's process; its
+    // cache stats (if any) are not reachable from here.
+    for (const double zipf_s : args.zipf_s_list) {
+      RunQpsSweep(static_cast<uint16_t>(args.port), args, zipf_s,
+                  /*cache_mb=*/0, "external", /*shards=*/0, nullptr, &rows);
     }
     WriteJson(args, nullptr, rows);
     std::printf("wrote %s (%zu rows)\n", args.out.c_str(), rows.size());
@@ -351,51 +443,65 @@ int main(int argc, char** argv) {
   config_result.status().Abort();
   const EngineConfig config = std::move(config_result).ValueOrDie();
 
-  {
-    QueryService service;
-    service.AddEngine("prsim", graph, config).Abort();
-    auto server = net::TcpServer::Start(
-        ServerOptions(args, graph.n()),
-        [&](QueryRequest request) {
-          return service.Submit(std::move(request));
-        });
-    server.status().Abort();
-    for (const double qps : args.qps_list) {
-      LoadRow row = RunLoad(server.ValueOrDie()->port(), args, qps);
-      row.backend = "unsharded";
-      row.shards = 1;
-      std::fprintf(stderr,
-                   "unsharded target=%g qps: sustained=%.1f p99=%.2fms\n",
-                   qps, row.sustained_qps, row.p99_ms);
-      rows.push_back(row);
+  // One cache-off pass always; a second cache-on pass when --cache-mb is
+  // set, so every (backend, zipf_s, qps) cell gets a paired row.
+  std::vector<uint64_t> cache_passes = {0};
+  if (args.cache_mb > 0) cache_passes.push_back(args.cache_mb);
+
+  // Preprocess the engine once and hand each service a same-seed clone
+  // (clones share the immutable index), so the pass matrix pays one index
+  // build no matter how many server instances it stands up.
+  auto leader_result = EngineRegistry::Global().Create("prsim", graph, config);
+  leader_result.status().Abort();
+  std::unique_ptr<SingleSourceSimRank> leader =
+      std::move(leader_result).ValueOrDie();
+  leader->Preprocess().Abort();
+
+  for (const double zipf_s : args.zipf_s_list) {
+    for (const uint64_t cache_mb : cache_passes) {
+      QueryServiceOptions service_options;
+      service_options.cache_bytes = cache_mb << 20;
+      QueryService service(service_options);
+      service.AddEngine("prsim", leader->CloneWithSeed(leader->seed()))
+          .Abort();
+      auto server = net::TcpServer::Start(
+          ServerOptions(args, graph.n()),
+          [&](QueryRequest request) {
+            return service.Submit(std::move(request));
+          });
+      server.status().Abort();
+      RunQpsSweep(server.ValueOrDie()->port(), args, zipf_s, cache_mb,
+                  "unsharded", 1, [&] { return service.Stats(); }, &rows);
     }
   }
 
   {
     // 3-shard backend: real bundle on disk, real router — the cost of the
     // global-position stamp and cross-shard routing is part of the number.
+    // The bundle is built once; each pass reopens it (mmap'd loads).
     std::filesystem::create_directories(args.workdir);
     PartitionSpec spec;
     spec.shards = 3;
     auto manifest_path =
         BuildShardBundle(graph, "prsim", config, spec, args.workdir);
     manifest_path.status().Abort();
-    auto router = ShardRouter::Open(manifest_path.ValueOrDie());
-    router.status().Abort();
-    auto server = net::TcpServer::Start(
-        ServerOptions(args, graph.n()),
-        [&](QueryRequest request) {
-          return router.ValueOrDie()->SubmitRequest(std::move(request));
-        });
-    server.status().Abort();
-    for (const double qps : args.qps_list) {
-      LoadRow row = RunLoad(server.ValueOrDie()->port(), args, qps);
-      row.backend = "sharded";
-      row.shards = spec.shards;
-      std::fprintf(stderr,
-                   "sharded(3) target=%g qps: sustained=%.1f p99=%.2fms\n",
-                   qps, row.sustained_qps, row.p99_ms);
-      rows.push_back(row);
+    for (const double zipf_s : args.zipf_s_list) {
+      for (const uint64_t cache_mb : cache_passes) {
+        ShardRouterOptions router_options;
+        router_options.cache_bytes = cache_mb << 20;
+        auto router =
+            ShardRouter::Open(manifest_path.ValueOrDie(), router_options);
+        router.status().Abort();
+        auto server = net::TcpServer::Start(
+            ServerOptions(args, graph.n()),
+            [&](QueryRequest request) {
+              return router.ValueOrDie()->SubmitRequest(std::move(request));
+            });
+        server.status().Abort();
+        RunQpsSweep(server.ValueOrDie()->port(), args, zipf_s, cache_mb,
+                    "sharded", spec.shards,
+                    [&] { return router.ValueOrDie()->Stats(); }, &rows);
+      }
     }
   }
 

@@ -6,39 +6,92 @@
 
 #include "core/batch_query.h"
 #include "core/engine_registry.h"
+#include "core/result_cache.h"
+#include "util/serde.h"
 
 namespace prsim {
 
 std::string ServiceStatsJson(const ServiceStats& stats,
                              const std::string& transport) {
-  char buffer[512];
+  char buffer[768];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\"event\":\"serve_stats\",\"transport\":\"%s\","
       "\"accepted\":%llu,\"completed\":%llu,\"failed\":%llu,"
       "\"rejected\":%llu,\"queue_high_water\":%llu,"
-      "\"p50_ms\":%.6g,\"p95_ms\":%.6g,\"p99_ms\":%.6g}",
+      "\"p50_ms\":%.6g,\"p95_ms\":%.6g,\"p99_ms\":%.6g,"
+      "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+      "\"cache_coalesced\":%llu,\"cache_evictions\":%llu,"
+      "\"cache_bytes\":%llu}",
       transport.c_str(), static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.completed),
       static_cast<unsigned long long>(stats.failed),
       static_cast<unsigned long long>(stats.rejected),
       static_cast<unsigned long long>(stats.queue_high_water),
       stats.p50_seconds * 1e3, stats.p95_seconds * 1e3,
-      stats.p99_seconds * 1e3);
+      stats.p99_seconds * 1e3,
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_coalesced),
+      static_cast<unsigned long long>(stats.cache_evictions),
+      static_cast<unsigned long long>(stats.cache_bytes));
   return buffer;
 }
+
+namespace {
+
+void FnvUpdateString(Fnv64& fnv, const std::string& s) {
+  const uint64_t len = s.size();
+  fnv.Update(&len, sizeof(len));
+  fnv.Update(s.data(), s.size());
+}
+
+void FnvUpdateU64(Fnv64& fnv, uint64_t v) { fnv.Update(&v, sizeof(v)); }
+
+/// Cache fingerprint for an engine built from (graph, config): any change
+/// to the graph shape/content, the canonical config rendering, or the
+/// leader seed changes the digest.
+uint64_t EngineFingerprint(const std::string& algo, const Graph& graph,
+                           const EngineConfig& config, uint64_t seed) {
+  Fnv64 fnv;
+  FnvUpdateString(fnv, algo);
+  FnvUpdateU64(fnv, graph.n());
+  FnvUpdateU64(fnv, graph.m());
+  FnvUpdateU64(fnv, graph.Checksum());
+  FnvUpdateString(fnv, config.ToString());
+  FnvUpdateU64(fnv, seed);
+  return fnv.digest();
+}
+
+/// Weaker digest for a caller-supplied preprocessed leader (no graph or
+/// config in hand): callers that swap leaders sharing (algo, n, seed) but
+/// differing elsewhere should disable or size-segregate the cache.
+uint64_t LeaderFingerprint(const std::string& algo,
+                           const SingleSourceSimRank& leader) {
+  Fnv64 fnv;
+  FnvUpdateString(fnv, algo);
+  FnvUpdateU64(fnv, leader.node_count());
+  FnvUpdateU64(fnv, leader.seed());
+  return fnv.digest();
+}
+
+}  // namespace
 
 QueryService::QueryService(const QueryServiceOptions& options)
     : options_(options),
       latencies_(options.latency_reservoir),
       pool_(options.threads) {
   PRSIM_CHECK(options_.max_queue > 0) << "max_queue must be positive";
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
+  }
 }
 
 QueryService::~QueryService() = default;
 
 Status QueryService::AddEngineImpl(
-    const std::string& algo, std::unique_ptr<SingleSourceSimRank> leader) {
+    const std::string& algo, std::unique_ptr<SingleSourceSimRank> leader,
+    uint64_t fingerprint) {
   if (algo.empty()) {
     return Status::InvalidArgument("engine key must be non-empty");
   }
@@ -59,13 +112,22 @@ Status QueryService::AddEngineImpl(
   engine->algo = algo;
   engine->leader = std::move(leader);
   engine->clones.resize(pool_.size());
+  engine->fingerprint = fingerprint;
+  engine->cache_seed = engine->leader->seed();
+  if (cache_ != nullptr) {
+    engine->cache_algo_id = cache_->RegisterEngine(algo, fingerprint);
+  }
   engines_.push_back(std::move(engine));
   return Status::OK();
 }
 
 Status QueryService::AddEngine(const std::string& algo,
                                std::unique_ptr<SingleSourceSimRank> leader) {
-  return AddEngineImpl(algo, std::move(leader));
+  if (leader == nullptr) {
+    return Status::InvalidArgument("null leader engine for '" + algo + "'");
+  }
+  const uint64_t fingerprint = LeaderFingerprint(algo, *leader);
+  return AddEngineImpl(algo, std::move(leader), fingerprint);
 }
 
 Status QueryService::AddEngine(const std::string& algo, const Graph& graph,
@@ -75,7 +137,9 @@ Status QueryService::AddEngine(const std::string& algo, const Graph& graph,
   PRSIM_ASSIGN_OR_RETURN(auto leader,
                          EngineRegistry::Global().Create(algo, graph, config));
   PRSIM_RETURN_NOT_OK(leader->Preprocess());
-  return AddEngineImpl(info->name, std::move(leader));
+  const uint64_t fingerprint =
+      EngineFingerprint(info->name, graph, config, leader->seed());
+  return AddEngineImpl(info->name, std::move(leader), fingerprint);
 }
 
 Status QueryService::AddEngineFromIndex(const std::string& algo,
@@ -87,7 +151,9 @@ Status QueryService::AddEngineFromIndex(const std::string& algo,
   PRSIM_ASSIGN_OR_RETURN(auto leader,
                          EngineRegistry::Global().CreateFromIndex(
                              algo, graph, config, index_path));
-  return AddEngineImpl(info->name, std::move(leader));
+  const uint64_t fingerprint =
+      EngineFingerprint(info->name, graph, config, leader->seed());
+  return AddEngineImpl(info->name, std::move(leader), fingerprint);
 }
 
 std::vector<std::string> QueryService::Algos() const {
@@ -119,11 +185,13 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
   // Submitting from one of *this service's* workers could deadlock: the
   // blocking backpressure path waits for capacity only those workers can
   // free. Workers of other pools (e.g. a ParallelFor chunk on the shared
-  // pool) are fine — this service drains independently of them.
-  PRSIM_CHECK(!pool_.OwnsCurrentThread())
+  // pool) are fine — this service drains independently of them. Asserted
+  // against the pool's thread-local worker registry; debug-only so the
+  // release hot path pays nothing.
+  PRSIM_DCHECK(!pool_.OwnsCurrentThread())
       << "Submit() from this service's own worker would deadlock the "
          "bounded queue";
-  uint64_t seq = 0;
+  WallTimer submit_timer;
   Engine* engine = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -146,41 +214,96 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
       ++failed_;
       return ReadyResult({std::move(precheck), {}, 0, {}});
     }
+  }
+
+  // Cache path: only fresh_seed requests — a fresh answer is a pure
+  // function of (fingerprint, seed, algo, source), a positional answer is
+  // not (see core/result_cache.h). Hits resolve here, BEFORE the bounded
+  // queue, so a saturated queue cannot backpressure them.
+  bool lead = false;
+  ResultCacheKey key;
+  if (cache_ != nullptr && request.fresh_seed) {
+    key = ResultCacheKey{engine->fingerprint, engine->cache_seed,
+                         request.source, engine->cache_algo_id};
+    ResultCache::Ticket ticket =
+        cache_->Lookup(key, request.k, submit_timer);
+    switch (ticket.role) {
+      case ResultCache::Role::kHit: {
+        QueryResult result = ResultCache::CachedResult(
+            ticket.hit_scores, request.k, request.source,
+            submit_timer.Seconds());
+        std::lock_guard<std::mutex> lock(mu_);
+        ++submitted_;
+        ++completed_;
+        latencies_.Add(result.latency_seconds);
+        return ReadyResult(std::move(result));
+      }
+      case ResultCache::Role::kWaiter: {
+        // Counted as accepted now; completion/failure is folded in when
+        // the leader publishes.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++submitted_;
+        return std::move(ticket.waiter_future);
+      }
+      case ResultCache::Role::kLeader:
+        // Falls through to queue admission; RunQuery publishes.
+        lead = true;
+        break;
+    }
+  }
+
+  uint64_t seq = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
     if (inflight_ >= options_.max_queue) {
       if (options_.backpressure ==
           QueryServiceOptions::Backpressure::kReject) {
         ++rejected_;
-        return ReadyResult({Status::ResourceExhausted(
-                                "query queue full (" +
-                                std::to_string(options_.max_queue) + ")"),
-                            {},
-                            0,
-                            {}});
+        Status status = Status::ResourceExhausted(
+            "query queue full (" + std::to_string(options_.max_queue) + ")");
+        if (lead) {
+          // The flight must be resolved even though the leader never ran,
+          // or coalesced waiters would hang forever. They share the
+          // leader's rejection.
+          lock.unlock();
+          ResultCache::PublishResult published =
+              cache_->Publish(key, status, nullptr);
+          if (published.failed_waiters > 0) {
+            std::lock_guard<std::mutex> relock(mu_);
+            rejected_ += published.failed_waiters;
+          }
+        }
+        return ReadyResult({std::move(status), {}, 0, {}});
       }
       queue_has_room_.wait(
           lock, [this] { return inflight_ < options_.max_queue; });
     }
     // Accepting the first request freezes the engine set; from here on
-    // workers read Engine state without the lock.
-    seq = submitted_++;
+    // workers read Engine state without the lock. fresh_seed requests
+    // never consume a positional seq: the positional stream replays
+    // BatchQuery bit for bit no matter how much fresh traffic (cached or
+    // not) is interleaved.
+    ++submitted_;
+    if (!request.fresh_seed) seq = next_seq_++;
     ++inflight_;
     if (inflight_ > inflight_high_water_) inflight_high_water_ = inflight_;
   }
 
-  WallTimer submit_timer;
   return pool_.Submit([this, engine, request = std::move(request), seq,
-                       submit_timer] {
-    return RunQuery(*engine, request, seq, submit_timer);
+                       submit_timer, lead] {
+    return RunQuery(*engine, request, seq, submit_timer, lead);
   });
 }
 
 QueryResult QueryService::RunQuery(Engine& engine,
                                    const QueryRequest& request, uint64_t seq,
-                                   WallTimer submit_timer) {
+                                   WallTimer submit_timer,
+                                   bool publish_to_cache) {
   const size_t worker = ThreadPool::WorkerIndex();
   PRSIM_CHECK(worker != ThreadPool::kNotAWorker && worker < pool_.size());
   std::unique_ptr<SingleSourceSimRank>& clone = engine.clones[worker];
   QueryResult result;
+  std::shared_ptr<const ScoreList> full_scores;
   try {
     if (clone == nullptr) {
       clone = engine.leader->CloneWithSeed(engine.leader->seed());
@@ -201,19 +324,43 @@ QueryResult QueryService::RunQuery(Engine& engine,
       clone->Reseed(internal::BatchQuerySeed(engine.leader->seed(),
                                              static_cast<size_t>(position)));
     }
-    result.scores = request.k > 0 ? clone->QueryTopK(request.source, request.k)
-                                  : clone->Query(request.source);
+    if (publish_to_cache) {
+      // Cache leader: compute the FULL vector (one entry serves any k) and
+      // derive this caller's own reply from it. Bit-identical to the
+      // uncached path: no engine overrides QueryTopK, so QueryTopK(u, k)
+      // IS TopK(Query(u), k, u).
+      full_scores =
+          std::make_shared<const ScoreList>(clone->Query(request.source));
+      result.scores = request.k > 0
+                          ? TopK(*full_scores, request.k, request.source)
+                          : *full_scores;
+    } else {
+      result.scores = request.k > 0
+                          ? clone->QueryTopK(request.source, request.k)
+                          : clone->Query(request.source);
+    }
     result.cost = clone->last_query_cost();
   } catch (const std::exception& e) {
     result.status = Status::Internal(engine.algo + " query threw: " + e.what());
     // The clone may hold partially mutated scratch; drop it so the next
     // query on this worker starts from a fresh clone.
     clone.reset();
+    full_scores = nullptr;
   } catch (...) {
     result.status = Status::Internal(engine.algo + " query threw");
     clone.reset();
+    full_scores = nullptr;
   }
   result.latency_seconds = submit_timer.Seconds();
+
+  ResultCache::PublishResult published;
+  if (publish_to_cache) {
+    // Publish on EVERY leader path — success or failure — so coalesced
+    // waiters always resolve.
+    const ResultCacheKey key{engine.fingerprint, engine.cache_seed,
+                             request.source, engine.cache_algo_id};
+    published = cache_->Publish(key, result.status, full_scores);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (result.status.ok()) {
@@ -223,27 +370,46 @@ QueryResult QueryService::RunQuery(Engine& engine,
   } else {
     ++failed_;
   }
+  // Coalesced waiters resolved by this publish: they completed (or
+  // failed) without ever entering the queue, but they are real answered
+  // requests — fold them into the service counters and the latency
+  // reservoir.
+  completed_ += published.ok_waiters;
+  failed_ += published.failed_waiters;
+  for (double latency : published.waiter_latencies) latencies_.Add(latency);
   --inflight_;
   queue_has_room_.notify_one();
   return result;
 }
 
 ServiceStats QueryService::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   ServiceStats stats;
-  stats.submitted = submitted_;
-  stats.completed = completed_;
-  stats.failed = failed_;
-  stats.rejected = rejected_;
-  stats.queue_high_water = inflight_high_water_;
-  const std::vector<double> sorted = latencies_.SortedSamples();
-  stats.p50_seconds = SortedQuantile(sorted, 0.50);
-  stats.p95_seconds = SortedQuantile(sorted, 0.95);
-  stats.p99_seconds = SortedQuantile(sorted, 0.99);
-  stats.aggregate_cost = aggregate_cost_;
-  stats.aggregate_cost.latency_p50_seconds = stats.p50_seconds;
-  stats.aggregate_cost.latency_p95_seconds = stats.p95_seconds;
-  stats.aggregate_cost.latency_p99_seconds = stats.p99_seconds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.failed = failed_;
+    stats.rejected = rejected_;
+    stats.queue_high_water = inflight_high_water_;
+    const std::vector<double> sorted = latencies_.SortedSamples();
+    stats.p50_seconds = SortedQuantile(sorted, 0.50);
+    stats.p95_seconds = SortedQuantile(sorted, 0.95);
+    stats.p99_seconds = SortedQuantile(sorted, 0.99);
+    stats.aggregate_cost = aggregate_cost_;
+    stats.aggregate_cost.latency_p50_seconds = stats.p50_seconds;
+    stats.aggregate_cost.latency_p95_seconds = stats.p95_seconds;
+    stats.aggregate_cost.latency_p99_seconds = stats.p99_seconds;
+  }
+  if (cache_ != nullptr) {
+    // Outside mu_: the cache has its own mutex and the two are never
+    // nested.
+    const ResultCacheStats cache = cache_->Stats();
+    stats.cache_hits = cache.hits;
+    stats.cache_misses = cache.misses;
+    stats.cache_coalesced = cache.coalesced;
+    stats.cache_evictions = cache.evictions;
+    stats.cache_bytes = cache.bytes;
+  }
   return stats;
 }
 

@@ -17,6 +17,11 @@
 // Determinism: request `seq` (the submission order) plays the role of the
 // batch position — each query is reseeded with the positional BatchQuery
 // seed, so a single-threaded service replays a BatchQuery bit for bit.
+// `fresh_seed` requests sit outside that stream: they are answered under
+// the leader seed, never consume a positional seq (so a positional replay
+// interleaved with fresh traffic stays bit-identical regardless of cache
+// state), and are the only requests eligible for the hot-source result
+// cache (core/result_cache.h) enabled by QueryServiceOptions::cache_bytes.
 
 #ifndef PRSIM_CORE_QUERY_SERVICE_H_
 #define PRSIM_CORE_QUERY_SERVICE_H_
@@ -38,6 +43,8 @@
 #include "util/timer.h"
 
 namespace prsim {
+
+class ResultCache;
 
 struct QueryRequest {
   /// Sentinel for `seed_position`: use the service-local submission order.
@@ -85,11 +92,16 @@ struct QueryServiceOptions {
   Backpressure backpressure = Backpressure::kBlock;
   /// Retained latency samples for the percentile reservoir.
   size_t latency_reservoir = 4096;
+  /// Byte budget for the hot-source result cache (0 = cache disabled, the
+  /// default). Only `fresh_seed` requests are cached — see
+  /// core/result_cache.h for the determinism argument. Cache hits resolve
+  /// before the bounded queue and cannot be backpressured.
+  size_t cache_bytes = 0;
 };
 
 /// Snapshot of the service's lifetime counters and latency percentiles.
 struct ServiceStats {
-  uint64_t submitted = 0;  ///< requests accepted into the queue
+  uint64_t submitted = 0;  ///< accepted (queued, cache hits, coalesced)
   uint64_t completed = 0;  ///< answered successfully
   uint64_t failed = 0;     ///< invalid requests or engine failures
   uint64_t rejected = 0;   ///< refused by the kReject backpressure policy
@@ -99,8 +111,18 @@ struct ServiceStats {
   double p50_seconds = 0;
   double p95_seconds = 0;
   double p99_seconds = 0;
+  /// Result-cache counters (all zero when cache_bytes = 0). hits, misses
+  /// and coalesced partition the fresh_seed lookup stream; bytes is a
+  /// point-in-time gauge. Shard aggregations sum all of them — ownership
+  /// routing means no key ever lives in two shard caches.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_coalesced = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_bytes = 0;
   /// Summed QueryCost counters over completed queries, with the latency
-  /// percentiles mirrored into its latency_p* fields.
+  /// percentiles mirrored into its latency_p* fields. Cache hits and
+  /// coalesced waiters contribute latency but no cost — no engine ran.
   QueryCost aggregate_cost;
 };
 
@@ -142,8 +164,17 @@ class QueryService {
   /// Enqueues one query. The future resolves with the scores (full or
   /// top-k) or with the error status; engine exceptions surface as
   /// kInternal results, never as broken futures or dead workers. Safe to
-  /// call from any thread except the service's own workers.
+  /// call from any thread except the service's own workers (debug-asserted
+  /// via the pool's worker-thread registry; see OwnsCurrentThread). With
+  /// the result cache enabled, fresh_seed hits resolve immediately —
+  /// before the bounded queue — and concurrent identical misses coalesce
+  /// into one engine query.
   std::future<QueryResult> Submit(QueryRequest request);
+
+  /// True iff the calling thread is one of this service's own workers.
+  /// Submitting from such a thread can deadlock the bounded queue; the
+  /// shard router debug-asserts against it across all its shards.
+  bool OwnsCurrentThread() const { return pool_.OwnsCurrentThread(); }
 
   /// Current lifetime counters and latency percentiles.
   ServiceStats Stats() const;
@@ -166,22 +197,40 @@ class QueryService {
     /// One lazily minted clone per pool worker; slot w is touched only by
     /// worker w, so no lock is needed after registration.
     std::vector<std::unique_ptr<SingleSourceSimRank>> clones;
+    /// Cache identity: FNV over (algo, graph shape/checksum, canonical
+    /// config, leader seed) for the graph-constructing registrations, or a
+    /// weaker (algo, n, seed) digest for a caller-supplied leader.
+    uint64_t fingerprint = 0;
+    uint64_t cache_seed = 0;
+    uint32_t cache_algo_id = 0;
   };
 
   Status AddEngineImpl(const std::string& algo,
-                       std::unique_ptr<SingleSourceSimRank> leader);
+                       std::unique_ptr<SingleSourceSimRank> leader,
+                       uint64_t fingerprint);
   Engine* FindEngine(const std::string& algo);
   QueryResult RunQuery(Engine& engine, const QueryRequest& request,
-                       uint64_t seq, WallTimer submit_timer);
+                       uint64_t seq, WallTimer submit_timer,
+                       bool publish_to_cache);
   static std::future<QueryResult> ReadyResult(QueryResult result);
 
   QueryServiceOptions options_;
   /// Stable Engine storage: workers hold Engine* across AddEngine calls.
   std::vector<std::unique_ptr<Engine>> engines_;
 
+  /// The result cache (null when cache_bytes = 0). Owns its own mutex;
+  /// never acquired while mu_ is held (and vice versa), so there is no
+  /// lock-order edge between the two.
+  std::unique_ptr<ResultCache> cache_;
+
   mutable std::mutex mu_;
   std::condition_variable queue_has_room_;
   uint64_t submitted_ = 0;
+  /// Positional-seed allocator for queue-entering non-fresh requests.
+  /// Distinct from submitted_ (which also counts cache hits and coalesced
+  /// waiters) so positional seeds are a pure function of the non-fresh
+  /// request stream, independent of cache state.
+  uint64_t next_seq_ = 0;
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
   uint64_t rejected_ = 0;

@@ -1,0 +1,137 @@
+#include "core/result_cache.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace prsim {
+namespace {
+
+/// Budget accounting for one cached vector: the control block + vector
+/// header + the full entry capacity actually held (moved-from vectors keep
+/// their capacity, so charge what the allocator charged us).
+size_t EntryCost(const ScoreList& scores) {
+  return sizeof(ScoreList) + scores.capacity() * sizeof(ScoreEntry) + 64;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t byte_budget)
+    : budget_(byte_budget), lru_(byte_budget) {}
+
+uint32_t ResultCache::RegisterEngine(const std::string& algo,
+                                     uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t id = 0; id < registered_.size(); ++id) {
+    if (registered_[id].first != algo) continue;
+    if (registered_[id].second != fingerprint) {
+      // The engine behind this algo changed (graph, options, or seed):
+      // every cached vector it produced is stale. Purge wholesale. Keys
+      // are immutable, so entries published by still-in-flight leaders of
+      // the OLD fingerprint can never match a new-fingerprint lookup —
+      // they age out as ordinary LRU garbage.
+      const size_t purged =
+          lru_.EraseIf([id](const ResultCacheKey& key) {
+            return key.algo_id == id;
+          });
+      invalidated_ += purged;
+      registered_[id].second = fingerprint;
+    }
+    return id;
+  }
+  registered_.emplace_back(algo, fingerprint);
+  return static_cast<uint32_t>(registered_.size() - 1);
+}
+
+ResultCache::Ticket ResultCache::Lookup(const ResultCacheKey& key, uint32_t k,
+                                        WallTimer timer) {
+  Ticket ticket;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::shared_ptr<const ScoreList>* cached = lru_.Get(key)) {
+    ++hits_;
+    ticket.role = Role::kHit;
+    ticket.hit_scores = *cached;
+    return ticket;
+  }
+  for (auto& flight : flights_) {
+    if (flight->key == key) {
+      ++coalesced_;
+      ticket.role = Role::kWaiter;
+      Waiter waiter;
+      waiter.k = k;
+      waiter.timer = timer;
+      ticket.waiter_future = waiter.promise.get_future();
+      flight->waiters.push_back(std::move(waiter));
+      return ticket;
+    }
+  }
+  ++misses_;
+  auto flight = std::make_unique<Flight>();
+  flight->key = key;
+  flights_.push_back(std::move(flight));
+  ticket.role = Role::kLeader;
+  return ticket;
+}
+
+ResultCache::PublishResult ResultCache::Publish(
+    const ResultCacheKey& key, const Status& status,
+    const std::shared_ptr<const ScoreList>& scores) {
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < flights_.size(); ++i) {
+      if (flights_[i]->key == key) {
+        waiters = std::move(flights_[i]->waiters);
+        flights_[i] = std::move(flights_.back());
+        flights_.pop_back();
+        break;
+      }
+    }
+    if (status.ok()) {
+      PRSIM_CHECK(scores != nullptr)
+          << "ResultCache::Publish: OK status requires scores";
+      lru_.Put(key, scores, EntryCost(*scores));
+    }
+  }
+  // Fulfill promises outside the lock: set_value runs waiter-side
+  // continuations on this thread in principle, and must never do so while
+  // holding mu_.
+  PublishResult published;
+  for (Waiter& waiter : waiters) {
+    if (status.ok()) {
+      const double latency = waiter.timer.Seconds();
+      waiter.promise.set_value(
+          CachedResult(scores, waiter.k, key.source, latency));
+      ++published.ok_waiters;
+      published.waiter_latencies.push_back(latency);
+    } else {
+      waiter.promise.set_value({status, {}, waiter.timer.Seconds(), {}});
+      ++published.failed_waiters;
+    }
+  }
+  return published;
+}
+
+QueryResult ResultCache::CachedResult(
+    const std::shared_ptr<const ScoreList>& scores, uint32_t k, NodeId source,
+    double latency_seconds) {
+  QueryResult result;
+  result.scores = k > 0 ? TopK(*scores, k, source) : *scores;
+  result.latency_seconds = latency_seconds;
+  return result;
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.coalesced = coalesced_;
+  stats.evictions = lru_.evictions();
+  stats.invalidated = invalidated_;
+  stats.bytes = lru_.bytes();
+  stats.entries = lru_.size();
+  return stats;
+}
+
+}  // namespace prsim

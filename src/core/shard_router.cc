@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "graph/io.h"
+#include "util/logging.h"
 #include "util/percentiles.h"
 
 namespace prsim {
@@ -77,6 +78,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     service_options.threads = options.threads_per_shard;
     service_options.max_queue = options.max_queue;
     service_options.backpressure = options.backpressure;
+    service_options.cache_bytes = options.cache_bytes;
     auto service = std::make_unique<QueryService>(service_options);
     if (!shard.index_path.empty()) {
       PRSIM_RETURN_NOT_OK(service->AddEngineFromIndex(
@@ -91,6 +93,18 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
 }
 
 std::future<QueryResult> ShardRouter::SubmitRequest(QueryRequest request) {
+#ifndef NDEBUG
+  // Worker-thread registry: submitting from ANY shard's worker is a
+  // deadlock risk (the owner shard's bounded queue may be waiting on
+  // capacity only that worker can free), not just the owner's —
+  // cross-shard fan-out (BroadcastTopK) can block one shard on another.
+  // QueryService::Submit re-asserts the owner-shard case.
+  for (const auto& service : services_) {
+    PRSIM_DCHECK(!service->OwnsCurrentThread())
+        << "SubmitRequest() from a shard service worker would deadlock the "
+           "bounded queue";
+  }
+#endif
   // Validate before consuming a stream position, so invalid requests never
   // shift the positional seeds of the valid stream (mirrors QueryService).
   if (!request.algo.empty() && request.algo != manifest_.algo) {
@@ -167,6 +181,11 @@ ServiceStats ShardRouter::Stats() const {
     total.rejected += stats.rejected;
     total.queue_high_water =
         std::max(total.queue_high_water, stats.queue_high_water);
+    total.cache_hits += stats.cache_hits;
+    total.cache_misses += stats.cache_misses;
+    total.cache_coalesced += stats.cache_coalesced;
+    total.cache_evictions += stats.cache_evictions;
+    total.cache_bytes += stats.cache_bytes;
     total.aggregate_cost.Accumulate(stats.aggregate_cost);
     const std::vector<double> part = service->LatencySamples();
     samples.insert(samples.end(), part.begin(), part.end());

@@ -52,6 +52,12 @@ struct ShardRouterOptions {
       QueryServiceOptions::Backpressure::kBlock;
   /// Forwarded to the artifact readers; read()-fallback when false.
   bool allow_mmap = true;
+  /// Per-shard result-cache byte budget (QueryServiceOptions::cache_bytes;
+  /// 0 = off). Ownership routing means no key ever lives in two shard
+  /// caches, so per-shard budgets compose: total cache memory is
+  /// shards * cache_bytes and the aggregated Stats() hit counters read
+  /// like one cache's.
+  size_t cache_bytes = 0;
 };
 
 /// Deterministic cross-shard merge of per-shard top-k lists: concatenates

@@ -872,6 +872,82 @@ TEST_F(CliTest, ServeListenClientMatchesOfflineQueryBitForBit) {
   EXPECT_NE(out.find("served queries=2 failed=0"), std::string::npos) << out;
 }
 
+TEST_F(CliTest, CacheMbAndCountFlagValidation) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  // Negative budgets are malformed uint64s: refused before any serving.
+  EXPECT_EQ(Run("serve --graph " + Path("g.txt") +
+                " --stdin --algo prsim --cache-mb -1"),
+            2);
+  // The one-shot `query` path only routes a cache through the shard
+  // router; without --manifest the flag is an error, not a silent no-op.
+  EXPECT_EQ(
+      Run("query --graph " + Path("g.txt") + " --source 1 --cache-mb 64"), 2);
+  // The pipelined client bounds --count to its dispatch-window-safe range.
+  EXPECT_EQ(Run("client --port 1 --source 1 --count 0"), 2);
+  EXPECT_EQ(Run("client --port 1 --source 1 --count 1001"), 2);
+  EXPECT_EQ(Run("client --port 1 --source 1 --count -3"), 2);
+}
+
+TEST_F(CliTest, CachedServePipelinesIdenticalFreshRepliesOverOneConnection) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  const std::string params = " --algo prsim --eps 0.4 --seed 5";
+  std::string offline;
+  ASSERT_EQ(Run("query --graph " + Path("g.txt") +
+                    " --source 11 --k 6 --format tsv" + params,
+                &offline),
+            0)
+      << offline;
+  ASSERT_FALSE(ScoreTsvLines(offline).empty()) << offline;
+
+  Spawned server = Spawn("serve --graph " + Path("g.txt") +
+                         " --listen 0 --threads 2 --cache-mb 64" + params);
+  ASSERT_GT(server.pid, 0);
+  const uint32_t port = WaitForListenPort(server);
+  ASSERT_NE(port, 0u) << ReadFile(server.stderr_path);
+
+  // Five pipelined copies of one --fresh request: the client itself
+  // verifies every response is byte-identical to the first (cold miss,
+  // then cache hits), and the scores must equal the offline answer.
+  std::string online;
+  ASSERT_EQ(Run("client --port " + std::to_string(port) +
+                    " --source 11 --k 6 --fresh --count 5 --format tsv",
+                &online),
+            0)
+      << online;
+  EXPECT_EQ(ScoreTsvLines(online), ScoreTsvLines(offline)) << online;
+  EXPECT_NE(online.find("meta\tcount\t5\n"), std::string::npos) << online;
+  EXPECT_NE(online.find("meta\ttotal_s\t"), std::string::npos) << online;
+  size_t rtt_rows = 0;
+  std::istringstream stream(online);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.rfind("rtt\t", 0) == 0) ++rtt_rows;
+  }
+  EXPECT_EQ(rtt_rows, 5u) << online;
+
+  // The single-shot output shape is unchanged by the pipelining feature.
+  std::string single;
+  ASSERT_EQ(Run("client --port " + std::to_string(port) +
+                    " --source 11 --k 6 --fresh --format tsv",
+                &single),
+            0)
+      << single;
+  EXPECT_EQ(ScoreTsvLines(single), ScoreTsvLines(offline)) << single;
+  EXPECT_EQ(single.find("meta\tcount"), std::string::npos) << single;
+  EXPECT_EQ(single.find("rtt\t"), std::string::npos) << single;
+
+  EXPECT_EQ(SignalAndWait(&server, SIGTERM), 0) << ReadFile(server.stderr_path);
+  // Six identical fresh requests through one cache: singleflight and the
+  // hit path guarantee exactly one miss, visible in the exit stats line.
+  const std::string err = ReadFile(server.stderr_path);
+  EXPECT_NE(err.find("\"cache_misses\":1"), std::string::npos) << err;
+  EXPECT_EQ(err.find("\"cache_hits\":0,"), std::string::npos) << err;
+}
+
 TEST_F(CliTest, ServeListenManifestServesShardedAnswers) {
   ASSERT_EQ(Run("generate --out " + Path("g.txt") +
                 " --model er --n 300 --degree 4 --seed 3"),

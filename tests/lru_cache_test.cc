@@ -1,0 +1,197 @@
+// Unit tests for util/lru_cache.h: recency order, byte-budgeted eviction,
+// oversized-entry refusal, EraseIf, counters, and the stale-index rebuild
+// path that FlatHashMap2's no-erase design forces.
+
+#include "util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace prsim {
+namespace {
+
+// splitmix64 — a well-mixed stateless hash as the LruCache contract asks.
+struct U64Hash {
+  uint64_t operator()(uint64_t x) const {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+};
+
+using Cache = LruCache<uint64_t, std::string, U64Hash>;
+
+TEST(LruCacheTest, GetReturnsWhatPutStored) {
+  Cache cache(1024);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_TRUE(cache.Put(1, "one", 10));
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), "one");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), 10u);
+  EXPECT_EQ(cache.budget(), 1024u);
+}
+
+TEST(LruCacheTest, GetPromotesAndEvictionTakesTheTail) {
+  // Budget fits exactly two 10-byte entries. Insert A, B; touch A; insert
+  // C. The LRU victim must be B (A was promoted by the Get).
+  Cache cache(20);
+  ASSERT_TRUE(cache.Put(1, "A", 10));
+  ASSERT_TRUE(cache.Put(2, "B", 10));
+  ASSERT_NE(cache.Get(1), nullptr);  // promotes A over B
+  ASSERT_TRUE(cache.Put(3, "C", 10));
+
+  EXPECT_EQ(cache.Get(2), nullptr) << "B should have been evicted";
+  ASSERT_NE(cache.Get(1), nullptr);
+  ASSERT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 20u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // The verification Gets above promoted 1 then 3, so MRU -> LRU is [3, 1].
+  const std::vector<uint64_t> order = cache.KeysByRecency();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 1u);
+}
+
+TEST(LruCacheTest, CostAwareEvictionDropsMultipleVictims) {
+  // One large insert must evict as many tail entries as needed to fit.
+  Cache cache(100);
+  ASSERT_TRUE(cache.Put(1, "a", 30));
+  ASSERT_TRUE(cache.Put(2, "b", 30));
+  ASSERT_TRUE(cache.Put(3, "c", 30));
+  // 90 bytes used; a 65-byte entry forces out the two oldest (1 and 2)
+  // before 90 + 65 = 155 fits under 100 again at 95.
+  ASSERT_TRUE(cache.Put(4, "d", 65));
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(2), nullptr);
+  ASSERT_NE(cache.Get(3), nullptr);
+  ASSERT_NE(cache.Get(4), nullptr);
+  EXPECT_EQ(cache.bytes(), 95u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(LruCacheTest, OversizedPutIsRefused) {
+  Cache cache(50);
+  EXPECT_FALSE(cache.Put(1, "too big", 51));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  // An exact-budget entry is accepted.
+  EXPECT_TRUE(cache.Put(2, "fits", 50));
+  EXPECT_EQ(cache.bytes(), 50u);
+  // A refused Put never evicts the resident entry.
+  EXPECT_FALSE(cache.Put(3, "too big", 51));
+  ASSERT_NE(cache.Get(2), nullptr);
+}
+
+TEST(LruCacheTest, OverwriteReplacesValueAndCost) {
+  Cache cache(100);
+  ASSERT_TRUE(cache.Put(1, "old", 40));
+  ASSERT_TRUE(cache.Put(2, "other", 40));
+  // Overwriting key 1 with a new cost adjusts bytes and promotes it.
+  ASSERT_TRUE(cache.Put(1, "new", 10));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 50u);
+  EXPECT_EQ(*cache.Get(1), "new");
+  const std::vector<uint64_t> order = cache.KeysByRecency();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1u);  // Get(1) above also keeps it in front
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCacheTest, HitAndMissCountersPartitionLookups) {
+  Cache cache(100);
+  ASSERT_TRUE(cache.Put(1, "x", 10));
+  (void)cache.Get(1);  // hit
+  (void)cache.Get(1);  // hit
+  (void)cache.Get(2);  // miss
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EraseIfDropsMatchingEntriesWithoutCountingEvictions) {
+  Cache cache(1000);
+  for (uint64_t key = 0; key < 10; ++key) {
+    ASSERT_TRUE(cache.Put(key, "v", 10));
+  }
+  const size_t erased = cache.EraseIf([](uint64_t key) { return key % 2 == 0; });
+  EXPECT_EQ(erased, 5u);
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.bytes(), 50u);
+  EXPECT_EQ(cache.evictions(), 0u) << "EraseIf is invalidation, not pressure";
+  for (uint64_t key = 0; key < 10; ++key) {
+    if (key % 2 == 0) {
+      EXPECT_EQ(cache.Get(key), nullptr) << key;
+    } else {
+      EXPECT_NE(cache.Get(key), nullptr) << key;
+    }
+  }
+}
+
+TEST(LruCacheTest, ClearDropsEverythingButKeepsCounters) {
+  Cache cache(100);
+  ASSERT_TRUE(cache.Put(1, "x", 10));
+  (void)cache.Get(1);
+  (void)cache.Get(2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);  // the post-Clear Get(1) counted too
+  // Reusable after Clear.
+  ASSERT_TRUE(cache.Put(3, "y", 10));
+  ASSERT_NE(cache.Get(3), nullptr);
+}
+
+TEST(LruCacheTest, SurvivesHeavyChurnThroughIndexRebuilds) {
+  // Thousands of evictions leave stale FlatHashMap2 slots behind; the
+  // amortized rebuild must keep lookups exact throughout. Budget holds 8
+  // entries, keys cycle through a window much larger than that.
+  Cache cache(80);
+  uint64_t inserted = 0;
+  for (uint64_t round = 0; round < 50; ++round) {
+    for (uint64_t key = 0; key < 100; ++key) {
+      ASSERT_TRUE(cache.Put(key, std::to_string(key), 10));
+      ++inserted;
+      ASSERT_LE(cache.bytes(), cache.budget());
+      ASSERT_EQ(cache.bytes(), cache.size() * 10);
+    }
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  // The last 8 keys inserted (92..99) are resident, in reverse order.
+  const std::vector<uint64_t> order = cache.KeysByRecency();
+  ASSERT_EQ(order.size(), 8u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], 99u - i);
+  }
+  for (uint64_t key = 92; key < 100; ++key) {
+    ASSERT_NE(cache.Get(key), nullptr) << key;
+    EXPECT_EQ(*cache.Get(key), std::to_string(key));
+  }
+  EXPECT_EQ(cache.Get(0), nullptr);
+  EXPECT_EQ(cache.evictions(), inserted - 8u);
+}
+
+TEST(LruCacheTest, MoveOnlyValuesWork) {
+  LruCache<uint64_t, std::unique_ptr<int>, U64Hash> cache(100);
+  ASSERT_TRUE(cache.Put(1, std::make_unique<int>(42), 10));
+  auto* value = cache.Get(1);
+  ASSERT_NE(value, nullptr);
+  ASSERT_NE(value->get(), nullptr);
+  EXPECT_EQ(**value, 42);
+  // Eviction releases the payload (would leak / double-free on a bug;
+  // ASan-covered in the sanitize CI job).
+  ASSERT_TRUE(cache.Put(2, std::make_unique<int>(43), 100));
+  EXPECT_EQ(cache.Get(1), nullptr);
+}
+
+}  // namespace
+}  // namespace prsim

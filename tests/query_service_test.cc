@@ -395,6 +395,71 @@ TEST(QueryServiceTest, LatencyPercentilesAreMonotoneAndSurfacedInQueryCost) {
   EXPECT_EQ(stats.aggregate_cost.walks, 40u);
 }
 
+// ---------------------------------------------------------------------------
+// ServiceStatsJson golden round trip.
+// ---------------------------------------------------------------------------
+
+// Pulls `"field":value` out of a JSON line built by ServiceStatsJson. The
+// line is flat (no nesting), so a string scan is an exact parser for it.
+std::string JsonField(const std::string& json, const std::string& field) {
+  const std::string needle = "\"" + field + "\":";
+  const size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing field " << field << ": " << json;
+  if (at == std::string::npos) return "";
+  const size_t begin = at + needle.size();
+  size_t end = json.find_first_of(",}", begin);
+  EXPECT_NE(end, std::string::npos) << json;
+  return json.substr(begin, end - begin);
+}
+
+TEST(ServiceStatsJsonTest, EveryFieldRoundTripsThroughTheJsonLine) {
+  // Distinct values per field so a swapped format argument cannot pass.
+  ServiceStats stats;
+  stats.submitted = 101;
+  stats.completed = 89;
+  stats.failed = 7;
+  stats.rejected = 5;
+  stats.queue_high_water = 64;
+  stats.p50_seconds = 0.0015;   // 1.5 ms
+  stats.p95_seconds = 0.0625;   // 62.5 ms
+  stats.p99_seconds = 0.25;     // 250 ms
+  stats.cache_hits = 4242;
+  stats.cache_misses = 17;
+  stats.cache_coalesced = 9;
+  stats.cache_evictions = 3;
+  stats.cache_bytes = 123456;
+
+  const std::string json = ServiceStatsJson(stats, "tcp");
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be a single line";
+  EXPECT_EQ(JsonField(json, "event"), "\"serve_stats\"");
+  EXPECT_EQ(JsonField(json, "transport"), "\"tcp\"");
+  EXPECT_EQ(JsonField(json, "accepted"), "101");
+  EXPECT_EQ(JsonField(json, "completed"), "89");
+  EXPECT_EQ(JsonField(json, "failed"), "7");
+  EXPECT_EQ(JsonField(json, "rejected"), "5");
+  EXPECT_EQ(JsonField(json, "queue_high_water"), "64");
+  EXPECT_DOUBLE_EQ(std::stod(JsonField(json, "p50_ms")), 1.5);
+  EXPECT_DOUBLE_EQ(std::stod(JsonField(json, "p95_ms")), 62.5);
+  EXPECT_DOUBLE_EQ(std::stod(JsonField(json, "p99_ms")), 250.0);
+  EXPECT_EQ(JsonField(json, "cache_hits"), "4242");
+  EXPECT_EQ(JsonField(json, "cache_misses"), "17");
+  EXPECT_EQ(JsonField(json, "cache_coalesced"), "9");
+  EXPECT_EQ(JsonField(json, "cache_evictions"), "3");
+  EXPECT_EQ(JsonField(json, "cache_bytes"), "123456");
+
+  // All-zero stats still produce every field (schema stability for the
+  // log scrapers in CI).
+  const std::string zero = ServiceStatsJson(ServiceStats{}, "stdio");
+  for (const char* field :
+       {"accepted", "completed", "failed", "rejected", "queue_high_water",
+        "p50_ms", "p95_ms", "p99_ms", "cache_hits", "cache_misses",
+        "cache_coalesced", "cache_evictions", "cache_bytes"}) {
+    EXPECT_EQ(std::stod(JsonField(zero, field)), 0.0) << field;
+  }
+}
+
 TEST(QueryServiceTest, SubmitWithoutEnginesFails) {
   QueryServiceOptions options;
   options.threads = 1;

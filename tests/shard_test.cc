@@ -333,6 +333,54 @@ TEST_P(ShardRouterTest, SubmitStreamMatchesBatchQuery) {
   }
 }
 
+// The result cache composes per shard (ownership routing means no key can
+// live in two shard caches): fresh answers stay bit-identical cold and
+// hot, a positional stream through the warmed-up router still replays
+// BatchQuery, and Stats() sums the per-shard cache counters.
+TEST_P(ShardRouterTest, CacheEnabledRouterStaysBitIdentical) {
+  auto reference = ReferenceEngine();
+  const std::vector<NodeId> sources = {3, 88, 21, 119, 0, 57, 42, 7};
+  const std::vector<ScoreList> expected = BatchQuery(*reference, sources);
+  for (const uint32_t shards : {1u, 3u}) {
+    const std::string manifest = BuildBundle(shards);
+    ShardRouterOptions options;
+    options.threads_per_shard = 1;
+    options.cache_bytes = 8u << 20;
+    auto router = ShardRouter::Open(manifest, options);
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+    auto& routed = *router.ValueOrDie();
+    // Pass 0 fills the cache (misses), pass 1 is served from it (hits);
+    // both must equal a fresh engine's first query.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const NodeId source : {NodeId{3}, NodeId{57}}) {
+        reference->Reseed(reference->seed());
+        const ScoreList want = Sorted(reference->Query(source));
+        QueryResult result = routed.QueryFresh(source);
+        ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+        EXPECT_EQ(Sorted(result.scores), want)
+            << "shards=" << shards << " pass=" << pass << " source=" << source;
+      }
+    }
+    // The warm cache is invisible to the positional stream.
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(sources.size());
+    for (const NodeId source : sources) {
+      futures.push_back(routed.Submit(source));
+    }
+    for (size_t i = 0; i < sources.size(); ++i) {
+      QueryResult result = futures[i].get();
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      EXPECT_EQ(Sorted(result.scores), Sorted(expected[i]))
+          << "shards=" << shards << " i=" << i;
+    }
+    const ServiceStats stats = routed.Stats();
+    EXPECT_EQ(stats.cache_misses, 2u) << "shards=" << shards;
+    EXPECT_EQ(stats.cache_hits, 2u) << "shards=" << shards;
+    EXPECT_EQ(stats.cache_coalesced, 0u);
+    EXPECT_GT(stats.cache_bytes, 0u);
+  }
+}
+
 // The distributed reduction: ownership-filtered local top-k lists merge
 // into exactly the single-engine QueryTopK answer.
 TEST_P(ShardRouterTest, BroadcastTopKMatchesQueryTopK) {

@@ -26,10 +26,38 @@ TEST(ZipfTest, SamplesStayInRange) {
 }
 
 TEST(ZipfTest, SingleRankAlwaysSamplesZero) {
-  ZipfSampler zipf(1, 1.2);
-  Rng rng(7);
-  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
-  EXPECT_DOUBLE_EQ(zipf.Probability(0), 1.0);
+  // n = 1 must degenerate to the constant 0 for every exponent, including
+  // the uniform edge s = 0 — the cache benches pin hot-source workloads on
+  // exactly this corner.
+  for (const double s : {0.0, 0.8, 1.2, 3.5}) {
+    ZipfSampler zipf(1, s);
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_EQ(zipf.Sample(rng), 0u) << "s=" << s;
+    }
+    EXPECT_DOUBLE_EQ(zipf.Probability(0), 1.0) << "s=" << s;
+  }
+}
+
+TEST(ZipfTest, ZeroExponentIsEmpiricallyUniform) {
+  // s = 0: every rank carries mass exactly 1/n, and 160k draws over 16
+  // ranks stay within 5 sigma of the uniform expectation (sigma of a
+  // binomial count = sqrt(draws * p * (1 - p))).
+  const uint32_t n = 16;
+  ZipfSampler zipf(n, 0.0);
+  for (uint32_t r = 0; r < n; ++r) {
+    EXPECT_DOUBLE_EQ(zipf.Probability(r), 1.0 / n) << "rank=" << r;
+  }
+  Rng rng(2026);
+  const int draws = 160000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < draws; ++i) ++counts[zipf.Sample(rng)];
+  const double expected = static_cast<double>(draws) / n;
+  const double sigma =
+      std::sqrt(draws * (1.0 / n) * (1.0 - 1.0 / n));
+  for (uint32_t r = 0; r < n; ++r) {
+    EXPECT_NEAR(counts[r], expected, 5 * sigma) << "rank=" << r;
+  }
 }
 
 TEST(ZipfTest, FixedSeedReplaysBitIdentically) {

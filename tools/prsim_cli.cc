@@ -689,6 +689,13 @@ int CmdQuery(const Flags& flags) {
                  "exclusive\n");
     return 2;
   }
+  // The result cache lives in the QueryService layer; the direct engine
+  // path answers one-shot and has nothing to cache. Negative or malformed
+  // values exit 2 inside GetInt.
+  if (flags.HasValue("cache-mb") && manifest_path.empty()) {
+    std::fprintf(stderr, "query: --cache-mb requires --manifest\n");
+    return 2;
+  }
   if (!sources_path.empty() && format == QueryFormat::kJson) {
     std::fprintf(stderr,
                  "query: --sources-file supports --format text or tsv\n");
@@ -707,6 +714,8 @@ int CmdQuery(const Flags& flags) {
     ShardRouterOptions router_options;
     router_options.threads_per_shard =
         static_cast<size_t>(flags.GetInt("threads", 0));
+    router_options.cache_bytes =
+        static_cast<size_t>(flags.GetInt("cache-mb", 0)) * (size_t{1} << 20);
     WallTimer open_timer;
     auto router_result = ShardRouter::Open(manifest_path, router_options);
     if (!router_result.ok()) {
@@ -943,11 +952,16 @@ int OpenServeBackend(const Flags& flags, const std::string& manifest_path,
     return 2;
   }
 
+  // Negative or malformed --cache-mb values exit 2 inside GetInt.
+  const size_t cache_bytes =
+      static_cast<size_t>(flags.GetInt("cache-mb", 0)) * (size_t{1} << 20);
+
   if (!manifest_path.empty()) {
     ShardRouterOptions options;
     options.threads_per_shard =
         static_cast<size_t>(flags.GetInt("threads", 0));
     options.max_queue = max_queue;
+    options.cache_bytes = cache_bytes;
     if (flags.Has("reject")) {
       options.backpressure = QueryServiceOptions::Backpressure::kReject;
     }
@@ -1006,6 +1020,7 @@ int OpenServeBackend(const Flags& flags, const std::string& manifest_path,
   QueryServiceOptions options;
   options.threads = static_cast<size_t>(flags.GetInt("threads", 0));
   options.max_queue = max_queue;
+  options.cache_bytes = cache_bytes;
   if (flags.Has("reject")) {
     options.backpressure = QueryServiceOptions::Backpressure::kReject;
   }
@@ -1147,8 +1162,13 @@ int CmdServe(const Flags& flags) {
   return 0;
 }
 
-/// One-shot binary-framing TCP client: one request, one response, printed
-/// in the offline query formats so wire answers diff against `query`.
+/// Binary-framing TCP client: one connection, --count N pipelined copies
+/// of one request (default 1), printed in the offline query formats so
+/// wire answers diff against `query`. With N > 1 every response must be
+/// byte-identical to the first (the cache cold/hot paths promise exactly
+/// that for --fresh), so repeat traffic can be driven and checked from the
+/// shell; per-response arrival times are reported for eyeballing hit
+/// latency.
 int CmdClient(const Flags& flags) {
   if (!flags.HasValue("port")) {
     std::fprintf(stderr, "client: --port is required\n");
@@ -1165,6 +1185,15 @@ int CmdClient(const Flags& flags) {
                  format_name.c_str());
     return 2;
   }
+  const uint64_t count64 = flags.GetInt("count", 1);
+  if (count64 == 0 || count64 > 1000) {
+    // Upper bound keeps the write-all-then-read-all pipeline inside the
+    // server's dispatch window and the kernel socket buffers; a sustained-
+    // load driver belongs in bench_serve_throughput, not here.
+    std::fprintf(stderr, "client: --count must be in [1, 1000]\n");
+    return 2;
+  }
+  const size_t count = static_cast<size_t>(count64);
   std::signal(SIGPIPE, SIG_IGN);
 
   net::WireRequest request;
@@ -1180,28 +1209,51 @@ int CmdClient(const Flags& flags) {
   }
   UniqueFd fd = std::move(fd_result).ValueOrDie();
   WallTimer timer;
-  std::vector<char> payload;
-  net::EncodeRequest(request, &payload);
+  std::vector<char> request_payload;
+  net::EncodeRequest(request, &request_payload);
+  // Pipeline: all requests go out before the first response is read — the
+  // server's per-connection dispatch window keeps them in order.
   Status st = WriteAll(fd.get(), net::kBinaryMagic,
                        sizeof(net::kBinaryMagic));
-  if (st.ok()) st = net::WriteFrame(fd.get(), payload);
-  bool eof = false;
-  if (st.ok()) st = net::ReadFrame(fd.get(), &payload, &eof);
-  if (st.ok() && eof) {
-    st = Status::IOError("server closed the connection before answering");
+  for (size_t i = 0; st.ok() && i < count; ++i) {
+    st = net::WriteFrame(fd.get(), request_payload);
+  }
+  std::vector<char> payload;
+  std::vector<char> first_payload;
+  std::vector<double> arrival_seconds(count, 0);
+  for (size_t i = 0; st.ok() && i < count; ++i) {
+    bool eof = false;
+    st = net::ReadFrame(fd.get(), &payload, &eof);
+    if (st.ok() && eof) {
+      st = Status::IOError("server closed the connection after " +
+                           std::to_string(i) + " of " +
+                           std::to_string(count) + " responses");
+    }
+    if (!st.ok()) break;
+    arrival_seconds[i] = timer.Seconds();
+    if (i == 0) {
+      first_payload = payload;
+    } else if (payload != first_payload) {
+      std::fprintf(stderr,
+                   "client: response %zu differs from response 0 — the "
+                   "server is not answering this request "
+                   "deterministically\n",
+                   i);
+      return 1;
+    }
   }
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  auto response_result = net::DecodeResponse(payload);
+  auto response_result = net::DecodeResponse(first_payload);
   if (!response_result.ok()) {
     std::fprintf(stderr, "%s\n",
                  response_result.status().ToString().c_str());
     return 1;
   }
   const net::WireResponse response = std::move(response_result).ValueOrDie();
-  const double roundtrip_seconds = timer.Seconds();
+  const double roundtrip_seconds = arrival_seconds[0];
   if (response.status_code != 0) {
     std::fprintf(stderr, "server error (%s): %s\n",
                  StatusCodeToString(
@@ -1213,12 +1265,30 @@ int CmdClient(const Flags& flags) {
     std::printf("meta\tsource\t%u\n", response.source);
     std::printf("meta\tk\t%u\n", request.k);
     std::printf("meta\troundtrip_s\t%.6f\n", roundtrip_seconds);
+    if (count > 1) {
+      // Extra meta rows only in the multi-shot shape: the single-shot
+      // output stays byte-compatible with what `query --format tsv` diffs
+      // against.
+      std::printf("meta\tcount\t%zu\n", count);
+      std::printf("meta\ttotal_s\t%.6f\n", arrival_seconds[count - 1]);
+      for (size_t i = 0; i < count; ++i) {
+        std::printf("rtt\t%zu\t%.6f\n", i, arrival_seconds[i]);
+      }
+    }
     for (const auto& [node, score] : response.scores) {
       std::printf("score\t%u\t%.17g\n", node, score);
     }
   } else {
-    std::printf("query answered in %.4fs (%zu scores)\n", roundtrip_seconds,
-                response.scores.size());
+    if (count > 1) {
+      std::printf(
+          "%zu pipelined queries answered in %.4fs (all byte-identical; "
+          "first %.4fs, %zu scores)\n",
+          count, arrival_seconds[count - 1], roundtrip_seconds,
+          response.scores.size());
+    } else {
+      std::printf("query answered in %.4fs (%zu scores)\n",
+                  roundtrip_seconds, response.scores.size());
+    }
     for (const auto& [node, score] : response.scores) {
       std::printf("%-10u %.6f\n", node, score);
     }
@@ -1327,18 +1397,19 @@ int main(int argc, char** argv) {
     return Dispatch(argc, argv,
                     {"graph", "index", "manifest", "source", "sources-file",
                      "eps", "c", "k", "seed", "algo", "params", "j0", "alpha",
-                     "rounds", "threads", "format"},
+                     "rounds", "threads", "format", "cache-mb"},
                     {"paper-constants"}, CmdQuery);
   }
   if (command == "serve") {
     return Dispatch(argc, argv,
                     {"graph", "index", "manifest", "eps", "c", "k", "seed",
                      "algo", "params", "j0", "alpha", "rounds", "threads",
-                     "queue", "listen", "max-connections"},
+                     "queue", "listen", "max-connections", "cache-mb"},
                     {"stdin", "reject", "paper-constants"}, CmdServe);
   }
   if (command == "client") {
-    return Dispatch(argc, argv, {"port", "source", "k", "algo", "format"},
+    return Dispatch(argc, argv,
+                    {"port", "source", "k", "algo", "format", "count"},
                     {"fresh"}, CmdClient);
   }
   if (command == "generate") {
