@@ -35,6 +35,7 @@
 //   [--zipf-s-list 0.8,1.0,1.2] [--cache-mb M] [--fresh]
 //   [--connections C] [--seconds SEC] [--qps-list 50,100,200]
 //   [--workdir DIR] [--out PATH] [--port P]
+//   [--faults SPEC] [--fault-seed S]
 // Defaults: n=4000, degree=8, eps=0.2, k=10, zipf-s=1.0, cache-mb=0,
 //           positional seeding (no --fresh), connections=4, seconds=5,
 //           qps-list=50,100,200, workdir=bench_serve_work,
@@ -43,6 +44,19 @@
 // process on 127.0.0.1:P instead of the self-contained backends (backend
 // "external"; --n then only sizes the Zipf source domain, and the cache
 // columns read zero — the server's stats are not reachable from here).
+//
+// Fault rows: with --faults SPEC (see util/fault_injection.h; --fault-seed
+// picks the schedule), the bench appends one extra unsharded cache-off
+// pass with the fault injector armed, producing rows tagged with the spec
+// — the tail-latency cost of injected engine throws and worker-pickup
+// stalls under otherwise identical load. Because the injector is
+// process-global and the load generator shares the process with the
+// in-process servers, use request-granular server-side points here
+// (engine.query.throw, worker.pickup.stall); a net.* spec would also fail
+// the generator's own sockets and abort the run. Injected failures come
+// back as well-formed error responses and land in the row's `errors`
+// column. Not available with --port (the injector can't reach an external
+// process).
 
 #include <algorithm>
 #include <chrono>
@@ -65,6 +79,7 @@
 #include "graph/partition.h"
 #include "net/frame.h"
 #include "net/tcp_server.h"
+#include "util/fault_injection.h"
 #include "util/percentiles.h"
 #include "util/rng.h"
 #include "util/socket.h"
@@ -91,6 +106,9 @@ struct Args {
   std::string out = "BENCH_serve_throughput.json";
   /// When set, drive an external server instead of the in-process ones.
   uint32_t port = 0;
+  /// Fault spec for the extra fault-injected pass (empty = none).
+  std::string faults;
+  uint64_t fault_seed = 42;
 };
 
 bool ParseQpsList(const std::string& value, std::vector<double>* out) {
@@ -155,6 +173,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->out = value;
     } else if (flag == "--port") {
       args->port = static_cast<uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (flag == "--faults") {
+      args->faults = value;
+    } else if (flag == "--fault-seed") {
+      args->fault_seed = std::strtoull(value, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -169,6 +191,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     // Positional requests bypass the cache by design; a cache pass without
     // --fresh would measure nothing but the budget allocation.
     std::fprintf(stderr, "--cache-mb requires --fresh\n");
+    return false;
+  }
+  if (!args->faults.empty() && args->port != 0) {
+    std::fprintf(stderr, "--faults cannot reach an external --port server\n");
     return false;
   }
   return true;
@@ -192,6 +218,8 @@ struct LoadRow {
   uint64_t cache_misses = 0;
   uint64_t cache_coalesced = 0;
   double hit_rate = 0;
+  /// Fault spec active during this row (empty = fault-free run).
+  std::string faults;
 };
 
 /// One open-loop run against 127.0.0.1:port. Request i is scheduled at
@@ -343,10 +371,16 @@ void WriteJson(const Args& args, const Graph* graph,
   }
   std::fprintf(out,
                "], \"cache_mb\": %llu, \"fresh\": %s, "
-               "\"connections\": %u, \"seconds\": %g},\n",
+               "\"connections\": %u, \"seconds\": %g",
                static_cast<unsigned long long>(args.cache_mb),
                args.fresh ? "true" : "false", args.connections,
                args.seconds);
+  if (!args.faults.empty()) {
+    std::fprintf(out, ", \"faults\": \"%s\", \"fault_seed\": %llu",
+                 args.faults.c_str(),
+                 static_cast<unsigned long long>(args.fault_seed));
+  }
+  std::fprintf(out, "},\n");
   if (graph != nullptr) {
     std::fprintf(out, "  \"graph\": {\"n\": %u, \"m\": %llu},\n", graph->n(),
                  static_cast<unsigned long long>(graph->m()));
@@ -364,7 +398,7 @@ void WriteJson(const Args& args, const Graph* graph,
                  "     \"latency_ms\": {\"p50\": %.6g, \"p95\": %.6g, "
                  "\"p99\": %.6g},\n"
                  "     \"cache\": {\"hits\": %llu, \"misses\": %llu, "
-                 "\"coalesced\": %llu, \"hit_rate\": %.4g}}",
+                 "\"coalesced\": %llu, \"hit_rate\": %.4g}",
                  i == 0 ? "" : ",", r.backend.c_str(), r.shards, r.zipf_s,
                  static_cast<unsigned long long>(r.cache_mb),
                  r.fresh ? "true" : "false", r.target_qps,
@@ -375,6 +409,10 @@ void WriteJson(const Args& args, const Graph* graph,
                  static_cast<unsigned long long>(r.cache_misses),
                  static_cast<unsigned long long>(r.cache_coalesced),
                  r.hit_rate);
+    if (!r.faults.empty()) {
+      std::fprintf(out, ",\n     \"faults\": \"%s\"", r.faults.c_str());
+    }
+    std::fprintf(out, "}");
   }
   std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);
@@ -502,6 +540,37 @@ int main(int argc, char** argv) {
                     "sharded", spec.shards,
                     [&] { return router.ValueOrDie()->Stats(); }, &rows);
       }
+    }
+  }
+
+  if (!args.faults.empty()) {
+    // Fault-injected tail-latency rows: same unsharded backend, cache off,
+    // first zipf_s — the only variable against the matching fault-free
+    // rows above is the armed injector, so the p99 delta is the injected
+    // throws/stalls and nothing else.
+    FaultInjector::Global().Configure(args.faults, args.fault_seed).Abort();
+    QueryServiceOptions service_options;
+    QueryService service(service_options);
+    service.AddEngine("prsim", leader->CloneWithSeed(leader->seed()))
+        .Abort();
+    auto server = net::TcpServer::Start(
+        ServerOptions(args, graph.n()),
+        [&](QueryRequest request) {
+          return service.Submit(std::move(request));
+        });
+    server.status().Abort();
+    const size_t first_fault_row = rows.size();
+    RunQpsSweep(server.ValueOrDie()->port(), args, args.zipf_s_list.front(),
+                /*cache_mb=*/0, "unsharded", 1,
+                [&] { return service.Stats(); }, &rows);
+    // Quiesce before touching the injector: Disable() is not safe against
+    // in-flight evaluations, and it resets the counters we want to print.
+    server.ValueOrDie()->Shutdown();
+    std::fprintf(stderr, "%s\n",
+                 FaultInjector::Global().StatsJson().c_str());
+    FaultInjector::Global().Disable();
+    for (size_t i = first_fault_row; i < rows.size(); ++i) {
+      rows[i].faults = args.faults;
     }
   }
 

@@ -1,12 +1,16 @@
 #include "core/query_service.h"
 
+#include <chrono>
 #include <cstdio>
 #include <exception>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/batch_query.h"
 #include "core/engine_registry.h"
 #include "core/result_cache.h"
+#include "util/fault_injection.h"
 #include "util/serde.h"
 
 namespace prsim {
@@ -18,7 +22,8 @@ std::string ServiceStatsJson(const ServiceStats& stats,
       buffer, sizeof(buffer),
       "{\"event\":\"serve_stats\",\"transport\":\"%s\","
       "\"accepted\":%llu,\"completed\":%llu,\"failed\":%llu,"
-      "\"rejected\":%llu,\"queue_high_water\":%llu,"
+      "\"rejected\":%llu,\"deadline_exceeded\":%llu,\"shed\":%llu,"
+      "\"queue_high_water\":%llu,"
       "\"p50_ms\":%.6g,\"p95_ms\":%.6g,\"p99_ms\":%.6g,"
       "\"cache_hits\":%llu,\"cache_misses\":%llu,"
       "\"cache_coalesced\":%llu,\"cache_evictions\":%llu,"
@@ -27,6 +32,8 @@ std::string ServiceStatsJson(const ServiceStats& stats,
       static_cast<unsigned long long>(stats.completed),
       static_cast<unsigned long long>(stats.failed),
       static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.shed),
       static_cast<unsigned long long>(stats.queue_high_water),
       stats.p50_seconds * 1e3, stats.p95_seconds * 1e3,
       stats.p99_seconds * 1e3,
@@ -47,6 +54,28 @@ void FnvUpdateString(Fnv64& fnv, const std::string& s) {
 }
 
 void FnvUpdateU64(Fnv64& fnv, uint64_t v) { fnv.Update(&v, sizeof(v)); }
+
+using ServiceClock = std::chrono::steady_clock;
+
+/// Relative deadlines at or beyond ~1 year are treated as "no deadline":
+/// now + milliseconds(huge) would overflow the steady_clock rep, and no
+/// real client budgets a query in years.
+constexpr uint64_t kMaxDeadlineMs = 365ull * 24 * 3600 * 1000;
+
+/// Resolves a request's deadline fields to one absolute time point
+/// (time_point::max() = none). An absolute deadline_at wins over the
+/// relative deadline_ms budget.
+ServiceClock::time_point ResolveDeadline(const QueryRequest& request) {
+  if (request.deadline_at != ServiceClock::time_point::max()) {
+    return request.deadline_at;
+  }
+  if (request.deadline_ms != QueryRequest::kNoDeadline &&
+      request.deadline_ms < kMaxDeadlineMs) {
+    return ServiceClock::now() +
+           std::chrono::milliseconds(request.deadline_ms);
+  }
+  return ServiceClock::time_point::max();
+}
 
 /// Cache fingerprint for an engine built from (graph, config): any change
 /// to the graph shape/content, the canonical config rendering, or the
@@ -192,6 +221,8 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
       << "Submit() from this service's own worker would deadlock the "
          "bounded queue";
   WallTimer submit_timer;
+  const ServiceClock::time_point deadline = ResolveDeadline(request);
+  const bool has_deadline = deadline != ServiceClock::time_point::max();
   Engine* engine = nullptr;
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -214,6 +245,20 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
       ++failed_;
       return ReadyResult({std::move(precheck), {}, 0, {}});
     }
+  }
+
+  // Admission deadline gate, BEFORE the cache: an expired request gets no
+  // answer at all — not even a free cache hit — so deadline semantics do
+  // not depend on cache state. Like prechecked requests it consumes no
+  // positional seq and no `submitted` slot.
+  if (has_deadline && ServiceClock::now() >= deadline) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++deadline_exceeded_;
+    return ReadyResult(
+        {Status::DeadlineExceeded("deadline expired before admission"),
+         {},
+         0,
+         {}});
   }
 
   // Cache path: only fresh_seed requests — a fresh answer is a pure
@@ -255,28 +300,74 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
   uint64_t seq = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // Admission refusals share one resolution path: `refusal` carries the
+    // status and `waiter_counter` names the stat that absorbs any
+    // coalesced waiters sharing the leader's fate.
+    Status refusal;
+    uint64_t* waiter_counter = nullptr;
     if (inflight_ >= options_.max_queue) {
-      if (options_.backpressure ==
-          QueryServiceOptions::Backpressure::kReject) {
+      if (options_.degraded) {
+        // Degraded mode: a full queue sheds immediately, regardless of the
+        // configured backpressure policy — cache hits (resolved above)
+        // keep answering while queue-bound work is refused.
+        ++shed_;
+        waiter_counter = &shed_;
+        refusal =
+            Status::ResourceExhausted("shed: queue full (degraded mode)");
+      } else if (options_.backpressure ==
+                 QueryServiceOptions::Backpressure::kReject) {
         ++rejected_;
-        Status status = Status::ResourceExhausted(
+        waiter_counter = &rejected_;
+        refusal = Status::ResourceExhausted(
             "query queue full (" + std::to_string(options_.max_queue) + ")");
-        if (lead) {
-          // The flight must be resolved even though the leader never ran,
-          // or coalesced waiters would hang forever. They share the
-          // leader's rejection.
-          lock.unlock();
-          ResultCache::PublishResult published =
-              cache_->Publish(key, status, nullptr);
-          if (published.failed_waiters > 0) {
-            std::lock_guard<std::mutex> relock(mu_);
-            rejected_ += published.failed_waiters;
-          }
-        }
-        return ReadyResult({std::move(status), {}, 0, {}});
+      } else if (!has_deadline) {
+        queue_has_room_.wait(
+            lock, [this] { return inflight_ < options_.max_queue; });
+      } else if (!queue_has_room_.wait_until(lock, deadline, [this] {
+                   return inflight_ < options_.max_queue;
+                 })) {
+        // Blocking backpressure vs deadline: the wait itself is bounded by
+        // the remaining budget, so a deadlined caller can never block past
+        // its own deadline.
+        ++deadline_exceeded_;
+        waiter_counter = &deadline_exceeded_;
+        refusal = Status::DeadlineExceeded(
+            "deadline expired waiting for queue capacity");
       }
-      queue_has_room_.wait(
-          lock, [this] { return inflight_ < options_.max_queue; });
+    }
+    if (refusal.ok() && has_deadline && ewma_exec_seconds_ > 0) {
+      // Predictive shed: estimate this request's completion time as (queue
+      // depth per worker + itself) executions at the observed EWMA rate.
+      // If the remaining budget cannot cover that, admitting it only burns
+      // a queue slot to compute an answer nobody will wait for.
+      const double predicted =
+          ewma_exec_seconds_ * (static_cast<double>(inflight_) /
+                                    static_cast<double>(pool_.size()) +
+                                1.0);
+      const double remaining =
+          std::chrono::duration<double>(deadline - ServiceClock::now())
+              .count();
+      if (remaining < predicted) {
+        ++shed_;
+        waiter_counter = &shed_;
+        refusal = Status::DeadlineExceeded(
+            "shed: queue wait predicts deadline miss");
+      }
+    }
+    if (!refusal.ok()) {
+      if (lead) {
+        // The flight must be resolved even though the leader never ran, or
+        // coalesced waiters would hang forever. They share the leader's
+        // refusal and its counter.
+        lock.unlock();
+        ResultCache::PublishResult published =
+            cache_->Publish(key, refusal, nullptr);
+        if (published.failed_waiters > 0) {
+          std::lock_guard<std::mutex> relock(mu_);
+          *waiter_counter += published.failed_waiters;
+        }
+      }
+      return ReadyResult({std::move(refusal), {}, 0, {}});
     }
     // Accepting the first request freezes the engine set; from here on
     // workers read Engine state without the lock. fresh_seed requests
@@ -290,20 +381,55 @@ std::future<QueryResult> QueryService::Submit(QueryRequest request) {
   }
 
   return pool_.Submit([this, engine, request = std::move(request), seq,
-                       submit_timer, lead] {
-    return RunQuery(*engine, request, seq, submit_timer, lead);
+                       submit_timer, lead, deadline] {
+    return RunQuery(*engine, request, seq, submit_timer, lead, deadline);
   });
 }
 
-QueryResult QueryService::RunQuery(Engine& engine,
-                                   const QueryRequest& request, uint64_t seq,
-                                   WallTimer submit_timer,
-                                   bool publish_to_cache) {
+QueryResult QueryService::RunQuery(
+    Engine& engine, const QueryRequest& request, uint64_t seq,
+    WallTimer submit_timer, bool publish_to_cache,
+    std::chrono::steady_clock::time_point deadline) {
   const size_t worker = ThreadPool::WorkerIndex();
   PRSIM_CHECK(worker != ThreadPool::kNotAWorker && worker < pool_.size());
+  uint64_t stall_ms = 0;
+  if (PRSIM_FAULT_POINT("worker.pickup.stall", &stall_ms) && stall_ms > 0) {
+    // Injected scheduling hiccup: the worker picked this request up late.
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+  // Queue sweep: a request whose deadline expired while queued is resolved
+  // kDeadlineExceeded without touching an engine — the client has given
+  // up, so the cheapest correct answer is no work at all. It consumed its
+  // positional seq at admission, so the surviving stream's seeds are
+  // unchanged (bit-identity is scoped to "no deadline fired").
+  if (deadline != ServiceClock::time_point::max() &&
+      ServiceClock::now() >= deadline) {
+    QueryResult result;
+    result.status = Status::DeadlineExceeded("deadline expired in queue");
+    result.latency_seconds = submit_timer.Seconds();
+    ResultCache::PublishResult published;
+    if (publish_to_cache) {
+      const ResultCacheKey key{engine.fingerprint, engine.cache_seed,
+                               request.source, engine.cache_algo_id};
+      published = cache_->Publish(key, result.status, nullptr);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    // Accepted-then-expired counts as a failure too, so the accounting
+    // identity (submitted == completed + failed over accepted requests)
+    // survives deadline sweeps.
+    ++failed_;
+    ++deadline_exceeded_;
+    failed_ += published.failed_waiters;
+    deadline_exceeded_ += published.failed_waiters;
+    for (double latency : published.waiter_latencies) latencies_.Add(latency);
+    --inflight_;
+    queue_has_room_.notify_one();
+    return result;
+  }
   std::unique_ptr<SingleSourceSimRank>& clone = engine.clones[worker];
   QueryResult result;
   std::shared_ptr<const ScoreList> full_scores;
+  WallTimer exec_timer;
   try {
     if (clone == nullptr) {
       clone = engine.leader->CloneWithSeed(engine.leader->seed());
@@ -323,6 +449,11 @@ QueryResult QueryService::RunQuery(Engine& engine,
                                     : request.seed_position;
       clone->Reseed(internal::BatchQuerySeed(engine.leader->seed(),
                                              static_cast<size_t>(position)));
+    }
+    if (PRSIM_FAULT_POINT("engine.query.throw", &stall_ms)) {
+      // Injected engine failure: exercises the same catch path as a real
+      // engine exception (kInternal result, clone dropped and re-minted).
+      throw std::runtime_error("injected fault: engine.query.throw");
     }
     if (publish_to_cache) {
       // Cache leader: compute the FULL vector (one entry serves any k) and
@@ -367,6 +498,12 @@ QueryResult QueryService::RunQuery(Engine& engine,
     ++completed_;
     aggregate_cost_.Accumulate(result.cost);
     latencies_.Add(result.latency_seconds);
+    // Feed the predictive shedder. Worker-side wall time (clone warmup
+    // included) is the right unit: it is what a queued request will cost.
+    const double exec = exec_timer.Seconds();
+    ewma_exec_seconds_ = ewma_exec_seconds_ == 0
+                             ? exec
+                             : 0.8 * ewma_exec_seconds_ + 0.2 * exec;
   } else {
     ++failed_;
   }
@@ -390,6 +527,8 @@ ServiceStats QueryService::Stats() const {
     stats.completed = completed_;
     stats.failed = failed_;
     stats.rejected = rejected_;
+    stats.deadline_exceeded = deadline_exceeded_;
+    stats.shed = shed_;
     stats.queue_high_water = inflight_high_water_;
     const std::vector<double> sorted = latencies_.SortedSamples();
     stats.p50_seconds = SortedQuantile(sorted, 0.50);

@@ -26,6 +26,7 @@
 #ifndef PRSIM_CORE_QUERY_SERVICE_H_
 #define PRSIM_CORE_QUERY_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -49,6 +50,8 @@ class ResultCache;
 struct QueryRequest {
   /// Sentinel for `seed_position`: use the service-local submission order.
   static constexpr uint64_t kServiceOrder = ~uint64_t{0};
+  /// Sentinel for `deadline_ms`: the request has no deadline.
+  static constexpr uint64_t kNoDeadline = ~uint64_t{0};
 
   /// Registered algorithm key; empty selects the first registered engine.
   std::string algo;
@@ -65,12 +68,25 @@ struct QueryRequest {
   /// the leader's seed would answer it (one-shot `query` CLI semantics),
   /// ignoring seed_position.
   bool fresh_seed = false;
+  /// Relative deadline budget in milliseconds, measured from Submit().
+  /// kNoDeadline (default) = none; 0 = already expired (resolved with
+  /// kDeadlineExceeded at admission, consuming no positional seq). Expired
+  /// and shed requests never shift the positional seeds of the surviving
+  /// stream, so answers stay bit-identical whenever no deadline fires.
+  uint64_t deadline_ms = kNoDeadline;
+  /// Absolute steady-clock deadline; takes precedence over deadline_ms
+  /// when set (time_point::max() = unset). The shape tests use to hand in
+  /// an already-expired deadline without sleeping.
+  std::chrono::steady_clock::time_point deadline_at =
+      std::chrono::steady_clock::time_point::max();
 };
 
 struct QueryResult {
   /// kInvalidArgument for unknown algo / out-of-range source,
-  /// kResourceExhausted when rejected by backpressure, kInternal when the
-  /// engine threw; scores are only meaningful when ok().
+  /// kResourceExhausted when rejected by backpressure or shed in degraded
+  /// mode, kDeadlineExceeded when the deadline expired (at admission,
+  /// waiting for queue capacity, in the queue, or via predictive shedding),
+  /// kInternal when the engine threw; scores are only meaningful when ok().
   Status status;
   ScoreList scores;
   /// Wall time from Submit() to completion (queue wait + execution); 0 for
@@ -97,6 +113,12 @@ struct QueryServiceOptions {
   /// core/result_cache.h for the determinism argument. Cache hits resolve
   /// before the bounded queue and cannot be backpressured.
   size_t cache_bytes = 0;
+  /// Degraded overload mode: a request that finds the queue full is shed
+  /// immediately (kResourceExhausted, counted in ServiceStats::shed)
+  /// instead of blocking or queueing behind `backpressure`. Cache hits
+  /// resolve before the queue and keep answering — the overloaded-replica
+  /// posture of "serve what's cheap, shed what's doomed".
+  bool degraded = false;
 };
 
 /// Snapshot of the service's lifetime counters and latency percentiles.
@@ -105,6 +127,15 @@ struct ServiceStats {
   uint64_t completed = 0;  ///< answered successfully
   uint64_t failed = 0;     ///< invalid requests or engine failures
   uint64_t rejected = 0;   ///< refused by the kReject backpressure policy
+  /// Requests resolved with kDeadlineExceeded: expired at admission, timed
+  /// out waiting for queue capacity, or swept at worker pickup after
+  /// expiring in the queue. Disjoint from `shed`. Shard aggregations sum.
+  uint64_t deadline_exceeded = 0;
+  /// Requests refused at admission by overload control: predictive
+  /// shedding (queue wait forecasts a deadline miss) and degraded-mode
+  /// shedding of a full queue. Disjoint from `rejected` and
+  /// `deadline_exceeded`. Shard aggregations sum.
+  uint64_t shed = 0;
   /// Peak in-flight (queued + executing) requests — how close the bounded
   /// queue came to its cap. Shard aggregations take the per-shard max.
   uint64_t queue_high_water = 0;
@@ -211,7 +242,8 @@ class QueryService {
   Engine* FindEngine(const std::string& algo);
   QueryResult RunQuery(Engine& engine, const QueryRequest& request,
                        uint64_t seq, WallTimer submit_timer,
-                       bool publish_to_cache);
+                       bool publish_to_cache,
+                       std::chrono::steady_clock::time_point deadline);
   static std::future<QueryResult> ReadyResult(QueryResult result);
 
   QueryServiceOptions options_;
@@ -234,6 +266,12 @@ class QueryService {
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t shed_ = 0;
+  /// Exponentially weighted moving average of engine execution time, the
+  /// input to predictive shedding: a deadline that the expected queue wait
+  /// alone would blow is refused at admission instead of wasting a slot.
+  double ewma_exec_seconds_ = 0;
   size_t inflight_ = 0;
   size_t inflight_high_water_ = 0;
   QueryCost aggregate_cost_;

@@ -1,6 +1,7 @@
 #include "core/shard_router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <utility>
 
@@ -79,6 +80,7 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Open(
     service_options.max_queue = options.max_queue;
     service_options.backpressure = options.backpressure;
     service_options.cache_bytes = options.cache_bytes;
+    service_options.degraded = options.degraded;
     auto service = std::make_unique<QueryService>(service_options);
     if (!shard.index_path.empty()) {
       PRSIM_RETURN_NOT_OK(service->AddEngineFromIndex(
@@ -114,6 +116,21 @@ std::future<QueryResult> ShardRouter::SubmitRequest(QueryRequest request) {
   }
   if (request.source >= manifest_.n) {
     return ReadyError(SourceOutOfRange(request.source, manifest_.n));
+  }
+  // Router-level deadline gate: a request that is already expired (or
+  // carries a zero budget) is refused BEFORE consuming a global stream
+  // position, like invalid requests — so deadline refusals on one shard
+  // never shift the positional seeds any other shard sees. Live deadlines
+  // flow through to the owner shard, which enforces them at admission, in
+  // the queue, and at worker pickup.
+  const bool already_expired =
+      (request.deadline_at != std::chrono::steady_clock::time_point::max() &&
+       std::chrono::steady_clock::now() >= request.deadline_at) ||
+      request.deadline_ms == 0;
+  if (already_expired) {
+    expired_at_router_.fetch_add(1, std::memory_order_relaxed);
+    return ReadyError(
+        Status::DeadlineExceeded("deadline expired before routing"));
   }
   // Each shard service has exactly one engine; the empty key selects it
   // regardless of how the manifest spells the registry name.
@@ -179,6 +196,8 @@ ServiceStats ShardRouter::Stats() const {
     total.completed += stats.completed;
     total.failed += stats.failed;
     total.rejected += stats.rejected;
+    total.deadline_exceeded += stats.deadline_exceeded;
+    total.shed += stats.shed;
     total.queue_high_water =
         std::max(total.queue_high_water, stats.queue_high_water);
     total.cache_hits += stats.cache_hits;
@@ -190,6 +209,8 @@ ServiceStats ShardRouter::Stats() const {
     const std::vector<double> part = service->LatencySamples();
     samples.insert(samples.end(), part.begin(), part.end());
   }
+  total.deadline_exceeded +=
+      expired_at_router_.load(std::memory_order_relaxed);
   std::sort(samples.begin(), samples.end());
   total.p50_seconds = SortedQuantile(samples, 0.50);
   total.p95_seconds = SortedQuantile(samples, 0.95);

@@ -58,6 +58,9 @@ struct ShardRouterOptions {
   /// shards * cache_bytes and the aggregated Stats() hit counters read
   /// like one cache's.
   size_t cache_bytes = 0;
+  /// Per-shard degraded overload mode (QueryServiceOptions::degraded):
+  /// full queues shed instead of blocking, cache hits keep answering.
+  bool degraded = false;
 };
 
 /// Deterministic cross-shard merge of per-shard top-k lists: concatenates
@@ -123,6 +126,11 @@ class ShardRouter {
   std::vector<std::unique_ptr<Graph>> graphs_;
   std::vector<std::unique_ptr<QueryService>> services_;  ///< one per shard
   std::atomic<uint64_t> next_position_{0};
+  /// Requests that arrived at the router already expired: refused before
+  /// consuming a global stream position (so one shard shedding never
+  /// shifts another shard's positional seeds), folded into
+  /// Stats().deadline_exceeded alongside the per-shard counters.
+  std::atomic<uint64_t> expired_at_router_{0};
 };
 
 }  // namespace prsim

@@ -17,6 +17,7 @@ namespace {
 
 constexpr uint8_t kFlagFreshSeed = 1u << 0;
 constexpr uint8_t kFlagExplicitPosition = 1u << 1;
+constexpr uint8_t kFlagHasDeadline = 1u << 2;
 
 template <typename T>
 void Append(std::vector<char>* out, T value) {
@@ -67,17 +68,27 @@ Status Truncated(const char* what) {
 
 void EncodeRequest(const WireRequest& request, std::vector<char>* out) {
   out->clear();
-  Append<uint8_t>(out, kFrameVersion);
+  // Deadline-free requests stay version-1 byte-identical — the upgrade is
+  // invisible to old decoders until a deadline actually travels.
+  const bool has_deadline =
+      request.deadline_ms != QueryRequest::kNoDeadline;
+  Append<uint8_t>(out, has_deadline ? kFrameVersionDeadline : kFrameVersion);
   uint8_t flags = 0;
   if (request.fresh_seed) flags |= kFlagFreshSeed;
   if (request.seed_position != QueryRequest::kServiceOrder) {
     flags |= kFlagExplicitPosition;
   }
+  if (has_deadline) flags |= kFlagHasDeadline;
   Append<uint8_t>(out, flags);
   Append<uint16_t>(out, static_cast<uint16_t>(request.algo.size()));
   Append<uint32_t>(out, request.source);
   Append<uint32_t>(out, request.k);
   Append<uint64_t>(out, request.seed_position);
+  if (has_deadline) {
+    const uint64_t clamped =
+        request.deadline_ms > UINT32_MAX ? UINT32_MAX : request.deadline_ms;
+    Append<uint32_t>(out, static_cast<uint32_t>(clamped));
+  }
   AppendBytes(out, request.algo.data(), request.algo.size());
 }
 
@@ -106,9 +117,17 @@ Result<WireRequest> DecodeRequest(const std::vector<char>& payload) {
       !cursor.Read(&request.k) || !cursor.Read(&request.seed_position)) {
     return Truncated("request");
   }
-  if (version != kFrameVersion) {
+  if (version != kFrameVersion && version != kFrameVersionDeadline) {
     return Status::InvalidArgument("unsupported request frame version " +
                                    std::to_string(version));
+  }
+  if (version >= kFrameVersionDeadline) {
+    uint32_t deadline_ms = 0;
+    if (!cursor.Read(&deadline_ms)) return Truncated("request");
+    // The field is always present in a v2 frame; the flag says whether it
+    // means anything (a v2 encoder that clears the deadline mid-stream
+    // need not drop back to v1).
+    if ((flags & kFlagHasDeadline) != 0) request.deadline_ms = deadline_ms;
   }
   if (!cursor.ReadString(algo_len, &request.algo) || !cursor.exhausted()) {
     return Truncated("request");

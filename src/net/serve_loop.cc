@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <utility>
+#include <vector>
 
 #include "util/parse.h"
 
@@ -17,38 +19,57 @@ std::string TrimRequestLine(const std::string& line) {
 }
 
 Status ParseServeLine(const std::string& trimmed, NodeId n,
-                      uint32_t default_k, NodeId* source, uint32_t* k) {
-  // Split on whitespace without an istringstream: this runs once per
-  // request on the serving hot path.
-  const auto split = trimmed.find_first_of(" \t");
-  const std::string source_token = trimmed.substr(0, split);
-  std::string k_token;
-  if (split != std::string::npos) {
-    const auto k_start = trimmed.find_first_not_of(" \t", split);
-    if (k_start != std::string::npos) {
-      const auto k_end = trimmed.find_first_of(" \t", k_start);
-      k_token = trimmed.substr(k_start, k_end - k_start);
-      if (k_end != std::string::npos &&
-          trimmed.find_first_not_of(" \t", k_end) != std::string::npos) {
-        return Status::InvalidArgument("expected \"<source> [k]\", got '" +
-                                       trimmed + "'");
-      }
-    }
+                      uint32_t default_k, NodeId* source, uint32_t* k,
+                      uint64_t* deadline_ms) {
+  // Tokenize on whitespace without an istringstream: this runs once per
+  // request on the serving hot path, and a request is at most 3 tokens.
+  std::vector<std::string> tokens;
+  size_t at = 0;
+  while (at != std::string::npos && at < trimmed.size()) {
+    const auto end = trimmed.find_first_of(" \t", at);
+    tokens.push_back(trimmed.substr(at, end - at));
+    at = end == std::string::npos ? end
+                                  : trimmed.find_first_not_of(" \t", end);
   }
   uint64_t source_value = 0;
-  if (!ParseUint64(source_token, &source_value) || source_value >= n) {
-    return Status::InvalidArgument("invalid node id '" + source_token +
+  if (!ParseUint64(tokens[0], &source_value) || source_value >= n) {
+    return Status::InvalidArgument("invalid node id '" + tokens[0] +
                                    "' (n = " + std::to_string(n) + ")");
   }
   *source = static_cast<NodeId>(source_value);
   *k = default_k;
-  if (!k_token.empty()) {
+  *deadline_ms = QueryRequest::kNoDeadline;
+  bool have_k = false;
+  bool have_deadline = false;
+  static constexpr char kDeadlinePrefix[] = "deadline_ms=";
+  static constexpr size_t kDeadlinePrefixLen = sizeof(kDeadlinePrefix) - 1;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.compare(0, kDeadlinePrefixLen, kDeadlinePrefix) == 0) {
+      uint64_t deadline_value = 0;
+      const std::string value = token.substr(kDeadlinePrefixLen);
+      if (have_deadline || !ParseUint64(value, &deadline_value)) {
+        return Status::InvalidArgument("invalid deadline_ms '" + value +
+                                       "'");
+      }
+      // deadline_ms=0 is legal: an already-expired request, resolved with
+      // kDeadlineExceeded at admission.
+      *deadline_ms = deadline_value;
+      have_deadline = true;
+      continue;
+    }
+    if (have_k) {
+      return Status::InvalidArgument(
+          "expected \"<source> [k] [deadline_ms=N]\", got '" + trimmed +
+          "'");
+    }
     uint64_t k_value = 0;
-    if (!ParseUint64(k_token, &k_value) || k_value == 0 ||
+    if (!ParseUint64(token, &k_value) || k_value == 0 ||
         k_value > UINT32_MAX) {
-      return Status::InvalidArgument("invalid k '" + k_token + "'");
+      return Status::InvalidArgument("invalid k '" + token + "'");
     }
     *k = static_cast<uint32_t>(k_value);
+    have_k = true;
   }
   return Status::OK();
 }
@@ -150,7 +171,7 @@ size_t ServeLineLoop(NodeId n, uint32_t default_k, size_t window,
     if (trimmed.empty()) continue;
     QueryRequest request;
     if (Status st = ParseServeLine(trimmed, n, default_k, &request.source,
-                                   &request.k);
+                                   &request.k, &request.deadline_ms);
         !st.ok()) {
       // Parse errors report the bare message (matching the historical stdin
       // loop); failed queries report the full "<Code>: <message>" status.

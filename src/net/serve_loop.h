@@ -42,12 +42,16 @@ using SubmitFn = std::function<std::future<QueryResult>(QueryRequest)>;
 /// Strips whitespace; returns "" for blank and '#'-comment lines.
 std::string TrimRequestLine(const std::string& line);
 
-/// Parses one already-trimmed, non-empty text request "<source> [k]".
-/// On success fills *source / *k (default_k when omitted) and returns OK;
-/// malformed tokens and out-of-range sources are kInvalidArgument with the
-/// same messages the stdin loop has always printed.
+/// Parses one already-trimmed, non-empty text request
+/// "<source> [k] [deadline_ms=N]" (the optional k and deadline_ms tokens
+/// may appear in either order). On success fills *source / *k (default_k
+/// when omitted) / *deadline_ms (QueryRequest::kNoDeadline when omitted;
+/// 0 is legal and means already expired) and returns OK; malformed tokens
+/// and out-of-range sources are kInvalidArgument with the same messages
+/// the stdin loop has always printed.
 Status ParseServeLine(const std::string& trimmed, NodeId n,
-                      uint32_t default_k, NodeId* source, uint32_t* k);
+                      uint32_t default_k, NodeId* source, uint32_t* k,
+                      uint64_t* deadline_ms);
 
 /// Formats the text protocol's response line (no trailing newline):
 /// "result <source> <node>:<score>,...".

@@ -7,12 +7,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <utility>
 
 #include "net/frame.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace prsim {
@@ -20,13 +24,31 @@ namespace net {
 
 namespace {
 
+/// Steady-clock milliseconds, the idle reaper's time base.
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// True for accept(2) failures that mean "out of descriptors / buffers
+/// right now" — transient under load, fatal to treat as fatal: the right
+/// response is to back off and keep serving the connections we have.
+bool IsAcceptResourceError(int err) {
+  return err == EMFILE || err == ENFILE || err == ENOBUFS || err == ENOMEM;
+}
+
 /// Buffered reads over a connection fd, seeded with the bytes consumed by
 /// the framing sniff. Both framings pull from here so no byte is lost
 /// between the sniff and the first request.
 class BufferedFd {
  public:
-  BufferedFd(int fd, std::string initial)
-      : fd_(fd), buffer_(std::move(initial)) {}
+  /// `activity` (optional) fires after every successful refill — the hook
+  /// the idle reaper uses to see a connection is still talking.
+  BufferedFd(int fd, std::string initial,
+             std::function<void()> activity = nullptr)
+      : fd_(fd), buffer_(std::move(initial)), activity_(std::move(activity)) {}
 
   /// Reads exactly `len` bytes. Clean EOF before the first byte sets *eof;
   /// EOF mid-object is a kIOError.
@@ -82,12 +104,14 @@ class BufferedFd {
     auto n = ReadSome(fd_, chunk, sizeof(chunk));
     if (!n.ok() || n.ValueOrDie() == 0) return false;
     buffer_.append(chunk, n.ValueOrDie());
+    if (activity_) activity_();
     return true;
   }
 
   int fd_;
   std::string buffer_;
   size_t pos_ = 0;
+  std::function<void()> activity_;
 };
 
 }  // namespace
@@ -164,9 +188,40 @@ void TcpServer::ReapSessions(bool all) {
   }
 }
 
+void TcpServer::SweepIdleSessions() {
+  if (options_.idle_timeout_ms <= 0) return;
+  const uint64_t now = NowMs();
+  const auto budget = static_cast<uint64_t>(options_.idle_timeout_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& session : sessions_) {
+    if (session->done || session->idle_shut || !session->fd.valid()) continue;
+    const uint64_t last =
+        session->last_activity_ms.load(std::memory_order_relaxed);
+    if (now - last < budget) continue;
+    // Half-close only: the session sees EOF, drains its in-flight window,
+    // flushes any remaining responses, and exits on its own — identical to
+    // the graceful-shutdown path, scoped to one connection.
+    ShutdownRead(session->fd.get());
+    session->idle_shut = true;
+    ++stats_.idle_closed;
+  }
+}
+
 void TcpServer::AcceptLoop() {
+  // Resource-exhaustion accepts (EMFILE & friends) log once per episode,
+  // not once per retry — the loop can spin thousands of times while the
+  // process is out of descriptors.
+  bool accept_starved_logged = false;
+  // With the idle reaper enabled the listener poll must wake periodically
+  // to sweep; granularity of a quarter timeout keeps the reap latency
+  // bounded without busy-polling.
+  const int poll_timeout =
+      options_.idle_timeout_ms > 0
+          ? std::max(10, std::min(options_.idle_timeout_ms / 4, 250))
+          : -1;
   while (true) {
     ReapSessions(/*all=*/false);
+    SweepIdleSessions();
     size_t live = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -181,17 +236,39 @@ void TcpServer::AcceptLoop() {
     }
     pollfd fds[2] = {{listener_.get(), POLLIN, 0},
                      {wake_read_.get(), POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
+    if (::poll(fds, 2, poll_timeout) < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (fds[1].revents != 0) break;  // wake pipe closed: shutting down
     if (fds[0].revents == 0) continue;
-    const int raw = ::accept(listener_.get(), nullptr, nullptr);
+    uint64_t stall_ms = 0;
+    const bool injected_emfile =
+        PRSIM_FAULT_POINT("net.accept.emfile", &stall_ms);
+    const int raw =
+        injected_emfile ? -1 : ::accept(listener_.get(), nullptr, nullptr);
+    if (injected_emfile) errno = EMFILE;
     if (raw < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (IsAcceptResourceError(errno)) {
+        // Out of fds/buffers: the pending connection stays in the backlog.
+        // Back off briefly (watching the wake pipe so shutdown stays
+        // responsive) and retry — existing sessions keep serving, and the
+        // accept succeeds as soon as a descriptor frees up.
+        if (!accept_starved_logged) {
+          PRSIM_LOG(Warning)
+              << "accept: " << std::strerror(errno)
+              << "; backing off and retrying (existing connections "
+                 "keep serving)";
+          accept_starved_logged = true;
+        }
+        pollfd wake = {wake_read_.get(), POLLIN, 0};
+        if (::poll(&wake, 1, 100) > 0 && wake.revents != 0) break;
+        continue;
+      }
       break;
     }
+    accept_starved_logged = false;
     UniqueFd client(raw);
     const int one = 1;
     ::setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -202,6 +279,7 @@ void TcpServer::AcceptLoop() {
       sessions_.push_back(std::make_unique<Session>());
       session = sessions_.back().get();
       session->fd = std::move(client);
+      session->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
     }
     session->thread = std::thread(&TcpServer::RunSession, this, session);
   }
@@ -220,13 +298,14 @@ void TcpServer::RunSession(Session* session) {
     auto n = ReadSome(fd, chunk, sizeof(chunk));
     if (!n.ok() || n.ValueOrDie() == 0) break;
     first_bytes.append(chunk, n.ValueOrDie());
+    session->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
   }
   if (first_bytes.size() >= sizeof(kBinaryMagic) &&
       std::memcmp(first_bytes.data(), kBinaryMagic,
                   sizeof(kBinaryMagic)) == 0) {
-    ServeBinarySession(fd, first_bytes.substr(sizeof(kBinaryMagic)));
+    ServeBinarySession(fd, session, first_bytes.substr(sizeof(kBinaryMagic)));
   } else {
-    ServeTextSession(fd, first_bytes);
+    ServeTextSession(fd, session, first_bytes);
   }
   std::lock_guard<std::mutex> lock(mu_);
   // Close now, not at reap time: the next reap may be far away (it runs on
@@ -236,8 +315,11 @@ void TcpServer::RunSession(Session* session) {
   session->done = true;
 }
 
-void TcpServer::ServeTextSession(int fd, const std::string& first_bytes) {
-  BufferedFd reader(fd, first_bytes);
+void TcpServer::ServeTextSession(int fd, Session* session,
+                                 const std::string& first_bytes) {
+  BufferedFd reader(fd, first_bytes, [session] {
+    session->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
+  });
   // A failed write means the client hung up; stop reading instead of
   // computing answers nobody will receive. Results come off the
   // dispatcher's responder thread while parse errors come off this (the
@@ -248,9 +330,12 @@ void TcpServer::ServeTextSession(int fd, const std::string& first_bytes) {
   const auto write = [&](const std::string& framed) {
     if (broken.load(std::memory_order_acquire)) return;
     std::lock_guard<std::mutex> lock(write_mu);
-    if (!WriteAll(fd, framed.data(), framed.size()).ok()) {
-      broken.store(true, std::memory_order_release);
-    }
+    const Status wrote =
+        options_.io_timeout_ms > 0
+            ? WriteAllTimed(fd, framed.data(), framed.size(),
+                            options_.io_timeout_ms)
+            : WriteAll(fd, framed.data(), framed.size());
+    if (!wrote.ok()) broken.store(true, std::memory_order_release);
   };
   LineTransport transport;
   transport.read_line = [&](std::string* line) {
@@ -275,8 +360,11 @@ void TcpServer::ServeTextSession(int fd, const std::string& first_bytes) {
                 counted, transport);
 }
 
-void TcpServer::ServeBinarySession(int fd, const std::string& first_bytes) {
-  BufferedFd reader(fd, first_bytes);
+void TcpServer::ServeBinarySession(int fd, Session* session,
+                                   const std::string& first_bytes) {
+  BufferedFd reader(fd, first_bytes, [session] {
+    session->last_activity_ms.store(NowMs(), std::memory_order_relaxed);
+  });
   // Responses are written only by the dispatcher's responder thread while
   // the session runs; this thread writes only the terminal protocol-error
   // frame, after DrainAll() has joined the responder. So the stream stays
@@ -287,9 +375,19 @@ void TcpServer::ServeBinarySession(int fd, const std::string& first_bytes) {
     if (broken.load(std::memory_order_acquire)) return;
     std::vector<char> payload;
     EncodeResponse(response, &payload);
-    if (!WriteFrame(fd, payload).ok()) {
-      broken.store(true, std::memory_order_release);
+    Status wrote;
+    if (options_.io_timeout_ms > 0) {
+      const auto length = static_cast<uint32_t>(payload.size());
+      wrote = WriteAllTimed(fd, &length, sizeof(length),
+                            options_.io_timeout_ms);
+      if (wrote.ok()) {
+        wrote = WriteAllTimed(fd, payload.data(), payload.size(),
+                              options_.io_timeout_ms);
+      }
+    } else {
+      wrote = WriteFrame(fd, payload);
     }
+    if (!wrote.ok()) broken.store(true, std::memory_order_release);
   };
   PipelinedDispatcher dispatcher(
       options_.window,

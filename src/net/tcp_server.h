@@ -47,6 +47,17 @@ struct TcpServerOptions {
   size_t window = 1024;
   /// Concurrent connection cap; further accepts wait for a slot.
   size_t max_connections = 64;
+  /// Idle-connection reaper: a connection that has sent no bytes for this
+  /// long has its read side shut down (the session then drains its
+  /// in-flight responses and exits — the peer still receives every answer
+  /// to a request it actually sent). 0 disables the reaper. Keeps a
+  /// wedged or vanished-without-FIN client from pinning one of the
+  /// max_connections slots forever.
+  int idle_timeout_ms = 0;
+  /// Per-write deadline on response writes (WriteAllTimed): a peer that
+  /// stops reading can stall us at most this long per write before the
+  /// session treats the connection as broken. 0 = block indefinitely.
+  int io_timeout_ms = 0;
 };
 
 /// Lifetime transport counters (independent of the backend's ServiceStats).
@@ -55,6 +66,7 @@ struct TcpServerStats {
   uint64_t requests = 0;          ///< well-formed requests dispatched
   uint64_t protocol_errors = 0;   ///< malformed lines/frames answered with
                                   ///< an error response
+  uint64_t idle_closed = 0;       ///< connections reaped by idle_timeout_ms
 };
 
 class TcpServer {
@@ -82,13 +94,24 @@ class TcpServer {
     UniqueFd fd;
     std::thread thread;
     bool done = false;
+    /// Last time this connection delivered bytes (steady-clock ms),
+    /// written by the session thread, read by the idle reaper.
+    std::atomic<uint64_t> last_activity_ms{0};
+    /// Set (under mu_) once the reaper half-closed this session, so a
+    /// slow-to-exit session is not counted as idle-closed twice.
+    bool idle_shut = false;
   };
 
   TcpServer() = default;
   void AcceptLoop();
+  /// Half-closes sessions idle past options_.idle_timeout_ms (no-op when
+  /// the reaper is disabled). Runs on the accept thread.
+  void SweepIdleSessions();
   void RunSession(Session* session);
-  void ServeTextSession(int fd, const std::string& first_bytes);
-  void ServeBinarySession(int fd, const std::string& first_bytes);
+  void ServeTextSession(int fd, Session* session,
+                        const std::string& first_bytes);
+  void ServeBinarySession(int fd, Session* session,
+                          const std::string& first_bytes);
   /// Joins finished sessions; with `all`, waits for every session.
   void ReapSessions(bool all);
 

@@ -1,0 +1,152 @@
+#include "util/fault_injection.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/parse.h"
+#include "util/rng.h"
+
+namespace prsim {
+
+namespace {
+
+/// FNV-1a over the point name; folded into the firing hash so renaming a
+/// point reshuffles its schedule but leaves every other point's alone.
+uint64_t HashName(const char* name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The firing decision for evaluation `index` of a point: a splitmix64
+/// chain over (seed, name_hash, index), reduced mod den. Stateless, so the
+/// firing set is a pure function of (seed, name, index).
+bool FiresAt(uint64_t seed, uint64_t name_hash, uint64_t index, uint64_t num,
+             uint64_t den) {
+  uint64_t state = seed ^ name_hash;
+  SplitMix64(state);
+  state ^= index;
+  const uint64_t mixed = SplitMix64(state);
+  return mixed % den < num;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultInjector::Point* FaultInjector::Find(const char* name) {
+  for (const auto& point : points_) {
+    if (point->name == name) return point.get();
+  }
+  return nullptr;
+}
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  std::vector<std::unique_ptr<Point>> parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string term = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (term.empty()) continue;
+    const auto eq = term.find('=');
+    const auto slash = term.find('/', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || slash == std::string::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "fault term '" + term + "' is not \"name=num/den[:stall_ms]\"");
+    }
+    auto point = std::make_unique<Point>();
+    point->name = term.substr(0, eq);
+    std::string den_token = term.substr(slash + 1);
+    const auto colon = den_token.find(':');
+    if (colon != std::string::npos) {
+      if (!ParseUint64(den_token.substr(colon + 1), &point->stall_ms)) {
+        return Status::InvalidArgument("fault term '" + term +
+                                       "': malformed stall_ms");
+      }
+      den_token.resize(colon);
+    }
+    if (!ParseUint64(term.substr(eq + 1, slash - eq - 1), &point->num) ||
+        !ParseUint64(den_token, &point->den) || point->den == 0 ||
+        point->num > point->den) {
+      return Status::InvalidArgument(
+          "fault term '" + term + "': rate must be num/den with 0 <= num <= "
+          "den, den > 0");
+    }
+    point->name_hash = HashName(point->name.c_str());
+    for (const auto& prior : parsed) {
+      if (prior->name == point->name) {
+        return Status::InvalidArgument("fault point '" + point->name +
+                                       "' configured twice");
+      }
+    }
+    parsed.push_back(std::move(point));
+  }
+  enabled_.store(false, std::memory_order_release);
+  points_ = std::move(parsed);
+  seed_ = seed;
+  if (!points_.empty()) enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void FaultInjector::Disable() {
+  enabled_.store(false, std::memory_order_release);
+  points_.clear();
+}
+
+bool FaultInjector::ShouldFire(const char* name, uint64_t* stall_ms) {
+  *stall_ms = 0;
+  Point* point = Find(name);
+  if (point == nullptr) return false;
+  const uint64_t index =
+      point->evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (!FiresAt(seed_, point->name_hash, index, point->num, point->den)) {
+    return false;
+  }
+  point->fired.fetch_add(1, std::memory_order_relaxed);
+  *stall_ms = point->stall_ms;
+  return true;
+}
+
+std::vector<FaultPointStats> FaultInjector::Stats() const {
+  std::vector<FaultPointStats> stats;
+  stats.reserve(points_.size());
+  for (const auto& point : points_) {
+    FaultPointStats s;
+    s.name = point->name;
+    s.evaluations = point->evaluations.load(std::memory_order_relaxed);
+    s.fired = point->fired.load(std::memory_order_relaxed);
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+std::string FaultInjector::StatsJson() const {
+  std::string json = "{\"event\":\"fault_stats\",\"points\":[";
+  bool first = true;
+  char buffer[128];
+  for (const FaultPointStats& point : Stats()) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"name\":\"%s\",\"evaluations\":%" PRIu64
+                  ",\"fired\":%" PRIu64 "}",
+                  first ? "" : ",", point.name.c_str(), point.evaluations,
+                  point.fired);
+    json += buffer;
+    first = false;
+  }
+  json += "]}";
+  return json;
+}
+
+Status InjectedFault(const char* name) {
+  return Status::IOError(std::string("injected fault: ") + name);
+}
+
+}  // namespace prsim

@@ -1,0 +1,123 @@
+// Deterministic fault injection for the serving stack.
+//
+// A fault point is a named site in the code (e.g. "net.read.err") that asks
+// the process-global FaultInjector whether it should fail this time. Firing
+// is driven by a seeded hash over (seed, point name, per-point evaluation
+// index), so a spec like
+//
+//     net.read.err=1/50,engine.query.throw=1/100,worker.pickup.stall=1/20:5
+//
+// fires each point on a fixed pseudo-random subset of its evaluations: the
+// k-th evaluation of point P fires iff mix(seed, hash(P), k) % den < num.
+// The *set of firing indices* is a pure function of (spec, seed), so two
+// runs with the same spec, seed, and per-point evaluation counts hit the
+// same evaluations — the property the chaos CI job diffs on. (Which thread
+// or request lands on a firing index can vary with interleaving for
+// points evaluated concurrently; points evaluated once per request on a
+// deterministic request stream replay exactly.)
+//
+// The optional ":<stall_ms>" suffix makes a firing evaluation sleep instead
+// of (or before) failing — the shape worker-pickup stalls use.
+//
+// Cost when disabled: PRSIM_FAULT_POINT expands to one relaxed atomic load
+// of a global bool (branch predicted not-taken); compiling with
+// -DPRSIM_NO_FAULT_INJECTION removes even that, making the macro a literal
+// constant-false no-op.
+//
+// Nothing here installs itself: production binaries opt in explicitly
+// (prsim_cli's --faults / PRSIM_FAULTS, bench_serve_throughput's --faults).
+// Test binaries configure the injector directly and Disable() it when done.
+
+#ifndef PRSIM_UTIL_FAULT_INJECTION_H_
+#define PRSIM_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prsim {
+
+/// Lifetime counters of one fault point, for the chaos-determinism diff.
+struct FaultPointStats {
+  std::string name;
+  uint64_t evaluations = 0;  ///< times the point was consulted
+  uint64_t fired = 0;        ///< times it injected a failure/stall
+};
+
+class FaultInjector {
+ public:
+  /// The process-global injector every PRSIM_FAULT_POINT consults.
+  static FaultInjector& Global();
+
+  /// Parses and installs a fault spec: comma-separated
+  /// "name=num/den[:stall_ms]" terms (num <= den, den > 0). Replaces any
+  /// previous configuration and resets all counters. An empty spec
+  /// disables injection entirely. kInvalidArgument on malformed terms, in
+  /// which case the previous configuration is left untouched.
+  Status Configure(const std::string& spec, uint64_t seed);
+
+  /// Removes every fault point and resets counters; PRSIM_FAULT_POINT goes
+  /// back to its single-load fast path.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Consults the schedule for `name`. Advances the point's evaluation
+  /// counter (when the point is configured) and returns the stall budget
+  /// via *stall_ms when firing. Unconfigured names never fire and cost one
+  /// hash-map miss — callers gate on enabled() via the macro first.
+  bool ShouldFire(const char* name, uint64_t* stall_ms);
+
+  /// Per-point counters, in configuration order.
+  std::vector<FaultPointStats> Stats() const;
+
+  /// Counters as one JSON line: {"event":"fault_stats","points":[...]}.
+  /// Deterministic across same-spec/same-seed runs for request-granular
+  /// points — the chaos job diffs this string.
+  std::string StatsJson() const;
+
+ private:
+  struct Point {
+    std::string name;
+    uint64_t name_hash = 0;
+    uint64_t num = 0;
+    uint64_t den = 1;
+    uint64_t stall_ms = 0;
+    std::atomic<uint64_t> evaluations{0};
+    std::atomic<uint64_t> fired{0};
+  };
+
+  Point* Find(const char* name);
+
+  std::atomic<bool> enabled_{false};
+  uint64_t seed_ = 0;
+  /// Stable storage: ShouldFire holds Point* without a lock. Configure is
+  /// not thread-safe against in-flight evaluations; callers install the
+  /// spec before serving traffic (CLI startup, test setup).
+  std::vector<std::unique_ptr<Point>> points_;
+};
+
+/// A Status carrying the injected failure for fault point `name` — used by
+/// I/O sites that must surface the fault as an error return.
+Status InjectedFault(const char* name);
+
+}  // namespace prsim
+
+/// True iff fault point `name` (a string literal) fires on this evaluation.
+/// `stall_ms_out` is a uint64_t* receiving the stall budget (0 = none).
+#ifdef PRSIM_NO_FAULT_INJECTION
+// Constant-false, but still consumes the arguments so call sites compile
+// warning-clean without #ifdefs of their own.
+#define PRSIM_FAULT_POINT(name, stall_ms_out) \
+  (static_cast<void>(name), static_cast<void>(stall_ms_out), false)
+#else
+#define PRSIM_FAULT_POINT(name, stall_ms_out)      \
+  (::prsim::FaultInjector::Global().enabled() &&   \
+   ::prsim::FaultInjector::Global().ShouldFire((name), (stall_ms_out)))
+#endif
+
+#endif  // PRSIM_UTIL_FAULT_INJECTION_H_

@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "util/fault_injection.h"
+
 namespace prsim {
 
 namespace {
@@ -449,6 +451,12 @@ Result<ArtifactReader> ArtifactReader::Open(const std::string& path,
 }
 
 Result<SectionReader> ArtifactReader::Section(const std::string& name) const {
+  uint64_t stall_ms = 0;
+  if (PRSIM_FAULT_POINT("artifact.section.err", &stall_ms)) {
+    // Injected storage failure: looks exactly like an unreadable section,
+    // exercising every loader's corrupt-artifact error path.
+    return InjectedFault("artifact.section.err");
+  }
   const std::byte* base = file_->data();
   if (version_ == kSerdeFormatV1) {
     // Shared cursor over the legacy payload: sections are positional.

@@ -1,13 +1,17 @@
 #include "util/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "util/fault_injection.h"
 
 namespace prsim {
 
@@ -23,6 +27,15 @@ sockaddr_in LoopbackAddr(uint16_t port) {
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
+}
+
+/// send(MSG_NOSIGNAL) with a write(2) fallback for non-socket fds: the
+/// stdin serve transport and the tests push pipes and files through the
+/// same helpers, and MSG_NOSIGNAL on those is ENOTSOCK.
+ssize_t SendOrWrite(int fd, const char* p, size_t len, int extra_flags) {
+  const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL | extra_flags);
+  if (n < 0 && errno == ENOTSOCK) return ::write(fd, p, len);
+  return n;
 }
 
 }  // namespace
@@ -62,16 +75,67 @@ Result<uint16_t> LocalPort(int fd) {
   return ntohs(addr.sin_port);
 }
 
-Result<UniqueFd> ConnectTcp(uint16_t port) {
+Status WaitFdEvent(int fd, short events, int timeout_ms) {
+  pollfd pfd = {fd, events, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::DeadlineExceeded("fd not ready within " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    if (errno != EINTR) return Errno("poll");
+    // EINTR: retry with the full budget — close enough for a hygiene
+    // timeout, and it avoids clock arithmetic in the common no-signal case.
+  }
+}
+
+Result<UniqueFd> ConnectTcp(uint16_t port, int timeout_ms) {
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return Errno("socket");
   const sockaddr_in addr = LoopbackAddr(port);
-  int rc;
-  do {
-    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) return Errno("connect 127.0.0.1:" + std::to_string(port));
+  if (timeout_ms < 0) {
+    int rc;
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) return Errno("connect 127.0.0.1:" + std::to_string(port));
+  } else {
+    // Bounded connect: non-blocking connect, poll for writability, read
+    // back SO_ERROR, then restore blocking mode for the caller.
+    const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+      return Errno("fcntl(O_NONBLOCK)");
+    }
+    const int rc = ::connect(
+        fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+      return Errno("connect 127.0.0.1:" + std::to_string(port));
+    }
+    if (rc != 0) {
+      Status ready = WaitFdEvent(fd.get(), POLLOUT, timeout_ms);
+      if (!ready.ok()) {
+        if (ready.code() == StatusCode::kDeadlineExceeded) {
+          return Status::DeadlineExceeded(
+              "connect 127.0.0.1:" + std::to_string(port) + " timed out (" +
+              std::to_string(timeout_ms) + "ms)");
+        }
+        return ready;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) !=
+          0) {
+        return Errno("getsockopt(SO_ERROR)");
+      }
+      if (so_error != 0) {
+        errno = so_error;
+        return Errno("connect 127.0.0.1:" + std::to_string(port));
+      }
+    }
+    if (::fcntl(fd.get(), F_SETFL, flags) != 0) return Errno("fcntl");
+  }
   const int one = 1;
   if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) !=
       0) {
@@ -81,9 +145,13 @@ Result<UniqueFd> ConnectTcp(uint16_t port) {
 }
 
 Status WriteAll(int fd, const void* data, size_t len) {
+  uint64_t stall_ms = 0;
+  if (PRSIM_FAULT_POINT("net.write.err", &stall_ms)) {
+    return InjectedFault("net.write.err");
+  }
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
+    const ssize_t n = SendOrWrite(fd, p, len, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("write");
@@ -94,8 +162,34 @@ Status WriteAll(int fd, const void* data, size_t len) {
   return Status::OK();
 }
 
+Status WriteAllTimed(int fd, const void* data, size_t len, int timeout_ms) {
+  uint64_t stall_ms = 0;
+  if (PRSIM_FAULT_POINT("net.write.err", &stall_ms)) {
+    return InjectedFault("net.write.err");
+  }
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = SendOrWrite(fd, p, len, MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        PRSIM_RETURN_NOT_OK(WaitFdEvent(fd, POLLOUT, timeout_ms));
+        continue;
+      }
+      return Errno("write");
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
 Status ReadFull(int fd, void* data, size_t len, bool* eof) {
   *eof = false;
+  uint64_t stall_ms = 0;
+  if (PRSIM_FAULT_POINT("net.read.err", &stall_ms)) {
+    return InjectedFault("net.read.err");
+  }
   char* p = static_cast<char*>(data);
   size_t got = 0;
   while (got < len) {
@@ -119,6 +213,24 @@ Status ReadFull(int fd, void* data, size_t len, bool* eof) {
 }
 
 Result<size_t> ReadSome(int fd, void* data, size_t len) {
+  uint64_t stall_ms = 0;
+  if (PRSIM_FAULT_POINT("net.read.err", &stall_ms)) {
+    return InjectedFault("net.read.err");
+  }
+  while (true) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno != EINTR) return Errno("read");
+  }
+}
+
+Result<size_t> ReadSomeTimed(int fd, void* data, size_t len,
+                             int timeout_ms) {
+  uint64_t stall_ms = 0;
+  if (PRSIM_FAULT_POINT("net.read.err", &stall_ms)) {
+    return InjectedFault("net.read.err");
+  }
+  PRSIM_RETURN_NOT_OK(WaitFdEvent(fd, POLLIN, timeout_ms));
   while (true) {
     const ssize_t n = ::read(fd, data, len);
     if (n >= 0) return static_cast<size_t>(n);

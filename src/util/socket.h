@@ -56,10 +56,27 @@ Result<uint16_t> LocalPort(int fd);
 
 /// Blocking connect to 127.0.0.1:port with TCP_NODELAY set (the protocols
 /// here are small request/response frames; Nagle only adds latency).
-Result<UniqueFd> ConnectTcp(uint16_t port);
+/// timeout_ms >= 0 bounds the connect itself (non-blocking connect +
+/// poll); expiry is a kDeadlineExceeded status. -1 blocks indefinitely.
+Result<UniqueFd> ConnectTcp(uint16_t port, int timeout_ms = -1);
+
+/// Polls `fd` for the given poll(2) events (POLLIN / POLLOUT). OK once an
+/// event (or error/hangup — the subsequent I/O call reports it) is
+/// pending; kDeadlineExceeded when `timeout_ms` elapses first. A negative
+/// timeout blocks indefinitely (degenerate but allowed).
+Status WaitFdEvent(int fd, short events, int timeout_ms);
 
 /// Writes exactly `len` bytes, looping over partial writes and EINTR.
+/// Sockets are written with send(MSG_NOSIGNAL), so a vanished peer is an
+/// EPIPE kIOError instead of a process-killing SIGPIPE; non-socket fds
+/// (pipes, files) fall back to write(2).
 Status WriteAll(int fd, const void* data, size_t len);
+
+/// WriteAll with a per-call deadline: every blocked write first waits for
+/// POLLOUT at most `timeout_ms` ms; expiry is kDeadlineExceeded (the
+/// buffered prefix is already on the wire — callers must treat the stream
+/// as broken). Requires a socket fd.
+Status WriteAllTimed(int fd, const void* data, size_t len, int timeout_ms);
 
 /// Reads exactly `len` bytes. EOF before the first byte is reported as
 /// `*eof = true` with OK status; EOF mid-object is a kIOError (a peer that
@@ -69,6 +86,11 @@ Status ReadFull(int fd, void* data, size_t len, bool* eof);
 /// Reads up to `len` bytes (at least 1 unless EOF). Returns the byte count,
 /// 0 on EOF.
 Result<size_t> ReadSome(int fd, void* data, size_t len);
+
+/// ReadSome with a per-call deadline: waits for POLLIN at most
+/// `timeout_ms` ms before reading; expiry is a kDeadlineExceeded status
+/// with no bytes consumed.
+Result<size_t> ReadSomeTimed(int fd, void* data, size_t len, int timeout_ms);
 
 /// Half-closes the read side, unblocking a peer's or our own pending
 /// reads with EOF; the write side stays open for draining responses.

@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kResourceExhausted = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a short human-readable name for a StatusCode (e.g. "Invalid
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

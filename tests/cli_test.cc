@@ -170,6 +170,22 @@ class CliTest : public ::testing::Test {
     return -1;
   }
 
+  /// Closes the child's stdin (EOF drives the stdin serve loop to drain),
+  /// reaps the process, and returns its exit code.
+  int CloseStdinAndWait(Spawned* proc) {
+    if (proc->pid < 0) return -1;
+    if (proc->stdin_fd >= 0) {
+      ::close(proc->stdin_fd);
+      proc->stdin_fd = -1;
+    }
+    int status = 0;
+    ::waitpid(proc->pid, &status, 0);
+    proc->pid = -1;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return -1;
+  }
+
   std::filesystem::path dir_;
   int spawn_count_ = 0;
 };
@@ -997,6 +1013,111 @@ TEST_F(CliTest, ServeStdinExitsCleanlyOnSigint) {
   const std::string err = ReadFile(server.stderr_path);
   EXPECT_NE(err.find("\"event\":\"serve_stats\""), std::string::npos) << err;
   EXPECT_NE(err.find("\"transport\":\"stdin\""), std::string::npos);
+}
+
+// Chaos smoke: the same --faults spec and --fault-seed replay the same
+// failures, and every request the injector spares is answered bit-for-bit
+// identically to a fault-free run — the contract the CI chaos job diffs.
+TEST_F(CliTest, ServeStdinFaultInjectionReplaysDeterministically) {
+  ASSERT_EQ(Run("generate --out " + Path("g.txt") +
+                " --model er --n 300 --degree 4 --seed 3"),
+            0);
+  std::string requests;
+  for (int source = 1; source <= 24; ++source) {
+    requests += std::to_string(source) + "\n";
+  }
+  const std::string serve = "serve --graph " + Path("g.txt") +
+                            " --stdin --threads 1 --algo prsim --eps 0.4"
+                            " --seed 5";
+
+  struct ServeRun {
+    int exit_code = -1;
+    std::string out;
+    std::string err;
+  };
+  auto run_serve = [&](const std::string& extra) {
+    Spawned proc = Spawn(serve + extra);
+    EXPECT_GT(proc.pid, 0);
+    EXPECT_EQ(::write(proc.stdin_fd, requests.data(), requests.size()),
+              static_cast<ssize_t>(requests.size()));
+    ServeRun run;
+    run.exit_code = CloseStdinAndWait(&proc);
+    run.out = ReadFile(proc.stdout_path);
+    run.err = ReadFile(proc.stderr_path);
+    return run;
+  };
+  auto result_lines = [](const std::string& out) {
+    std::vector<std::string> lines;
+    std::istringstream stream(out);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (line.rfind("result ", 0) == 0) lines.push_back(line);
+    }
+    return lines;
+  };
+  // The exit summary's counts are deterministic; its latency percentiles
+  // are not. Strip the line down to the counts before comparing.
+  auto served_counts = [](const std::string& out) {
+    const auto pos = out.find("served queries=");
+    if (pos == std::string::npos) return std::string();
+    return out.substr(pos, out.find(" p50_ms=", pos) - pos);
+  };
+  auto fault_stats_line = [](const std::string& err) {
+    std::istringstream stream(err);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (line.find("\"event\":\"fault_stats\"") != std::string::npos) {
+        return line;
+      }
+    }
+    return std::string();
+  };
+
+  const std::string faults =
+      " --faults engine.query.throw=1/3 --fault-seed 11";
+  const ServeRun clean = run_serve("");
+  const ServeRun first = run_serve(faults);
+  const ServeRun second = run_serve(faults);
+
+  // The fault-free baseline answers all 24 lines and reports no faults.
+  ASSERT_EQ(clean.exit_code, 0) << clean.err;
+  const std::vector<std::string> clean_results = result_lines(clean.out);
+  ASSERT_EQ(clean_results.size(), 24u) << clean.out;
+  EXPECT_TRUE(fault_stats_line(clean.err).empty()) << clean.err;
+
+  // 1/3 over 24 sequential requests fires at least once and spares at
+  // least one; failed lines surface in the exit code (3) and on stderr.
+  EXPECT_EQ(first.exit_code, 3) << first.err;
+  EXPECT_NE(first.err.find("injected fault: engine.query.throw"),
+            std::string::npos)
+      << first.err;
+  const std::vector<std::string> survivors = result_lines(first.out);
+  EXPECT_FALSE(survivors.empty()) << first.out;
+  EXPECT_LT(survivors.size(), 24u) << first.out;
+
+  // Replay determinism: identical replies, counts, exit code and
+  // fault_stats (latency percentiles in the summary are wall-clock, so
+  // they are the one part of the output not compared).
+  EXPECT_EQ(second.exit_code, first.exit_code);
+  EXPECT_EQ(result_lines(second.out), survivors);
+  EXPECT_EQ(served_counts(second.out), served_counts(first.out));
+  EXPECT_NE(served_counts(first.out).find("failed="), std::string::npos)
+      << first.out;
+  const std::string stats = fault_stats_line(first.err);
+  ASSERT_FALSE(stats.empty()) << first.err;
+  EXPECT_EQ(fault_stats_line(second.err), stats);
+
+  // Every surviving reply is bit-identical to the fault-free run's answer:
+  // failed requests consumed their positional seed at admission, so the
+  // survivors' seeds — and scores — never shift.
+  for (const std::string& line : survivors) {
+    EXPECT_NE(std::find(clean_results.begin(), clean_results.end(), line),
+              clean_results.end())
+        << line;
+  }
+
+  // Malformed specs are refused before any serving starts.
+  EXPECT_EQ(Run(serve + " --faults bogus"), 2);
 }
 
 TEST_F(CliTest, ShardBuildRequiresGraphAndOutDir) {

@@ -1,0 +1,140 @@
+// Deterministic fault injection: the firing schedule is a pure function of
+// (spec, seed, per-point evaluation index) — the property the chaos CI job
+// leans on — plus the spec grammar's error handling and the zero-cost
+// disabled path.
+
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace prsim {
+namespace {
+
+/// Replays `evaluations` consultations of one point and records which
+/// indices fired.
+std::vector<int> FiringPattern(const char* name, int evaluations) {
+  std::vector<int> fired;
+  for (int i = 0; i < evaluations; ++i) {
+    uint64_t stall_ms = 0;
+    if (PRSIM_FAULT_POINT(name, &stall_ms)) fired.push_back(i);
+  }
+  return fired;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  // Every test leaves the process-global injector disarmed: other suites
+  // in this binary (and this suite's own tests) depend on the default.
+  void TearDown() override { FaultInjector::Global().Disable(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefaultAndNeverFires) {
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  uint64_t stall_ms = 0;
+  EXPECT_FALSE(PRSIM_FAULT_POINT("net.read.err", &stall_ms));
+  EXPECT_TRUE(FaultInjector::Global().Stats().empty());
+}
+
+TEST_F(FaultInjectionTest, SameSpecAndSeedReplayTheSameFiringIndices) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("engine.query.throw=1/7", /*seed=*/42)
+                  .ok());
+  const std::vector<int> first = FiringPattern("engine.query.throw", 500);
+  EXPECT_FALSE(first.empty()) << "1/7 over 500 evaluations must fire";
+
+  // Reconfigure with the identical spec+seed: counters reset, and the
+  // evaluation indices that fire are exactly the same.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("engine.query.throw=1/7", /*seed=*/42)
+                  .ok());
+  EXPECT_EQ(FiringPattern("engine.query.throw", 500), first);
+
+  // A different seed picks a different subset (with overwhelming
+  // probability for 500 draws at density 1/7).
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("engine.query.throw=1/7", /*seed=*/43)
+                  .ok());
+  EXPECT_NE(FiringPattern("engine.query.throw", 500), first);
+}
+
+TEST_F(FaultInjectionTest, PointsAreIndependentAndRoughlyAtDensity) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("a.err=1/2,b.err=1/1,c.err=0/5", /*seed=*/1)
+                  .ok());
+  const std::vector<int> a = FiringPattern("a.err", 1000);
+  EXPECT_GT(a.size(), 400u);  // ~500 expected; loose bounds, no flakes
+  EXPECT_LT(a.size(), 600u);
+  EXPECT_EQ(FiringPattern("b.err", 100).size(), 100u);  // 1/1 always fires
+  EXPECT_TRUE(FiringPattern("c.err", 100).empty());     // 0/5 never fires
+  // An unconfigured name never fires even while the injector is armed.
+  EXPECT_TRUE(FiringPattern("never.configured", 100).empty());
+}
+
+TEST_F(FaultInjectionTest, StallBudgetTravelsWithTheFiring) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("worker.pickup.stall=1/1:25", /*seed=*/9)
+                  .ok());
+  uint64_t stall_ms = 0;
+  EXPECT_TRUE(PRSIM_FAULT_POINT("worker.pickup.stall", &stall_ms));
+  EXPECT_EQ(stall_ms, 25u);
+}
+
+TEST_F(FaultInjectionTest, StatsCountEvaluationsAndFirings) {
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("x.err=1/3", /*seed=*/5).ok());
+  const std::vector<int> fired = FiringPattern("x.err", 300);
+  const auto stats = FaultInjector::Global().Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "x.err");
+  EXPECT_EQ(stats[0].evaluations, 300u);
+  EXPECT_EQ(stats[0].fired, fired.size());
+
+  const std::string json = FaultInjector::Global().StatsJson();
+  EXPECT_NE(json.find("\"event\":\"fault_stats\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"x.err\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"evaluations\":300"), std::string::npos) << json;
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsAreRejectedAndLeaveOldConfig) {
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("keep.err=1/1", /*seed=*/3).ok());
+  for (const char* bad :
+       {"noequals", "a=", "a=1", "a=1/", "a=1/0", "a=2/1", "a=x/y",
+        "a=1/2:", "a=1/2:ms", "a=1/2,a=1/3"}) {
+    EXPECT_FALSE(FaultInjector::Global().Configure(bad, 3).ok()) << bad;
+  }
+  // The previous configuration survived every failed Configure.
+  uint64_t stall_ms = 0;
+  EXPECT_TRUE(FaultInjector::Global().enabled());
+  EXPECT_TRUE(PRSIM_FAULT_POINT("keep.err", &stall_ms));
+}
+
+TEST_F(FaultInjectionTest, EmptySpecAndDisableDisarmCompletely) {
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("x.err=1/1", /*seed=*/3).ok());
+  ASSERT_TRUE(FaultInjector::Global().Configure("", /*seed=*/3).ok());
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("x.err=1/1", /*seed=*/3).ok());
+  FaultInjector::Global().Disable();
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  uint64_t stall_ms = 0;
+  EXPECT_FALSE(PRSIM_FAULT_POINT("x.err", &stall_ms));
+  EXPECT_TRUE(FaultInjector::Global().Stats().empty());
+}
+
+TEST_F(FaultInjectionTest, InjectedFaultStatusNamesThePoint) {
+  const Status st = InjectedFault("net.read.err");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("injected fault: net.read.err"),
+            std::string::npos)
+      << st.ToString();
+}
+
+}  // namespace
+}  // namespace prsim

@@ -25,6 +25,7 @@
 #include "net/frame.h"
 #include "net/serve_loop.h"
 #include "test_util.h"
+#include "util/fault_injection.h"
 #include "util/socket.h"
 
 namespace prsim {
@@ -71,6 +72,65 @@ TEST(FrameTest, RequestDefaultsRoundTrip) {
   EXPECT_TRUE(decoded.ValueOrDie().algo.empty());
   EXPECT_EQ(decoded.ValueOrDie().seed_position, QueryRequest::kServiceOrder);
   EXPECT_TRUE(decoded.ValueOrDie().fresh_seed);
+}
+
+TEST(FrameTest, DeadlineFreeRequestsStayVersion1OnTheWire) {
+  // Back-compat contract: a request without a deadline must encode exactly
+  // as it always has, so old decoders keep working untouched.
+  net::WireRequest request;
+  request.algo = "prsim";
+  request.source = 7;
+  request.k = 5;
+  std::vector<char> payload;
+  net::EncodeRequest(request, &payload);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]), net::kFrameVersion);
+  // v1 layout: u8 version, u8 flags, u16 algo_len, u32 source, u32 k,
+  // u64 seed_position, algo bytes — no deadline field.
+  EXPECT_EQ(payload.size(), 1 + 1 + 2 + 4 + 4 + 8 + request.algo.size());
+}
+
+TEST(FrameTest, DeadlineRequestsRoundTripAsVersion2) {
+  net::WireRequest request;
+  request.algo = "prsim";
+  request.source = 7;
+  request.k = 5;
+  request.deadline_ms = 250;
+  std::vector<char> payload;
+  net::EncodeRequest(request, &payload);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]), net::kFrameVersionDeadline);
+  auto decoded = net::DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().deadline_ms, 250u);
+  EXPECT_EQ(decoded.ValueOrDie().algo, "prsim");
+  EXPECT_EQ(decoded.ValueOrDie().source, 7u);
+
+  // deadline_ms=0 (already expired) is a meaningful value and must travel.
+  request.deadline_ms = 0;
+  net::EncodeRequest(request, &payload);
+  decoded = net::DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().deadline_ms, 0u);
+
+  // Budgets beyond u32 range clamp rather than truncate mod 2^32.
+  request.deadline_ms = (1ull << 40);
+  net::EncodeRequest(request, &payload);
+  decoded = net::DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ValueOrDie().deadline_ms, 0xFFFFFFFFull);
+}
+
+TEST(FrameTest, TruncatedDeadlineRequestsAreRejected) {
+  net::WireRequest request;
+  request.algo = "prsim";
+  request.deadline_ms = 123;
+  std::vector<char> payload;
+  net::EncodeRequest(request, &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    std::vector<char> cut(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(net::DecodeRequest(cut).ok()) << "len=" << len;
+  }
 }
 
 TEST(FrameTest, ResponseRoundTripsScoresBitForBit) {
@@ -153,28 +213,69 @@ TEST(FrameTest, LyingScoreCountIsRejected) {
 TEST(ServeLineTest, ParsesSourceAndOptionalK) {
   NodeId source = 0;
   uint32_t k = 0;
-  ASSERT_TRUE(net::ParseServeLine("17", 100, 20, &source, &k).ok());
+  uint64_t deadline_ms = 0;
+  ASSERT_TRUE(
+      net::ParseServeLine("17", 100, 20, &source, &k, &deadline_ms).ok());
   EXPECT_EQ(source, 17u);
   EXPECT_EQ(k, 20u);  // default applied
-  ASSERT_TRUE(net::ParseServeLine("17 5", 100, 20, &source, &k).ok());
+  EXPECT_EQ(deadline_ms, QueryRequest::kNoDeadline);
+  ASSERT_TRUE(
+      net::ParseServeLine("17 5", 100, 20, &source, &k, &deadline_ms).ok());
   EXPECT_EQ(k, 5u);
-  ASSERT_TRUE(net::ParseServeLine("17\t5", 100, 20, &source, &k).ok());
+  ASSERT_TRUE(
+      net::ParseServeLine("17\t5", 100, 20, &source, &k, &deadline_ms).ok());
   EXPECT_EQ(k, 5u);
+}
+
+TEST(ServeLineTest, ParsesOptionalDeadlineInEitherOrder) {
+  NodeId source = 0;
+  uint32_t k = 0;
+  uint64_t deadline_ms = 0;
+  ASSERT_TRUE(net::ParseServeLine("17 deadline_ms=250", 100, 20, &source, &k,
+                                  &deadline_ms)
+                  .ok());
+  EXPECT_EQ(source, 17u);
+  EXPECT_EQ(k, 20u);
+  EXPECT_EQ(deadline_ms, 250u);
+  ASSERT_TRUE(net::ParseServeLine("17 5 deadline_ms=250", 100, 20, &source,
+                                  &k, &deadline_ms)
+                  .ok());
+  EXPECT_EQ(k, 5u);
+  EXPECT_EQ(deadline_ms, 250u);
+  ASSERT_TRUE(net::ParseServeLine("17 deadline_ms=250 5", 100, 20, &source,
+                                  &k, &deadline_ms)
+                  .ok());
+  EXPECT_EQ(k, 5u);
+  EXPECT_EQ(deadline_ms, 250u);
+  // deadline_ms=0 is legal: an already-expired request (shed at admission
+  // without consuming a seed position).
+  ASSERT_TRUE(net::ParseServeLine("17 deadline_ms=0", 100, 20, &source, &k,
+                                  &deadline_ms)
+                  .ok());
+  EXPECT_EQ(deadline_ms, 0u);
 }
 
 TEST(ServeLineTest, RejectsMalformedLinesWithHistoricalMessages) {
   NodeId source = 0;
   uint32_t k = 0;
-  Status st = net::ParseServeLine("froot", 100, 20, &source, &k);
+  uint64_t deadline_ms = 0;
+  Status st = net::ParseServeLine("froot", 100, 20, &source, &k, &deadline_ms);
   EXPECT_EQ(st.message(), "invalid node id 'froot' (n = 100)");
-  st = net::ParseServeLine("200", 100, 20, &source, &k);
+  st = net::ParseServeLine("200", 100, 20, &source, &k, &deadline_ms);
   EXPECT_EQ(st.message(), "invalid node id '200' (n = 100)");
-  st = net::ParseServeLine("17 zero", 100, 20, &source, &k);
+  st = net::ParseServeLine("17 zero", 100, 20, &source, &k, &deadline_ms);
   EXPECT_EQ(st.message(), "invalid k 'zero'");
-  st = net::ParseServeLine("17 0", 100, 20, &source, &k);
+  st = net::ParseServeLine("17 0", 100, 20, &source, &k, &deadline_ms);
   EXPECT_EQ(st.message(), "invalid k '0'");
-  st = net::ParseServeLine("17 5 9", 100, 20, &source, &k);
-  EXPECT_EQ(st.message(), "expected \"<source> [k]\", got '17 5 9'");
+  st = net::ParseServeLine("17 5 9", 100, 20, &source, &k, &deadline_ms);
+  EXPECT_EQ(st.message(),
+            "expected \"<source> [k] [deadline_ms=N]\", got '17 5 9'");
+  st = net::ParseServeLine("17 deadline_ms=abc", 100, 20, &source, &k,
+                           &deadline_ms);
+  EXPECT_EQ(st.message(), "invalid deadline_ms 'abc'");
+  st = net::ParseServeLine("17 deadline_ms=1 deadline_ms=2", 100, 20,
+                           &source, &k, &deadline_ms);
+  EXPECT_EQ(st.message(), "invalid deadline_ms '2'");
 }
 
 TEST(ServeLineTest, TrimsAndDropsComments) {
@@ -480,7 +581,7 @@ TEST(TcpServerTest, TextSessionServesAndReportsErrorsInBand) {
   auto fd_result = ConnectTcp(served.server->port());
   fd_result.status().Abort();
   UniqueFd fd = std::move(fd_result).ValueOrDie();
-  const std::string lines = "5 3\n# comment\nbogus\n9 2\n";
+  const std::string lines = "5 3\n# comment\nbogus\n9 2\n4 2 deadline_ms=0\n";
   WriteAll(fd.get(), lines.data(), lines.size()).Abort();
   ::shutdown(fd.get(), SHUT_WR);  // half-close: tells the session we're done
   std::string response;
@@ -495,6 +596,14 @@ TEST(TcpServerTest, TextSessionServesAndReportsErrorsInBand) {
             std::string::npos)
       << response;
   EXPECT_NE(response.find("result 9 "), std::string::npos) << response;
+  // deadline_ms=0 parses fine but is already expired: refused in band as a
+  // failed query, so the report carries the full "<Code>: <message>" status
+  // (parse errors above report the bare message).
+  EXPECT_NE(response.find(
+                "error line 5: Deadline exceeded: deadline expired before "
+                "admission"),
+            std::string::npos)
+      << response;
 }
 
 TEST(TcpServerTest, MalformedBinaryPayloadDrainsThenErrorsAndCloses) {
@@ -581,11 +690,137 @@ TEST(TcpServerTest, ShutdownDrainsInFlightAndStopsAccepting) {
   EXPECT_EQ(stats.submitted, stats.completed + stats.failed);
 }
 
+TEST(TcpServerTest, ExpiredDeadlineOverTcpConsumesNoSeedPosition) {
+  // The determinism contract under deadlines: a refused (already-expired)
+  // request never consumes a service-order position, so the surrounding
+  // positional stream replays the no-deadline reference bit for bit.
+  std::vector<QueryResult> local;
+  {
+    ServedService reference = StartPrsimServer(/*threads=*/1);
+    std::vector<std::future<QueryResult>> futures;
+    for (NodeId i = 0; i < 10; ++i) {
+      QueryRequest request;
+      request.source = (i * 7 + 3) % reference.graph.n();
+      request.k = 8;
+      futures.push_back(reference.service->Submit(std::move(request)));
+    }
+    for (auto& future : futures) local.push_back(future.get());
+  }
+
+  ServedService served = StartPrsimServer(/*threads=*/2);
+  BinaryClient client(served.server->port());
+  for (NodeId i = 0; i < 10; ++i) {
+    if (i == 4) {
+      // Dropped into the middle of the stream: must be answered (in
+      // order) with kDeadlineExceeded and must not shift the positions of
+      // anything behind it.
+      net::WireRequest expired;
+      expired.source = 1;
+      expired.k = 8;
+      expired.deadline_ms = 0;
+      client.Send(expired);
+    }
+    net::WireRequest request;
+    request.source = (i * 7 + 3) % served.graph.n();
+    request.k = 8;
+    client.Send(request);
+  }
+  for (NodeId i = 0; i < 10; ++i) {
+    if (i == 4) {
+      const net::WireResponse refused = client.Receive();
+      EXPECT_EQ(refused.status_code,
+                static_cast<uint8_t>(StatusCode::kDeadlineExceeded))
+          << refused.error;
+    }
+    const net::WireResponse response = client.Receive();
+    ASSERT_EQ(response.status_code, 0) << response.error;
+    ASSERT_TRUE(local[i].status.ok());
+    EXPECT_EQ(response.scores, local[i].scores)
+        << "positions shifted at stream index " << i;
+  }
+  const ServiceStats stats = served.service->Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, 10u);
+}
+
+TEST(TcpServerTest, ClientKilledBetweenRequestAndReplyDoesNotKillServer) {
+  // Satellite regression: the reply write lands on a dead connection. With
+  // SIGPIPE unblocked/un-ignored at the socket layer this would kill the
+  // whole process (the test binary IS the server here); MSG_NOSIGNAL in
+  // SendOrWrite turns it into an ordinary write error the session eats.
+  ServedService served = StartPrsimServer(/*threads=*/1);
+  {
+    BinaryClient doomed(served.server->port());
+    for (NodeId i = 0; i < 4; ++i) doomed.Send(FreshRequest(i, 5));
+    // RST on close (instead of a graceful FIN + drain) so the server's
+    // pending response writes fail hard.
+    struct linger hard_close = {1, 0};
+    ::setsockopt(doomed.fd(), SOL_SOCKET, SO_LINGER, &hard_close,
+                 sizeof(hard_close));
+  }  // ~BinaryClient closes the fd -> RST
+  // The server must still be alive and serving new connections.
+  BinaryClient client(served.server->port());
+  client.Send(FreshRequest(3, 5));
+  const net::WireResponse response = client.Receive();
+  EXPECT_EQ(response.status_code, 0) << response.error;
+  EXPECT_EQ(response.source, 3u);
+}
+
+TEST(TcpServerTest, AcceptLoopSurvivesInjectedFdExhaustion) {
+  // Satellite regression: EMFILE from accept() must not end the accept
+  // loop. The net.accept.emfile fault point forces the error path
+  // deterministically; connections parked in the listen backlog are
+  // picked up once a later accept round succeeds.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("net.accept.emfile=1/2", /*seed=*/7)
+                  .ok());
+  ServedService served = StartPrsimServer(/*threads=*/1);
+  for (int round = 0; round < 4; ++round) {
+    BinaryClient client(served.server->port());
+    client.Send(FreshRequest(static_cast<NodeId>(round), 5));
+    const net::WireResponse response = client.Receive();
+    EXPECT_EQ(response.status_code, 0) << response.error;
+  }
+  FaultInjector::Global().Disable();
+  EXPECT_EQ(served.server->Stats().connections, 4u);
+}
+
+TEST(TcpServerTest, IdleReaperClosesQuietConnectionsAndCountsThem) {
+  ServedService s{MakeRandomDigraph(120, 500, /*seed=*/11), nullptr,
+                  nullptr};
+  QueryServiceOptions service_options;
+  service_options.threads = 1;
+  s.service = std::make_unique<QueryService>(service_options);
+  s.service
+      ->AddEngine("prsim", s.graph, ParseConfig("eps=0.4,seed=7,threads=1"))
+      .Abort();
+  net::TcpServerOptions options;
+  options.node_count = s.graph.n();
+  options.idle_timeout_ms = 100;
+  QueryService* service = s.service.get();
+  auto server = net::TcpServer::Start(options, [service](QueryRequest r) {
+    return service->Submit(std::move(r));
+  });
+  server.status().Abort();
+  s.server = std::move(server).ValueOrDie();
+
+  BinaryClient client(s.server->port());
+  client.Send(FreshRequest(5, 4));
+  const net::WireResponse response = client.Receive();
+  EXPECT_EQ(response.status_code, 0) << response.error;
+  // Now go quiet. The reaper half-closes the connection; having received
+  // every answer to a request we actually sent, we see a clean EOF.
+  EXPECT_TRUE(client.ReadEof());
+  EXPECT_EQ(s.server->Stats().idle_closed, 1u);
+}
+
 TEST(TcpServerTest, ServiceStatsJsonHasTheContractFields) {
   ServiceStats stats;
   stats.submitted = 5;
   stats.completed = 4;
   stats.failed = 1;
+  stats.deadline_exceeded = 2;
+  stats.shed = 7;
   stats.queue_high_water = 3;
   stats.p50_seconds = 0.002;
   const std::string json = ServiceStatsJson(stats, "tcp");
@@ -594,6 +829,8 @@ TEST(TcpServerTest, ServiceStatsJsonHasTheContractFields) {
   EXPECT_NE(json.find("\"accepted\":5"), std::string::npos);
   EXPECT_NE(json.find("\"completed\":4"), std::string::npos);
   EXPECT_NE(json.find("\"failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_exceeded\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\":7"), std::string::npos);
   EXPECT_NE(json.find("\"queue_high_water\":3"), std::string::npos);
   EXPECT_NE(json.find("\"p50_ms\":2"), std::string::npos);
 }

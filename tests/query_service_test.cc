@@ -21,6 +21,7 @@
 #include "core/engine_config.h"
 #include "core/engine_registry.h"
 #include "test_util.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace prsim {
@@ -396,6 +397,296 @@ TEST(QueryServiceTest, LatencyPercentilesAreMonotoneAndSurfacedInQueryCost) {
 }
 
 // ---------------------------------------------------------------------------
+// Deadlines, shedding and fault points.
+// ---------------------------------------------------------------------------
+
+TEST(QueryServiceDeadlineTest, ZeroBudgetIsRefusedWithoutConsumingASeed) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  QueryServiceOptions options;
+  options.threads = 1;
+
+  // Service A sees an expired request interleaved into its positional
+  // stream; service B never does. Their positional answers must match
+  // element for element — the expired request consumed no seq.
+  QueryService with_expired(options);
+  QueryService reference(options);
+  ASSERT_TRUE(with_expired
+                  .AddEngine("fake", std::make_unique<FakeEngine>(50, 1,
+                                                                  control))
+                  .ok());
+  ASSERT_TRUE(
+      reference
+          .AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  QueryRequest expired;
+  expired.algo = "fake";
+  expired.source = 2;
+  expired.deadline_ms = 0;
+  const QueryResult refused = with_expired.Submit(std::move(expired)).get();
+  EXPECT_EQ(refused.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(refused.status.message().find("deadline expired before admission"),
+            std::string::npos)
+      << refused.status.ToString();
+
+  for (NodeId u : {4u, 9u, 14u}) {
+    const QueryResult a = with_expired.Submit({"fake", u, 0}).get();
+    const QueryResult b = reference.Submit({"fake", u, 0}).get();
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    EXPECT_EQ(a.scores, b.scores) << "seq shifted by the expired request";
+  }
+
+  const ServiceStats stats = with_expired.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+  // Admission refusals are not accepted requests: the accounting identity
+  // submitted == completed + failed holds over the accepted stream.
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(QueryServiceDeadlineTest, AbsoluteDeadlineInThePastIsRefused) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+  QueryRequest request;
+  request.algo = "fake";
+  request.source = 1;
+  request.deadline_at =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  const QueryResult result = service.Submit(std::move(request)).get();
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryServiceDeadlineTest, DeadlineBoundsTheBlockingCapacityWait) {
+  // kBlock backpressure normally parks Submit() until a slot frees; a
+  // deadline turns that into a bounded wait that fails fast.
+  auto control = std::make_shared<FakeEngine::Control>();
+  control->delay = std::chrono::milliseconds(150);
+  QueryServiceOptions options;
+  options.threads = 1;
+  options.max_queue = 1;
+  options.backpressure = QueryServiceOptions::Backpressure::kBlock;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  auto busy = service.Submit({"fake", 1, 0});  // occupies the single slot
+  QueryRequest bounded;
+  bounded.algo = "fake";
+  bounded.source = 2;
+  bounded.deadline_ms = 30;
+  const auto wait_started = std::chrono::steady_clock::now();
+  const QueryResult timed_out = service.Submit(std::move(bounded)).get();
+  const auto waited = std::chrono::steady_clock::now() - wait_started;
+  EXPECT_EQ(timed_out.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(timed_out.status.message().find(
+                "deadline expired waiting for queue capacity"),
+            std::string::npos)
+      << timed_out.status.ToString();
+  // It waited about the budget, not the full 150 ms the slot stays busy.
+  EXPECT_LT(waited, std::chrono::milliseconds(140));
+  EXPECT_TRUE(busy.get().status.ok());
+  EXPECT_EQ(service.Stats().deadline_exceeded, 1u);
+}
+
+TEST(QueryServiceDeadlineTest, QueuedRequestsAreSweptOnceExpired) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  control->delay = std::chrono::milliseconds(120);
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  auto busy = service.Submit({"fake", 1, 0});  // executing ~120 ms
+  QueryRequest doomed;
+  doomed.algo = "fake";
+  doomed.source = 2;
+  doomed.deadline_ms = 20;  // expires while queued behind `busy`
+  auto doomed_future = service.Submit(std::move(doomed));
+  auto after = service.Submit({"fake", 3, 0});
+
+  const QueryResult swept = doomed_future.get();
+  EXPECT_EQ(swept.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(swept.status.message().find("deadline expired in queue"),
+            std::string::npos)
+      << swept.status.ToString();
+  EXPECT_GT(swept.latency_seconds, 0.0);
+  EXPECT_TRUE(busy.get().status.ok());
+  EXPECT_TRUE(after.get().status.ok());
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  // A swept request was accepted, so it counts as submitted AND failed —
+  // the identity over accepted requests still holds.
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(QueryServiceDeadlineTest, PredictiveShedRefusesDoomedRequests) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  control->delay = std::chrono::milliseconds(40);
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  // Establish the execution-time EWMA (~40 ms per query).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.Submit({"fake", 1, 0}).get().status.ok());
+  }
+
+  // A 5 ms budget cannot survive a ~40 ms expected service time: shed at
+  // admission, before consuming a queue slot or a seq.
+  QueryRequest tight;
+  tight.algo = "fake";
+  tight.source = 2;
+  tight.deadline_ms = 5;
+  const QueryResult shed = service.Submit(std::move(tight)).get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(
+      shed.status.message().find("shed: queue wait predicts deadline miss"),
+      std::string::npos)
+      << shed.status.ToString();
+
+  // A generous budget sails through under the same EWMA.
+  QueryRequest roomy;
+  roomy.algo = "fake";
+  roomy.source = 2;
+  roomy.deadline_ms = 10000;
+  EXPECT_TRUE(service.Submit(std::move(roomy)).get().status.ok());
+
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST(QueryServiceDeadlineTest, DegradedModeAnswersCacheHitsWhileShedding) {
+  auto control = std::make_shared<FakeEngine::Control>();
+  QueryServiceOptions options;
+  options.threads = 1;
+  // max_queue bounds queued + executing: busy + queued fill it below.
+  options.max_queue = 2;
+  options.cache_bytes = 1 << 20;
+  options.degraded = true;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+
+  // Warm the cache with a fresh-seed answer for source 5.
+  QueryRequest warm;
+  warm.algo = "fake";
+  warm.source = 5;
+  warm.fresh_seed = true;
+  ASSERT_TRUE(service.Submit(std::move(warm)).get().status.ok());
+
+  // Saturate the service: one request executing (~150 ms), one queued.
+  control->delay = std::chrono::milliseconds(150);
+  auto busy = service.Submit({"fake", 1, 0});
+  auto queued = service.Submit({"fake", 2, 0});
+
+  // A cache hit still answers instantly — no queue involved...
+  QueryRequest hit;
+  hit.algo = "fake";
+  hit.source = 5;
+  hit.fresh_seed = true;
+  const QueryResult hit_result = service.Submit(std::move(hit)).get();
+  EXPECT_TRUE(hit_result.status.ok()) << hit_result.status.ToString();
+
+  // ...while a cache miss finds the queue full and is shed immediately
+  // instead of blocking (the configured backpressure is kBlock).
+  QueryRequest miss;
+  miss.algo = "fake";
+  miss.source = 7;
+  miss.fresh_seed = true;
+  const QueryResult shed = service.Submit(std::move(miss)).get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status.message().find("shed: queue full (degraded mode)"),
+            std::string::npos)
+      << shed.status.ToString();
+
+  EXPECT_TRUE(busy.get().status.ok());
+  EXPECT_TRUE(queued.get().status.ok());
+  const ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(QueryServiceFaultTest, InjectedEngineThrowsReplayDeterministically) {
+  // engine.query.throw is evaluated once per executed request, so with a
+  // sequential single-worker service the set of failing request indices is
+  // a pure function of (spec, seed) — the chaos CI determinism contract.
+  auto run = [] {
+    auto control = std::make_shared<FakeEngine::Control>();
+    QueryServiceOptions options;
+    options.threads = 1;
+    QueryService service(options);
+    service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+        .Abort();
+    std::vector<int> failed_indices;
+    for (int i = 0; i < 24; ++i) {
+      const QueryResult result =
+          service.Submit({"fake", static_cast<NodeId>(i % 50), 0}).get();
+      if (!result.status.ok()) {
+        EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+        EXPECT_NE(result.status.message().find(
+                      "injected fault: engine.query.throw"),
+                  std::string::npos)
+            << result.status.ToString();
+        failed_indices.push_back(i);
+      }
+    }
+    return failed_indices;
+  };
+
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("engine.query.throw=1/3", /*seed=*/11)
+                  .ok());
+  const std::vector<int> first = run();
+  EXPECT_FALSE(first.empty()) << "1/3 over 24 requests must fire";
+  EXPECT_LT(first.size(), 24u) << "some requests must survive";
+
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("engine.query.throw=1/3", /*seed=*/11)
+                  .ok());
+  EXPECT_EQ(run(), first);
+  FaultInjector::Global().Disable();
+}
+
+TEST(QueryServiceFaultTest, InjectedPickupStallDelaysButAnswers) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("worker.pickup.stall=1/1:30", /*seed=*/3)
+                  .ok());
+  auto control = std::make_shared<FakeEngine::Control>();
+  QueryServiceOptions options;
+  options.threads = 1;
+  QueryService service(options);
+  ASSERT_TRUE(
+      service.AddEngine("fake", std::make_unique<FakeEngine>(50, 1, control))
+          .ok());
+  const QueryResult result = service.Submit({"fake", 1, 0}).get();
+  FaultInjector::Global().Disable();
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  // The stall is charged to the request's wall time.
+  EXPECT_GE(result.latency_seconds, 0.025);
+}
+
+// ---------------------------------------------------------------------------
 // ServiceStatsJson golden round trip.
 // ---------------------------------------------------------------------------
 
@@ -419,6 +710,8 @@ TEST(ServiceStatsJsonTest, EveryFieldRoundTripsThroughTheJsonLine) {
   stats.completed = 89;
   stats.failed = 7;
   stats.rejected = 5;
+  stats.deadline_exceeded = 11;
+  stats.shed = 13;
   stats.queue_high_water = 64;
   stats.p50_seconds = 0.0015;   // 1.5 ms
   stats.p95_seconds = 0.0625;   // 62.5 ms
@@ -439,6 +732,8 @@ TEST(ServiceStatsJsonTest, EveryFieldRoundTripsThroughTheJsonLine) {
   EXPECT_EQ(JsonField(json, "completed"), "89");
   EXPECT_EQ(JsonField(json, "failed"), "7");
   EXPECT_EQ(JsonField(json, "rejected"), "5");
+  EXPECT_EQ(JsonField(json, "deadline_exceeded"), "11");
+  EXPECT_EQ(JsonField(json, "shed"), "13");
   EXPECT_EQ(JsonField(json, "queue_high_water"), "64");
   EXPECT_DOUBLE_EQ(std::stod(JsonField(json, "p50_ms")), 1.5);
   EXPECT_DOUBLE_EQ(std::stod(JsonField(json, "p95_ms")), 62.5);
@@ -453,9 +748,10 @@ TEST(ServiceStatsJsonTest, EveryFieldRoundTripsThroughTheJsonLine) {
   // log scrapers in CI).
   const std::string zero = ServiceStatsJson(ServiceStats{}, "stdio");
   for (const char* field :
-       {"accepted", "completed", "failed", "rejected", "queue_high_water",
-        "p50_ms", "p95_ms", "p99_ms", "cache_hits", "cache_misses",
-        "cache_coalesced", "cache_evictions", "cache_bytes"}) {
+       {"accepted", "completed", "failed", "rejected", "deadline_exceeded",
+        "shed", "queue_high_water", "p50_ms", "p95_ms", "p99_ms",
+        "cache_hits", "cache_misses", "cache_coalesced", "cache_evictions",
+        "cache_bytes"}) {
     EXPECT_EQ(std::stod(JsonField(zero, field)), 0.0) << field;
   }
 }

@@ -423,6 +423,54 @@ TEST_P(ShardRouterTest, InvalidSourceFailsWithoutConsumingAPosition) {
   EXPECT_EQ(Sorted(router.ValueOrDie()->Submit(3).get().scores), expected);
 }
 
+// One shard's traffic being shed must be invisible to the other shards:
+// an expired request is refused at the router, before it consumes a
+// global stream position, so the surviving stream still replays BatchQuery
+// bit for bit on every shard.
+TEST_P(ShardRouterTest, ExpiredRequestShedsWithoutShiftingOtherShards) {
+  auto reference = ReferenceEngine();
+  const std::vector<NodeId> sources = {3, 88, 21, 119, 0, 57};
+  const std::vector<ScoreList> expected = BatchQuery(*reference, sources);
+  const std::string manifest = BuildBundle(2);
+  ShardRouterOptions options;
+  options.threads_per_shard = 1;
+  auto router = ShardRouter::Open(manifest, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  auto& routed = *router.ValueOrDie();
+
+  // Sources above land on both shards; the doomed request targets shard 0
+  // specifically while the rest of the stream keeps flowing everywhere.
+  NodeId shard0_source = 0;
+  while (routed.ShardOf(shard0_source) != 0) ++shard0_source;
+
+  std::vector<std::future<QueryResult>> futures;
+  std::future<QueryResult> doomed;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (i == 2) {
+      QueryRequest expired_request;
+      expired_request.source = shard0_source;
+      expired_request.deadline_ms = 0;
+      doomed = routed.SubmitRequest(std::move(expired_request));
+    }
+    futures.push_back(routed.Submit(sources[i]));
+  }
+  const QueryResult refused = doomed.get();
+  EXPECT_EQ(refused.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(refused.status.message().find("deadline expired before routing"),
+            std::string::npos)
+      << refused.status.ToString();
+  for (size_t i = 0; i < sources.size(); ++i) {
+    QueryResult result = futures[i].get();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(Sorted(result.scores), Sorted(expected[i]))
+        << "positions shifted by the shed request at i=" << i;
+  }
+  const ServiceStats stats = routed.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, sources.size());
+  EXPECT_EQ(stats.shed, 0u);
+}
+
 TEST_P(ShardRouterTest, MismatchedGraphArtifactIsRejected) {
   const std::string manifest = BuildBundle(2);
   // Overwrite the bundle's graph with a different one: the manifest's

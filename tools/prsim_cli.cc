@@ -51,7 +51,9 @@
 //   prsim_cli serve     --graph g.txt (--stdin | --listen PORT)
 //                       [--algo prsim] [--index g.idx] [--params k=v,k=v]
 //                       [--k 20] [--threads T] [--queue N] [--reject]
-//                       [--max-connections N]
+//                       [--degraded] [--max-connections N]
+//                       [--idle-timeout-ms MS] [--io-timeout-ms MS]
+//                       [--faults SPEC] [--fault-seed S]
 //       Alternatively: prsim_cli serve --manifest DIR/manifest.bin ...
 //       serves the shard bundle: one QueryService per shard, requests
 //       routed by source ownership, global positional seeds — the sharded
@@ -79,14 +81,30 @@
 //       transports: stop accepting, drain in-flight requests, flush
 //       responses, exit 0. Every serve exit prints final ServiceStats as
 //       one JSON line on stderr ({"event":"serve_stats",...}).
+//       Robustness knobs: text requests may carry "deadline_ms=N" (binary
+//       frames a v2 deadline field); expired requests resolve with
+//       kDeadlineExceeded and never shift the positional seeds of the
+//       surviving stream. --degraded sheds queue-full requests immediately
+//       while cache hits keep answering. --idle-timeout-ms reaps
+//       connections that stop talking; --io-timeout-ms bounds each
+//       response write. --faults "name=num/den[:stall_ms],..." (or
+//       PRSIM_FAULTS; seed via --fault-seed / PRSIM_FAULT_SEED) arms the
+//       deterministic fault-injection harness (util/fault_injection.h) and
+//       prints a {"event":"fault_stats",...} line at exit.
 //   prsim_cli client    --port P [--source U] [--k 20] [--fresh]
 //                       [--algo NAME] [--format text|tsv]
+//                       [--deadline-ms N] [--timeout-ms MS] [--retries R]
 //       One-shot TCP client for the binary framing: sends a single query
 //       to a `serve --listen` process on 127.0.0.1:P and prints the
 //       response; --format tsv prints the same "score\t<node>\t<%.17g>"
 //       rows as `query --format tsv`, and --fresh asks for fresh-engine
 //       seeding, so the output diffs bit-for-bit against the offline query
-//       path (the CI end-to-end smoke).
+//       path (the CI end-to-end smoke). --deadline-ms attaches a server-
+//       side deadline budget; --timeout-ms bounds the connect and each
+//       response wait client-side; --retries R re-attempts with jittered
+//       exponential backoff, but only when the server provably did not
+//       start answering (connect failure, timeout/clean EOF before the
+//       first response frame) — never after a partial reply.
 //   prsim_cli generate  --out g.txt [--model chunglu|er|ba] [--n N]
 //                       [--degree D] [--gamma G] [--seed S] [--undirected]
 //       Writes a synthetic edge list.
@@ -97,7 +115,9 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -109,6 +129,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -129,7 +150,9 @@
 #include "net/frame.h"
 #include "net/serve_loop.h"
 #include "net/tcp_server.h"
+#include "util/fault_injection.h"
 #include "util/parse.h"
+#include "util/rng.h"
 #include "util/socket.h"
 #include "util/timer.h"
 
@@ -874,6 +897,36 @@ void PrintServedStats(const ServiceStats& stats) {
       stats.p95_seconds * 1e3, stats.p99_seconds * 1e3);
 }
 
+/// Arms the global fault injector for `serve` from --faults/--fault-seed,
+/// falling back to PRSIM_FAULTS/PRSIM_FAULT_SEED (flags win). Returns 0
+/// (with *armed saying whether any fault points are live) or exit code 2
+/// on a malformed spec. Only the CLI consults the environment — library
+/// code and test binaries never read it, so a stray variable cannot
+/// silently perturb a test run.
+int ConfigureServeFaults(const Flags& flags, bool* armed) {
+  *armed = false;
+  std::string spec = flags.Get("faults", "");
+  if (!flags.HasValue("faults")) {
+    if (const char* env = std::getenv("PRSIM_FAULTS")) spec = env;
+  }
+  if (spec.empty()) return 0;
+  uint64_t seed = flags.GetInt("fault-seed", 0);
+  if (!flags.HasValue("fault-seed")) {
+    if (const char* env = std::getenv("PRSIM_FAULT_SEED")) {
+      if (!ParseUint64(env, &seed)) {
+        std::fprintf(stderr, "serve: invalid PRSIM_FAULT_SEED '%s'\n", env);
+        return 2;
+      }
+    }
+  }
+  if (Status st = FaultInjector::Global().Configure(spec, seed); !st.ok()) {
+    std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+    return 2;
+  }
+  *armed = true;
+  return 0;
+}
+
 /// Graceful-shutdown signal plumbing for `serve`. The handler only sets a
 /// flag and pokes a pipe: the stdin loop notices because the blocked read
 /// returns EINTR (no SA_RESTART), the TCP path because its wait poll()s
@@ -962,6 +1015,7 @@ int OpenServeBackend(const Flags& flags, const std::string& manifest_path,
         static_cast<size_t>(flags.GetInt("threads", 0));
     options.max_queue = max_queue;
     options.cache_bytes = cache_bytes;
+    options.degraded = flags.Has("degraded");
     if (flags.Has("reject")) {
       options.backpressure = QueryServiceOptions::Backpressure::kReject;
     }
@@ -1021,6 +1075,7 @@ int OpenServeBackend(const Flags& flags, const std::string& manifest_path,
   options.threads = static_cast<size_t>(flags.GetInt("threads", 0));
   options.max_queue = max_queue;
   options.cache_bytes = cache_bytes;
+  options.degraded = flags.Has("degraded");
   if (flags.Has("reject")) {
     options.backpressure = QueryServiceOptions::Backpressure::kReject;
   }
@@ -1090,6 +1145,13 @@ int CmdServe(const Flags& flags) {
     return 2;
   }
 
+  // Arm fault injection before the backend loads, so artifact-read fault
+  // points can exercise the cold-start error paths too.
+  bool faults_armed = false;
+  if (const int rc = ConfigureServeFaults(flags, &faults_armed); rc != 0) {
+    return rc;
+  }
+
   ServeBackend backend;
   if (const int rc =
           OpenServeBackend(flags, manifest_path, graph_path, &backend);
@@ -1110,6 +1172,10 @@ int CmdServe(const Flags& flags) {
     const ServiceStats stats = backend.stats();
     PrintServedStats(stats);
     std::fprintf(stderr, "%s\n", ServiceStatsJson(stats, "stdin").c_str());
+    if (faults_armed) {
+      std::fprintf(stderr, "%s\n",
+                   FaultInjector::Global().StatsJson().c_str());
+    }
     if (g_serve_stop != 0) return 0;  // graceful signal shutdown
     return bad_lines > 0 ? 3 : 0;
   }
@@ -1132,6 +1198,10 @@ int CmdServe(const Flags& flags) {
   server_options.default_k = default_k;
   server_options.window = window;
   server_options.max_connections = max_connections;
+  server_options.idle_timeout_ms =
+      static_cast<int>(flags.GetInt("idle-timeout-ms", 0));
+  server_options.io_timeout_ms =
+      static_cast<int>(flags.GetInt("io-timeout-ms", 0));
   auto server_result =
       net::TcpServer::Start(server_options, backend.submit);
   if (!server_result.ok()) {
@@ -1151,14 +1221,20 @@ int CmdServe(const Flags& flags) {
   server->Shutdown();
   const net::TcpServerStats transport_stats = server->Stats();
   std::fprintf(stderr,
-               "connections=%llu requests=%llu protocol_errors=%llu\n",
+               "connections=%llu requests=%llu protocol_errors=%llu "
+               "idle_closed=%llu\n",
                static_cast<unsigned long long>(transport_stats.connections),
                static_cast<unsigned long long>(transport_stats.requests),
                static_cast<unsigned long long>(
-                   transport_stats.protocol_errors));
+                   transport_stats.protocol_errors),
+               static_cast<unsigned long long>(transport_stats.idle_closed));
   const ServiceStats stats = backend.stats();
   PrintServedStats(stats);
   std::fprintf(stderr, "%s\n", ServiceStatsJson(stats, "tcp").c_str());
+  if (faults_armed) {
+    std::fprintf(stderr, "%s\n",
+                 FaultInjector::Global().StatsJson().c_str());
+  }
   return 0;
 }
 
@@ -1201,46 +1277,92 @@ int CmdClient(const Flags& flags) {
   request.source = static_cast<NodeId>(flags.GetUint32("source", 0));
   request.k = flags.GetUint32("k", 20);
   request.fresh_seed = flags.Has("fresh");
-
-  auto fd_result = ConnectTcp(static_cast<uint16_t>(port));
-  if (!fd_result.ok()) {
-    std::fprintf(stderr, "%s\n", fd_result.status().ToString().c_str());
-    return 1;
+  if (flags.HasValue("deadline-ms")) {
+    request.deadline_ms = flags.GetInt("deadline-ms", 0);
   }
-  UniqueFd fd = std::move(fd_result).ValueOrDie();
-  WallTimer timer;
+  // --timeout-ms bounds the connect and the wait for each response;
+  // --retries N re-attempts the whole exchange with jittered exponential
+  // backoff, but ONLY on failures where the server provably did not start
+  // answering (connect failure, timeout or clean EOF before the first
+  // response frame). A partial reply is never retried: the server may have
+  // committed work, and silently re-issuing would hide real flakiness.
+  const int timeout_ms = static_cast<int>(flags.GetInt("timeout-ms", 0));
+  const uint64_t retries = flags.GetInt("retries", 0);
+
   std::vector<char> request_payload;
   net::EncodeRequest(request, &request_payload);
-  // Pipeline: all requests go out before the first response is read — the
-  // server's per-connection dispatch window keeps them in order.
-  Status st = WriteAll(fd.get(), net::kBinaryMagic,
-                       sizeof(net::kBinaryMagic));
-  for (size_t i = 0; st.ok() && i < count; ++i) {
-    st = net::WriteFrame(fd.get(), request_payload);
-  }
   std::vector<char> payload;
   std::vector<char> first_payload;
   std::vector<double> arrival_seconds(count, 0);
-  for (size_t i = 0; st.ok() && i < count; ++i) {
-    bool eof = false;
-    st = net::ReadFrame(fd.get(), &payload, &eof);
-    if (st.ok() && eof) {
-      st = Status::IOError("server closed the connection after " +
-                           std::to_string(i) + " of " +
-                           std::to_string(count) + " responses");
+  WallTimer timer;
+  Status st;
+  uint64_t backoff_state = (static_cast<uint64_t>(port) << 32) ^
+                           request.source ^ 0x9e3779b97f4a7c15ull;
+  for (uint64_t attempt = 0;; ++attempt) {
+    st = Status::OK();
+    bool retryable = false;
+    size_t responses = 0;
+    auto fd_result = ConnectTcp(static_cast<uint16_t>(port),
+                                timeout_ms > 0 ? timeout_ms : -1);
+    if (!fd_result.ok()) {
+      st = fd_result.status();
+      retryable = true;
+    } else {
+      UniqueFd fd = std::move(fd_result).ValueOrDie();
+      timer = WallTimer();
+      // Pipeline: all requests go out before the first response is read —
+      // the server's per-connection dispatch window keeps them in order.
+      st = WriteAll(fd.get(), net::kBinaryMagic, sizeof(net::kBinaryMagic));
+      for (size_t i = 0; st.ok() && i < count; ++i) {
+        st = net::WriteFrame(fd.get(), request_payload);
+      }
+      for (size_t i = 0; st.ok() && i < count; ++i) {
+        bool eof = false;
+        if (timeout_ms > 0) {
+          st = WaitFdEvent(fd.get(), POLLIN, timeout_ms);
+          if (st.code() == StatusCode::kDeadlineExceeded) {
+            st = Status::DeadlineExceeded("no response within " +
+                                          std::to_string(timeout_ms) +
+                                          "ms");
+            // The timeout fired before this frame delivered a byte; with
+            // no frames received at all, nothing was consumed.
+            retryable = responses == 0;
+            break;
+          }
+        }
+        if (st.ok()) st = net::ReadFrame(fd.get(), &payload, &eof);
+        if (st.ok() && eof) {
+          st = Status::IOError("server closed the connection after " +
+                               std::to_string(i) + " of " +
+                               std::to_string(count) + " responses");
+          retryable = responses == 0;  // clean EOF, nothing received
+        }
+        if (!st.ok()) break;
+        ++responses;
+        arrival_seconds[i] = timer.Seconds();
+        if (i == 0) {
+          first_payload = payload;
+        } else if (payload != first_payload) {
+          std::fprintf(stderr,
+                       "client: response %zu differs from response 0 — the "
+                       "server is not answering this request "
+                       "deterministically\n",
+                       i);
+          return 1;
+        }
+      }
     }
-    if (!st.ok()) break;
-    arrival_seconds[i] = timer.Seconds();
-    if (i == 0) {
-      first_payload = payload;
-    } else if (payload != first_payload) {
-      std::fprintf(stderr,
-                   "client: response %zu differs from response 0 — the "
-                   "server is not answering this request "
-                   "deterministically\n",
-                   i);
-      return 1;
-    }
+    if (st.ok()) break;
+    if (!retryable || attempt >= retries) break;
+    const uint64_t backoff_ms =
+        (50ull << std::min<uint64_t>(attempt, 6)) +
+        SplitMix64(backoff_state) % 50;
+    std::fprintf(stderr, "client: %s; retry %llu/%llu in %llums\n",
+                 st.ToString().c_str(),
+                 static_cast<unsigned long long>(attempt + 1),
+                 static_cast<unsigned long long>(retries),
+                 static_cast<unsigned long long>(backoff_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
   }
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -1404,12 +1526,16 @@ int main(int argc, char** argv) {
     return Dispatch(argc, argv,
                     {"graph", "index", "manifest", "eps", "c", "k", "seed",
                      "algo", "params", "j0", "alpha", "rounds", "threads",
-                     "queue", "listen", "max-connections", "cache-mb"},
-                    {"stdin", "reject", "paper-constants"}, CmdServe);
+                     "queue", "listen", "max-connections", "cache-mb",
+                     "faults", "fault-seed", "idle-timeout-ms",
+                     "io-timeout-ms"},
+                    {"stdin", "reject", "paper-constants", "degraded"},
+                    CmdServe);
   }
   if (command == "client") {
     return Dispatch(argc, argv,
-                    {"port", "source", "k", "algo", "format", "count"},
+                    {"port", "source", "k", "algo", "format", "count",
+                     "timeout-ms", "retries", "deadline-ms"},
                     {"fresh"}, CmdClient);
   }
   if (command == "generate") {
